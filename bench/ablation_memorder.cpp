@@ -1,0 +1,95 @@
+// Ablation A2: the pre-load skip and memory orders (DESIGN.md §5).
+//
+// CAS-LT's cost model has two knobs the paper fixes implicitly:
+//   1. the relaxed pre-load that skips the CAS once the round is committed
+//      (Figure 1 line 6) — compare CasLtPolicy vs CasLtNoSkipPolicy vs
+//      CasLtRetryPolicy;
+//   2. the memory order of that pre-load — a bench-local seq_cst variant
+//      quantifies what the strongest ordering would cost on x86 (where
+//      seq_cst loads are plain loads but seq_cst CAS is unchanged, so the
+//      difference is expected to be small — that *finding* is the point).
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/policies.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using crcw::round_t;
+
+/// Bench-local CAS-LT with every access at seq_cst.
+struct SeqCstTag {
+  std::atomic<round_t> last{0};
+
+  bool try_acquire(round_t round) noexcept {
+    round_t current = last.load(std::memory_order_seq_cst);
+    if (current >= round) return false;
+    return last.compare_exchange_strong(current, round, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst);
+  }
+};
+
+constexpr int kRounds = 500;
+constexpr int kAttemptsPerRound = 64;
+
+template <typename TryAcquire>
+void run_contended(benchmark::State& state, TryAcquire&& attempt, auto&& reset) {
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t wins = 0;
+  for (auto _ : state) {
+    reset();
+    crcw::util::Timer timer;
+#pragma omp parallel num_threads(threads) reduction(+ : wins)
+    {
+      for (int r = 1; r <= kRounds; ++r) {
+        for (int a = 0; a < kAttemptsPerRound; ++a) {
+          if (attempt(static_cast<round_t>(r))) ++wins;
+        }
+#pragma omp barrier
+      }
+    }
+    state.SetIterationTime(timer.seconds());
+  }
+  benchmark::DoNotOptimize(wins);
+}
+
+void caslt_skip_acqrel(benchmark::State& state) {
+  crcw::RoundTag tag;
+  run_contended(
+      state, [&](round_t r) { return tag.try_acquire(r); }, [&] { tag.reset(); });
+}
+
+void caslt_noskip(benchmark::State& state) {
+  crcw::RoundTag tag;
+  run_contended(
+      state, [&](round_t r) { return tag.try_acquire_no_skip(r); }, [&] { tag.reset(); });
+}
+
+void caslt_retry(benchmark::State& state) {
+  crcw::RoundTag tag;
+  run_contended(
+      state, [&](round_t r) { return tag.try_acquire_retry(r); }, [&] { tag.reset(); });
+}
+
+void caslt_skip_seqcst(benchmark::State& state) {
+  SeqCstTag tag;
+  run_contended(
+      state, [&](round_t r) { return tag.try_acquire(r); },
+      [&] { tag.last.store(0, std::memory_order_relaxed); });
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (const int t : {1, 2, 4, 8}) b->Arg(t);
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(caslt_skip_acqrel)->Apply(args);
+BENCHMARK(caslt_noskip)->Apply(args);
+BENCHMARK(caslt_retry)->Apply(args);
+BENCHMARK(caslt_skip_seqcst)->Apply(args);
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Ablation A1: tag padding (DESIGN.md §5).
+//
+// One RoundTag per concurrent-write target — but packed tags share cache
+// lines (8 per line), so a CAS on tag i invalidates the line under reads of
+// tags i±7 even when the *logical* targets never collide. Padding trades
+// 8x memory for isolation. The paper's kernels pack (Fig 3 uses plain
+// unsigned arrays); this bench quantifies what that choice costs under
+// neighbour contention and what it saves in footprint-bound sweeps.
+//
+// Two access patterns per layout:
+//   spread  — thread t hammers tags [t*K, (t+1)*K): disjoint tags, so ONLY
+//             false sharing differentiates the layouts;
+//   shared  — all threads hammer the same K tags: true sharing dominates
+//             and padding shouldn't matter much.
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include <cstdint>
+
+#include "core/arbiter.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using crcw::CasLtPolicy;
+using crcw::round_t;
+using crcw::TagLayout;
+using crcw::WriteArbiter;
+
+constexpr std::size_t kTagsPerThread = 8;  // within one cache line when packed
+constexpr int kRounds = 2000;
+
+template <TagLayout Layout>
+void spread_pattern(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  WriteArbiter<CasLtPolicy, Layout> arbiter(static_cast<std::size_t>(threads) *
+                                            kTagsPerThread);
+  std::uint64_t wins = 0;
+  for (auto _ : state) {
+    arbiter.reset_all();
+    crcw::util::Timer timer;
+#pragma omp parallel num_threads(threads) reduction(+ : wins)
+    {
+      const auto base = static_cast<std::size_t>(omp_get_thread_num()) * kTagsPerThread;
+      for (round_t r = 1; r <= kRounds; ++r) {
+        for (std::size_t k = 0; k < kTagsPerThread; ++k) {
+          if (arbiter.try_acquire(base + k, r)) ++wins;
+        }
+      }
+    }
+    state.SetIterationTime(timer.seconds());
+  }
+  benchmark::DoNotOptimize(wins);
+  state.counters["tags"] = static_cast<double>(arbiter.size());
+}
+
+template <TagLayout Layout>
+void shared_pattern(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  WriteArbiter<CasLtPolicy, Layout> arbiter(kTagsPerThread);
+  std::uint64_t wins = 0;
+  for (auto _ : state) {
+    arbiter.reset_all();
+    crcw::util::Timer timer;
+#pragma omp parallel num_threads(threads) reduction(+ : wins)
+    {
+      for (round_t r = 1; r <= kRounds; ++r) {
+        for (std::size_t k = 0; k < kTagsPerThread; ++k) {
+          if (arbiter.try_acquire(k, r)) ++wins;
+        }
+#pragma omp barrier
+      }
+    }
+    state.SetIterationTime(timer.seconds());
+  }
+  benchmark::DoNotOptimize(wins);
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (const int t : {1, 2, 4, 8}) b->Arg(t);
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+void spread_packed(benchmark::State& s) { spread_pattern<TagLayout::kPacked>(s); }
+void spread_padded(benchmark::State& s) { spread_pattern<TagLayout::kPadded>(s); }
+void shared_packed(benchmark::State& s) { shared_pattern<TagLayout::kPacked>(s); }
+void shared_padded(benchmark::State& s) { shared_pattern<TagLayout::kPadded>(s); }
+
+BENCHMARK(spread_packed)->Apply(args);
+BENCHMARK(spread_padded)->Apply(args);
+BENCHMARK(shared_packed)->Apply(args);
+BENCHMARK(shared_padded)->Apply(args);
+
+}  // namespace

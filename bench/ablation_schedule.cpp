@@ -1,0 +1,93 @@
+// Ablation A3: Brent-scheduling policy for irregular PRAM steps.
+//
+// Mapping P_PRAM virtual processors onto P_phys threads (§6) leaves one
+// free choice: the OpenMP schedule. For uniform work (the Maximum kernel)
+// static is optimal; for skewed per-processor work (a BFS level on an
+// R-MAT graph, where one virtual processor may own a 1000x-degree hub)
+// dynamic work stealing can win. This bench quantifies the trade on both
+// shapes using pram::Machine's schedule knob.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "graph/builder.hpp"
+#include "pram/machine.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using crcw::graph::Csr;
+using crcw::pram::Machine;
+using crcw::pram::MachineConfig;
+using crcw::pram::Schedule;
+
+const Csr& skewed_graph() {
+  static const Csr g = crcw::graph::build_csr(
+      1 << 14, crcw::graph::rmat(1 << 14, 1 << 18, 7), {.remove_self_loops = true});
+  return g;
+}
+
+/// Irregular step: every virtual processor scans its vertex's adjacency
+/// (R-MAT degrees are power-law distributed).
+void irregular_step(benchmark::State& state, Schedule schedule) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto& g = skewed_graph();
+  Machine machine(MachineConfig{.threads = threads, .schedule = schedule, .chunk = 64});
+
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sum{0};
+    crcw::util::Timer timer;
+    machine.step(g.num_vertices(), [&](Machine::vproc_t v) {
+      std::uint64_t local = 0;
+      for (const auto u : g.neighbors(static_cast<crcw::graph::vertex_t>(v))) local += u;
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    state.SetIterationTime(timer.seconds());
+    total = sum.load();
+  }
+  benchmark::DoNotOptimize(total);
+  state.counters["max_degree"] = static_cast<double>(g.max_degree());
+}
+
+/// Uniform step: constant work per virtual processor.
+void uniform_step(benchmark::State& state, Schedule schedule) {
+  const int threads = static_cast<int>(state.range(0));
+  Machine machine(MachineConfig{.threads = threads, .schedule = schedule, .chunk = 64});
+  constexpr std::uint64_t kProcs = 1 << 18;
+
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sum{0};
+    crcw::util::Timer timer;
+    machine.step(kProcs, [&](Machine::vproc_t v) {
+      sum.fetch_add(v * 2654435761u, std::memory_order_relaxed);
+    });
+    state.SetIterationTime(timer.seconds());
+    total = sum.load();
+  }
+  benchmark::DoNotOptimize(total);
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (const int t : {1, 2, 4, 8}) b->Arg(t);
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+void irregular_static(benchmark::State& s) { irregular_step(s, Schedule::kStatic); }
+void irregular_dynamic(benchmark::State& s) { irregular_step(s, Schedule::kDynamic); }
+void irregular_guided(benchmark::State& s) { irregular_step(s, Schedule::kGuided); }
+void uniform_static(benchmark::State& s) { uniform_step(s, Schedule::kStatic); }
+void uniform_dynamic(benchmark::State& s) { uniform_step(s, Schedule::kDynamic); }
+void uniform_guided(benchmark::State& s) { uniform_step(s, Schedule::kGuided); }
+
+BENCHMARK(irregular_static)->Apply(args);
+BENCHMARK(irregular_dynamic)->Apply(args);
+BENCHMARK(irregular_guided)->Apply(args);
+BENCHMARK(uniform_static)->Apply(args);
+BENCHMARK(uniform_dynamic)->Apply(args);
+BENCHMARK(uniform_guided)->Apply(args);
+
+}  // namespace

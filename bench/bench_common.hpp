@@ -1,0 +1,73 @@
+// Shared infrastructure for the figure benches (fig5..fig12).
+//
+// Conventions, mirroring the paper's methodology (§7.1-7.2):
+//   * measurements exclude graph/list generation (built once, cached);
+//   * each google-benchmark row is one point of the corresponding figure:
+//     time for one (method, x-axis value) pair;
+//   * thread counts come from the benchmark argument; on this container
+//     counts above hardware_threads() exercise oversubscription (see
+//     DESIGN.md "Substitutions") — the paper ran real 32-core nodes;
+//   * problem sizes default to laptop scale; rerun with --paper-scale sizes
+//     by editing the sweep constants or via the figN --n/--m overrides in
+//     bench/paper_tables.cpp.
+#pragma once
+
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace crcw::bench {
+
+/// Threads used for the fixed-thread figures (the paper uses 32 on a
+/// 32-core node; we default to 4 to bound oversubscription overhead).
+inline int default_threads() {
+  if (const char* env = std::getenv("CRCW_BENCH_THREADS"); env != nullptr) {
+    const int t = std::atoi(env);
+    if (t > 0) return t;
+  }
+  return 4;
+}
+
+/// Graph cache: the benches sweep sizes with several methods per size; the
+/// (untimed) generation happens once per shape.
+inline const graph::Csr& cached_graph(std::uint64_t n, std::uint64_t m,
+                                      std::uint64_t seed = 42) {
+  static std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+                  std::unique_ptr<graph::Csr>>
+      cache;
+  auto& slot = cache[{n, m, seed}];
+  if (!slot) slot = std::make_unique<graph::Csr>(graph::random_graph(n, m, seed));
+  return *slot;
+}
+
+/// Cached random list for the Maximum figures.
+inline const std::vector<std::uint32_t>& cached_list(std::uint64_t n,
+                                                     std::uint64_t seed = 42) {
+  static std::map<std::pair<std::uint64_t, std::uint64_t>,
+                  std::unique_ptr<std::vector<std::uint32_t>>>
+      cache;
+  auto& slot = cache[{n, seed}];
+  if (!slot) {
+    util::Xoshiro256 rng(seed);
+    slot = std::make_unique<std::vector<std::uint32_t>>(n);
+    for (auto& x : *slot) x = static_cast<std::uint32_t>(rng.bounded(1u << 30));
+  }
+  return *slot;
+}
+
+/// Standard thread sweep for the "effect of number of threads" figures.
+inline void thread_sweep(benchmark::internal::Benchmark* b) {
+  for (const int t : {1, 2, 4, 8, 16, 32}) b->Arg(t);
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace crcw::bench

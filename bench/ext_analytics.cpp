@@ -1,0 +1,121 @@
+// Extension benchmark: the analytics kernels built on the CW substrate —
+// matching (packed priority cells), k-core (combining decrements),
+// Borůvka MSF (packed priority cells), Tarjan–Vishkin biconnectivity
+// (arbitrary-CW hooks + Euler tour + RMQ) — across graph sizes. Tracks
+// how the composed algorithms scale, complementing the per-primitive
+// micro benches.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "algorithms/bicc.hpp"
+#include "algorithms/boruvka.hpp"
+#include "algorithms/kcore.hpp"
+#include "algorithms/matching.hpp"
+#include "bench_common.hpp"
+#include "graph/builder.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using crcw::bench::cached_graph;
+using crcw::bench::default_threads;
+using crcw::graph::EdgeList;
+using crcw::graph::vertex_t;
+
+/// Connected simple graphs for bicc (tree + distinct extras), cached.
+const EdgeList& cached_connected_simple(std::uint64_t n) {
+  static std::map<std::uint64_t, std::unique_ptr<EdgeList>> cache;
+  auto& slot = cache[n];
+  if (!slot) {
+    auto edges = crcw::graph::random_tree(n, 42);
+    std::set<std::uint64_t> used;
+    for (const auto& e : edges) {
+      used.insert((static_cast<std::uint64_t>(std::min(e.u, e.v)) << 32) |
+                  std::max(e.u, e.v));
+    }
+    crcw::util::Xoshiro256 rng(43);
+    std::uint64_t added = 0;
+    while (added < 2 * n) {
+      const auto u = static_cast<vertex_t>(rng.bounded(n));
+      auto v = static_cast<vertex_t>(rng.bounded(n - 1));
+      if (v >= u) ++v;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+      if (used.insert(key).second) {
+        edges.push_back({u, v});
+        ++added;
+      }
+    }
+    slot = std::make_unique<EdgeList>(std::move(edges));
+  }
+  return *slot;
+}
+
+void bench_matching(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const EdgeList edges = crcw::graph::gnm(n, 4 * n, 42);
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+    const auto r =
+        crcw::algo::maximal_matching(n, edges, {.threads = default_threads()});
+    state.SetIterationTime(timer.seconds());
+    matched = r.edges.size();
+  }
+  state.counters["matched"] = static_cast<double>(matched);
+}
+
+void bench_kcore(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto& g = cached_graph(n, 4 * n);
+  std::uint32_t degeneracy = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+    const auto r = crcw::algo::kcore(g, {.threads = default_threads()});
+    state.SetIterationTime(timer.seconds());
+    degeneracy = r.degeneracy;
+  }
+  state.counters["degeneracy"] = degeneracy;
+}
+
+void bench_boruvka(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto edges = crcw::algo::random_weighted_edges(n, 4 * n, 100000, 42);
+  std::uint64_t weight = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+    const auto r = crcw::algo::boruvka_msf(n, edges, {.threads = default_threads()});
+    state.SetIterationTime(timer.seconds());
+    weight = r.total_weight;
+  }
+  benchmark::DoNotOptimize(weight);
+}
+
+void bench_bicc(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto& edges = cached_connected_simple(n);
+  std::uint64_t components = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+    const auto r =
+        crcw::algo::biconnected_components(n, edges, {.threads = default_threads()});
+    state.SetIterationTime(timer.seconds());
+    components = r.components;
+  }
+  state.counters["bcc"] = static_cast<double>(components);
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t n : {10'000, 50'000, 200'000}) b->Arg(n);
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(bench_matching)->Apply(args);
+BENCHMARK(bench_kcore)->Apply(args);
+BENCHMARK(bench_boruvka)->Apply(args);
+BENCHMARK(bench_bicc)->Apply(args);
+
+}  // namespace

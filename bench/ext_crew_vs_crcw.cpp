@@ -1,0 +1,105 @@
+// Extension experiment (paper §8 future work): "study the performance
+// comparisons of EREW or CREW PRAM algorithm-based implementations ...
+// against relevant implementations of CRCW PRAM algorithms with better
+// Work-Depth asymptotic complexities."
+//
+// Two concrete instances:
+//   OR   — CRCW O(1)-depth common-CW OR (naive / caslt) vs the CREW
+//          Θ(log N)-depth reduction tree. Same Θ(N) work; the CRCW version
+//          saves the log-factor of barrier rounds.
+//   MAX  — three work-depth points on one curve:
+//            fig4      depth O(1),        work Θ(N²)   (paper Figure 4)
+//            dlog      depth O(log log N), work Θ(N·loglogN)
+//            reduce    depth O(log N),     work Θ(N)    (CREW-style)
+//          On a real machine the Θ(N²) version loses at scale however good
+//          its depth — exactly the trade-off §8 proposes studying.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/max.hpp"
+#include "algorithms/or_any.hpp"
+#include "bench_common.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using crcw::bench::cached_list;
+using crcw::bench::default_threads;
+
+const std::vector<std::uint8_t>& cached_bits(std::uint64_t n) {
+  static std::map<std::uint64_t, std::unique_ptr<std::vector<std::uint8_t>>> cache;
+  auto& slot = cache[n];
+  if (!slot) {
+    slot = std::make_unique<std::vector<std::uint8_t>>(n, 0);
+    (*slot)[n / 2] = 1;  // one hit somewhere in the middle
+  }
+  return *slot;
+}
+
+template <typename Fn>
+void run_or(benchmark::State& state, Fn&& fn) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto& bits = cached_bits(n);
+  const crcw::algo::OrOptions opts{.threads = default_threads()};
+  bool result = false;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+    result = fn(bits, opts);
+    state.SetIterationTime(timer.seconds());
+  }
+  benchmark::DoNotOptimize(result);
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void or_crcw_naive(benchmark::State& s) { run_or(s, crcw::algo::parallel_or_naive); }
+void or_crcw_caslt(benchmark::State& s) { run_or(s, crcw::algo::parallel_or_caslt); }
+void or_crew_tree(benchmark::State& s) { run_or(s, crcw::algo::parallel_or_crew); }
+
+void or_args(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t n : {1 << 14, 1 << 17, 1 << 20, 1 << 23}) b->Arg(n);
+  b->UseManualTime()->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(or_crcw_naive)->Apply(or_args);
+BENCHMARK(or_crcw_caslt)->Apply(or_args);
+BENCHMARK(or_crew_tree)->Apply(or_args);
+
+template <typename Fn>
+void run_max(benchmark::State& state, Fn&& fn) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto& list = cached_list(n);
+  const crcw::algo::MaxOptions opts{.threads = default_threads()};
+  std::uint64_t result = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+    result = fn(list, opts);
+    state.SetIterationTime(timer.seconds());
+  }
+  benchmark::DoNotOptimize(result);
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void max_fig4_caslt(benchmark::State& s) {
+  run_max(s, [](auto list, auto opts) { return crcw::algo::max_index_caslt(list, opts); });
+}
+void max_doubly_log(benchmark::State& s) {
+  run_max(s, [](auto list, auto opts) {
+    return crcw::algo::max_index_doubly_log(list, opts);
+  });
+}
+void max_crew_reduce(benchmark::State& s) {
+  run_max(s, [](auto list, auto opts) { return crcw::algo::max_index_reduce(list, opts); });
+}
+
+void max_args(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t n : {1 << 10, 1 << 12, 1 << 14}) b->Arg(n);
+  b->UseManualTime()->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(max_fig4_caslt)->Apply(max_args);
+BENCHMARK(max_doubly_log)->Apply(max_args);
+BENCHMARK(max_crew_reduce)->Apply(max_args);
+
+}  // namespace

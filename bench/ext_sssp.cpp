@@ -1,0 +1,67 @@
+// Extension experiment: priority-CW SSSP formulations under density sweep.
+//
+// The two-phase PriorityCell protocol pays an extra phase per round but
+// touches each vertex's (dist, parent) pair exactly once; the fetch-min
+// formulation single-phases the rounds but re-derives parents afterwards
+// and re-CASes on every improvement. The crossover tracks collision
+// density, the same axis as Figures 10/11.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "algorithms/sssp.hpp"
+#include "bench_common.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using crcw::algo::random_weighted_edges;
+using crcw::algo::WeightedEdge;
+using crcw::bench::default_threads;
+
+constexpr std::uint64_t kVertices = 20'000;
+
+const std::vector<WeightedEdge>& cached_edges(std::uint64_t m) {
+  static std::map<std::uint64_t, std::unique_ptr<std::vector<WeightedEdge>>> cache;
+  auto& slot = cache[m];
+  if (!slot) {
+    slot = std::make_unique<std::vector<WeightedEdge>>(
+        random_weighted_edges(kVertices, m, 1000, 42));
+  }
+  return *slot;
+}
+
+template <typename Fn>
+void run(benchmark::State& state, Fn&& fn) {
+  const auto m = static_cast<std::uint64_t>(state.range(0));
+  const auto& edges = cached_edges(m);
+  const crcw::algo::SsspOptions opts{.threads = default_threads()};
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+    const auto r = fn(kVertices, edges, 0, opts);
+    state.SetIterationTime(timer.seconds());
+    rounds = r.rounds;
+  }
+  state.counters["edges"] = static_cast<double>(m);
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["threads"] = default_threads();
+}
+
+void sssp_two_phase_bench(benchmark::State& s) {
+  run(s, [](auto... a) { return crcw::algo::sssp_two_phase(a...); });
+}
+void sssp_fetch_min_bench(benchmark::State& s) {
+  run(s, [](auto... a) { return crcw::algo::sssp_fetch_min(a...); });
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t m : {50'000, 100'000, 200'000, 400'000}) b->Arg(m);
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(sssp_two_phase_bench)->Apply(args);
+BENCHMARK(sssp_fetch_min_bench)->Apply(args);
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Figure 5: effect of list size on the execution time of the constant-time
+// Maximum algorithm, one series per CW method (naive / prefix-sum aka
+// gatekeeper / CAS-LT), fixed thread count.
+//
+// Paper result: CAS-LT fastest everywhere, gap grows with N; max 2.5x and
+// geomean 1.98x vs naive; gatekeeper 1.72x SLOWER than naive (geomean
+// 0.58x) due to serialised atomic prefix sums.
+#include "bench_common.hpp"
+
+#include "algorithms/dispatch.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using crcw::bench::cached_list;
+using crcw::bench::default_threads;
+
+void fig5(benchmark::State& state, const std::string& method) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto& list = cached_list(n);
+  const crcw::algo::MaxOptions opts{.threads = default_threads()};
+
+  std::uint64_t result = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+    result = crcw::algo::run_max(method, list, opts);
+    state.SetIterationTime(timer.seconds());
+  }
+  benchmark::DoNotOptimize(result);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["threads"] = default_threads();
+  state.counters["comparisons"] = static_cast<double>(n) * static_cast<double>(n);
+}
+
+void size_sweep(benchmark::internal::Benchmark* b) {
+  for (const std::uint64_t n : {1024, 2048, 4096, 8192}) {
+    b->Arg(static_cast<std::int64_t>(n));
+  }
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK_CAPTURE(fig5, naive, "naive")->Apply(size_sweep);
+BENCHMARK_CAPTURE(fig5, gatekeeper, "gatekeeper")->Apply(size_sweep);
+BENCHMARK_CAPTURE(fig5, gatekeeper_skip, "gatekeeper-skip")->Apply(size_sweep);
+BENCHMARK_CAPTURE(fig5, caslt, "caslt")->Apply(size_sweep);
+
+}  // namespace

@@ -1,0 +1,42 @@
+// Figure 6: effect of the number of threads on the execution time of the
+// constant-time Maximum algorithm (paper: list of 60K elements; here a
+// laptop-scale list — see DESIGN.md).
+//
+// Paper result: CAS-LT's advantage grows with concurrency, reaching 1.8x at
+// 32 threads, because collisions are skipped instead of serialised.
+// NOTE: on this 1-core container thread counts > 1 measure oversubscription
+// (times rise for every method); the method ORDERING is the reproducible
+// part.
+#include "bench_common.hpp"
+
+#include "algorithms/dispatch.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using crcw::bench::cached_list;
+
+constexpr std::uint64_t kListSize = 4096;
+
+void fig6(benchmark::State& state, const std::string& method) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto& list = cached_list(kListSize);
+  const crcw::algo::MaxOptions opts{.threads = threads};
+
+  std::uint64_t result = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+    result = crcw::algo::run_max(method, list, opts);
+    state.SetIterationTime(timer.seconds());
+  }
+  benchmark::DoNotOptimize(result);
+  state.counters["n"] = static_cast<double>(kListSize);
+  state.counters["threads"] = threads;
+}
+
+BENCHMARK_CAPTURE(fig6, naive, "naive")->Apply(crcw::bench::thread_sweep);
+BENCHMARK_CAPTURE(fig6, gatekeeper, "gatekeeper")->Apply(crcw::bench::thread_sweep);
+BENCHMARK_CAPTURE(fig6, gatekeeper_skip, "gatekeeper-skip")->Apply(crcw::bench::thread_sweep);
+BENCHMARK_CAPTURE(fig6, caslt, "caslt")->Apply(crcw::bench::thread_sweep);
+
+}  // namespace

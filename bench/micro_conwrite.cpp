@@ -1,0 +1,154 @@
+// Microbenchmark M1: the concurrent-write primitive in isolation.
+//
+// Not a paper figure — this validates the §6 asymptotic argument directly:
+// under full contention (T threads, one cell, R rounds) the gatekeeper
+// executes Θ(T·R) atomic RMWs while CAS-LT executes O(R) successful CAS
+// plus cheap relaxed loads, and the naive method performs Θ(T·R) stores.
+// Series: time per round vs thread count, one benchmark per method.
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/concurrent_write.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using crcw::Gatekeeper;
+using crcw::RoundTag;
+
+constexpr int kRoundsPerIter = 64;
+// Per-thread attempts per round — models P_PRAM >> P_Phys virtual
+// processors all targeting one cell.
+constexpr int kAttemptsPerRound = 256;
+
+void bench_caslt_contended(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  RoundTag tag;
+  std::uint64_t wins = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+#pragma omp parallel num_threads(threads) reduction(+ : wins)
+    {
+      for (int r = 1; r <= kRoundsPerIter; ++r) {
+        for (int a = 0; a < kAttemptsPerRound; ++a) {
+          if (tag.try_acquire(static_cast<crcw::round_t>(r))) ++wins;
+        }
+#pragma omp barrier
+      }
+    }
+    state.SetIterationTime(timer.seconds());
+    tag.reset();
+  }
+  state.counters["wins_per_iter"] =
+      benchmark::Counter(static_cast<double>(wins) / static_cast<double>(state.iterations()));
+  state.counters["rounds"] = kRoundsPerIter;
+}
+
+void bench_gatekeeper_contended(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Gatekeeper gate;
+  std::uint64_t wins = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+#pragma omp parallel num_threads(threads) reduction(+ : wins)
+    {
+      for (int r = 1; r <= kRoundsPerIter; ++r) {
+        for (int a = 0; a < kAttemptsPerRound; ++a) {
+          if (gate.try_acquire()) ++wins;
+        }
+#pragma omp barrier
+#pragma omp single
+        gate.reset();  // the per-round re-initialisation the scheme requires
+      }
+    }
+    state.SetIterationTime(timer.seconds());
+  }
+  state.counters["wins_per_iter"] =
+      benchmark::Counter(static_cast<double>(wins) / static_cast<double>(state.iterations()));
+  state.counters["rounds"] = kRoundsPerIter;
+}
+
+void bench_gatekeeper_skip_contended(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Gatekeeper gate;
+  std::uint64_t wins = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+#pragma omp parallel num_threads(threads) reduction(+ : wins)
+    {
+      for (int r = 1; r <= kRoundsPerIter; ++r) {
+        for (int a = 0; a < kAttemptsPerRound; ++a) {
+          if (gate.try_acquire_skip()) ++wins;
+        }
+#pragma omp barrier
+#pragma omp single
+        gate.reset();
+      }
+    }
+    state.SetIterationTime(timer.seconds());
+  }
+  state.counters["wins_per_iter"] =
+      benchmark::Counter(static_cast<double>(wins) / static_cast<double>(state.iterations()));
+  state.counters["rounds"] = kRoundsPerIter;
+}
+
+void bench_naive_contended(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t cell = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+#pragma omp parallel num_threads(threads)
+    {
+      for (int r = 1; r <= kRoundsPerIter; ++r) {
+        for (int a = 0; a < kAttemptsPerRound; ++a) {
+          // Common CW: every contender stores the (same) round id.
+          std::atomic_ref<std::uint64_t>(cell).store(static_cast<std::uint64_t>(r),
+                                                     std::memory_order_relaxed);
+        }
+#pragma omp barrier
+      }
+    }
+    state.SetIterationTime(timer.seconds());
+  }
+  benchmark::DoNotOptimize(cell);
+  state.counters["rounds"] = kRoundsPerIter;
+}
+
+void bench_critical_contended(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  crcw::CriticalPolicy::tag_type tag;
+  std::uint64_t wins = 0;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+#pragma omp parallel num_threads(threads) reduction(+ : wins)
+    {
+      for (int r = 1; r <= kRoundsPerIter; ++r) {
+        for (int a = 0; a < kAttemptsPerRound; ++a) {
+          if (crcw::CriticalPolicy::try_acquire(tag, static_cast<crcw::round_t>(r))) ++wins;
+        }
+#pragma omp barrier
+      }
+    }
+    state.SetIterationTime(timer.seconds());
+    crcw::CriticalPolicy::reset(tag);
+  }
+  state.counters["wins_per_iter"] =
+      benchmark::Counter(static_cast<double>(wins) / static_cast<double>(state.iterations()));
+  state.counters["rounds"] = kRoundsPerIter;
+}
+
+void thread_args(benchmark::internal::Benchmark* b) {
+  for (const int t : {1, 2, 4, 8}) b->Arg(t);
+  b->UseManualTime()->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(bench_caslt_contended)->Apply(thread_args);
+BENCHMARK(bench_gatekeeper_contended)->Apply(thread_args);
+BENCHMARK(bench_gatekeeper_skip_contended)->Apply(thread_args);
+BENCHMARK(bench_naive_contended)->Apply(thread_args);
+BENCHMARK(bench_critical_contended)->Apply(thread_args);
+
+}  // namespace

@@ -1,0 +1,169 @@
+// graph_tool — generate, convert, and inspect benchmark graphs from the
+// command line; the standalone face of the graph substrate.
+//
+//   graph_tool gen --kind gnm --vertices 1000 --edges 5000 --out g.txt
+//   graph_tool gen --kind rmat --vertices 1024 --edges 8192 --out g.csr --format binary
+//   graph_tool convert g.txt --out g.graph --format rodinia --source 0
+//   graph_tool stats g.txt
+//
+// Formats: edgelist (text), binary (CSR), rodinia (the BFS-suite layout the
+// paper's kernels consume).
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/reference.hpp"
+#include "graph/stats.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace crcw::graph;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  graph_tool gen     --kind gnm|gnm-simple|rmat|path|cycle|star|grid|tree|components\n"
+               "                     --vertices N [--edges M] [--seed S] [--rows R --cols C]\n"
+               "                     [--k K --per P --extra E]\n"
+               "                     --out FILE [--format edgelist|binary|rodinia] [--source V]\n"
+               "  graph_tool convert IN --out FILE [--format ...] [--source V]\n"
+               "  graph_tool stats   IN\n");
+  std::exit(2);
+}
+
+EdgeList generate(const crcw::util::Cli& cli, std::uint64_t& n_out) {
+  const std::string kind = cli.get_string("kind", "gnm");
+  const std::uint64_t n = cli.get_uint("vertices", 1000);
+  const std::uint64_t m = cli.get_uint("edges", 4 * n);
+  const std::uint64_t seed = cli.get_uint("seed", 42);
+  n_out = n;
+  if (kind == "gnm") return gnm(n, m, seed);
+  if (kind == "gnm-simple") return gnm_simple(n, m, seed);
+  if (kind == "rmat") {
+    // round n_out up to the power of two rmat actually uses
+    std::uint64_t size = 1;
+    while (size < n) size *= 2;
+    n_out = size;
+    return rmat(n, m, seed);
+  }
+  if (kind == "path") return path(n);
+  if (kind == "cycle") return cycle(n);
+  if (kind == "star") return star(n);
+  if (kind == "tree") return random_tree(n, seed);
+  if (kind == "grid") {
+    const std::uint64_t rows = cli.get_uint("rows", 32);
+    const std::uint64_t cols = cli.get_uint("cols", 32);
+    n_out = rows * cols;
+    return grid2d(rows, cols);
+  }
+  if (kind == "components") {
+    const std::uint64_t k = cli.get_uint("k", 4);
+    const std::uint64_t per = cli.get_uint("per", 256);
+    const std::uint64_t extra = cli.get_uint("extra", per / 4);
+    n_out = k * per;
+    return planted_components(k, per, extra, seed);
+  }
+  std::fprintf(stderr, "unknown --kind '%s'\n", kind.c_str());
+  usage();
+}
+
+/// Recovers the undirected edge list from a symmetrised CSR: each pair kept
+/// once (u <= v), so re-symmetrising on save does not double the graph.
+EdgeList undirected_edges(const Csr& g) {
+  EdgeList out;
+  out.reserve(g.num_edges() / 2);
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vertex_t v : g.neighbors(u)) {
+      if (u <= v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+/// Loads any supported input by extension-agnostic sniffing: binary magic,
+/// else rodinia (leading integer + node records), else edge list.
+std::pair<std::uint64_t, EdgeList> load_any(const std::string& path) {
+  try {
+    const Csr g = load_csr_binary(path);
+    return {g.num_vertices(), undirected_edges(g)};
+  } catch (const std::exception&) {
+  }
+  try {
+    const RodiniaGraph rg = load_rodinia(path);
+    return {rg.graph.num_vertices(), undirected_edges(rg.graph)};
+  } catch (const std::exception&) {
+  }
+  const LoadedEdgeList el = load_edge_list(path);
+  return {el.num_vertices, el.edges};
+}
+
+void save(const crcw::util::Cli& cli, std::uint64_t n, const EdgeList& edges) {
+  const std::string out = cli.get_string("out", "");
+  if (out.empty()) usage();
+  const std::string format = cli.get_string("format", "edgelist");
+
+  if (format == "edgelist") {
+    save_edge_list(out, n, edges);
+  } else if (format == "binary") {
+    save_csr_binary(out, build_csr(n, edges));
+  } else if (format == "rodinia") {
+    const auto source = static_cast<vertex_t>(cli.get_uint("source", 0));
+    save_rodinia(out, build_csr(n, edges), source);
+  } else {
+    std::fprintf(stderr, "unknown --format '%s'\n", format.c_str());
+    usage();
+  }
+  std::printf("wrote %s (%llu vertices, %llu undirected edges, %s)\n", out.c_str(),
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(edges.size()), format.c_str());
+}
+
+void stats(const std::string& path) {
+  const auto [n, edges] = load_any(path);
+  const Csr g = build_csr(n, edges);
+  std::printf("%s:\n", path.c_str());
+  std::printf("  undirected edges   %llu\n",
+              static_cast<unsigned long long>(edges.size()));
+  print_stats(std::cout, compute_stats(g));
+  if (n > 0) {
+    const auto levels = bfs_levels(g, 0);
+    std::int64_t ecc = 0;
+    for (const auto l : levels) ecc = std::max(ecc, l);
+    std::printf("  eccentricity(0)    %lld\n", static_cast<long long>(ecc));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const crcw::util::Cli cli(argc, argv);
+  if (cli.positional().empty()) usage();
+  const std::string& command = cli.positional()[0];
+
+  if (command == "gen") {
+    std::uint64_t n = 0;
+    const EdgeList edges = generate(cli, n);
+    save(cli, n, edges);
+    return 0;
+  }
+  if (command == "convert") {
+    if (cli.positional().size() < 2) usage();
+    const auto [n, edges] = load_any(cli.positional()[1]);
+    save(cli, n, edges);
+    return 0;
+  }
+  if (command == "stats") {
+    if (cli.positional().size() < 2) usage();
+    stats(cli.positional()[1]);
+    return 0;
+  }
+  usage();
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

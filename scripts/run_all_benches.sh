@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates every benchmark result in one pass.
+#
+#   scripts/run_all_benches.sh [build-dir] [out-dir]
+#
+# Produces:
+#   out-dir/paper_tables.txt + per-figure CSVs   (Figures 5-12 summaries)
+#   out-dir/<bench>.txt                          (every google-benchmark binary)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_results}"
+mkdir -p "$OUT_DIR"
+
+echo "== environment =="
+nproc || true
+echo "OMP_WAIT_POLICY=${OMP_WAIT_POLICY:-unset} CRCW_BENCH_THREADS=${CRCW_BENCH_THREADS:-unset}"
+
+echo "== paper_tables (Figures 5-12) =="
+"$BUILD_DIR/bench/paper_tables" --csv-dir "$OUT_DIR" | tee "$OUT_DIR/paper_tables.txt"
+
+for bench in "$BUILD_DIR"/bench/*; do
+  name="$(basename "$bench")"
+  case "$name" in
+    paper_tables|CMakeFiles|*.cmake|CTestTestfile.cmake) continue ;;
+  esac
+  [ -x "$bench" ] || continue
+  echo "== $name =="
+  "$bench" --benchmark_min_time=0.05 | tee "$OUT_DIR/$name.txt"
+done
+
+echo "all benchmark outputs in $OUT_DIR/"

@@ -1,0 +1,52 @@
+// Tarjan–Vishkin biconnected components — the flagship CRCW extension.
+//
+// The XMT line of work the paper builds on (refs [6], [22]) repeatedly
+// showcases connectivity AND biconnectivity as the algorithms PRAM-style
+// programming wins on; this module composes them from this library's own
+// substrate, with a concurrent write at every parallel-selection point:
+//
+//   1. spanning tree        = the hook forest recorded by the arbitrary-CW
+//                             guarded Awerbuch–Shiloach kernel (cc.hpp)
+//   2. root + Euler tour    = tree_ops (list ranking; CREW phases)
+//   3. low/high per subtree = range min/max over tour segments
+//                             (util::SparseTableRmq)
+//   4. auxiliary graph G′   = Tarjan–Vishkin rules over tree edges; two
+//                             tree edges share a biconnected component of
+//                             G iff they are connected in G′
+//   5. components of G′     = the CAS-LT CC kernel again
+//
+// Works with ANY spanning tree (not just DFS trees) — the property that
+// makes the algorithm parallelisable, and why the `high` rule exists: an
+// arbitrary tree has cross edges, which a DFS tree never has.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace crcw::algo {
+
+struct BiccOptions {
+  int threads = 0;  ///< OpenMP threads; 0 = ambient setting
+};
+
+struct BiccResult {
+  /// Biconnected-component label per input edge: the smallest input-edge
+  /// id inside the component (canonical, comparable across runs).
+  std::vector<std::uint64_t> edge_label;
+  std::uint64_t components = 0;
+  /// True for cut vertices (incident to ≥ 2 distinct components).
+  std::vector<std::uint8_t> is_articulation;
+  /// Input edge ids that are bridges (singleton components).
+  std::vector<std::uint64_t> bridges;
+};
+
+/// Biconnected components of a CONNECTED simple undirected graph on
+/// vertices [0, n): no self-loops, no duplicate undirected edges, one
+/// connected component (throws std::invalid_argument otherwise; n >= 1).
+[[nodiscard]] BiccResult biconnected_components(std::uint64_t n,
+                                                const graph::EdgeList& edges,
+                                                const BiccOptions& opts = {});
+
+}  // namespace crcw::algo

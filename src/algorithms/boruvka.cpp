@@ -1,0 +1,201 @@
+#include "algorithms/boruvka.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/priority.hpp"
+#include "graph/reference.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace crcw::algo {
+namespace {
+
+using graph::vertex_t;
+
+void check_input(std::uint64_t n, std::span<const WeightedEdge> edges) {
+  if (edges.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("boruvka: edge ids must fit 32 bits");
+  }
+  for (const auto& e : edges) {
+    if (e.u >= n || e.v >= n) throw std::invalid_argument("boruvka: endpoint out of range");
+  }
+}
+
+}  // namespace
+
+MsfResult boruvka_msf(std::uint64_t n, std::span<const WeightedEdge> edges,
+                      const MsfOptions& opts) {
+  check_input(n, edges);
+
+  MsfResult result;
+  if (n == 0) return result;
+
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  const auto vcount = static_cast<std::int64_t>(n);
+  const auto ecount = static_cast<std::int64_t>(edges.size());
+
+  std::vector<vertex_t> comp(n);
+  std::vector<vertex_t> comp_next(n);
+  std::vector<std::uint8_t> selected(edges.size(), 0);
+  // One priority cell per vertex id; only cells of current component
+  // representatives are used each round.
+  util::AlignedBuffer<PackedPriorityCell> cells(n);
+
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t v = 0; v < vcount; ++v) {
+    comp[static_cast<std::size_t>(v)] = static_cast<vertex_t>(v);
+  }
+
+  std::uint64_t max_rounds = 8;
+  for (std::uint64_t s = 1; s < n; s *= 2) ++max_rounds;
+
+  bool merged = true;
+  while (merged) {
+    if (++result.rounds > max_rounds) {
+      throw std::runtime_error("boruvka_msf: exceeded round bound");
+    }
+
+    // Reset the representatives' cells (priority cells are round-stateful,
+    // like gatekeepers — the cost §6 attributes to reset-requiring schemes).
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t v = 0; v < vcount; ++v) {
+      cells[static_cast<std::size_t>(v)].reset();
+    }
+
+    // Priority CW round: every external edge offers (weight, id) to both
+    // endpoint components; fetch-min resolves the per-component minimum.
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t j = 0; j < ecount; ++j) {
+      const auto& e = edges[static_cast<std::size_t>(j)];
+      const vertex_t cu = comp[e.u];
+      const vertex_t cv = comp[e.v];
+      if (cu == cv) continue;
+      const auto id = static_cast<std::uint32_t>(j);
+      cells[cu].offer(e.weight, id);
+      cells[cv].offer(e.weight, id);
+    }
+
+    // Merge phase: each representative hooks onto the component across its
+    // chosen edge; mutual selections share one edge (total order), so the
+    // only cycles are 2-cycles broken toward the smaller id.
+    std::uint8_t any_merge = 0;
+#pragma omp parallel for num_threads(threads) schedule(static) \
+    reduction(| : any_merge)
+    for (std::int64_t v = 0; v < vcount; ++v) {
+      const auto rep = static_cast<vertex_t>(v);
+      comp_next[rep] = comp[rep];
+      if (comp[rep] != rep) continue;  // not a representative
+      const auto& cell = cells[rep];
+      if (cell.untouched()) continue;
+      const std::uint64_t j = cell.payload();
+      const auto& e = edges[j];
+      const vertex_t other = comp[e.u] == rep ? comp[e.v] : comp[e.u];
+      std::atomic_ref<std::uint8_t>(selected[j]).store(1, std::memory_order_relaxed);
+      comp_next[rep] = other;
+      any_merge = 1;
+    }
+
+    merged = any_merge != 0;
+    if (!merged) break;
+
+    // Break 2-cycles: if rep and its target selected each other, the
+    // smaller id stays root. Relaxed atomics: a neighbour may be breaking
+    // its own cycle concurrently, and either observed value yields the
+    // same fixpoint (see tests/test_boruvka.cpp).
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t v = 0; v < vcount; ++v) {
+      const auto rep = static_cast<vertex_t>(v);
+      const vertex_t t =
+          std::atomic_ref<vertex_t>(comp_next[rep]).load(std::memory_order_relaxed);
+      const vertex_t back =
+          std::atomic_ref<vertex_t>(comp_next[t]).load(std::memory_order_relaxed);
+      if (back == rep && rep < t) {
+        std::atomic_ref<vertex_t>(comp_next[rep]).store(rep, std::memory_order_relaxed);
+      }
+    }
+
+    // Compress the merge forest to roots (pointer jumping to fixpoint),
+    // then relabel every vertex through its old representative. Racy jumps
+    // are monotone along the path to the root, so any interleaving
+    // converges.
+    bool compressing = true;
+    while (compressing) {
+      std::uint8_t jumped = 0;
+#pragma omp parallel for num_threads(threads) schedule(static) \
+    reduction(| : jumped)
+      for (std::int64_t v = 0; v < vcount; ++v) {
+        const auto idx = static_cast<std::size_t>(v);
+        const vertex_t t =
+            std::atomic_ref<vertex_t>(comp_next[idx]).load(std::memory_order_relaxed);
+        const vertex_t tt =
+            std::atomic_ref<vertex_t>(comp_next[t]).load(std::memory_order_relaxed);
+        if (tt != t) {
+          std::atomic_ref<vertex_t>(comp_next[idx]).store(tt, std::memory_order_relaxed);
+          jumped = 1;
+        }
+      }
+      compressing = jumped != 0;
+    }
+
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t v = 0; v < vcount; ++v) {
+      const auto idx = static_cast<std::size_t>(v);
+      comp[idx] = comp_next[comp[idx]];
+    }
+  }
+
+  for (std::uint64_t j = 0; j < edges.size(); ++j) {
+    if (selected[j] != 0) {
+      result.edge_ids.push_back(j);
+      result.total_weight += edges[j].weight;
+    }
+  }
+  std::vector<std::uint8_t> is_root(n, 0);
+  for (std::uint64_t v = 0; v < n; ++v) is_root[comp[v]] = 1;
+  result.components = static_cast<std::uint64_t>(
+      std::count(is_root.begin(), is_root.end(), std::uint8_t{1}));
+  return result;
+}
+
+std::uint64_t msf_weight_kruskal(std::uint64_t n, std::span<const WeightedEdge> edges) {
+  check_input(n, edges);
+  std::vector<std::uint64_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::uint64_t a, std::uint64_t b) {
+    if (edges[a].weight != edges[b].weight) return edges[a].weight < edges[b].weight;
+    return a < b;  // same total order as the packed priority cells
+  });
+
+  graph::UnionFind uf(n);
+  std::uint64_t total = 0;
+  for (const std::uint64_t j : order) {
+    const auto& e = edges[j];
+    if (e.u != e.v && uf.unite(e.u, e.v)) total += e.weight;
+  }
+  return total;
+}
+
+std::vector<WeightedEdge> random_weighted_edges(std::uint64_t n, std::uint64_t m,
+                                                std::uint32_t max_weight,
+                                                std::uint64_t seed) {
+  if (n < 2 && m > 0) throw std::invalid_argument("random_weighted_edges: need n >= 2");
+  util::Xoshiro256 rng(seed);
+  std::vector<WeightedEdge> out;
+  out.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const auto u = static_cast<vertex_t>(rng.bounded(n));
+    auto v = static_cast<vertex_t>(rng.bounded(n - 1));
+    if (v >= u) ++v;
+    out.push_back({u, v, static_cast<std::uint32_t>(
+                             rng.bounded(std::uint64_t{max_weight} + 1))});
+  }
+  return out;
+}
+
+}  // namespace crcw::algo

@@ -1,0 +1,62 @@
+// Borůvka Minimum Spanning Forest via priority concurrent writes.
+//
+// Awerbuch–Shiloach's 1987 paper — the source of the CC kernel — is titled
+// "New Connectivity and *MSF* Algorithms…"; this module implements the MSF
+// half as the library's showcase for Priority CRCW writes (§2's strongest
+// rule): in every Borůvka round, all edges incident to a component
+// concurrently write their (weight, edge-id) into the component's cell and
+// the minimum wins — a Priority(min-value) CW realised in one phase by
+// core::PackedPriorityCell's 64-bit packed fetch-min.
+//
+// Ties are broken by edge id, which makes the (weight, id) order total; a
+// total order guarantees that two components selecting each other always
+// selected the *same* edge, so merge cycles are only ever 2-cycles on one
+// shared edge and are broken by keeping the smaller component id as root.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace crcw::algo {
+
+struct WeightedEdge {
+  graph::vertex_t u = 0;
+  graph::vertex_t v = 0;
+  std::uint32_t weight = 0;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+struct MsfOptions {
+  int threads = 0;  ///< OpenMP threads; 0 = ambient setting
+};
+
+struct MsfResult {
+  std::vector<std::uint64_t> edge_ids;  ///< indices into the input edge span
+  std::uint64_t total_weight = 0;
+  std::uint64_t components = 0;  ///< forest components after completion
+  std::uint64_t rounds = 0;      ///< Borůvka rounds executed
+};
+
+/// Parallel Borůvka MSF over vertices [0, n). Edges are undirected (each
+/// listed once); self-loops are ignored. Edge count must fit 32 bits (the
+/// packed priority payload). Throws std::invalid_argument on bad input.
+[[nodiscard]] MsfResult boruvka_msf(std::uint64_t n, std::span<const WeightedEdge> edges,
+                                    const MsfOptions& opts = {});
+
+/// Sequential Kruskal reference: returns the total MSF weight under the
+/// same (weight, edge-id) total order.
+[[nodiscard]] std::uint64_t msf_weight_kruskal(std::uint64_t n,
+                                               std::span<const WeightedEdge> edges);
+
+/// Deterministic random weighted graph for tests/benches: G(n, m) topology
+/// with weights drawn in [0, max_weight].
+[[nodiscard]] std::vector<WeightedEdge> random_weighted_edges(std::uint64_t n,
+                                                              std::uint64_t m,
+                                                              std::uint32_t max_weight,
+                                                              std::uint64_t seed);
+
+}  // namespace crcw::algo

@@ -1,0 +1,346 @@
+#include "algorithms/cc.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "core/arbiter.hpp"
+#include "core/combining.hpp"
+
+namespace crcw::algo {
+namespace {
+
+using graph::Csr;
+using graph::edge_t;
+using graph::vertex_t;
+
+constexpr edge_t kNoEdge = static_cast<edge_t>(-1);
+
+/// Relaxed atomic views over the raced arrays (see bfs.cpp for rationale).
+inline vertex_t load_v(const vertex_t& cell) noexcept {
+  return std::atomic_ref<const vertex_t>(cell).load(std::memory_order_relaxed);
+}
+inline void store_v(vertex_t& cell, vertex_t value) noexcept {
+  std::atomic_ref<vertex_t>(cell).store(value, std::memory_order_relaxed);
+}
+inline std::uint8_t load_b(const std::uint8_t& cell) noexcept {
+  return std::atomic_ref<const std::uint8_t>(cell).load(std::memory_order_relaxed);
+}
+inline void store_b(std::uint8_t& cell, std::uint8_t value) noexcept {
+  std::atomic_ref<std::uint8_t>(cell).store(value, std::memory_order_relaxed);
+}
+
+/// Flat directed edge arrays — "parallelizing across all edges to perform
+/// the hooking step" (§7.2).
+struct FlatEdges {
+  std::vector<vertex_t> src;
+  std::vector<vertex_t> dst;
+
+  explicit FlatEdges(const Csr& g) {
+    src.resize(g.num_edges());
+    dst.resize(g.num_edges());
+    edge_t j = 0;
+    for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+      for (const vertex_t v : g.neighbors(u)) {
+        src[j] = u;
+        dst[j] = v;
+        ++j;
+      }
+    }
+  }
+};
+
+/// Star detection (A-S); correct for arbitrary forest depth:
+///   1. star[v] = true
+///   2. v with a grandparent ≠ parent marks itself, its parent and its
+///      grandparent non-star (common CWs of `false`)
+///   3. star[v] = star[P[v]] pulls the root's verdict down to depth-1
+///      children (the phase-3 read race is benign: both readable values
+///      are already correct — see tests/test_cc.cpp star-detection suite).
+void detect_stars(const std::vector<vertex_t>& parent, std::vector<std::uint8_t>& star,
+                  int threads) {
+  const auto n = static_cast<std::int64_t>(parent.size());
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t v = 0; v < n; ++v) star[static_cast<std::size_t>(v)] = 1;
+
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t v = 0; v < n; ++v) {
+    const vertex_t p = parent[static_cast<std::size_t>(v)];
+    const vertex_t gp = parent[p];
+    if (p != gp) {
+      store_b(star[static_cast<std::size_t>(v)], 0);
+      store_b(star[p], 0);
+      store_b(star[gp], 0);
+    }
+  }
+
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t v = 0; v < n; ++v) {
+    const vertex_t p = parent[static_cast<std::size_t>(v)];
+    store_b(star[static_cast<std::size_t>(v)], load_b(star[p]));
+  }
+}
+
+std::uint64_t count_labels(const std::vector<vertex_t>& label) {
+  std::unordered_set<vertex_t> roots(label.begin(), label.end());
+  return roots.size();
+}
+
+}  // namespace
+
+namespace detail {
+
+template <WritePolicy Policy>
+CcResult cc_kernel(const Csr& g, const CcOptions& opts) {
+  const std::uint64_t n = g.num_vertices();
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  const auto vcount = static_cast<std::int64_t>(n);
+
+  CcResult result;
+  result.label.resize(n);
+  if (n == 0) return result;
+
+  const FlatEdges edges(g);
+  const auto ecount = static_cast<std::int64_t>(edges.src.size());
+
+  std::vector<vertex_t>& parent = result.label;  // P[], doubles as the output
+  std::vector<vertex_t> snapshot(n);             // pre-substep P (PRAM read set)
+  std::vector<std::uint8_t> star(n);
+  std::vector<edge_t> hook_edge(n, kNoEdge);  // 2nd member of the multi-array hook
+  WriteArbiter<Policy> arbiter(n);
+
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t v = 0; v < vcount; ++v) {
+    parent[static_cast<std::size_t>(v)] = static_cast<vertex_t>(v);
+  }
+
+  const auto take_snapshot = [&] {
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t v = 0; v < vcount; ++v) {
+      snapshot[static_cast<std::size_t>(v)] = parent[static_cast<std::size_t>(v)];
+    }
+  };
+
+  const auto reset_tags = [&] {
+    if constexpr (Policy::kNeedsRoundReset) {
+      // The gatekeeper re-initialisation sweep, once per hooking substep —
+      // the recurring Θ(N) cost CAS-LT does not pay (§6).
+#pragma omp parallel for num_threads(threads) schedule(static)
+      for (std::int64_t v = 0; v < vcount; ++v) {
+        Policy::reset(arbiter.tag(static_cast<std::size_t>(v)));
+      }
+    }
+  };
+
+  // Safety net for implementation bugs: A-S converges in O(log n)
+  // iterations; exceeding a generous multiple means non-convergence.
+  std::uint64_t max_iters = 16;
+  for (std::uint64_t s = 1; s < n; s *= 2) max_iters += 4;
+
+  round_t round = kInitialRound;
+  std::uint64_t iterations = 0;
+  bool changed = true;
+
+  while (changed) {
+    if (++iterations > max_iters) {
+      throw std::runtime_error("cc_kernel: exceeded iteration bound (no convergence)");
+    }
+    std::uint8_t any_change = 0;
+
+    // --- 1. star detection -------------------------------------------------
+    detect_stars(parent, star, threads);
+
+    // --- 2. conditional star hooking (one arbitrary-CW round) --------------
+    take_snapshot();
+    reset_tags();
+    ++round;
+#pragma omp parallel for num_threads(threads) schedule(static) \
+    reduction(| : any_change)
+    for (std::int64_t j = 0; j < ecount; ++j) {
+      const vertex_t u = edges.src[static_cast<std::size_t>(j)];
+      const vertex_t v = edges.dst[static_cast<std::size_t>(j)];
+      const vertex_t pu = snapshot[u];
+      const vertex_t pv = snapshot[v];
+      if (star[u] != 0 && pv < pu) {
+        if (arbiter.try_acquire(pu, round)) {
+          // The multi-array hook update of §7.2: new parent + hook edge
+          // must come from ONE winning edge, or the pair is inconsistent.
+          store_v(parent[pu], pv);
+          hook_edge[pu] = static_cast<edge_t>(j);
+          any_change = 1;
+        }
+      }
+    }
+
+    // --- 3. star detection on the hooked forest ----------------------------
+    detect_stars(parent, star, threads);
+
+    // --- 4. unconditional star hooking (one arbitrary-CW round) ------------
+    // Two extra guards beyond the textbook `pv != pu`, both protecting the
+    // invariant that a committed hook is PERMANENT (lockstep A-S instead
+    // lets transient 2-cycles form and dissolve in the next jump — e.g.
+    // two stars assembled by this iteration's conditional phase can be
+    // mutually adjacent here and hook each other; harmless for labels,
+    // fatal for the recorded spanning forest):
+    //   * snapshot[pv] == pv — hook onto a settled ROOT, never a vertex
+    //     whose own root moved this iteration;
+    //   * pv > pu — orient unconditional hooks strictly UPWARD, so the
+    //     round's hook digraph on tree roots is increasing and therefore
+    //     acyclic under any interleaving. A star blocked by either guard
+    //     merges in a later round once pointer jumping exposes the
+    //     neighbouring root (downward merges belong to the conditional
+    //     phase by construction).
+    take_snapshot();
+    reset_tags();
+    ++round;
+#pragma omp parallel for num_threads(threads) schedule(static) \
+    reduction(| : any_change)
+    for (std::int64_t j = 0; j < ecount; ++j) {
+      const vertex_t u = edges.src[static_cast<std::size_t>(j)];
+      const vertex_t v = edges.dst[static_cast<std::size_t>(j)];
+      const vertex_t pu = snapshot[u];
+      const vertex_t pv = snapshot[v];
+      if (star[u] != 0 && pv > pu && snapshot[pv] == pv) {
+        if (arbiter.try_acquire(pu, round)) {
+          store_v(parent[pu], pv);
+          hook_edge[pu] = static_cast<edge_t>(j);
+          any_change = 1;
+        }
+      }
+    }
+
+    // --- 5. pointer jumping -------------------------------------------------
+    take_snapshot();
+#pragma omp parallel for num_threads(threads) schedule(static) \
+    reduction(| : any_change)
+    for (std::int64_t v = 0; v < vcount; ++v) {
+      const vertex_t target = snapshot[snapshot[static_cast<std::size_t>(v)]];
+      if (target != parent[static_cast<std::size_t>(v)]) {
+        parent[static_cast<std::size_t>(v)] = target;
+        any_change = 1;
+      }
+    }
+
+    changed = any_change != 0;
+  }
+
+  result.iterations = iterations;
+  result.components = count_labels(result.label);
+  // A root is hooked at most once in its lifetime (a hooked root never
+  // becomes a root again), so the per-root hook records are final and
+  // together form the spanning forest: one edge per merged tree.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (hook_edge[v] != kNoEdge) result.forest_edges.push_back(hook_edge[v]);
+  }
+  return result;
+}
+
+template CcResult cc_kernel<CasLtPolicy>(const Csr&, const CcOptions&);
+template CcResult cc_kernel<GatekeeperPolicy>(const Csr&, const CcOptions&);
+template CcResult cc_kernel<GatekeeperSkipPolicy>(const Csr&, const CcOptions&);
+template CcResult cc_kernel<CriticalPolicy>(const Csr&, const CcOptions&);
+
+}  // namespace detail
+
+CcResult cc_gatekeeper(const Csr& g, const CcOptions& opts) {
+  return detail::cc_kernel<GatekeeperPolicy>(g, opts);
+}
+
+CcResult cc_gatekeeper_skip(const Csr& g, const CcOptions& opts) {
+  return detail::cc_kernel<GatekeeperSkipPolicy>(g, opts);
+}
+
+CcResult cc_caslt(const Csr& g, const CcOptions& opts) {
+  return detail::cc_kernel<CasLtPolicy>(g, opts);
+}
+
+CcResult cc_critical(const Csr& g, const CcOptions& opts) {
+  return detail::cc_kernel<CriticalPolicy>(g, opts);
+}
+
+CcResult cc_min_hook(const Csr& g, const CcOptions& opts) {
+  const std::uint64_t n = g.num_vertices();
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  const auto vcount = static_cast<std::int64_t>(n);
+
+  CcResult result;
+  result.label.resize(n);
+  if (n == 0) return result;
+
+  const FlatEdges edges(g);
+  const auto ecount = static_cast<std::int64_t>(edges.src.size());
+
+  std::vector<vertex_t>& parent = result.label;
+  std::vector<vertex_t> snapshot(n);
+
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t v = 0; v < vcount; ++v) {
+    parent[static_cast<std::size_t>(v)] = static_cast<vertex_t>(v);
+  }
+
+  const auto take_snapshot = [&] {
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t v = 0; v < vcount; ++v) {
+      snapshot[static_cast<std::size_t>(v)] = parent[static_cast<std::size_t>(v)];
+    }
+  };
+
+  std::uint64_t max_iters = 16;
+  for (std::uint64_t s = 1; s < n; s *= 2) max_iters += 4;
+
+  std::uint64_t iterations = 0;
+  bool changed = true;
+  while (changed) {
+    if (++iterations > max_iters) {
+      throw std::runtime_error("cc_min_hook: exceeded iteration bound");
+    }
+    std::uint8_t any_change = 0;
+
+    // Hooking: offer the smaller endpoint label into the larger label's
+    // cell (atomic fetch-min = Priority(min-value) CW). Since the written
+    // value is always strictly below the target index, parent[i] <= i is an
+    // invariant and the forest can never form a cycle, whatever the
+    // interleaving — monotonicity replaces A-S's star machinery.
+    take_snapshot();
+#pragma omp parallel for num_threads(threads) schedule(static) \
+    reduction(| : any_change)
+    for (std::int64_t j = 0; j < ecount; ++j) {
+      const vertex_t pu = snapshot[edges.src[static_cast<std::size_t>(j)]];
+      const vertex_t pv = snapshot[edges.dst[static_cast<std::size_t>(j)]];
+      if (pu == pv) continue;
+      const vertex_t lo = pu < pv ? pu : pv;
+      const vertex_t hi = pu < pv ? pv : pu;
+      std::atomic_ref<vertex_t> cell(parent[hi]);
+      if (atomic_fetch_min(cell, lo)) any_change = 1;
+    }
+
+    // Full pointer compression: jump until every pointer is a fixpoint.
+    bool compressing = true;
+    while (compressing) {
+      std::uint8_t jumped = 0;
+      take_snapshot();
+#pragma omp parallel for num_threads(threads) schedule(static) \
+    reduction(| : jumped)
+      for (std::int64_t v = 0; v < vcount; ++v) {
+        const vertex_t target = snapshot[snapshot[static_cast<std::size_t>(v)]];
+        if (target != parent[static_cast<std::size_t>(v)]) {
+          parent[static_cast<std::size_t>(v)] = target;
+          jumped = 1;
+        }
+      }
+      compressing = jumped != 0;
+      if (jumped != 0) any_change = 1;
+    }
+
+    changed = any_change != 0;
+  }
+
+  result.iterations = iterations;
+  result.components = count_labels(result.label);
+  return result;
+}
+
+}  // namespace crcw::algo

@@ -1,0 +1,60 @@
+#include "algorithms/dispatch.hpp"
+
+#include <stdexcept>
+
+namespace crcw::algo {
+namespace {
+
+[[noreturn]] void unknown(std::string_view kernel, std::string_view method) {
+  throw std::invalid_argument("unknown " + std::string(kernel) + " method '" +
+                              std::string(method) + "'");
+}
+
+}  // namespace
+
+std::vector<std::string> max_methods() {
+  return {"naive", "gatekeeper", "gatekeeper-skip", "caslt", "critical"};
+}
+
+std::vector<std::string> bfs_methods() {
+  return {"naive", "gatekeeper", "gatekeeper-skip", "caslt", "critical"};
+}
+
+std::vector<std::string> cc_methods() {
+  return {"gatekeeper", "gatekeeper-skip", "caslt", "critical", "min-hook"};
+}
+
+std::uint64_t run_max(std::string_view method, std::span<const std::uint32_t> list,
+                      const MaxOptions& opts) {
+  if (method == "naive") return max_index_naive(list, opts);
+  if (method == "gatekeeper") return max_index_gatekeeper(list, opts);
+  if (method == "gatekeeper-skip") return max_index_gatekeeper_skip(list, opts);
+  if (method == "caslt") return max_index_caslt(list, opts);
+  if (method == "critical") return max_index_critical(list, opts);
+  if (method == "reduce") return max_index_reduce(list, opts);
+  unknown("max", method);
+}
+
+BfsResult run_bfs(std::string_view method, const graph::Csr& g, graph::vertex_t source,
+                  const BfsOptions& opts) {
+  if (method == "naive") return bfs_naive(g, source, opts);
+  if (method == "gatekeeper") return bfs_gatekeeper(g, source, opts);
+  if (method == "gatekeeper-skip") return bfs_gatekeeper_skip(g, source, opts);
+  if (method == "caslt") return bfs_caslt(g, source, opts);
+  if (method == "critical") return bfs_critical(g, source, opts);
+  // Structural variants beyond the paper's comparison (both CAS-LT based).
+  if (method == "frontier") return bfs_frontier(g, source, opts);
+  if (method == "direction-optimizing") return bfs_direction_optimizing(g, source, opts);
+  unknown("bfs", method);
+}
+
+CcResult run_cc(std::string_view method, const graph::Csr& g, const CcOptions& opts) {
+  if (method == "gatekeeper") return cc_gatekeeper(g, opts);
+  if (method == "gatekeeper-skip") return cc_gatekeeper_skip(g, opts);
+  if (method == "caslt") return cc_caslt(g, opts);
+  if (method == "critical") return cc_critical(g, opts);
+  if (method == "min-hook") return cc_min_hook(g, opts);
+  unknown("cc", method);
+}
+
+}  // namespace crcw::algo

@@ -1,0 +1,31 @@
+// String-keyed dispatch over the concurrent-write methods — the seam the
+// examples and figure benches use to select a variant at runtime
+// (`--method caslt|gatekeeper|gatekeeper-skip|naive|critical`).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/cc.hpp"
+#include "algorithms/max.hpp"
+
+namespace crcw::algo {
+
+/// Methods available per kernel, in the order the paper discusses them.
+[[nodiscard]] std::vector<std::string> max_methods();
+[[nodiscard]] std::vector<std::string> bfs_methods();
+[[nodiscard]] std::vector<std::string> cc_methods();  ///< no "naive": unsafe (§7.2)
+
+/// Dispatchers; throw std::invalid_argument for an unknown method name.
+[[nodiscard]] std::uint64_t run_max(std::string_view method,
+                                    std::span<const std::uint32_t> list,
+                                    const MaxOptions& opts = {});
+[[nodiscard]] BfsResult run_bfs(std::string_view method, const graph::Csr& g,
+                                graph::vertex_t source, const BfsOptions& opts = {});
+[[nodiscard]] CcResult run_cc(std::string_view method, const graph::Csr& g,
+                              const CcOptions& opts = {});
+
+}  // namespace crcw::algo

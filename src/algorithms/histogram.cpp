@@ -1,0 +1,62 @@
+#include "algorithms/histogram.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace crcw::algo {
+namespace {
+
+void check_keys(std::span<const std::uint64_t> keys, std::uint64_t buckets) {
+  if (buckets == 0) throw std::invalid_argument("histogram: zero buckets");
+  for (const auto k : keys) {
+    if (k >= buckets) throw std::invalid_argument("histogram: key out of range");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> histogram_atomic(std::span<const std::uint64_t> keys,
+                                            std::uint64_t buckets,
+                                            const HistogramOptions& opts) {
+  check_keys(keys, buckets);
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  std::vector<std::uint64_t> counts(buckets, 0);
+  const auto n = static_cast<std::int64_t>(keys.size());
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::atomic_ref<std::uint64_t>(counts[keys[static_cast<std::size_t>(i)]])
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> histogram_privatized(std::span<const std::uint64_t> keys,
+                                                std::uint64_t buckets,
+                                                const HistogramOptions& opts) {
+  check_keys(keys, buckets);
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  std::vector<std::uint64_t> counts(buckets, 0);
+  const auto n = static_cast<std::int64_t>(keys.size());
+
+#pragma omp parallel num_threads(threads)
+  {
+    std::vector<std::uint64_t> local(buckets, 0);
+#pragma omp for nowait
+    for (std::int64_t i = 0; i < n; ++i) ++local[keys[static_cast<std::size_t>(i)]];
+
+    // Merge: each thread owns a contiguous stripe of buckets per rotation
+    // turn would need coordination; atomics on the (cold) merge path are
+    // simpler and touch each bucket at most `threads` times.
+    for (std::uint64_t b = 0; b < buckets; ++b) {
+      if (local[b] != 0) {
+        std::atomic_ref<std::uint64_t>(counts[b]).fetch_add(local[b],
+                                                            std::memory_order_relaxed);
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace crcw::algo

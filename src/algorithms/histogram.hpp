@@ -1,0 +1,38 @@
+// Parallel histograms — combining fetch-adds vs privatized accumulation.
+//
+// Counting occurrences is the degenerate combining concurrent write (every
+// writer offers +1; the "resolution" is addition). Two strategies whose
+// trade-off mirrors the paper's contention analysis:
+//
+//   histogram_atomic      every element fetch_adds its bucket — correct at
+//                         any bucket count, serialises on hot buckets
+//                         (exactly the gatekeeper failure mode of §6);
+//   histogram_privatized  per-thread local histograms merged by a tree-free
+//                         reduction — no contention, Θ(threads × buckets)
+//                         extra space and merge work.
+//
+// The crossover (few hot buckets → privatize; many cold buckets → atomics)
+// is the same who-collides-where question as Figures 10/11.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crcw::algo {
+
+struct HistogramOptions {
+  int threads = 0;  ///< OpenMP threads; 0 = ambient setting
+};
+
+/// Counts key occurrences; keys must lie in [0, buckets) (throws
+/// std::invalid_argument otherwise).
+[[nodiscard]] std::vector<std::uint64_t> histogram_atomic(
+    std::span<const std::uint64_t> keys, std::uint64_t buckets,
+    const HistogramOptions& opts = {});
+
+[[nodiscard]] std::vector<std::uint64_t> histogram_privatized(
+    std::span<const std::uint64_t> keys, std::uint64_t buckets,
+    const HistogramOptions& opts = {});
+
+}  // namespace crcw::algo

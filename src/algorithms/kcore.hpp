@@ -1,0 +1,42 @@
+// k-core decomposition — parallel peeling with combining decrements.
+//
+// core(v) = the largest k such that v belongs to a subgraph of minimum
+// degree k. The parallel peeling loop exercises two more concurrent-write
+// shapes from this library's vocabulary:
+//   * `fetch_sub` on neighbour degrees is a combining CW whose RETURN
+//     VALUE carries the resolution: among many concurrent decrements of
+//     deg[u], exactly one observes the threshold crossing (old == k), so
+//     the crossing thread — and only it — enqueues u. No tag needed; the
+//     RMW itself elects the winner.
+//   * the wavefront queue is allocated through an atomic tail counter
+//     (the slot-allocating CW of bfs_frontier), and first-removal is
+//     guarded by util::AtomicBitset::test_and_set.
+//
+// Degrees are CSR slot counts (parallel edges count separately; a
+// self-loop counts once), and the sequential reference peels the same CSR.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace crcw::algo {
+
+struct KcoreOptions {
+  int threads = 0;  ///< OpenMP threads; 0 = ambient setting
+};
+
+struct KcoreResult {
+  std::vector<std::uint32_t> core;  ///< coreness per vertex
+  std::uint32_t degeneracy = 0;     ///< max coreness
+  std::uint64_t peel_rounds = 0;    ///< parallel wavefronts processed
+};
+
+/// Parallel peeling k-core decomposition.
+[[nodiscard]] KcoreResult kcore(const graph::Csr& g, const KcoreOptions& opts = {});
+
+/// Sequential bucket-peeling reference.
+[[nodiscard]] std::vector<std::uint32_t> kcore_seq(const graph::Csr& g);
+
+}  // namespace crcw::algo

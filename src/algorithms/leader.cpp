@@ -1,0 +1,72 @@
+#include "algorithms/leader.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+#include <limits>
+
+#include "core/cell.hpp"
+#include "core/combining.hpp"
+#include "core/priority.hpp"
+
+namespace crcw::algo {
+namespace {
+
+constexpr std::uint64_t kNone = std::numeric_limits<std::uint64_t>::max();
+
+int resolve_threads(const LeaderOptions& opts) {
+  return opts.threads > 0 ? opts.threads : omp_get_max_threads();
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> elect_any(std::uint64_t n,
+                                       const std::function<bool(std::uint64_t)>& pred,
+                                       const LeaderOptions& opts) {
+  ConWriteCell<std::uint64_t> cell(kNone);
+  const int threads = resolve_threads(opts);
+  const auto count = static_cast<std::int64_t>(n);
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto idx = static_cast<std::uint64_t>(i);
+    if (pred(idx)) (void)cell.try_write(kInitialRound + 1, idx);
+  }
+  if (cell.read() == kNone) return std::nullopt;
+  return cell.read();
+}
+
+std::optional<std::uint64_t> elect_min(std::uint64_t n,
+                                       const std::function<bool(std::uint64_t)>& pred,
+                                       const LeaderOptions& opts) {
+  std::atomic<std::uint64_t> best{kNone};
+  const int threads = resolve_threads(opts);
+  const auto count = static_cast<std::int64_t>(n);
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto idx = static_cast<std::uint64_t>(i);
+    if (pred(idx)) atomic_fetch_min(best, idx);
+  }
+  if (best.load() == kNone) return std::nullopt;
+  return best.load();
+}
+
+std::optional<std::uint64_t> elect_min_key(
+    std::uint64_t n,
+    const std::function<std::optional<std::uint32_t>(std::uint64_t)>& key,
+    const LeaderOptions& opts) {
+  if (n > std::numeric_limits<std::uint32_t>::max()) return std::nullopt;
+  PackedPriorityCell cell;
+  const int threads = resolve_threads(opts);
+  const auto count = static_cast<std::int64_t>(n);
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto idx = static_cast<std::uint64_t>(i);
+    if (const auto k = key(idx); k.has_value()) {
+      cell.offer(*k, static_cast<std::uint32_t>(idx));
+    }
+  }
+  if (cell.untouched()) return std::nullopt;
+  return cell.payload();
+}
+
+}  // namespace crcw::algo

@@ -1,0 +1,46 @@
+// Leader election — arbitrary CW as a selection primitive.
+//
+// The smallest useful arbitrary concurrent write: every candidate offers
+// its own id into one cell and exactly one is elected, in one O(1)-depth
+// step. Three flavours matching the §2 resolution rules:
+//
+//   elect_any       Arbitrary  — some candidate (scheduling-dependent)
+//   elect_min       Priority   — the smallest candidate id (deterministic)
+//   elect_min_key   Priority   — the candidate with the smallest key
+//
+// `elect_any` is the building block kernels use to pick a representative
+// ("one thread handles the shared cleanup"), for which arbitrary CW is
+// strictly cheaper than a priority reduction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/policies.hpp"
+
+namespace crcw::algo {
+
+struct LeaderOptions {
+  int threads = 0;  ///< OpenMP threads; 0 = ambient setting
+};
+
+/// Elects an arbitrary i in [0, n) with pred(i); empty when none qualifies.
+/// One CAS-LT round; any qualifying index may win.
+[[nodiscard]] std::optional<std::uint64_t> elect_any(
+    std::uint64_t n, const std::function<bool(std::uint64_t)>& pred,
+    const LeaderOptions& opts = {});
+
+/// Elects the smallest qualifying index (Priority min-rank semantics, via
+/// combining fetch-min). Deterministic.
+[[nodiscard]] std::optional<std::uint64_t> elect_min(
+    std::uint64_t n, const std::function<bool(std::uint64_t)>& pred,
+    const LeaderOptions& opts = {});
+
+/// Elects the qualifying index with the smallest 32-bit key (ties to the
+/// smaller index), one packed priority round. Deterministic.
+[[nodiscard]] std::optional<std::uint64_t> elect_min_key(
+    std::uint64_t n, const std::function<std::optional<std::uint32_t>(std::uint64_t)>& key,
+    const LeaderOptions& opts = {});
+
+}  // namespace crcw::algo

@@ -1,0 +1,108 @@
+#include "algorithms/list_ranking.hpp"
+
+#include <omp.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace crcw::algo {
+
+std::vector<std::uint64_t> list_rank(std::span<const std::uint64_t> next,
+                                     const ListRankOptions& opts) {
+  const std::uint64_t n = next.size();
+  for (const std::uint64_t s : next) {
+    if (s >= n) throw std::invalid_argument("list_rank: successor out of range");
+  }
+
+  std::vector<std::uint64_t> rank(n);
+  std::vector<std::uint64_t> succ(next.begin(), next.end());
+  std::vector<std::uint64_t> rank_new(n);
+  std::vector<std::uint64_t> succ_new(n);
+
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  const auto count = static_cast<std::int64_t>(n);
+
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    rank[idx] = succ[idx] == idx ? 0 : 1;
+  }
+
+  // ceil(log2 n) jumping rounds; double-buffered so every round reads the
+  // previous round's state only — pure CREW discipline, no concurrent
+  // writes anywhere.
+  for (std::uint64_t span = 1; span < n; span *= 2) {
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t i = 0; i < count; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const std::uint64_t s = succ[idx];
+      rank_new[idx] = rank[idx] + (s == idx ? 0 : rank[s]);
+      succ_new[idx] = succ[s];
+    }
+    rank.swap(rank_new);
+    succ.swap(succ_new);
+  }
+  return rank;
+}
+
+std::vector<std::uint64_t> list_rank_seq(std::span<const std::uint64_t> next) {
+  const std::uint64_t n = next.size();
+  std::vector<std::uint64_t> rank(n, 0);
+  if (n == 0) return rank;
+
+  // Find the tail, then walk from every node? O(n²) worst case — instead
+  // compute by one pass from the head: find head (the node nobody points
+  // to), walk the list assigning distance-to-tail afterwards.
+  std::vector<std::uint8_t> pointed(n, 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (next[i] >= n) throw std::invalid_argument("list_rank_seq: successor out of range");
+    if (next[i] != i) pointed[next[i]] = 1;
+  }
+  std::uint64_t head = n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (pointed[i] == 0) {
+      if (head != n) throw std::invalid_argument("list_rank_seq: multiple heads");
+      head = i;
+    }
+  }
+  if (head == n) throw std::invalid_argument("list_rank_seq: no head (cycle)");
+
+  std::vector<std::uint64_t> order;
+  order.reserve(n);
+  std::uint64_t cur = head;
+  while (true) {
+    order.push_back(cur);
+    if (next[cur] == cur) break;
+    cur = next[cur];
+    if (order.size() > n) throw std::invalid_argument("list_rank_seq: cycle detected");
+  }
+  if (order.size() != n) throw std::invalid_argument("list_rank_seq: disconnected list");
+
+  for (std::uint64_t pos = 0; pos < n; ++pos) {
+    rank[order[pos]] = n - 1 - pos;
+  }
+  return rank;
+}
+
+RandomList make_random_list(std::uint64_t n, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("make_random_list: empty list");
+  // Random node order via Fisher-Yates, then chain them.
+  std::vector<std::uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  util::Xoshiro256 rng(seed);
+  for (std::uint64_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.bounded(i + 1)]);
+  }
+
+  RandomList out;
+  out.next.resize(n);
+  for (std::uint64_t pos = 0; pos + 1 < n; ++pos) out.next[order[pos]] = order[pos + 1];
+  out.next[order[n - 1]] = order[n - 1];
+  out.head = order[0];
+  out.tail = order[n - 1];
+  return out;
+}
+
+}  // namespace crcw::algo

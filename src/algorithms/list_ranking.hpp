@@ -1,0 +1,41 @@
+// Pointer-jumping list ranking — the classic CREW PRAM routine, included as
+// the EREW/CREW counterpoint the paper's future work proposes comparing
+// against (§8): it needs no concurrent writes at all, only concurrent reads
+// (every node reads its successor's cells while owning its writes).
+//
+// Input: next[i] = successor in a linked list (tail points to itself).
+// Output: rank[i] = #nodes from i to the tail (tail rank 0), in O(log n)
+// lock-step rounds of rank[i] += rank[next[i]]; next[i] = next[next[i]].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crcw::algo {
+
+struct ListRankOptions {
+  int threads = 0;  ///< OpenMP threads; 0 = ambient setting
+};
+
+/// Parallel pointer jumping; validates that `next` is a proper list (each
+/// index in range; exactly one self-loop tail reachable from every node is
+/// NOT checked — cycles other than the tail self-loop make the result
+/// meaningless, and the sequential checker below exists for tests).
+/// Throws std::invalid_argument on out-of-range successors.
+[[nodiscard]] std::vector<std::uint64_t> list_rank(std::span<const std::uint64_t> next,
+                                                   const ListRankOptions& opts = {});
+
+/// Sequential reference.
+[[nodiscard]] std::vector<std::uint64_t> list_rank_seq(std::span<const std::uint64_t> next);
+
+/// Builds a random permutation list over n nodes: returns (next, head);
+/// the tail self-loops. Deterministic per seed.
+struct RandomList {
+  std::vector<std::uint64_t> next;
+  std::uint64_t head = 0;
+  std::uint64_t tail = 0;
+};
+[[nodiscard]] RandomList make_random_list(std::uint64_t n, std::uint64_t seed);
+
+}  // namespace crcw::algo

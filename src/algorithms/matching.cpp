@@ -1,0 +1,155 @@
+#include "algorithms/matching.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+
+#include "core/priority.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace crcw::algo {
+namespace {
+
+using graph::kNoVertex;
+using graph::vertex_t;
+
+/// Deterministic per-(edge, round) key: a hash, so each round re-randomises
+/// priorities without a shared RNG (every virtual processor derives its own
+/// stream — standard PRAM practice).
+std::uint32_t edge_key(std::uint64_t seed, std::uint64_t round, std::uint64_t edge) {
+  util::SplitMix64 sm(seed ^ (round * 0x9e3779b97f4a7c15ull) ^ edge);
+  return static_cast<std::uint32_t>(sm.next() >> 32);
+}
+
+}  // namespace
+
+MatchingResult maximal_matching(std::uint64_t n, const graph::EdgeList& edges,
+                                const MatchingOptions& opts) {
+  if (edges.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("maximal_matching: edge ids must fit 32 bits");
+  }
+  for (const auto& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      throw std::invalid_argument("maximal_matching: endpoint out of range");
+    }
+  }
+
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  const auto ecount = static_cast<std::int64_t>(edges.size());
+  const auto vcount = static_cast<std::int64_t>(n);
+
+  MatchingResult result;
+  result.mate.assign(n, kNoVertex);
+  if (n == 0 || edges.empty()) return result;
+
+  util::AlignedBuffer<PackedPriorityCell> cells(n);
+  std::vector<std::uint8_t> edge_live(edges.size(), 1);
+  std::vector<std::uint8_t> selected(edges.size(), 0);
+  auto* mate = result.mate.data();
+
+  // Generous convergence cap: expected rounds are O(log m) w.h.p.
+  std::uint64_t max_rounds = 64;
+  for (std::uint64_t s = 1; s < edges.size(); s *= 2) max_rounds += 8;
+
+  bool any_live = true;
+  while (any_live) {
+    if (++result.rounds > max_rounds) {
+      throw std::runtime_error("maximal_matching: exceeded round bound");
+    }
+
+    // Phase 0: reset this round's priority cells (only unmatched vertices
+    // matter, but resetting all keeps the step uniform).
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t v = 0; v < vcount; ++v) {
+      cells[static_cast<std::size_t>(v)].reset();
+    }
+
+    // Phase 1: live edges bid at both endpoints (priority CW round).
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t j = 0; j < ecount; ++j) {
+      const auto idx = static_cast<std::size_t>(j);
+      if (edge_live[idx] == 0) continue;
+      const auto& e = edges[idx];
+      if (e.u == e.v) continue;  // self-loops can never match
+      const std::uint32_t key =
+          edge_key(opts.seed, result.rounds, static_cast<std::uint64_t>(j));
+      const auto id = static_cast<std::uint32_t>(j);
+      cells[e.u].offer(key, id);
+      cells[e.v].offer(key, id);
+    }
+    // Implicit barrier: winners are now stable (the PRAM sync point).
+
+    // Phase 2: an edge that won BOTH endpoints enters the matching. Each
+    // such edge writes mate[u], mate[v] exclusively (no two matched edges
+    // share an endpoint: sharing would mean the cell chose two ids).
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t j = 0; j < ecount; ++j) {
+      const auto idx = static_cast<std::size_t>(j);
+      if (edge_live[idx] == 0) continue;
+      const auto& e = edges[idx];
+      if (e.u == e.v) continue;
+      const auto id = static_cast<std::uint32_t>(j);
+      if (!cells[e.u].untouched() && cells[e.u].payload() == id &&
+          cells[e.v].payload() == id) {
+        selected[idx] = 1;
+        mate[e.u] = e.v;
+        mate[e.v] = e.u;
+      }
+    }
+
+    // Phase 3: kill edges with a matched endpoint; detect liveness.
+    std::uint8_t live_flag = 0;
+#pragma omp parallel for num_threads(threads) schedule(static) \
+    reduction(| : live_flag)
+    for (std::int64_t j = 0; j < ecount; ++j) {
+      const auto idx = static_cast<std::size_t>(j);
+      if (edge_live[idx] == 0) continue;
+      const auto& e = edges[idx];
+      if (e.u == e.v || mate[e.u] != kNoVertex || mate[e.v] != kNoVertex) {
+        edge_live[idx] = 0;
+      } else {
+        live_flag = 1;
+      }
+    }
+    any_live = live_flag != 0;
+  }
+
+  for (std::uint64_t j = 0; j < edges.size(); ++j) {
+    if (selected[j] != 0) result.edges.push_back(j);
+  }
+  return result;
+}
+
+bool validate_matching(std::uint64_t n, const graph::EdgeList& edges,
+                       const MatchingResult& result) {
+  if (result.mate.size() != n) return false;
+
+  // 1. mate[] is an involution over real matched edges.
+  std::vector<std::uint8_t> matched(n, 0);
+  for (const std::uint64_t j : result.edges) {
+    if (j >= edges.size()) return false;
+    const auto& e = edges[j];
+    if (e.u == e.v) return false;
+    if (result.mate[e.u] != e.v || result.mate[e.v] != e.u) return false;
+    if (matched[e.u] != 0 || matched[e.v] != 0) return false;  // endpoint reuse
+    matched[e.u] = matched[e.v] = 1;
+  }
+  for (vertex_t v = 0; v < n; ++v) {
+    const vertex_t m = result.mate[v];
+    if (m == kNoVertex) continue;
+    if (matched[v] == 0) return false;  // mate set but no selected edge covers v
+    if (m >= n || result.mate[m] != v) return false;
+  }
+
+  // 2. maximality: no edge joins two unmatched vertices.
+  for (const auto& e : edges) {
+    if (e.u == e.v) continue;
+    if (result.mate[e.u] == kNoVertex && result.mate[e.v] == kNoVertex) return false;
+  }
+  return true;
+}
+
+}  // namespace crcw::algo

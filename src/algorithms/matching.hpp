@@ -1,0 +1,51 @@
+// Randomized maximal matching — the workload of the paper's reference [23]
+// (Yang/Dhall/Lakshmivarahan, "simple randomized parallel algorithms for
+// finding a maximal matching"), built on priority concurrent writes.
+//
+// Round structure (all phases are lock-step parallel steps):
+//   1. every live edge draws a deterministic per-round random key and
+//      offers (key, edge-id) to BOTH endpoints' priority cells — a
+//      Priority(min-value) concurrent write (core/PackedPriorityCell);
+//   2. an edge whose id won at BOTH endpoints joins the matching; its
+//      endpoints become matched;
+//   3. edges with a matched endpoint die; repeat until no live edge.
+//
+// Expected O(log m) rounds w.h.p. (a constant fraction of live edges is
+// adjacent to a both-sides winner each round). The per-round bound is
+// enforced with a generous cap that flags non-convergence bugs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace crcw::algo {
+
+struct MatchingOptions {
+  int threads = 0;        ///< OpenMP threads; 0 = ambient setting
+  std::uint64_t seed = 42;  ///< per-round key stream
+};
+
+struct MatchingResult {
+  /// Matched partner per vertex; kNoVertex = unmatched.
+  std::vector<graph::vertex_t> mate;
+  /// Edge ids (indices into the input list) forming the matching.
+  std::vector<std::uint64_t> edges;
+  std::uint64_t rounds = 0;
+};
+
+/// Maximal matching over an undirected edge list on vertices [0, n).
+/// Self-loops are ignored; parallel edges are fine. Edge count must fit
+/// 32 bits (packed priority payload). Throws std::invalid_argument on bad
+/// input.
+[[nodiscard]] MatchingResult maximal_matching(std::uint64_t n,
+                                              const graph::EdgeList& edges,
+                                              const MatchingOptions& opts = {});
+
+/// Checker: `result` is a valid matching (mate is an involution across real
+/// edges) AND maximal (no live edge has two unmatched endpoints).
+[[nodiscard]] bool validate_matching(std::uint64_t n, const graph::EdgeList& edges,
+                                     const MatchingResult& result);
+
+}  // namespace crcw::algo

@@ -1,0 +1,63 @@
+#include "algorithms/or_any.hpp"
+
+#include <atomic>
+#include <vector>
+
+namespace crcw::algo {
+namespace {
+
+template <typename Bits>
+auto bit_pred(Bits bits) {
+  return [bits](std::uint64_t i) { return bits[i] != 0; };
+}
+
+}  // namespace
+
+bool parallel_or_naive(std::span<const std::uint8_t> bits, const OrOptions& opts) {
+  std::uint8_t result = 0;
+  const auto count = static_cast<std::int64_t>(bits.size());
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (bits[static_cast<std::size_t>(i)] != 0) {
+      // Common CW of the constant 1 — the naive store is legal here (§4).
+      std::atomic_ref<std::uint8_t>(result).store(1, std::memory_order_relaxed);
+    }
+  }
+  return result != 0;
+}
+
+bool parallel_or_gatekeeper(std::span<const std::uint8_t> bits, const OrOptions& opts) {
+  return detail::any_kernel<GatekeeperPolicy>(bits.size(), bit_pred(bits), opts.threads);
+}
+
+bool parallel_or_caslt(std::span<const std::uint8_t> bits, const OrOptions& opts) {
+  return detail::any_kernel<CasLtPolicy>(bits.size(), bit_pred(bits), opts.threads);
+}
+
+bool parallel_or_crew(std::span<const std::uint8_t> bits, const OrOptions& opts) {
+  const std::uint64_t n = bits.size();
+  if (n == 0) return false;
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+
+  // Double-buffered halving: round k combines pairs 2i, 2i+1. Every write
+  // goes to a distinct cell — exclusive-write discipline throughout.
+  std::vector<std::uint8_t> cur(bits.begin(), bits.end());
+  std::vector<std::uint8_t> next((n + 1) / 2);
+  std::uint64_t m = n;
+  while (m > 1) {
+    const std::uint64_t half = (m + 1) / 2;
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(half); ++i) {
+      const auto idx = static_cast<std::uint64_t>(i);
+      const std::uint8_t a = cur[2 * idx];
+      const std::uint8_t b = (2 * idx + 1 < m) ? cur[2 * idx + 1] : 0;
+      next[idx] = (a != 0 || b != 0) ? 1 : 0;
+    }
+    cur.swap(next);
+    m = half;
+  }
+  return cur[0] != 0;
+}
+
+}  // namespace crcw::algo

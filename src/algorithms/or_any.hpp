@@ -1,0 +1,70 @@
+// Parallel OR / ANY — the canonical O(1) CRCW primitive.
+//
+// Computing the OR of N bits takes Ω(log N) steps on CREW PRAM but exactly
+// one step on CRCW (every set bit performs a common concurrent write of 1
+// into the result cell) — the textbook separation between the models, and
+// the smallest possible exhibit of the paper's CW methods. `any_of` is the
+// predicate form used by other kernels (e.g. "is any vertex still active?").
+#pragma once
+
+#include <omp.h>
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+
+#include "core/policies.hpp"
+
+namespace crcw::algo {
+
+struct OrOptions {
+  int threads = 0;  ///< OpenMP threads; 0 = ambient setting
+};
+
+/// OR of all flags, one CRCW step, selectable CW method.
+[[nodiscard]] bool parallel_or_naive(std::span<const std::uint8_t> bits,
+                                     const OrOptions& opts = {});
+[[nodiscard]] bool parallel_or_gatekeeper(std::span<const std::uint8_t> bits,
+                                          const OrOptions& opts = {});
+[[nodiscard]] bool parallel_or_caslt(std::span<const std::uint8_t> bits,
+                                     const OrOptions& opts = {});
+
+/// The CREW counterpart: a binary reduction tree — Θ(log N) lock-step
+/// rounds, no concurrent writes anywhere (each round writes disjoint
+/// cells). This is the §8 future-work comparison made concrete: CRCW OR is
+/// O(1) depth, CREW OR is Ω(log N); bench/ext_crew_vs_crcw.cpp measures
+/// where the asymptotic gap shows up on real hardware.
+[[nodiscard]] bool parallel_or_crew(std::span<const std::uint8_t> bits,
+                                    const OrOptions& opts = {});
+
+namespace detail {
+
+/// Generic predicate ANY over [0, n): one common-CW round under Policy.
+/// A single result cell guarded by a single tag; all writers offer `1`.
+template <WritePolicy Policy, typename Pred>
+  requires std::predicate<Pred, std::uint64_t>
+bool any_kernel(std::uint64_t n, Pred pred, int threads) {
+  typename Policy::tag_type tag{};
+  std::uint8_t result = 0;
+  const auto count = static_cast<std::int64_t>(n);
+  if (threads <= 0) threads = omp_get_max_threads();
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (pred(static_cast<std::uint64_t>(i)) &&
+        Policy::try_acquire(tag, kInitialRound + 1)) {
+      result = 1;  // single winner: plain store, published by the barrier
+    }
+  }
+  return result != 0;
+}
+
+}  // namespace detail
+
+/// ANY with the paper's CAS-LT method: true iff pred(i) for some i < n.
+template <typename Pred>
+  requires std::predicate<Pred, std::uint64_t>
+[[nodiscard]] bool any_of_caslt(std::uint64_t n, Pred pred, const OrOptions& opts = {}) {
+  return detail::any_kernel<CasLtPolicy>(n, pred, opts.threads);
+}
+
+}  // namespace crcw::algo

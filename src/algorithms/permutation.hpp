@@ -1,0 +1,40 @@
+// Parallel random permutation by dart throwing — arbitrary CW as an
+// allocation protocol.
+//
+// The classic PRAM recipe: every element repeatedly "throws a dart" at a
+// random slot of an array of size c·n; the slot's arbitrary concurrent
+// write decides who lands; losers rethrow in the next round. With c ≥ 2,
+// each round places a constant fraction of the remaining elements, so all
+// land in O(log n) rounds w.h.p.; compacting the slot array (scan) yields
+// the permutation. Every piece is this library's vocabulary: per-slot
+// CAS-LT tags for the darts, round ids shared across rounds, stream
+// compaction for the readout.
+//
+// The result is a uniformly random permutation when the dart RNG is
+// unbiased per round (we use per-element splitmix streams); tests check
+// validity exactly and uniformity statistically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace crcw::algo {
+
+struct PermutationOptions {
+  int threads = 0;          ///< OpenMP threads; 0 = ambient setting
+  std::uint64_t seed = 42;  ///< dart stream seed
+  /// Slot-array expansion factor; larger = fewer rounds, more memory.
+  std::uint64_t expansion = 2;
+};
+
+struct PermutationResult {
+  std::vector<std::uint64_t> perm;  ///< perm[i] = element at output position i
+  std::uint64_t rounds = 0;         ///< dart rounds until everyone landed
+};
+
+/// Random permutation of [0, n). Throws std::invalid_argument on
+/// expansion < 2 (the constant-fraction argument needs slack).
+[[nodiscard]] PermutationResult random_permutation(std::uint64_t n,
+                                                   const PermutationOptions& opts = {});
+
+}  // namespace crcw::algo

@@ -1,0 +1,116 @@
+#include "algorithms/scan.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+namespace crcw::algo {
+namespace {
+
+/// Two-pass blocked scan core: per-thread block reductions, serial scan of
+/// the P block sums, per-thread rescan with the block offset.
+template <typename Op>
+std::vector<std::uint64_t> blocked_exclusive_scan(std::span<const std::uint64_t> in,
+                                                  std::uint64_t identity, Op op,
+                                                  int threads) {
+  const std::uint64_t n = in.size();
+  std::vector<std::uint64_t> out(n);
+  if (n == 0) return out;
+  if (threads <= 0) threads = omp_get_max_threads();
+
+  // Fixed block count from the *requested* parallelism; threads each own a
+  // strided set of blocks, so the result is correct whatever team size the
+  // runtime actually grants.
+  const auto num_blocks = static_cast<std::uint64_t>(std::max(threads, 1));
+  const std::uint64_t block = (n + num_blocks - 1) / num_blocks;
+  std::vector<std::uint64_t> block_sum(num_blocks, identity);
+
+#pragma omp parallel num_threads(threads)
+  {
+    const auto t = static_cast<std::uint64_t>(omp_get_thread_num());
+    const auto team = static_cast<std::uint64_t>(omp_get_num_threads());
+
+    for (std::uint64_t b = t; b < num_blocks; b += team) {
+      const std::uint64_t lo = std::min(b * block, n);
+      const std::uint64_t hi = std::min(lo + block, n);
+      std::uint64_t acc = identity;
+      for (std::uint64_t i = lo; i < hi; ++i) acc = op(acc, in[i]);
+      block_sum[b] = acc;
+    }
+
+#pragma omp barrier
+#pragma omp single
+    {
+      // Exclusive scan of the block sums (serial: the count is tiny).
+      std::uint64_t running = identity;
+      for (std::uint64_t b = 0; b < num_blocks; ++b) {
+        const std::uint64_t s = block_sum[b];
+        block_sum[b] = running;
+        running = op(running, s);
+      }
+    }
+    // Implicit barrier after single.
+
+    for (std::uint64_t b = t; b < num_blocks; b += team) {
+      const std::uint64_t lo = std::min(b * block, n);
+      const std::uint64_t hi = std::min(lo + block, n);
+      std::uint64_t acc = block_sum[b];
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        out[i] = acc;
+        acc = op(acc, in[i]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> exclusive_scan(std::span<const std::uint64_t> in,
+                                          const ScanOptions& opts) {
+  return blocked_exclusive_scan(
+      in, 0, [](std::uint64_t a, std::uint64_t b) { return a + b; }, opts.threads);
+}
+
+std::vector<std::uint64_t> inclusive_scan(std::span<const std::uint64_t> in,
+                                          const ScanOptions& opts) {
+  auto out = exclusive_scan(in, opts);
+  const auto n = static_cast<std::int64_t>(in.size());
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] += in[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> exclusive_scan_op(
+    std::span<const std::uint64_t> in, std::uint64_t identity,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& op,
+    const ScanOptions& opts) {
+  return blocked_exclusive_scan(in, identity, op, opts.threads);
+}
+
+std::vector<std::uint64_t> pack_indices(std::span<const std::uint8_t> flags,
+                                        const ScanOptions& opts) {
+  const std::uint64_t n = flags.size();
+  std::vector<std::uint64_t> ones(n);
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    ones[static_cast<std::size_t>(i)] = flags[static_cast<std::size_t>(i)] != 0 ? 1 : 0;
+  }
+  const auto offsets = exclusive_scan(ones, opts);
+  const std::uint64_t total =
+      n == 0 ? 0 : offsets[n - 1] + (flags[n - 1] != 0 ? 1 : 0);
+
+  std::vector<std::uint64_t> out(total);
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (flags[idx] != 0) out[offsets[idx]] = idx;  // exclusive writes by scan
+  }
+  return out;
+}
+
+}  // namespace crcw::algo

@@ -1,0 +1,47 @@
+// Parallel prefix sums (scan) — the substrate the gatekeeper method is
+// named after.
+//
+// The XMT lineage the paper compares against (§3, ref [21]) resolves
+// concurrent writes with a *prefix-sum* over gatekeeper variables; on
+// commodity hardware that degenerates to the atomic-increment Gatekeeper
+// of Figure 2. This module provides the real thing — a work-efficient
+// two-pass (reduce-then-scan) parallel prefix sum — both because a PRAM
+// library is incomplete without scan, and so tests can show the
+// equivalence: `gatekeeper winner == (exclusive scan of request flags)[i]
+// == 0` (tests/test_scan.cpp).
+//
+// Θ(N) work, O(N/P + P) span on P threads (two passes over blocks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace crcw::algo {
+
+struct ScanOptions {
+  int threads = 0;  ///< OpenMP threads; 0 = ambient setting
+};
+
+/// Exclusive scan: out[i] = op(init, in[0..i)) with out[0] = init.
+/// `op` must be associative; `init` its identity.
+[[nodiscard]] std::vector<std::uint64_t> exclusive_scan(std::span<const std::uint64_t> in,
+                                                        const ScanOptions& opts = {});
+
+/// Inclusive scan: out[i] = in[0] + … + in[i].
+[[nodiscard]] std::vector<std::uint64_t> inclusive_scan(std::span<const std::uint64_t> in,
+                                                        const ScanOptions& opts = {});
+
+/// Generic exclusive scan over any associative op with identity.
+[[nodiscard]] std::vector<std::uint64_t> exclusive_scan_op(
+    std::span<const std::uint64_t> in, std::uint64_t identity,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& op,
+    const ScanOptions& opts = {});
+
+/// Stream compaction built on scan: indices i in [0, n) with flags[i] != 0,
+/// in order — the PRAM way to build a frontier without a shared counter.
+[[nodiscard]] std::vector<std::uint64_t> pack_indices(std::span<const std::uint8_t> flags,
+                                                      const ScanOptions& opts = {});
+
+}  // namespace crcw::algo

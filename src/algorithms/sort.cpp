@@ -1,0 +1,97 @@
+#include "algorithms/sort.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crcw::algo {
+namespace {
+
+/// Shared core: stable permutation that sorts `digit(i)` ascending, where
+/// digit values lie in [0, buckets). Blocked (digit, block)-major counting:
+/// slot of element i = scan[digit][block(i)] + rank of i within its block
+/// and digit — unique by construction, so the scatter is exclusive-write.
+template <typename DigitFn>
+std::vector<std::uint64_t> stable_perm(std::uint64_t n, std::uint64_t buckets,
+                                       DigitFn digit, int threads) {
+  std::vector<std::uint64_t> perm(n);
+  if (n == 0) return perm;
+  if (threads <= 0) threads = omp_get_max_threads();
+  const auto num_blocks = static_cast<std::uint64_t>(std::max(threads, 1));
+  const std::uint64_t block = (n + num_blocks - 1) / num_blocks;
+
+  // counts[d * num_blocks + b] = #elements with digit d in block b; the
+  // exclusive scan of this digit-major array gives every (d, b) group its
+  // base output offset, preserving stability (blocks scanned in order
+  // within each digit).
+  std::vector<std::uint64_t> counts(buckets * num_blocks, 0);
+
+#pragma omp parallel num_threads(threads)
+  {
+    const auto t = static_cast<std::uint64_t>(omp_get_thread_num());
+    const auto team = static_cast<std::uint64_t>(omp_get_num_threads());
+    for (std::uint64_t b = t; b < num_blocks; b += team) {
+      const std::uint64_t lo = std::min(b * block, n);
+      const std::uint64_t hi = std::min(lo + block, n);
+      for (std::uint64_t i = lo; i < hi; ++i) ++counts[digit(i) * num_blocks + b];
+    }
+
+#pragma omp barrier
+#pragma omp single
+    {
+      std::uint64_t running = 0;
+      for (auto& c : counts) {
+        const std::uint64_t v = c;
+        c = running;
+        running += v;
+      }
+    }
+
+    for (std::uint64_t b = t; b < num_blocks; b += team) {
+      const std::uint64_t lo = std::min(b * block, n);
+      const std::uint64_t hi = std::min(lo + block, n);
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        perm[counts[digit(i) * num_blocks + b]++] = i;
+      }
+    }
+  }
+  return perm;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> counting_sort_perm(std::span<const std::uint64_t> keys,
+                                              std::uint64_t buckets,
+                                              const SortOptions& opts) {
+  if (buckets == 0) throw std::invalid_argument("counting_sort: zero buckets");
+  for (const auto k : keys) {
+    if (k >= buckets) throw std::invalid_argument("counting_sort: key out of range");
+  }
+  return stable_perm(keys.size(), buckets, [&](std::uint64_t i) { return keys[i]; },
+                     opts.threads);
+}
+
+std::vector<std::uint64_t> radix_sort(std::span<const std::uint64_t> keys,
+                                      const SortOptions& opts) {
+  std::vector<std::uint64_t> values(keys.begin(), keys.end());
+  if (values.size() <= 1) return values;
+
+  // Skip passes whose digit never varies (common for small keys).
+  std::uint64_t all_or = 0;
+  for (const auto k : values) all_or |= k;
+
+  std::vector<std::uint64_t> next(values.size());
+  for (int pass = 0; pass < 8; ++pass) {
+    const int shift = pass * 8;
+    if (((all_or >> shift) & 0xFFu) == 0) continue;  // constant-zero digit
+    const auto perm = stable_perm(
+        values.size(), 256,
+        [&](std::uint64_t i) { return (values[i] >> shift) & 0xFFu; }, opts.threads);
+    for (std::uint64_t i = 0; i < values.size(); ++i) next[i] = values[perm[i]];
+    values.swap(next);
+  }
+  return values;
+}
+
+}  // namespace crcw::algo

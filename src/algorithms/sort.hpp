@@ -1,0 +1,36 @@
+// Parallel integer sorting — counting sort and LSD radix sort on the scan
+// substrate.
+//
+// Rounding out the PRAM toolbox: radix sort is the standard way PRAM
+// algorithms materialise "sort the processors by key" steps, and it
+// exercises scan/stream-compaction exactly the way the gatekeeper's
+// prefix-sum lineage intends (§3). Each digit pass is three lock-step
+// phases: per-block histogram → exclusive scan of (digit, block) counts →
+// stable scatter into unique slots (exclusive writes guaranteed by the
+// scan, the same trick as scan-based frontier packing).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crcw::algo {
+
+struct SortOptions {
+  int threads = 0;  ///< OpenMP threads; 0 = ambient setting
+};
+
+/// Stable parallel counting sort by key(x) in [0, buckets).
+/// Returns the sorted PERMUTATION (indices into `keys`), so callers can
+/// reorder satellite data; throws std::invalid_argument if a key is out of
+/// range or buckets == 0.
+[[nodiscard]] std::vector<std::uint64_t> counting_sort_perm(
+    std::span<const std::uint64_t> keys, std::uint64_t buckets,
+    const SortOptions& opts = {});
+
+/// Stable LSD radix sort of 64-bit keys (8-bit digits, 8 passes, skipping
+/// passes whose digit is constant). Returns the sorted values.
+[[nodiscard]] std::vector<std::uint64_t> radix_sort(std::span<const std::uint64_t> keys,
+                                                    const SortOptions& opts = {});
+
+}  // namespace crcw::algo

@@ -1,0 +1,68 @@
+// Single-source shortest paths — priority concurrent writes as edge
+// relaxation.
+//
+// Round-synchronous Bellman–Ford: in each round every improvable edge
+// offers `dist[u] + w(u,v)` into vertex v's cell. That offer IS a
+// Priority(min-value) concurrent write (§2's strongest rule), and the
+// shortest-path tree needs the matching parent recorded with it — another
+// instance of the paper's multi-word-update problem (§4): a naive
+// implementation can pair one writer's distance with another's parent.
+// Two resolutions are provided:
+//
+//   sssp_two_phase   the general PriorityCell protocol: phase 1 all offers
+//                    fetch-min the distance; barrier; phase 2 the winner
+//                    re-presents its key and commits the parent — the
+//                    classical O(1)-round Priority CW simulation.
+//   sssp_fetch_min   combining-only: distances via atomic fetch-min,
+//                    parents reconstructed afterwards from the distance
+//                    field (parent = any neighbour with dist[v] - w(u,v)
+//                    == dist[u]). One phase per round, more re-scanning.
+//
+// Both run at most n-1 rounds (longest simple path) and stop at the first
+// quiescent round; negative weights are rejected (unsigned weights).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/boruvka.hpp"  // WeightedEdge
+#include "graph/csr.hpp"
+
+namespace crcw::algo {
+
+struct SsspOptions {
+  int threads = 0;  ///< OpenMP threads; 0 = ambient setting
+};
+
+inline constexpr std::uint64_t kUnreachable = static_cast<std::uint64_t>(-1);
+
+struct SsspResult {
+  std::vector<std::uint64_t> dist;     ///< kUnreachable if not reachable
+  std::vector<graph::vertex_t> parent; ///< kNoVertex at source/unreachable
+  std::uint64_t rounds = 0;
+};
+
+/// Two-phase priority-CW Bellman–Ford over an undirected weighted edge
+/// list on vertices [0, n). Throws std::invalid_argument on bad endpoints.
+[[nodiscard]] SsspResult sssp_two_phase(std::uint64_t n,
+                                        std::span<const WeightedEdge> edges,
+                                        graph::vertex_t source,
+                                        const SsspOptions& opts = {});
+
+/// Combining-write Bellman–Ford (fetch-min distances, parents recovered).
+[[nodiscard]] SsspResult sssp_fetch_min(std::uint64_t n,
+                                        std::span<const WeightedEdge> edges,
+                                        graph::vertex_t source,
+                                        const SsspOptions& opts = {});
+
+/// Sequential Dijkstra reference.
+[[nodiscard]] std::vector<std::uint64_t> sssp_dijkstra(std::uint64_t n,
+                                                       std::span<const WeightedEdge> edges,
+                                                       graph::vertex_t source);
+
+/// Structural check: distances equal the reference AND every parent edge
+/// exists with dist[v] == dist[parent] + weight.
+[[nodiscard]] bool validate_sssp(std::uint64_t n, std::span<const WeightedEdge> edges,
+                                 graph::vertex_t source, const SsspResult& result);
+
+}  // namespace crcw::algo

@@ -1,0 +1,54 @@
+// Euler-tour tree operations — the classic PRAM technique built from this
+// library's substrate (list ranking + exclusive writes), extending the
+// algorithm set toward the EREW/CREW side of §8's proposed comparisons.
+//
+// An undirected tree's 2(n-1) directed edge slots form one Euler cycle:
+// the successor of slot (u→v) is the slot (v→w) where w follows u in v's
+// adjacency ring. Breaking the cycle at the root and ranking it with
+// pointer jumping yields, in O(log n) lock-step rounds:
+//   * parent pointers       (the first entry into each vertex)
+//   * subtree sizes         ((exit − entry + 1) / 2)
+//   * depths                (pointer-jumping accumulation over parents)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace crcw::algo {
+
+struct TreeOpsOptions {
+  int threads = 0;  ///< OpenMP threads; 0 = ambient setting
+};
+
+/// Euler-tour structure over a symmetrised tree CSR.
+struct EulerTour {
+  std::vector<graph::edge_t> twin;  ///< slot of (v→u) for each slot (u→v)
+  std::vector<graph::edge_t> next;  ///< successor slot on the Euler cycle
+};
+
+/// Builds the tour. Requires: sorted symmetrised CSR of a tree — exactly
+/// 2(n-1) slots, no self-loops, no parallel edges (throws
+/// std::invalid_argument otherwise; connectivity is implied by the slot
+/// count once the structure checks pass).
+[[nodiscard]] EulerTour euler_tour(const graph::Csr& tree,
+                                   const TreeOpsOptions& opts = {});
+
+struct RootedTree {
+  std::vector<graph::vertex_t> parent;   ///< parent[root] == root
+  std::vector<std::uint64_t> subtree;    ///< vertices in v's subtree (root: n)
+  std::vector<std::uint64_t> depth;      ///< edges from root (root: 0)
+  std::vector<std::uint64_t> preorder;   ///< DFS-preorder number (root: 0)
+  /// Euler-tour positions of v's entering (down) edge and its exit (up)
+  /// edge: v's subtree is exactly the tour segment [entry, exit]. The root
+  /// spans the whole tour ([0, m-1]); a singleton tree uses [0, 0].
+  std::vector<std::uint64_t> entry_pos;
+  std::vector<std::uint64_t> exit_pos;
+};
+
+/// Roots the tree at `root` via Euler tour + list ranking.
+[[nodiscard]] RootedTree root_tree(const graph::Csr& tree, graph::vertex_t root,
+                                   const TreeOpsOptions& opts = {});
+
+}  // namespace crcw::algo

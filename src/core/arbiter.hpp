@@ -1,0 +1,88 @@
+// WriteArbiter — one conflict-resolution tag per concurrent-write target.
+//
+// PRAM kernels perform concurrent writes into whole arrays (Parent[],
+// Level[], isMax[], …). A WriteArbiter owns the parallel array of tags and
+// the round counter, and — for policies that require it — performs the
+// per-round re-initialisation sweep whose cost the paper charges to the
+// gatekeeper scheme (§6: depth O(1), work O(N) per round).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <variant>
+
+#include "core/policies.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/cacheline.hpp"
+
+namespace crcw {
+
+/// Tag layout: packed (dense, default — what the paper's kernels use) or
+/// padded (one tag per cache line; ablation A1 measures the difference).
+enum class TagLayout { kPacked, kPadded };
+
+template <WritePolicy Policy, TagLayout Layout = TagLayout::kPacked>
+class WriteArbiter {
+  using Tag = typename Policy::tag_type;
+  using Stored =
+      std::conditional_t<Layout == TagLayout::kPadded, util::Padded<Tag>, Tag>;
+
+ public:
+  using policy_type = Policy;
+
+  WriteArbiter() = default;
+
+  explicit WriteArbiter(std::size_t targets) : tags_(targets) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return tags_.size(); }
+  [[nodiscard]] round_t round() const noexcept { return round_; }
+
+  /// Starts the next concurrent-write step. Not thread-safe: call it from
+  /// serial code (or a single thread) between parallel regions — the same
+  /// place the PRAM model puts its step boundary. For reset-requiring
+  /// policies this performs the O(N) gatekeeper sweep (serially; kernels
+  /// that want the sweep parallelised do it themselves, see algorithms/).
+  round_t begin_round() {
+    ++round_;
+    if constexpr (Policy::kNeedsRoundReset) {
+      for (std::size_t i = 0; i < tags_.size(); ++i) Policy::reset(tag(i));
+    }
+    return round_;
+  }
+
+  /// True iff the calling thread won the current-round write to target i.
+  bool try_acquire(std::size_t i) { return Policy::try_acquire(tag(i), round_); }
+
+  /// Explicit-round overload, for kernels that reuse a loop index as the
+  /// round id (paper §5: "round could be substituted by the loop
+  /// iteration"). The caller owns monotonicity of `round` per target.
+  bool try_acquire(std::size_t i, round_t explicit_round) {
+    return Policy::try_acquire(tag(i), explicit_round);
+  }
+
+  /// Advances the round WITHOUT the policy reset sweep — for callers that
+  /// run the reset themselves (e.g. work-shared across OpenMP threads,
+  /// as Fig 3(b) lines 34-35 do). Serial, like begin_round.
+  round_t advance_round_no_reset() noexcept { return ++round_; }
+
+  /// Direct tag access for kernels that manage rounds themselves.
+  Tag& tag(std::size_t i) {
+    if constexpr (Layout == TagLayout::kPadded) {
+      return tags_[i].value;
+    } else {
+      return tags_[i];
+    }
+  }
+
+  /// Restores every tag and the round counter to the fresh state; serial.
+  void reset_all() {
+    for (std::size_t i = 0; i < tags_.size(); ++i) Policy::reset(tag(i));
+    round_ = kInitialRound;
+  }
+
+ private:
+  util::AlignedBuffer<Stored> tags_;
+  round_t round_ = kInitialRound;
+};
+
+}  // namespace crcw

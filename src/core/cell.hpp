@@ -1,0 +1,76 @@
+// ConWriteCell — a single concurrent-write target with its resolution tag.
+//
+// Bundles one payload with one policy tag so a concurrent write reads as one
+// call: `cell.try_write(round, v)`. The payload itself is a plain (non-
+// atomic) T: the policy admits exactly one writer per round, and the PRAM
+// synchronisation point (an OpenMP barrier in practice) publishes the value
+// to subsequent dependent reads — the exact contract of paper §5.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "core/policies.hpp"
+
+namespace crcw {
+
+template <typename T, WritePolicy Policy = CasLtPolicy>
+class ConWriteCell {
+  // NaivePolicy admits every contender; racing non-atomic stores of a
+  // multi-word T would be a data race with torn results (§4). ConWriteSlot
+  // exists to demonstrate that failure mode deliberately.
+  static_assert(kSingleWinner<Policy> ||
+                    (std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(void*)),
+                "NaivePolicy is only safe for common CW of word-sized payloads");
+
+ public:
+  using value_type = T;
+  using policy_type = Policy;
+
+  ConWriteCell() = default;
+  explicit ConWriteCell(T initial) : value_(std::move(initial)) {}
+
+  ConWriteCell(const ConWriteCell&) = delete;
+  ConWriteCell& operator=(const ConWriteCell&) = delete;
+
+  /// Attempts the round-`round` concurrent write of `v`. Returns true iff
+  /// this thread was selected and the value was stored.
+  bool try_write(round_t round, const T& v) {
+    if (!Policy::try_acquire(tag_, round)) return false;
+    value_ = v;
+    return true;
+  }
+
+  bool try_write(round_t round, T&& v) {
+    if (!Policy::try_acquire(tag_, round)) return false;
+    value_ = std::move(v);
+    return true;
+  }
+
+  /// Winner-computes form: the factory runs only in the winning thread, so
+  /// expensive payload construction is skipped by every loser.
+  template <typename Factory>
+    requires std::is_invocable_r_v<T, Factory>
+  bool try_write_with(round_t round, Factory&& make) {
+    if (!Policy::try_acquire(tag_, round)) return false;
+    value_ = std::forward<Factory>(make)();
+    return true;
+  }
+
+  /// Reads the payload. Caller must be past a synchronisation point that
+  /// ordered the winning write (PRAM: reads precede writes within a step).
+  [[nodiscard]] const T& read() const noexcept { return value_; }
+
+  /// Mutable access for serial phases (initialisation, verification).
+  [[nodiscard]] T& value() noexcept { return value_; }
+
+  [[nodiscard]] typename Policy::tag_type& tag() noexcept { return tag_; }
+
+  void reset_tag() { Policy::reset(tag_); }
+
+ private:
+  typename Policy::tag_type tag_{};
+  T value_{};
+};
+
+}  // namespace crcw

@@ -1,0 +1,107 @@
+// Combining atomics: fetch-min / fetch-max for types without native RMW.
+//
+// Priority CRCW resolution "processor writing the smallest value wins" (§2)
+// reduces to an atomic minimum over the offered keys. x86 has no fetch_min;
+// these CAS loops implement it with the standard early-out (no RMW once the
+// current value is already at least as good), which mirrors the CAS-LT
+// skip-on-committed idea: contenders that cannot win stop touching the line.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <type_traits>
+
+namespace crcw {
+
+/// Any atomic view over a totally ordered value: std::atomic<T> or
+/// std::atomic_ref<T> (the kernels use atomic_ref over plain arrays).
+template <typename A>
+concept AtomicOrdered = requires(A& a, typename A::value_type v) {
+  { a.load(std::memory_order_relaxed) } -> std::same_as<typename A::value_type>;
+  {
+    a.compare_exchange_weak(v, v, std::memory_order_acq_rel, std::memory_order_relaxed)
+  } -> std::same_as<bool>;
+  requires std::totally_ordered<typename A::value_type>;
+};
+
+/// Atomically sets *a = min(*a, value). Returns true iff `value` became the
+/// new minimum (i.e. this caller "won" at the time of the update).
+template <typename A>
+  requires AtomicOrdered<std::remove_cvref_t<A>>
+bool atomic_fetch_min(A&& a, typename std::remove_cvref_t<A>::value_type value,
+                      std::memory_order order = std::memory_order_acq_rel) noexcept {
+  auto current = a.load(std::memory_order_relaxed);
+  while (value < current) {
+    if (a.compare_exchange_weak(current, value, order, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomically sets *a = max(*a, value). Returns true iff `value` became the
+/// new maximum.
+template <typename A>
+  requires AtomicOrdered<std::remove_cvref_t<A>>
+bool atomic_fetch_max(A&& a, typename std::remove_cvref_t<A>::value_type value,
+                      std::memory_order order = std::memory_order_acq_rel) noexcept {
+  auto current = a.load(std::memory_order_relaxed);
+  while (current < value) {
+    if (a.compare_exchange_weak(current, value, order, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Generic combining update: *a = op(*a, value) with an `improves` predicate
+/// deciding whether the RMW is still worth attempting. Used to build other
+/// reduction-style concurrent writes (e.g. saturating adds).
+template <typename A, typename Op, typename Improves>
+bool atomic_combine(A&& a, typename std::remove_cvref_t<A>::value_type value, Op op,
+                    Improves improves,
+                    std::memory_order order = std::memory_order_acq_rel) {
+  auto current = a.load(std::memory_order_relaxed);
+  while (improves(current, value)) {
+    const auto next = op(current, value);
+    if (a.compare_exchange_weak(current, next, order, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A cell whose concurrent writes combine by minimum — equivalent to a
+/// Priority(min-value) CRCW write that needs no second phase because the key
+/// *is* the payload.
+template <typename T>
+class MinCell {
+ public:
+  explicit MinCell(T initial) : value_(initial) {}
+
+  bool offer(T v) noexcept { return atomic_fetch_min(value_, v); }
+
+  [[nodiscard]] T read() const noexcept { return value_.load(std::memory_order_acquire); }
+
+  void reset(T v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<T> value_;
+};
+
+template <typename T>
+class MaxCell {
+ public:
+  explicit MaxCell(T initial) : value_(initial) {}
+
+  bool offer(T v) noexcept { return atomic_fetch_max(value_, v); }
+
+  [[nodiscard]] T read() const noexcept { return value_.load(std::memory_order_acquire); }
+
+  void reset(T v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<T> value_;
+};
+
+}  // namespace crcw

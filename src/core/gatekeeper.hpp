@@ -1,0 +1,55 @@
+// Gatekeeper — the prefix-sum / atomic-increment baseline (paper §3, Fig 2).
+//
+// The scheme from Vishkin et al.'s XMT work: every contender atomically
+// post-increments a per-target counter; the thread that observed 0 wins.
+// Two structural costs distinguish it from CAS-LT (paper §5, §6):
+//   1. every contender executes the atomic RMW even long after a winner
+//      exists, serialising all P_PRAM contenders on a multicore;
+//   2. the counter must be re-zeroed before every new concurrent-write
+//      round — an O(N) sweep per round for N targets.
+// The `try_acquire_skip` variant adds the pre-load early-out the paper
+// suggests as a mitigation; it still requires the per-round reset.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace crcw {
+
+class Gatekeeper {
+ public:
+  Gatekeeper() noexcept = default;
+
+  Gatekeeper(const Gatekeeper&) = delete;
+  Gatekeeper& operator=(const Gatekeeper&) = delete;
+
+  /// Paper Figure 2: unconditional atomic post-increment; 0 observed = win.
+  bool try_acquire() noexcept {
+    return count_.fetch_add(1, std::memory_order_acq_rel) == 0;
+  }
+
+  /// Mitigated variant: skip the RMW once a winner is visible. Note the
+  /// skip read does not remove the per-round reset requirement.
+  bool try_acquire_skip() noexcept {
+    if (count_.load(std::memory_order_relaxed) != 0) return false;
+    return count_.fetch_add(1, std::memory_order_acq_rel) == 0;
+  }
+
+  /// Number of contenders that executed the RMW so far this round. Useful
+  /// for tests and for measuring serialisation pressure.
+  [[nodiscard]] std::uint64_t contenders() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool taken() const noexcept { return contenders() != 0; }
+
+  /// Required before every new concurrent-write round (Fig 3(b) line 34-35).
+  void reset() noexcept { count_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+};
+
+static_assert(sizeof(Gatekeeper) == sizeof(std::uint64_t));
+
+}  // namespace crcw

@@ -1,0 +1,120 @@
+// InstrumentedPolicy — a policy adapter that counts what each method
+// actually executes, making the §6 asymptotic argument *measurable*:
+//
+//   attempts     calls to try_acquire (contenders arriving at the CW site)
+//   atomics      atomic RMW instructions actually issued (the quantity the
+//                gatekeeper scheme cannot bound and CAS-LT caps at one
+//                successful CAS per round plus failed races)
+//   wins         writes admitted
+//
+// Wrap any policy: WriteArbiter<InstrumentedPolicy<CasLtPolicy>>. Counters
+// are global per instantiated policy type (thread-safe, relaxed); reset
+// them between measurements with reset_counters(). Intended for tests and
+// ablation benches, not for production kernels (the counters themselves
+// cost RMWs).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "core/policies.hpp"
+
+namespace crcw {
+
+struct InstrumentationCounters {
+  std::atomic<std::uint64_t> attempts{0};
+  std::atomic<std::uint64_t> atomics{0};
+  std::atomic<std::uint64_t> wins{0};
+
+  void reset() noexcept {
+    attempts.store(0, std::memory_order_relaxed);
+    atomics.store(0, std::memory_order_relaxed);
+    wins.store(0, std::memory_order_relaxed);
+  }
+};
+
+namespace detail {
+
+/// Counting replica of each base tag. The replicas re-implement the base
+/// acquire logic so the atomic count reflects exactly what the method
+/// would issue (wrapping the base call would hide its internal RMWs).
+template <typename Base>
+struct InstrumentedTag;
+
+template <>
+struct InstrumentedTag<CasLtPolicy> {
+  std::atomic<round_t> last{kInitialRound};
+
+  bool try_acquire(round_t round, InstrumentationCounters& c) noexcept {
+    c.attempts.fetch_add(1, std::memory_order_relaxed);
+    round_t current = last.load(std::memory_order_relaxed);
+    if (current >= round) return false;  // the skip: NO atomic issued
+    c.atomics.fetch_add(1, std::memory_order_relaxed);
+    const bool won = last.compare_exchange_strong(current, round, std::memory_order_acq_rel,
+                                                  std::memory_order_relaxed);
+    if (won) c.wins.fetch_add(1, std::memory_order_relaxed);
+    return won;
+  }
+
+  void reset() noexcept { last.store(kInitialRound, std::memory_order_relaxed); }
+};
+
+template <>
+struct InstrumentedTag<GatekeeperPolicy> {
+  std::atomic<std::uint64_t> count{0};
+
+  bool try_acquire(round_t /*round*/, InstrumentationCounters& c) noexcept {
+    c.attempts.fetch_add(1, std::memory_order_relaxed);
+    c.atomics.fetch_add(1, std::memory_order_relaxed);  // EVERY contender RMWs
+    const bool won = count.fetch_add(1, std::memory_order_acq_rel) == 0;
+    if (won) c.wins.fetch_add(1, std::memory_order_relaxed);
+    return won;
+  }
+
+  void reset() noexcept { count.store(0, std::memory_order_relaxed); }
+};
+
+template <>
+struct InstrumentedTag<GatekeeperSkipPolicy> {
+  std::atomic<std::uint64_t> count{0};
+
+  bool try_acquire(round_t /*round*/, InstrumentationCounters& c) noexcept {
+    c.attempts.fetch_add(1, std::memory_order_relaxed);
+    if (count.load(std::memory_order_relaxed) != 0) return false;
+    c.atomics.fetch_add(1, std::memory_order_relaxed);
+    const bool won = count.fetch_add(1, std::memory_order_acq_rel) == 0;
+    if (won) c.wins.fetch_add(1, std::memory_order_relaxed);
+    return won;
+  }
+
+  void reset() noexcept { count.store(0, std::memory_order_relaxed); }
+};
+
+}  // namespace detail
+
+template <typename Base>
+struct InstrumentedPolicy {
+  using tag_type = detail::InstrumentedTag<Base>;
+  static constexpr bool kNeedsRoundReset = Base::kNeedsRoundReset;
+  static constexpr std::string_view kName = "instrumented";
+
+  static InstrumentationCounters& counters() {
+    static InstrumentationCounters instance;
+    return instance;
+  }
+
+  static void reset_counters() noexcept { counters().reset(); }
+
+  static bool try_acquire(tag_type& tag, round_t round) noexcept {
+    return tag.try_acquire(round, counters());
+  }
+
+  static void reset(tag_type& tag) noexcept { tag.reset(); }
+};
+
+static_assert(WritePolicy<InstrumentedPolicy<CasLtPolicy>>);
+static_assert(WritePolicy<InstrumentedPolicy<GatekeeperPolicy>>);
+static_assert(WritePolicy<InstrumentedPolicy<GatekeeperSkipPolicy>>);
+
+}  // namespace crcw

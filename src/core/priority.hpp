@@ -1,0 +1,113 @@
+// Priority CRCW concurrent writes.
+//
+// The strongest resolution rule of §2: the contender with the best key
+// (minimum rank or minimum value) commits. Two implementations:
+//
+//  * PriorityCell<K, T> — the general two-phase protocol. Phase 1: every
+//    contender offers its key via atomic fetch-min. Synchronisation point.
+//    Phase 2: the contender whose key equals the cell's best re-presents it
+//    and commits the (arbitrarily large) payload. Works for any payload,
+//    costs one extra step — consistent with the classical O(1)-step
+//    simulation of Priority on Arbitrary hardware primitives.
+//
+//  * PackedPriorityCell — single-phase for payloads that fit 32 bits: key
+//    and payload are packed into one 64-bit word and fetch-min resolves
+//    winner and write together. This is the trick Borůvka-style MSF kernels
+//    use to pick the minimum-weight edge per component in one pass.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+#include "core/combining.hpp"
+
+namespace crcw {
+
+template <typename Key, typename T>
+  requires std::totally_ordered<Key>
+class PriorityCell {
+ public:
+  PriorityCell() : best_(std::numeric_limits<Key>::max()) {}
+  explicit PriorityCell(T initial)
+      : best_(std::numeric_limits<Key>::max()), value_(std::move(initial)) {}
+
+  PriorityCell(const PriorityCell&) = delete;
+  PriorityCell& operator=(const PriorityCell&) = delete;
+
+  /// Phase 1: register `key` as a contender. Keys must be unique per round
+  /// (e.g. the processor rank, or value ⊕ tie-break) or the commit phase may
+  /// admit several writers of the same best key.
+  void offer(Key key) noexcept { atomic_fetch_min(best_, key); }
+
+  /// Phase 2 (after a synchronisation point): commit iff `key` won phase 1.
+  /// Returns true for exactly the contender holding the minimum key.
+  bool try_commit(Key key, const T& v) {
+    if (best_.load(std::memory_order_acquire) != key) return false;
+    value_ = v;
+    return true;
+  }
+
+  [[nodiscard]] Key best_key() const noexcept {
+    return best_.load(std::memory_order_acquire);
+  }
+
+  /// True iff no contender offered a key this round.
+  [[nodiscard]] bool untouched() const noexcept {
+    return best_key() == std::numeric_limits<Key>::max();
+  }
+
+  [[nodiscard]] const T& read() const noexcept { return value_; }
+
+  /// Per-round reset (priority cells, like gatekeepers, are round-stateful).
+  void reset() noexcept {
+    best_.store(std::numeric_limits<Key>::max(), std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<Key> best_;
+  T value_{};
+};
+
+/// One-phase priority write of a 32-bit payload under a 32-bit key: the key
+/// occupies the high half so 64-bit integer order equals key order (payload
+/// breaks ties deterministically).
+class PackedPriorityCell {
+ public:
+  static constexpr std::uint64_t kEmpty = std::numeric_limits<std::uint64_t>::max();
+
+  PackedPriorityCell() : packed_(kEmpty) {}
+
+  PackedPriorityCell(const PackedPriorityCell&) = delete;
+  PackedPriorityCell& operator=(const PackedPriorityCell&) = delete;
+
+  /// Offers (key, payload); the minimum key wins immediately. Returns true
+  /// iff this offer improved the cell.
+  bool offer(std::uint32_t key, std::uint32_t payload) noexcept {
+    return atomic_fetch_min(packed_, pack(key, payload));
+  }
+
+  [[nodiscard]] bool untouched() const noexcept { return load() == kEmpty; }
+  [[nodiscard]] std::uint32_t key() const noexcept {
+    return static_cast<std::uint32_t>(load() >> 32);
+  }
+  [[nodiscard]] std::uint32_t payload() const noexcept {
+    return static_cast<std::uint32_t>(load());
+  }
+
+  void reset() noexcept { packed_.store(kEmpty, std::memory_order_relaxed); }
+
+  static constexpr std::uint64_t pack(std::uint32_t key, std::uint32_t payload) noexcept {
+    return (static_cast<std::uint64_t>(key) << 32) | payload;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t load() const noexcept {
+    return packed_.load(std::memory_order_acquire);
+  }
+
+  std::atomic<std::uint64_t> packed_;
+};
+
+}  // namespace crcw

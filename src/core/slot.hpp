@@ -1,0 +1,118 @@
+// ConWriteSlot — concurrent writes of multi-word payloads (struct copies).
+//
+// The paper's motivating requirement (§1, §4): a concurrent write must
+// "support concurrent write for modern language data structures such as
+// structure and class copies". A multi-word copy takes several memory
+// transactions; if more than one thread performs it, the target can end up
+// as a mix of the attempted values — matching none of them. A single-winner
+// policy makes the copy safe *without* making it atomic: losers never touch
+// the payload.
+//
+// ConWriteSlot also exposes `write_unprotected`, the racing copy a naive
+// implementation would perform; tests/test_slot.cpp uses it to demonstrate
+// torn results under contention (the failure the paper warns about), and
+// `Stamped<T>` provides a self-validating payload for exactly that purpose.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "core/policies.hpp"
+
+namespace crcw {
+
+template <typename T, WritePolicy Policy = CasLtPolicy>
+class ConWriteSlot {
+  static_assert(kSingleWinner<Policy>,
+                "multi-word payloads require a single-winner policy");
+
+ public:
+  using value_type = T;
+  using policy_type = Policy;
+
+  ConWriteSlot() = default;
+  explicit ConWriteSlot(T initial) : value_(std::move(initial)) {}
+
+  ConWriteSlot(const ConWriteSlot&) = delete;
+  ConWriteSlot& operator=(const ConWriteSlot&) = delete;
+
+  /// Single-winner multi-word concurrent write.
+  bool try_write(round_t round, const T& v) {
+    if (!Policy::try_acquire(tag_, round)) return false;
+    value_ = v;
+    return true;
+  }
+
+  /// The unsafe alternative: every contender copies, word by word — the
+  /// "multiple memory transactions" of §4, with each individual transaction
+  /// modelled as a relaxed atomic word store so the *struct-level* race is
+  /// observable without C++-level undefined behaviour. Exists so tests and
+  /// benches can exhibit the torn-write failure mode; never call it from
+  /// algorithm code. Requires a trivially copyable, word-aligned payload.
+  void write_unprotected(const T& v)
+    requires(std::is_trivially_copyable_v<T> && sizeof(T) % sizeof(std::uint64_t) == 0 &&
+             alignof(T) >= alignof(std::uint64_t))
+  {
+    const auto* from = reinterpret_cast<const std::uint64_t*>(&v);
+    auto* to = reinterpret_cast<std::uint64_t*>(&value_);
+    for (std::size_t w = 0; w < sizeof(T) / sizeof(std::uint64_t); ++w) {
+      std::atomic_ref<std::uint64_t>(to[w]).store(from[w], std::memory_order_relaxed);
+    }
+  }
+
+  /// Race-tolerant read of an unprotected slot (same word-wise access).
+  [[nodiscard]] T read_unprotected() const
+    requires(std::is_trivially_copyable_v<T> && sizeof(T) % sizeof(std::uint64_t) == 0 &&
+             alignof(T) >= alignof(std::uint64_t))
+  {
+    T out;
+    const auto* from = reinterpret_cast<const std::uint64_t*>(&value_);
+    auto* to = reinterpret_cast<std::uint64_t*>(&out);
+    for (std::size_t w = 0; w < sizeof(T) / sizeof(std::uint64_t); ++w) {
+      to[w] = std::atomic_ref<const std::uint64_t>(from[w]).load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  [[nodiscard]] const T& read() const noexcept { return value_; }
+  [[nodiscard]] T& value() noexcept { return value_; }
+  [[nodiscard]] typename Policy::tag_type& tag() noexcept { return tag_; }
+  void reset_tag() { Policy::reset(tag_); }
+
+ private:
+  typename Policy::tag_type tag_{};
+  T value_{};
+};
+
+/// Self-validating multi-word payload: W words that must all carry the same
+/// stamp. A torn copy (words from different writers) fails consistent().
+template <std::size_t Words = 8>
+struct Stamped {
+  static_assert(Words >= 2, "a one-word payload cannot tear");
+
+  std::array<std::uint64_t, Words> words{};
+
+  Stamped() = default;
+
+  explicit Stamped(std::uint64_t stamp) {
+    for (std::size_t i = 0; i < Words; ++i) words[i] = stamp;
+  }
+
+  [[nodiscard]] bool consistent() const noexcept {
+    for (std::size_t i = 1; i < Words; ++i) {
+      if (words[i] != words[0]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t stamp() const noexcept { return words[0]; }
+
+  friend bool operator==(const Stamped& a, const Stamped& b) noexcept {
+    return a.words == b.words;
+  }
+};
+
+}  // namespace crcw

@@ -1,0 +1,72 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace crcw::graph {
+
+Csr build_csr(std::uint64_t n, const EdgeList& edges, const BuildOptions& opts) {
+  if (n > kNoVertex) throw std::invalid_argument("vertex count exceeds vertex_t");
+
+  for (const auto& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      throw std::invalid_argument("edge (" + std::to_string(e.u) + "," +
+                                  std::to_string(e.v) + ") out of range for n=" +
+                                  std::to_string(n));
+    }
+  }
+
+  // Materialise directed slots (possibly doubled), then counting-sort by
+  // source into the CSR arrays.
+  EdgeList slots;
+  slots.reserve(edges.size() * (opts.symmetrize ? 2 : 1));
+  for (const auto& e : edges) {
+    if (opts.remove_self_loops && e.u == e.v) continue;
+    slots.push_back(e);
+    if (opts.symmetrize && e.u != e.v) slots.push_back({e.v, e.u});
+  }
+
+  std::vector<edge_t> offsets(n + 1, 0);
+  for (const auto& e : slots) ++offsets[e.u + 1];
+  for (std::uint64_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<vertex_t> targets(slots.size());
+  std::vector<edge_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& e : slots) targets[cursor[e.u]++] = e.v;
+
+  if (opts.sort_neighbors || opts.dedup) {
+    for (std::uint64_t v = 0; v < n; ++v) {
+      const auto begin = targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+      const auto end = targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+      std::sort(begin, end);
+    }
+  }
+
+  if (opts.dedup) {
+    std::vector<edge_t> new_offsets(n + 1, 0);
+    std::vector<vertex_t> new_targets;
+    new_targets.reserve(targets.size());
+    for (std::uint64_t v = 0; v < n; ++v) {
+      const auto begin = targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+      const auto end = targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+      const auto out_begin = new_targets.size();
+      std::unique_copy(begin, end, std::back_inserter(new_targets));
+      new_offsets[v + 1] = new_offsets[v] + (new_targets.size() - out_begin);
+    }
+    return Csr(std::move(new_offsets), std::move(new_targets));
+  }
+
+  return Csr(std::move(offsets), std::move(targets));
+}
+
+EdgeList to_edge_list(const Csr& g) {
+  EdgeList out;
+  out.reserve(g.num_edges());
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vertex_t v : g.neighbors(u)) out.push_back({u, v});
+  }
+  return out;
+}
+
+}  // namespace crcw::graph

@@ -1,0 +1,28 @@
+// Edge-list → CSR construction.
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace crcw::graph {
+
+struct BuildOptions {
+  /// Store each undirected edge in both directions (the paper's graphs are
+  /// undirected).
+  bool symmetrize = true;
+  /// Sort each adjacency list ascending (enables binary-search has_edge).
+  bool sort_neighbors = true;
+  /// Drop duplicate (u, v) slots after sorting.
+  bool dedup = false;
+  /// Drop self-loops.
+  bool remove_self_loops = false;
+};
+
+/// Builds a CSR over vertices [0, n) from an edge list.
+/// Throws std::invalid_argument if an endpoint is >= n.
+[[nodiscard]] Csr build_csr(std::uint64_t n, const EdgeList& edges,
+                            const BuildOptions& opts = {});
+
+/// Recovers a directed edge list (one entry per CSR slot).
+[[nodiscard]] EdgeList to_edge_list(const Csr& g);
+
+}  // namespace crcw::graph

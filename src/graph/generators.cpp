@@ -1,0 +1,178 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace crcw::graph {
+namespace {
+
+using util::Xoshiro256;
+
+Edge random_pair(Xoshiro256& rng, std::uint64_t n) {
+  // Uniform unordered pair without self-loop: draw u, then v from the
+  // remaining n-1 vertices.
+  const auto u = static_cast<vertex_t>(rng.bounded(n));
+  auto v = static_cast<vertex_t>(rng.bounded(n - 1));
+  if (v >= u) ++v;
+  return {u, v};
+}
+
+std::uint64_t pair_key(Edge e, std::uint64_t n) {
+  const auto lo = std::min(e.u, e.v);
+  const auto hi = std::max(e.u, e.v);
+  return static_cast<std::uint64_t>(lo) * n + hi;
+}
+
+}  // namespace
+
+EdgeList gnm(std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
+  if (n < 2 && m > 0) throw std::invalid_argument("gnm: need n >= 2 for edges");
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) edges.push_back(random_pair(rng, n));
+  return edges;
+}
+
+EdgeList gnm_simple(std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
+  const std::uint64_t max_pairs = n * (n - 1) / 2;
+  if (m > max_pairs) throw std::invalid_argument("gnm_simple: m exceeds distinct pairs");
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  EdgeList edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const Edge e = random_pair(rng, n);
+    if (seen.insert(pair_key(e, n)).second) edges.push_back(e);
+  }
+  return edges;
+}
+
+EdgeList rmat(std::uint64_t n, std::uint64_t m, std::uint64_t seed,
+              const RmatParams& params) {
+  if (params.a < 0 || params.b < 0 || params.c < 0 ||
+      params.a + params.b + params.c > 1.0) {
+    throw std::invalid_argument("rmat: parameters must be non-negative, a+b+c <= 1");
+  }
+  std::uint64_t scale = 0;
+  while ((std::uint64_t{1} << scale) < n) ++scale;
+  const std::uint64_t size = std::uint64_t{1} << scale;
+
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    for (std::uint64_t bit = size >> 1; bit != 0; bit >>= 1) {
+      const double r = rng.uniform01();
+      if (r < params.a) {
+        // top-left quadrant: no bits set
+      } else if (r < params.a + params.b) {
+        v |= bit;
+      } else if (r < params.a + params.b + params.c) {
+        u |= bit;
+      } else {
+        u |= bit;
+        v |= bit;
+      }
+    }
+    if (u == v) v = (v + 1) % size;  // suppress self-loops
+    edges.push_back({static_cast<vertex_t>(u), static_cast<vertex_t>(v)});
+  }
+  return edges;
+}
+
+EdgeList path(std::uint64_t n) {
+  EdgeList edges;
+  if (n < 2) return edges;
+  edges.reserve(n - 1);
+  for (std::uint64_t i = 0; i + 1 < n; ++i) {
+    edges.push_back({static_cast<vertex_t>(i), static_cast<vertex_t>(i + 1)});
+  }
+  return edges;
+}
+
+EdgeList cycle(std::uint64_t n) {
+  EdgeList edges = path(n);
+  if (n >= 3) edges.push_back({static_cast<vertex_t>(n - 1), 0});
+  return edges;
+}
+
+EdgeList star(std::uint64_t n) {
+  EdgeList edges;
+  if (n < 2) return edges;
+  edges.reserve(n - 1);
+  for (std::uint64_t i = 1; i < n; ++i) edges.push_back({0, static_cast<vertex_t>(i)});
+  return edges;
+}
+
+EdgeList complete(std::uint64_t n) {
+  EdgeList edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for (std::uint64_t v = u + 1; v < n; ++v) {
+      edges.push_back({static_cast<vertex_t>(u), static_cast<vertex_t>(v)});
+    }
+  }
+  return edges;
+}
+
+EdgeList grid2d(std::uint64_t rows, std::uint64_t cols) {
+  EdgeList edges;
+  const auto at = [cols](std::uint64_t r, std::uint64_t c) {
+    return static_cast<vertex_t>(r * cols + c);
+  };
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({at(r, c), at(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({at(r, c), at(r + 1, c)});
+    }
+  }
+  return edges;
+}
+
+EdgeList random_tree(std::uint64_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  if (n < 2) return edges;
+  edges.reserve(n - 1);
+  for (std::uint64_t i = 1; i < n; ++i) {
+    edges.push_back({static_cast<vertex_t>(rng.bounded(i)), static_cast<vertex_t>(i)});
+  }
+  return edges;
+}
+
+EdgeList planted_components(std::uint64_t k, std::uint64_t per_component,
+                            std::uint64_t extra_edges_per_component, std::uint64_t seed) {
+  if (per_component == 0) throw std::invalid_argument("planted_components: empty component");
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  for (std::uint64_t c = 0; c < k; ++c) {
+    const std::uint64_t base = c * per_component;
+    // Spanning tree keeps the component connected.
+    for (std::uint64_t i = 1; i < per_component; ++i) {
+      edges.push_back({static_cast<vertex_t>(base + rng.bounded(i)),
+                       static_cast<vertex_t>(base + i)});
+    }
+    if (per_component >= 2) {
+      for (std::uint64_t e = 0; e < extra_edges_per_component; ++e) {
+        const std::uint64_t u = rng.bounded(per_component);
+        std::uint64_t v = rng.bounded(per_component - 1);
+        if (v >= u) ++v;
+        edges.push_back({static_cast<vertex_t>(base + u), static_cast<vertex_t>(base + v)});
+      }
+    }
+  }
+  return edges;
+}
+
+Csr random_graph(std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
+  return build_csr(n, gnm(n, m, seed), {.symmetrize = true, .sort_neighbors = true});
+}
+
+}  // namespace crcw::graph

@@ -1,0 +1,70 @@
+// Seeded graph generators.
+//
+// The paper evaluates BFS and CC on "randomly-generated undirected graphs"
+// with fixed vertex counts and swept edge counts (Figures 7–12) — that is
+// the G(n, m) generator here. The structured families (path, star, grid,
+// complete, planted components) exist for tests: they have closed-form
+// answers (diameters, component counts) the suites assert against.
+//
+// All generators return undirected *edge lists*; build_csr symmetrises.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+
+namespace crcw::graph {
+
+/// G(n, m): m edges sampled uniformly from all unordered pairs, excluding
+/// self-loops; duplicates allowed (multigraph), matching the cheap sampling
+/// the benchmark graphs use. Deterministic per seed.
+[[nodiscard]] EdgeList gnm(std::uint64_t n, std::uint64_t m, std::uint64_t seed);
+
+/// G(n, m) without duplicate edges (rejection sampling; requires m to be at
+/// most the number of distinct pairs, else std::invalid_argument).
+[[nodiscard]] EdgeList gnm_simple(std::uint64_t n, std::uint64_t m, std::uint64_t seed);
+
+/// R-MAT (Chakrabarti et al.) power-law generator; n rounded up to a power
+/// of two. Default parameters (0.57, 0.19, 0.19, 0.05) are the Graph500 mix.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d is the remainder 1 - a - b - c.
+};
+[[nodiscard]] EdgeList rmat(std::uint64_t n, std::uint64_t m, std::uint64_t seed,
+                            const RmatParams& params = {});
+
+/// Path 0—1—…—(n-1); diameter n-1 (worst case for level-synchronous BFS).
+[[nodiscard]] EdgeList path(std::uint64_t n);
+
+/// Cycle over n vertices.
+[[nodiscard]] EdgeList cycle(std::uint64_t n);
+
+/// Star with centre 0 and n-1 leaves — the maximum-contention topology: all
+/// leaf writes collide on the centre's concurrent-write cell.
+[[nodiscard]] EdgeList star(std::uint64_t n);
+
+/// Complete graph K_n (n capped small in practice: Θ(n²) edges).
+[[nodiscard]] EdgeList complete(std::uint64_t n);
+
+/// rows×cols 4-neighbour grid.
+[[nodiscard]] EdgeList grid2d(std::uint64_t rows, std::uint64_t cols);
+
+/// Uniform random spanning tree over [0, n) (random attachment): each vertex
+/// i >= 1 connects to a uniform earlier vertex. Connected by construction.
+[[nodiscard]] EdgeList random_tree(std::uint64_t n, std::uint64_t seed);
+
+/// k disjoint connected components, each `per_component` vertices (a random
+/// tree plus `extra_edges_per_component` random intra-component edges).
+/// Ground truth for CC tests: exactly k components.
+[[nodiscard]] EdgeList planted_components(std::uint64_t k, std::uint64_t per_component,
+                                          std::uint64_t extra_edges_per_component,
+                                          std::uint64_t seed);
+
+/// Convenience: G(n, m) edge list built straight into a symmetrised CSR —
+/// the exact graphs of Figures 7–12.
+[[nodiscard]] Csr random_graph(std::uint64_t n, std::uint64_t m, std::uint64_t seed);
+
+}  // namespace crcw::graph

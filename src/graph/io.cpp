@@ -1,0 +1,217 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace crcw::graph {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'C', 'R', 'C', 'W', 'C', 'S', 'R', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("binary CSR: truncated input");
+  return value;
+}
+
+std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
+  std::ofstream f(path, mode);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  return f;
+}
+
+std::ifstream open_in(const std::string& path, std::ios::openmode mode) {
+  std::ifstream f(path, mode);
+  if (!f) throw std::runtime_error("cannot open " + path + " for reading");
+  return f;
+}
+
+}  // namespace
+
+void write_edge_list(std::ostream& os, std::uint64_t n, const EdgeList& edges) {
+  os << "# crcw-edgelist " << n << ' ' << edges.size() << '\n';
+  for (const auto& e : edges) os << e.u << ' ' << e.v << '\n';
+}
+
+void save_edge_list(const std::string& path, std::uint64_t n, const EdgeList& edges) {
+  auto f = open_out(path, std::ios::out);
+  write_edge_list(f, n, edges);
+}
+
+LoadedEdgeList read_edge_list(std::istream& is) {
+  LoadedEdgeList out;
+  bool have_header = false;
+  std::string line;
+  std::uint64_t line_no = 0;
+  std::uint64_t declared_edges = 0;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ss(line);
+      std::string hash;
+      std::string tag;
+      ss >> hash >> tag;
+      if (tag == "crcw-edgelist") {
+        if (!(ss >> out.num_vertices >> declared_edges)) {
+          throw std::runtime_error("edge list line " + std::to_string(line_no) +
+                                   ": malformed header");
+        }
+        have_header = true;
+        out.edges.reserve(declared_edges);
+      }
+      continue;
+    }
+    std::istringstream ss(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(ss >> u >> v)) {
+      throw std::runtime_error("edge list line " + std::to_string(line_no) +
+                               ": expected 'u v'");
+    }
+    out.edges.push_back({static_cast<vertex_t>(u), static_cast<vertex_t>(v)});
+    out.num_vertices =
+        std::max<std::uint64_t>({out.num_vertices, u + 1, v + 1});
+  }
+
+  if (have_header && out.edges.size() != declared_edges) {
+    throw std::runtime_error("edge list: header declared " + std::to_string(declared_edges) +
+                             " edges, found " + std::to_string(out.edges.size()));
+  }
+  return out;
+}
+
+LoadedEdgeList load_edge_list(const std::string& path) {
+  auto f = open_in(path, std::ios::in);
+  return read_edge_list(f);
+}
+
+void write_csr_binary(std::ostream& os, const Csr& g) {
+  os.write(kMagic.data(), kMagic.size());
+  write_pod(os, g.num_vertices());
+  write_pod(os, g.num_edges());
+  const auto offsets = g.offsets();
+  const auto targets = g.targets();
+  os.write(reinterpret_cast<const char*>(offsets.data()),
+           static_cast<std::streamsize>(offsets.size_bytes()));
+  os.write(reinterpret_cast<const char*>(targets.data()),
+           static_cast<std::streamsize>(targets.size_bytes()));
+}
+
+void save_csr_binary(const std::string& path, const Csr& g) {
+  auto f = open_out(path, std::ios::out | std::ios::binary);
+  write_csr_binary(f, g);
+}
+
+Csr read_csr_binary(std::istream& is) {
+  std::array<char, 8> magic{};
+  is.read(magic.data(), magic.size());
+  if (!is || std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0) {
+    throw std::runtime_error("binary CSR: bad magic");
+  }
+  const auto n = read_pod<std::uint64_t>(is);
+  const auto m = read_pod<std::uint64_t>(is);
+
+  std::vector<edge_t> offsets(n + 1);
+  is.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(edge_t)));
+  std::vector<vertex_t> targets(m);
+  is.read(reinterpret_cast<char*>(targets.data()),
+          static_cast<std::streamsize>(targets.size() * sizeof(vertex_t)));
+  if (!is) throw std::runtime_error("binary CSR: truncated arrays");
+  return Csr(std::move(offsets), std::move(targets));
+}
+
+Csr load_csr_binary(const std::string& path) {
+  auto f = open_in(path, std::ios::in | std::ios::binary);
+  return read_csr_binary(f);
+}
+
+void write_rodinia(std::ostream& os, const Csr& g, vertex_t source) {
+  if (source >= g.num_vertices() && g.num_vertices() > 0) {
+    throw std::invalid_argument("write_rodinia: source out of range");
+  }
+  os << g.num_vertices() << '\n';
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    os << g.offset(v) << ' ' << g.degree(v) << '\n';
+  }
+  os << '\n' << source << "\n\n" << g.num_edges() << '\n';
+  for (const vertex_t t : g.targets()) os << t << " 1\n";
+}
+
+void save_rodinia(const std::string& path, const Csr& g, vertex_t source) {
+  auto f = open_out(path, std::ios::out);
+  write_rodinia(f, g, source);
+}
+
+RodiniaGraph read_rodinia(std::istream& is) {
+  const auto fail = [](const char* what) -> std::runtime_error {
+    return std::runtime_error(std::string("rodinia graph: ") + what);
+  };
+
+  std::uint64_t n = 0;
+  if (!(is >> n)) throw fail("missing node count");
+
+  std::vector<edge_t> offsets(n + 1, 0);
+  std::vector<edge_t> degrees(n, 0);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    std::uint64_t start = 0;
+    std::uint64_t degree = 0;
+    if (!(is >> start >> degree)) throw fail("truncated node records");
+    offsets[v] = start;
+    degrees[v] = degree;
+  }
+  // Validate the (start, degree) pairs describe a proper CSR.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (v > 0 && offsets[v] != offsets[v - 1] + degrees[v - 1]) {
+      throw fail("node records are not contiguous CSR offsets");
+    }
+  }
+  if (n > 0 && offsets[0] != 0) throw fail("first offset must be 0");
+
+  RodiniaGraph out;
+  std::uint64_t source = 0;
+  if (!(is >> source)) throw fail("missing source");
+  if (n > 0 && source >= n) throw fail("source out of range");
+  out.source = static_cast<vertex_t>(source);
+
+  std::uint64_t m = 0;
+  if (!(is >> m)) throw fail("missing edge count");
+  if (n > 0 && m != offsets[n - 1] + degrees[n - 1]) {
+    throw fail("edge count disagrees with node records");
+  }
+  offsets[n] = m;
+
+  std::vector<vertex_t> targets(m);
+  out.costs.resize(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t dest = 0;
+    std::uint64_t cost = 0;
+    if (!(is >> dest >> cost)) throw fail("truncated edge records");
+    if (dest >= n) throw fail("edge destination out of range");
+    targets[e] = static_cast<vertex_t>(dest);
+    out.costs[e] = static_cast<std::uint32_t>(cost);
+  }
+
+  out.graph = Csr(std::move(offsets), std::move(targets));
+  return out;
+}
+
+RodiniaGraph load_rodinia(const std::string& path) {
+  auto f = open_in(path, std::ios::in);
+  return read_rodinia(f);
+}
+
+}  // namespace crcw::graph

@@ -1,0 +1,55 @@
+// Graph serialisation: a human-readable edge-list text format and a compact
+// binary CSR format for large benchmark inputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace crcw::graph {
+
+/// Text format:
+///   # crcw-edgelist <n> <m-undirected>
+///   u v          (one line per undirected edge)
+/// Comment lines start with '#'.
+void write_edge_list(std::ostream& os, std::uint64_t n, const EdgeList& edges);
+void save_edge_list(const std::string& path, std::uint64_t n, const EdgeList& edges);
+
+struct LoadedEdgeList {
+  std::uint64_t num_vertices = 0;
+  EdgeList edges;
+};
+
+/// Parses the text format; throws std::runtime_error with a line number on
+/// malformed input.
+[[nodiscard]] LoadedEdgeList read_edge_list(std::istream& is);
+[[nodiscard]] LoadedEdgeList load_edge_list(const std::string& path);
+
+/// Binary CSR: magic "CRCWCSR1", u64 n, u64 m, offsets, targets.
+void write_csr_binary(std::ostream& os, const Csr& g);
+void save_csr_binary(const std::string& path, const Csr& g);
+[[nodiscard]] Csr read_csr_binary(std::istream& is);
+[[nodiscard]] Csr load_csr_binary(const std::string& path);
+
+/// The Rodinia BFS input format (the suite the paper's BFS comes from):
+///
+///   <num_nodes>
+///   <start> <degree>          (one line per node, CSR offsets)
+///   <source>
+///   <num_edge_slots>
+///   <dest> <cost>             (one line per edge slot)
+///
+/// Costs are carried through but unused by BFS (Rodinia stores 1s).
+struct RodiniaGraph {
+  Csr graph;
+  vertex_t source = 0;
+  std::vector<std::uint32_t> costs;
+};
+
+void write_rodinia(std::ostream& os, const Csr& g, vertex_t source);
+void save_rodinia(const std::string& path, const Csr& g, vertex_t source);
+[[nodiscard]] RodiniaGraph read_rodinia(std::istream& is);
+[[nodiscard]] RodiniaGraph load_rodinia(const std::string& path);
+
+}  // namespace crcw::graph

@@ -1,0 +1,128 @@
+#include "graph/reference.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace crcw::graph {
+
+std::vector<std::int64_t> bfs_levels(const Csr& g, vertex_t source) {
+  const std::uint64_t n = g.num_vertices();
+  if (source >= n) throw std::invalid_argument("bfs_levels: source out of range");
+  std::vector<std::int64_t> level(n, -1);
+  std::queue<vertex_t> queue;
+  level[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const vertex_t v = queue.front();
+    queue.pop();
+    for (const vertex_t u : g.neighbors(v)) {
+      if (level[u] == -1) {
+        level[u] = level[v] + 1;
+        queue.push(u);
+      }
+    }
+  }
+  return level;
+}
+
+UnionFind::UnionFind(std::uint64_t n)
+    : parent_(n), size_(n, 1), sets_(n) {
+  for (std::uint64_t i = 0; i < n; ++i) parent_[i] = static_cast<vertex_t>(i);
+}
+
+vertex_t UnionFind::find(vertex_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(vertex_t a, vertex_t b) {
+  vertex_t ra = find(a);
+  vertex_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --sets_;
+  return true;
+}
+
+std::vector<vertex_t> connected_components(const Csr& g) {
+  const std::uint64_t n = g.num_vertices();
+  UnionFind uf(n);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (const vertex_t v : g.neighbors(u)) uf.unite(u, v);
+  }
+  // Smallest vertex in each set becomes the canonical label.
+  std::vector<vertex_t> label(n, kNoVertex);
+  for (vertex_t v = 0; v < n; ++v) {
+    const vertex_t root = uf.find(v);
+    if (label[root] == kNoVertex) label[root] = v;  // v ascending ⇒ first is smallest
+  }
+  std::vector<vertex_t> out(n);
+  for (vertex_t v = 0; v < n; ++v) out[v] = label[uf.find(v)];
+  return out;
+}
+
+std::uint64_t count_components(const Csr& g) {
+  const std::uint64_t n = g.num_vertices();
+  UnionFind uf(n);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (const vertex_t v : g.neighbors(u)) uf.unite(u, v);
+  }
+  return uf.num_sets();
+}
+
+std::vector<vertex_t> canonicalize_labels(std::span<const vertex_t> labels) {
+  const std::uint64_t n = labels.size();
+  // smallest vertex id carrying each label value
+  std::vector<vertex_t> smallest(n, kNoVertex);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const vertex_t l = labels[v];
+    if (l >= n) throw std::invalid_argument("canonicalize_labels: label out of range");
+    if (smallest[l] == kNoVertex) smallest[l] = static_cast<vertex_t>(v);
+  }
+  std::vector<vertex_t> out(n);
+  for (std::uint64_t v = 0; v < n; ++v) out[v] = smallest[labels[v]];
+  return out;
+}
+
+bool validate_bfs_tree(const Csr& g, vertex_t source, std::span<const std::int64_t> level,
+                       std::span<const vertex_t> parent) {
+  const std::uint64_t n = g.num_vertices();
+  if (level.size() != n || parent.size() != n) return false;
+
+  const auto expected = bfs_levels(g, source);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (level[v] != expected[v]) return false;
+  }
+
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (v == source) {
+      if (level[v] != 0) return false;
+      continue;
+    }
+    if (level[v] == -1) {
+      if (parent[v] != kNoVertex) return false;
+      continue;
+    }
+    const vertex_t p = parent[v];
+    if (p >= n) return false;
+    if (level[p] != level[v] - 1) return false;
+    if (!g.has_edge(p, static_cast<vertex_t>(v))) return false;
+  }
+  return true;
+}
+
+bool validate_components(const Csr& g, std::span<const vertex_t> labels) {
+  if (labels.size() != g.num_vertices()) return false;
+  for (const vertex_t l : labels) {
+    if (l >= g.num_vertices()) return false;
+  }
+  return canonicalize_labels(labels) == connected_components(g);
+}
+
+}  // namespace crcw::graph

@@ -1,0 +1,64 @@
+// Sequential reference algorithms and result verifiers.
+//
+// The arbitrary-CW kernels are non-deterministic in *which* parent/hook wins
+// but deterministic in the quantities the paper measures (levels, component
+// partitions). These references compute ground truth, and the verifiers
+// check the non-deterministic parts structurally (a BFS parent must be a
+// real edge from the previous level; a CC labelling must be a partition
+// refinement-equal to union–find's).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace crcw::graph {
+
+/// Sequential BFS; level[v] == -1 for unreachable vertices.
+[[nodiscard]] std::vector<std::int64_t> bfs_levels(const Csr& g, vertex_t source);
+
+/// Union–find with path halving + union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint64_t n);
+
+  vertex_t find(vertex_t x);
+  /// Returns true iff the two sets were distinct (i.e. a merge happened).
+  bool unite(vertex_t a, vertex_t b);
+  [[nodiscard]] std::uint64_t num_sets() const noexcept { return sets_; }
+
+ private:
+  std::vector<vertex_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::uint64_t sets_;
+};
+
+/// Canonical component labels: label[v] = smallest vertex id in v's
+/// component. Deterministic, so two labelings can be compared directly.
+[[nodiscard]] std::vector<vertex_t> connected_components(const Csr& g);
+
+/// Number of connected components.
+[[nodiscard]] std::uint64_t count_components(const Csr& g);
+
+/// Canonicalises an arbitrary component labelling (any scheme where
+/// label[u] == label[v] iff same component) to smallest-vertex form, so it
+/// can be compared to connected_components(). Throws std::invalid_argument
+/// on size mismatch.
+[[nodiscard]] std::vector<vertex_t> canonicalize_labels(std::span<const vertex_t> labels);
+
+/// Structural check of a CRCW BFS result:
+///  * level[source] == 0 and levels match the sequential BFS exactly;
+///  * for every reached non-source v, parent[v] is a real neighbour of v
+///    with level[parent[v]] == level[v] - 1;
+///  * unreachable vertices keep level == -1 and parent == kNoVertex.
+/// Returns true iff all hold.
+[[nodiscard]] bool validate_bfs_tree(const Csr& g, vertex_t source,
+                                     std::span<const std::int64_t> level,
+                                     std::span<const vertex_t> parent);
+
+/// True iff `labels` induces exactly the connectivity partition of g.
+[[nodiscard]] bool validate_components(const Csr& g, std::span<const vertex_t> labels);
+
+}  // namespace crcw::graph

@@ -1,0 +1,61 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+#include "graph/reference.hpp"
+
+namespace crcw::graph {
+
+GraphStats compute_stats(const Csr& g) {
+  GraphStats s;
+  s.vertices = g.num_vertices();
+  s.directed_slots = g.num_edges();
+  if (s.vertices == 0) return s;
+
+  double degree_sq_sum = 0.0;
+  for (vertex_t v = 0; v < s.vertices; ++v) {
+    const std::uint64_t d = g.degree(v);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) {
+      ++s.isolated;
+    } else {
+      const auto bucket = static_cast<std::size_t>(std::bit_width(d) - 1);
+      if (s.log_degree_histogram.size() <= bucket) {
+        s.log_degree_histogram.resize(bucket + 1, 0);
+      }
+      ++s.log_degree_histogram[bucket];
+    }
+    degree_sq_sum += static_cast<double>(d) * static_cast<double>(d);
+    for (const vertex_t u : g.neighbors(v)) {
+      if (u == v) ++s.self_loop_slots;
+    }
+  }
+  s.avg_degree = static_cast<double>(s.directed_slots) / static_cast<double>(s.vertices);
+  if (s.directed_slots > 0) {
+    s.collision_index = degree_sq_sum / static_cast<double>(s.vertices) /
+                        static_cast<double>(s.directed_slots);
+  }
+  s.components = count_components(g);
+  return s;
+}
+
+void print_stats(std::ostream& os, const GraphStats& s) {
+  os << "  vertices           " << s.vertices << '\n'
+     << "  directed slots     " << s.directed_slots << '\n'
+     << "  max degree         " << s.max_degree << '\n'
+     << "  avg degree         " << s.avg_degree << '\n'
+     << "  isolated vertices  " << s.isolated << '\n'
+     << "  self-loop slots    " << s.self_loop_slots << '\n'
+     << "  components         " << s.components << '\n'
+     << "  collision index    " << s.collision_index << '\n'
+     << "  degree histogram   ";
+  for (std::size_t b = 0; b < s.log_degree_histogram.size(); ++b) {
+    if (b != 0) os << ", ";
+    os << "2^" << b << ":" << s.log_degree_histogram[b];
+  }
+  os << '\n';
+}
+
+}  // namespace crcw::graph

@@ -1,0 +1,37 @@
+// Graph statistics — the numbers a benchmark report quotes about its
+// inputs (degree distribution, components, collision-density estimates).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace crcw::graph {
+
+struct GraphStats {
+  std::uint64_t vertices = 0;
+  std::uint64_t directed_slots = 0;  ///< CSR slots (2x undirected edges)
+  std::uint64_t max_degree = 0;
+  double avg_degree = 0.0;
+  std::uint64_t isolated = 0;
+  std::uint64_t self_loop_slots = 0;
+  std::uint64_t components = 0;
+  /// Histogram over log2 degree buckets: bucket b counts vertices with
+  /// degree in [2^b, 2^(b+1)); bucket 0 additionally holds degree 1;
+  /// isolated vertices are excluded (reported separately).
+  std::vector<std::uint64_t> log_degree_histogram;
+  /// Expected CW collision pressure of a BFS/CC edge-parallel round: the
+  /// mean over vertices of degree² / (2m) — proportional to the birthday
+  /// bound on two edges targeting one vertex. Higher ⇒ gatekeeper pain.
+  double collision_index = 0.0;
+};
+
+/// Computes all statistics in O(V + E) plus one union–find pass.
+[[nodiscard]] GraphStats compute_stats(const Csr& g);
+
+/// Pretty-prints the stats block (used by examples/graph_tool).
+void print_stats(std::ostream& os, const GraphStats& stats);
+
+}  // namespace crcw::graph

@@ -1,0 +1,9 @@
+// Machine is header-only (its steps are templates); this translation unit
+// anchors the library and verifies the header is self-contained.
+#include "pram/machine.hpp"
+
+namespace crcw::pram {
+
+static_assert(sizeof(Machine) > 0);
+
+}  // namespace crcw::pram

@@ -1,0 +1,152 @@
+// pram::Machine — lock-step PRAM step execution on OpenMP threads.
+//
+// The bridge identified by Ghanim et al. (§4, building on the ICE result
+// [12]): a PRAM algorithm's rounds can be executed by work-sharing each
+// round's P_PRAM virtual processors over P_Phys OS threads, with a
+// synchronisation point between rounds standing in for PRAM's lock-step
+// semantics. Machine packages that discipline:
+//
+//   * `step(n, body)` runs body(i) for the n virtual processors of one PRAM
+//     time step under `#pragma omp parallel for` and ends at the implicit
+//     barrier — the synchronisation point the paper requires before any
+//     dependent read of a concurrent write.
+//   * the machine's round counter increments once per step, giving CAS-LT
+//     its monotone round ids "for free" (§5: the loop iteration can serve
+//     as the round).
+//   * work–depth counters accumulate W and D for Brent-bound checks.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "core/round_tag.hpp"
+#include "pram/schedule.hpp"
+#include "pram/work_depth.hpp"
+
+#include <omp.h>
+
+namespace crcw::pram {
+
+struct MachineConfig {
+  /// OS threads (P_Phys) to run steps on; 0 keeps the ambient OpenMP value.
+  int threads = 0;
+  Schedule schedule = Schedule::kStatic;
+  /// Chunk size for dynamic/guided schedules; 0 lets OpenMP choose.
+  int chunk = 0;
+};
+
+class Machine {
+ public:
+  using vproc_t = std::uint64_t;
+
+  Machine() = default;
+  explicit Machine(MachineConfig config) : config_(config) {}
+
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+
+  /// Round id of the step currently executing (or of the last finished step
+  /// when called between steps). Feed this to RoundTag / WriteArbiter.
+  [[nodiscard]] round_t round() const noexcept { return round_; }
+
+  [[nodiscard]] const WorkDepth& counters() const noexcept { return counters_; }
+
+  /// Threads that will execute the next step.
+  [[nodiscard]] int physical_processors() const noexcept {
+    return config_.threads > 0 ? config_.threads : omp_get_max_threads();
+  }
+
+  /// Executes one PRAM time step: body(i) for i in [0, n), all iterations
+  /// conceptually concurrent, with a barrier before this call returns.
+  /// Returns the round id that the step ran under.
+  ///
+  /// Reads inside the body observe pre-step memory only if the algorithm
+  /// respects PRAM discipline (no read of a location written in the same
+  /// step except through a concurrent-write cell it owns); the library
+  /// cannot enforce that, but the simulator in src/sim can check it.
+  template <typename Body>
+    requires std::is_invocable_v<Body, vproc_t>
+  round_t step(vproc_t n, Body&& body) {
+    const round_t r = ++round_;
+    counters_.add_step(n);
+    run_parallel(n, body);
+    return r;
+  }
+
+  /// A step whose body also receives the round id — convenient when the
+  /// body is a lambda that cannot capture the machine.
+  template <typename Body>
+    requires(std::is_invocable_v<Body, vproc_t, round_t> &&
+             !std::is_invocable_v<Body, vproc_t>)
+  round_t step(vproc_t n, Body&& body) {
+    const round_t r = ++round_;
+    counters_.add_step(n);
+    auto wrapped = [&](vproc_t i) { body(i, r); };
+    run_parallel(n, wrapped);
+    return r;
+  }
+
+  /// Serial step: runs once on the calling thread but still advances the
+  /// round and depth — for the O(1)-work scalar steps PRAM algorithms
+  /// interleave between parallel rounds.
+  template <typename Body>
+    requires std::is_invocable_v<Body>
+  round_t serial_step(Body&& body) {
+    const round_t r = ++round_;
+    counters_.add_step(1);
+    body();
+    return r;
+  }
+
+  /// Resets round and counters (between benchmark repetitions).
+  void reset() noexcept {
+    round_ = kInitialRound;
+    counters_.reset();
+  }
+
+ private:
+  template <typename Body>
+  void run_parallel(vproc_t n, Body& body) {
+    const auto count = static_cast<std::int64_t>(n);
+    const int threads = physical_processors();
+    const int chunk = config_.chunk;
+    switch (config_.schedule) {
+      case Schedule::kStatic:
+#pragma omp parallel for num_threads(threads) schedule(static)
+        for (std::int64_t i = 0; i < count; ++i) body(static_cast<vproc_t>(i));
+        break;
+      case Schedule::kDynamic:
+        if (chunk > 0) {
+#pragma omp parallel for num_threads(threads) schedule(dynamic, chunk)
+          for (std::int64_t i = 0; i < count; ++i) body(static_cast<vproc_t>(i));
+        } else {
+#pragma omp parallel for num_threads(threads) schedule(dynamic)
+          for (std::int64_t i = 0; i < count; ++i) body(static_cast<vproc_t>(i));
+        }
+        break;
+      case Schedule::kGuided:
+#pragma omp parallel for num_threads(threads) schedule(guided)
+        for (std::int64_t i = 0; i < count; ++i) body(static_cast<vproc_t>(i));
+        break;
+    }
+  }
+
+  MachineConfig config_{};
+  round_t round_ = kInitialRound;
+  WorkDepth counters_{};
+};
+
+/// One-shot helper for code that does not need a persistent machine.
+template <typename Body>
+void parallel_for(std::uint64_t n, Body&& body, int threads = 0) {
+  const auto count = static_cast<std::int64_t>(n);
+  if (threads > 0) {
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t i = 0; i < count; ++i) body(static_cast<std::uint64_t>(i));
+  } else {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < count; ++i) body(static_cast<std::uint64_t>(i));
+  }
+}
+
+}  // namespace crcw::pram

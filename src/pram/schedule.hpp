@@ -1,0 +1,24 @@
+// Work-sharing schedules for mapping P_PRAM virtual processors onto P_Phys
+// threads (Brent scheduling, paper §6).
+#pragma once
+
+#include <string_view>
+
+namespace crcw::pram {
+
+enum class Schedule {
+  kStatic,   ///< contiguous blocks — best locality, default
+  kDynamic,  ///< chunked work stealing — for irregular per-processor work
+  kGuided,   ///< decreasing chunks — compromise for skewed work
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Schedule s) noexcept {
+  switch (s) {
+    case Schedule::kStatic: return "static";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kGuided: return "guided";
+  }
+  return "unknown";
+}
+
+}  // namespace crcw::pram

@@ -1,0 +1,36 @@
+// Work–depth accounting (paper §6).
+//
+// A PRAM algorithm is characterised by its total work W(N) and its depth
+// D(N); Brent's theorem bounds execution time on p processors by
+// T = D + W/p. The runtime and the simulator both record these quantities
+// so tests can assert the asymptotic claims of §6 (e.g. the constant-time
+// Maximum has depth O(1) and work Θ(N²); the gatekeeper scheme adds Θ(N)
+// reset work per round that CAS-LT does not pay).
+#pragma once
+
+#include <cstdint>
+
+namespace crcw::pram {
+
+struct WorkDepth {
+  std::uint64_t work = 0;   ///< total operations across all steps
+  std::uint64_t depth = 0;  ///< number of lock-step time steps
+
+  void add_step(std::uint64_t step_work) noexcept {
+    work += step_work;
+    depth += 1;
+  }
+
+  void reset() noexcept { *this = WorkDepth{}; }
+
+  friend bool operator==(const WorkDepth&, const WorkDepth&) = default;
+};
+
+/// Brent's scheduling bound: time on p processors (in abstract step units).
+[[nodiscard]] constexpr double brent_time(const WorkDepth& wd, std::uint64_t p) noexcept {
+  if (p == 0) p = 1;
+  return static_cast<double>(wd.depth) +
+         static_cast<double>(wd.work) / static_cast<double>(p);
+}
+
+}  // namespace crcw::pram

@@ -1,0 +1,9 @@
+// Memory is header-only; this TU anchors the library and checks the header
+// compiles standalone.
+#include "sim/memory.hpp"
+
+namespace crcw::sim {
+
+static_assert(sizeof(Memory) > 0);
+
+}  // namespace crcw::sim

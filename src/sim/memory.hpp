@@ -1,0 +1,70 @@
+// sim::Memory — word-addressed shared memory with per-step access logging.
+//
+// Within a PRAM time step every read observes the pre-step contents; writes
+// are buffered and committed at the step boundary after conflict resolution.
+// Memory implements exactly that: reads go to `words_`, writes append to a
+// log that the Simulator resolves and commits in `commit_step`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace crcw::sim {
+
+class Memory {
+ public:
+  Memory() = default;
+  explicit Memory(std::size_t words, word_t fill = 0) : words_(words, fill) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return words_.size(); }
+
+  /// Grows to at least `words` cells, filling new cells with `fill`.
+  void resize(std::size_t words, word_t fill = 0) {
+    if (words > words_.size()) words_.resize(words, fill);
+  }
+
+  /// Direct (non-logged) access for initialisation and verification.
+  [[nodiscard]] word_t peek(addr_t addr) const { return words_.at(addr); }
+  void poke(addr_t addr, word_t value) { words_.at(addr) = value; }
+
+  /// Logged read: returns the pre-step value. Bounds-checked; out-of-range
+  /// access is a program bug the simulator reports via std::out_of_range.
+  word_t read(proc_t proc, addr_t addr) {
+    const word_t v = words_.at(addr);
+    read_log_.push_back({proc, addr, v});
+    return v;
+  }
+
+  /// Logged write: buffered until commit, invisible to same-step reads.
+  void write(proc_t proc, addr_t addr, word_t value) {
+    if (addr >= words_.size()) words_.at(addr) = 0;  // throws, uniform error path
+    write_log_.push_back({proc, addr, value});
+  }
+
+  [[nodiscard]] const std::vector<Access>& read_log() const noexcept { return read_log_; }
+  [[nodiscard]] const std::vector<Access>& write_log() const noexcept { return write_log_; }
+
+  /// Applies resolved writes and clears both logs. The Simulator decides the
+  /// winners; Memory just commits them.
+  void commit(const std::vector<Resolution>& resolutions) {
+    for (const auto& r : resolutions) words_.at(r.addr) = r.value;
+    clear_logs();
+  }
+
+  void clear_logs() noexcept {
+    read_log_.clear();
+    write_log_.clear();
+  }
+
+  /// Snapshot of all words (for test assertions).
+  [[nodiscard]] const std::vector<word_t>& contents() const noexcept { return words_; }
+
+ private:
+  std::vector<word_t> words_;
+  std::vector<Access> read_log_;
+  std::vector<Access> write_log_;
+};
+
+}  // namespace crcw::sim

@@ -1,0 +1,352 @@
+#include "sim/programs.hpp"
+
+#include <stdexcept>
+
+namespace crcw::sim::programs {
+namespace {
+
+/// Serial initialisation helper: pokes a block of memory without logging.
+void poke_block(Memory& mem, addr_t base, std::span<const word_t> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    mem.poke(base + i, values[i]);
+  }
+}
+
+}  // namespace
+
+std::uint64_t max_constant_time(Simulator& sim, std::span<const word_t> values) {
+  if (values.empty()) throw std::invalid_argument("max of empty list");
+  const std::uint64_t n = values.size();
+
+  // Layout: [0, n) the list, [n, 2n) the isMax flags.
+  const addr_t list = 0;
+  const addr_t is_max = n;
+  sim.memory().resize(2 * n);
+  poke_block(sim.memory(), list, values);
+  for (std::uint64_t i = 0; i < n; ++i) sim.memory().poke(is_max + i, 1);
+
+  // One CRCW step, n² processors: processor (i,j) marks the loser of the
+  // pair. All writes offer the same value 0 → legal Common CW.
+  sim.step(n * n, [&](Simulator::Proc& p) {
+    const std::uint64_t i = p.id() / n;
+    const std::uint64_t j = p.id() % n;
+    if (i == j) return;
+    const word_t vi = p.read(list + i);
+    const word_t vj = p.read(list + j);
+    // Fig 4 tie-break: equal values lose to the larger index.
+    const std::uint64_t loser = (vi < vj || (vi == vj && i < j)) ? i : j;
+    p.write(is_max + loser, 0);
+  });
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (sim.memory().peek(is_max + i) != 0) return i;
+  }
+  throw std::logic_error("constant-time max: no survivor flag");
+}
+
+bool parallel_or(Simulator& sim, std::span<const word_t> bits) {
+  const std::uint64_t n = bits.size();
+  const addr_t input = 0;
+  const addr_t result = n;
+  sim.memory().resize(n + 1);
+  poke_block(sim.memory(), input, bits);
+  sim.memory().poke(result, 0);
+
+  sim.step(n, [&](Simulator::Proc& p) {
+    if (p.read(input + p.id()) != 0) p.write(result, 1);
+  });
+  return sim.memory().peek(result) != 0;
+}
+
+std::uint64_t first_one(Simulator& sim, std::span<const word_t> bits) {
+  if (sim.mode() != AccessMode::kPriorityMinValue) {
+    throw std::invalid_argument("first_one requires Priority(min-value) mode");
+  }
+  const std::uint64_t n = bits.size();
+  const addr_t input = 0;
+  const addr_t result = n;
+  sim.memory().resize(n + 1);
+  poke_block(sim.memory(), input, bits);
+  sim.memory().poke(result, static_cast<word_t>(n));
+
+  sim.step(n, [&](Simulator::Proc& p) {
+    if (p.read(input + p.id()) != 0) p.write(result, static_cast<word_t>(p.id()));
+  });
+  return static_cast<std::uint64_t>(sim.memory().peek(result));
+}
+
+std::vector<std::uint64_t> pointer_jump_roots(Simulator& sim,
+                                              std::span<const std::uint64_t> parent) {
+  const std::uint64_t n = parent.size();
+  const addr_t par = 0;
+  sim.memory().resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (parent[i] >= n) throw std::invalid_argument("parent pointer out of range");
+    sim.memory().poke(par + i, static_cast<word_t>(parent[i]));
+  }
+
+  // ceil(log2(n)) + 1 jumps suffice for any forest of height <= n.
+  std::uint64_t jumps = 1;
+  for (std::uint64_t span = 1; span < n; span *= 2) ++jumps;
+
+  for (std::uint64_t it = 0; it < jumps; ++it) {
+    sim.step(n, [&](Simulator::Proc& p) {
+      const auto pi = static_cast<addr_t>(p.read(par + p.id()));
+      const word_t grand = p.read(par + pi);  // concurrent read (CREW-legal)
+      p.write(par + p.id(), grand);           // exclusive write: own cell only
+    });
+  }
+
+  std::vector<std::uint64_t> roots(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    roots[i] = static_cast<std::uint64_t>(sim.memory().peek(par + i));
+  }
+  return roots;
+}
+
+BfsResult bfs(Simulator& sim, std::span<const std::uint64_t> offsets,
+              std::span<const std::uint32_t> edges, std::uint64_t source) {
+  if (offsets.empty()) throw std::invalid_argument("CSR offsets empty");
+  const std::uint64_t n = offsets.size() - 1;
+  if (source >= n) throw std::invalid_argument("BFS source out of range");
+
+  // Layout: level[n] | parent[n] | done flag.
+  const addr_t level = 0;
+  const addr_t parent = n;
+  const addr_t done = 2 * n;
+  sim.memory().resize(2 * n + 1);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    sim.memory().poke(level + v, -1);
+    sim.memory().poke(parent + v, -1);
+  }
+  sim.memory().poke(level + source, 0);
+  sim.memory().poke(parent + source, static_cast<word_t>(source));
+
+  for (word_t l = 0;; ++l) {
+    sim.memory().poke(done, 1);
+    // One step per frontier expansion: a processor per vertex scans its
+    // adjacency and offers arbitrary CWs into unvisited neighbours. The
+    // model charges one time step; per-processor work here is its degree.
+    sim.step(n, [&](Simulator::Proc& p) {
+      const std::uint64_t v = p.id();
+      if (p.read(level + v) != l) return;
+      for (std::uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+        const std::uint32_t u = edges[e];
+        if (p.read(level + u) == -1) {
+          p.write(level + u, l + 1);          // common value, arbitrary winner
+          p.write(parent + u, static_cast<word_t>(v));  // arbitrary CW
+          p.write(done, 0);
+        }
+      }
+    });
+    if (sim.memory().peek(done) != 0) break;
+  }
+
+  BfsResult out;
+  out.level.resize(n);
+  out.parent.resize(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    out.level[v] = sim.memory().peek(level + v);
+    out.parent[v] = sim.memory().peek(parent + v);
+  }
+  return out;
+}
+
+std::vector<word_t> exclusive_scan(Simulator& sim, std::span<const word_t> values) {
+  const std::uint64_t n = values.size();
+  if (n == 0) return {};
+
+  // Pad to a power of two; the tree lives in one array of size `size`.
+  std::uint64_t size = 1;
+  while (size < n) size *= 2;
+  sim.memory().resize(size);
+  for (std::uint64_t i = 0; i < n; ++i) sim.memory().poke(i, values[i]);
+  for (std::uint64_t i = n; i < size; ++i) sim.memory().poke(i, 0);
+
+  // Up-sweep: a[i + 2d - 1] += a[i + d - 1] for stride-2d blocks. Each
+  // step's reads and writes touch disjoint cells per processor — EREW.
+  for (std::uint64_t d = 1; d < size; d *= 2) {
+    const std::uint64_t procs = size / (2 * d);
+    sim.step(procs, [&](Simulator::Proc& p) {
+      const addr_t base = p.id() * 2 * d;
+      const word_t left = p.read(base + d - 1);
+      const word_t right = p.read(base + 2 * d - 1);
+      p.write(base + 2 * d - 1, left + right);
+    });
+  }
+
+  // Clear the root, then down-sweep.
+  sim.step(1, [&](Simulator::Proc& p) { p.write(size - 1, 0); });
+  for (std::uint64_t d = size / 2; d >= 1; d /= 2) {
+    const std::uint64_t procs = size / (2 * d);
+    sim.step(procs, [&](Simulator::Proc& p) {
+      const addr_t base = p.id() * 2 * d;
+      const word_t left = p.read(base + d - 1);
+      const word_t node = p.read(base + 2 * d - 1);
+      p.write(base + d - 1, node);
+      p.write(base + 2 * d - 1, left + node);
+    });
+    if (d == 1) break;
+  }
+
+  std::vector<word_t> out(n);
+  for (std::uint64_t i = 0; i < n; ++i) out[i] = sim.memory().peek(i);
+  return out;
+}
+
+std::uint64_t max_doubly_log(Simulator& sim, std::span<const word_t> values) {
+  if (values.empty()) throw std::invalid_argument("max of empty list");
+  const std::uint64_t n = values.size();
+
+  // Layout: [0, n) values | [n, 2n) candidate indices | [2n, 3n) isMax.
+  const addr_t list = 0;
+  const addr_t cand = n;
+  const addr_t flags = 2 * n;
+  sim.memory().resize(3 * n);
+  poke_block(sim.memory(), list, values);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sim.memory().poke(cand + i, static_cast<word_t>(i));
+    sim.memory().poke(flags + i, 1);
+  }
+
+  std::uint64_t m = n;
+  std::uint64_t group = 2;
+  while (m > 1) {
+    const std::uint64_t g = std::min(group, m);
+    const std::uint64_t groups = (m + g - 1) / g;
+
+    // One Common-CW step: each in-group pair marks its loser.
+    sim.step(groups * g * g, [&](Simulator::Proc& p) {
+      const std::uint64_t grp = p.id() / (g * g);
+      const std::uint64_t i = grp * g + (p.id() % (g * g)) / g;
+      const std::uint64_t j = grp * g + (p.id() % g);
+      if (i >= m || j >= m || i == j) return;
+      const auto ci = static_cast<addr_t>(p.read(cand + i));
+      const auto cj = static_cast<addr_t>(p.read(cand + j));
+      const word_t vi = p.read(list + ci);
+      const word_t vj = p.read(list + cj);
+      const std::uint64_t loser = (vi < vj || (vi == vj && ci < cj)) ? i : j;
+      p.write(flags + loser, 0);
+    });
+
+    // Gather survivors into the candidate prefix (exclusive writes), and
+    // re-arm the flags for the next round.
+    sim.step(groups, [&](Simulator::Proc& p) {
+      const std::uint64_t grp = p.id();
+      word_t winner = p.read(cand + grp * g);
+      for (std::uint64_t i = grp * g; i < std::min(m, (grp + 1) * g); ++i) {
+        if (p.read(flags + i) != 0) winner = p.read(cand + i);
+      }
+      p.write(cand + grp, winner);
+    });
+    sim.step(groups, [&](Simulator::Proc& p) { p.write(flags + p.id(), 1); });
+
+    m = groups;
+    if (group <= (std::uint64_t{1} << 16)) group = group * group;
+  }
+  return static_cast<std::uint64_t>(sim.memory().peek(cand));
+}
+
+std::vector<std::uint64_t> connected_components(Simulator& sim,
+                                                std::span<const std::uint64_t> offsets,
+                                                std::span<const std::uint32_t> edges) {
+  if (offsets.empty()) throw std::invalid_argument("CSR offsets empty");
+  const std::uint64_t n = offsets.size() - 1;
+  const std::uint64_t m = edges.size();
+
+  // Layout: P[n] | star[n] | change flag.
+  const addr_t par = 0;
+  const addr_t star = n;
+  const addr_t change = 2 * n;
+  sim.memory().resize(2 * n + 1);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    sim.memory().poke(par + v, static_cast<word_t>(v));
+    sim.memory().poke(star + v, 1);
+  }
+
+  // Edge processor id → (source vertex, edge slot). Precomputed serially;
+  // the model charges the parallel steps only.
+  std::vector<std::uint32_t> src(m);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (std::uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      src[e] = static_cast<std::uint32_t>(v);
+    }
+  }
+
+  const auto detect_stars = [&] {
+    sim.step(n, [&](Simulator::Proc& p) { p.write(star + p.id(), 1); });
+    sim.step(n, [&](Simulator::Proc& p) {
+      const auto pv = static_cast<addr_t>(p.read(par + p.id()));
+      const auto gp = static_cast<addr_t>(p.read(par + pv));
+      if (pv != gp) {  // depth >= 2: self, parent and grandparent non-star
+        p.write(star + p.id(), 0);
+        p.write(star + pv, 0);
+        p.write(star + gp, 0);
+      }
+    });
+    sim.step(n, [&](Simulator::Proc& p) {
+      const auto pv = static_cast<addr_t>(p.read(par + p.id()));
+      p.write(star + p.id(), p.read(star + pv));
+    });
+  };
+
+  // PRAM lock-step makes the hooking phases read a consistent pre-step
+  // forest automatically — the snapshot the OpenMP kernel must take by
+  // hand. One arbitrary winner per root per phase comes from the model's
+  // conflict resolution instead of a CAS-LT tag.
+  const auto hook = [&](bool conditional) {
+    sim.memory().poke(change, 0);
+    sim.step(m, [&](Simulator::Proc& p) {
+      const std::uint64_t j = p.id();
+      const std::uint32_t u = src[j];
+      const std::uint32_t v = edges[j];
+      if (p.read(star + u) == 0) return;
+      const word_t pu = p.read(par + u);
+      const word_t pv = p.read(par + v);
+      const bool eligible = conditional ? pv < pu : pv != pu;
+      if (eligible) {
+        p.write(par + static_cast<addr_t>(pu), pv);
+        p.write(change, 1);
+      }
+    });
+    return sim.memory().peek(change) != 0;
+  };
+
+  const auto jump = [&] {
+    sim.memory().poke(change, 0);
+    sim.step(n, [&](Simulator::Proc& p) {
+      const auto pv = static_cast<addr_t>(p.read(par + p.id()));
+      const word_t gp = p.read(par + pv);
+      if (gp != static_cast<word_t>(pv)) {
+        p.write(par + p.id(), gp);
+        p.write(change, 1);
+      }
+    });
+    return sim.memory().peek(change) != 0;
+  };
+
+  std::uint64_t max_iters = 16;
+  for (std::uint64_t s = 1; s < n; s *= 2) max_iters += 4;
+
+  bool changed = true;
+  std::uint64_t iters = 0;
+  while (changed) {
+    if (++iters > max_iters) {
+      throw std::logic_error("sim CC: exceeded iteration bound");
+    }
+    changed = false;
+    detect_stars();
+    changed |= hook(/*conditional=*/true);
+    detect_stars();
+    changed |= hook(/*conditional=*/false);
+    changed |= jump();
+  }
+
+  std::vector<std::uint64_t> labels(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    labels[v] = static_cast<std::uint64_t>(sim.memory().peek(par + v));
+  }
+  return labels;
+}
+
+}  // namespace crcw::sim::programs

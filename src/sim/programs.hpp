@@ -1,0 +1,75 @@
+// Classic PRAM programs expressed against the model simulator.
+//
+// These are the textbook forms of the algorithms whose OpenMP
+// implementations live in src/algorithms; tests cross-validate the two.
+// Each routine owns its memory layout inside the provided simulator and
+// returns the model-level answer together with the work–depth profile the
+// paper's §6 analysis predicts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace crcw::sim::programs {
+
+/// Constant-time Maximum (paper Figure 4) on the Common CRCW model:
+/// N² processors compare all pairs; losers' isMax flags receive a common
+/// concurrent write of 0. Depth O(1) parallel steps, work Θ(N²).
+/// Returns the index of the maximum (ties: smallest index, matching Fig 4's
+/// tie-break). Requires sim.mode() == kCommon (or stronger); throws
+/// std::invalid_argument on empty input.
+std::uint64_t max_constant_time(Simulator& sim, std::span<const word_t> values);
+
+/// O(1) parallel OR: processor i writes 1 into the result cell iff bits[i]
+/// is nonzero — the canonical example separating CRCW from CREW. Common CW
+/// (every writer offers the same 1). Returns the OR.
+bool parallel_or(Simulator& sim, std::span<const word_t> bits);
+
+/// Priority-CW "first one": every processor holding a 1 writes its index;
+/// min-value resolution yields the position of the first set bit.
+/// Returns bits.size() when no bit is set. Requires kPriorityMinValue.
+std::uint64_t first_one(Simulator& sim, std::span<const word_t> bits);
+
+/// Pointer jumping to forest roots: parent[i] is a parent pointer (roots
+/// are self-loops). O(log n) steps of parent[i] = parent[parent[i]].
+/// Concurrent reads, exclusive writes — runs under CREW (and anything
+/// stronger). Returns the root of every node.
+std::vector<std::uint64_t> pointer_jump_roots(Simulator& sim,
+                                              std::span<const std::uint64_t> parent);
+
+/// Level-synchronous BFS on a CSR graph under Arbitrary CW: all frontier
+/// edges into an unvisited vertex concurrently write their origin as the
+/// parent; an arbitrary one wins. Returns (level, parent) per vertex with
+/// level == -1 for unreachable vertices. Requires kArbitrary (or priority).
+struct BfsResult {
+  std::vector<word_t> level;
+  std::vector<word_t> parent;
+};
+BfsResult bfs(Simulator& sim, std::span<const std::uint64_t> offsets,
+              std::span<const std::uint32_t> edges, std::uint64_t source);
+
+/// Work-efficient Blelloch scan at the model level: up-sweep + down-sweep
+/// over a power-of-two-padded tree, 2·log2(n) + O(1) steps, every write
+/// exclusive — runs under EREW. Returns the exclusive prefix sums.
+std::vector<word_t> exclusive_scan(Simulator& sim, std::span<const word_t> values);
+
+/// Doubly-logarithmic maximum at the model level: groups of 2, 4, 16, …
+/// resolved by the constant-time kernel, O(log log n) CRCW-Common steps
+/// of O(n) work each (the accelerated-cascading schedule). Returns the
+/// index of the maximum (last occurrence on ties, as Fig 4).
+std::uint64_t max_doubly_log(Simulator& sim, std::span<const word_t> values);
+
+/// Awerbuch–Shiloach connected components at the model level: star
+/// detection (common CWs), conditional + unconditional star hooking
+/// (arbitrary CWs on the roots), pointer jumping — each phase one lock-step
+/// round, exactly the structure of the OpenMP kernel in
+/// src/algorithms/cc.cpp. Returns the root label per vertex. Requires
+/// kArbitrary (or priority). The CSR must be symmetrised.
+std::vector<std::uint64_t> connected_components(Simulator& sim,
+                                                std::span<const std::uint64_t> offsets,
+                                                std::span<const std::uint32_t> edges);
+
+}  // namespace crcw::sim::programs

@@ -1,0 +1,129 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace crcw::sim {
+namespace {
+
+std::string describe(std::string_view what, std::uint64_t step, addr_t addr) {
+  std::ostringstream ss;
+  ss << what << " at address " << addr << " in step " << step;
+  return ss.str();
+}
+
+}  // namespace
+
+StepStats Simulator::finish_step(proc_t n) {
+  const std::uint64_t step_id = counters_.depth + 1;
+
+  StepStats stats;
+  stats.step = step_id;
+  stats.processors = n;
+  stats.reads = mem_.read_log().size();
+  stats.writes = mem_.write_log().size();
+
+  // Exclusive-read check: EREW forbids two reads of one cell in one step.
+  if (mode_ == AccessMode::kEREW) {
+    std::map<addr_t, proc_t> readers;
+    for (const auto& a : mem_.read_log()) {
+      const auto [it, inserted] = readers.emplace(a.addr, a.proc);
+      if (!inserted && it->second != a.proc) {
+        throw ModelViolation(ModelViolation::Kind::kConcurrentRead, step_id, a.addr,
+                             describe("concurrent read under EREW", step_id, a.addr));
+      }
+    }
+  }
+
+  // Group offered writes by address (stable: log order preserved per cell).
+  std::map<addr_t, std::vector<Access>> by_addr;
+  for (const auto& w : mem_.write_log()) by_addr[w.addr].push_back(w);
+
+  const bool exclusive_write = mode_ == AccessMode::kEREW || mode_ == AccessMode::kCREW;
+
+  std::vector<Resolution> resolved;
+  resolved.reserve(by_addr.size());
+  for (auto& [addr, offers] : by_addr) {
+    stats.max_contention = std::max<std::uint64_t>(stats.max_contention, offers.size());
+
+    if (exclusive_write && offers.size() > 1) {
+      throw ModelViolation(
+          ModelViolation::Kind::kConcurrentWrite, step_id, addr,
+          describe("concurrent write under exclusive-write mode", step_id, addr));
+    }
+
+    const Access* winner = &offers.front();
+    switch (mode_) {
+      case AccessMode::kEREW:
+      case AccessMode::kCREW:
+        winner = &offers.front();
+        break;
+      case AccessMode::kCommon: {
+        for (const auto& o : offers) {
+          if (o.value != offers.front().value) {
+            throw ModelViolation(
+                ModelViolation::Kind::kCommonMismatch, step_id, addr,
+                describe("common CW with differing values", step_id, addr));
+          }
+        }
+        winner = &offers.front();
+        break;
+      }
+      case AccessMode::kArbitrary:
+        // Deterministic per seed; varying the seed varies the adversary.
+        winner = &offers[rng_.bounded(offers.size())];
+        break;
+      case AccessMode::kPriorityMinRank:
+        winner = &*std::min_element(offers.begin(), offers.end(),
+                                    [](const Access& a, const Access& b) {
+                                      return a.proc < b.proc;
+                                    });
+        break;
+      case AccessMode::kPriorityMinValue:
+        winner = &*std::min_element(offers.begin(), offers.end(),
+                                    [](const Access& a, const Access& b) {
+                                      if (a.value != b.value) return a.value < b.value;
+                                      return a.proc < b.proc;
+                                    });
+        break;
+    }
+
+    resolved.push_back({addr, winner->proc, winner->value, offers.size()});
+  }
+
+  stats.cells_written = resolved.size();
+  if (trace_ != nullptr) emit_trace(stats, resolved);
+  mem_.commit(resolved);
+
+  counters_.add_step(n);
+  history_.push_back(stats);
+  return stats;
+}
+
+void Simulator::emit_trace(const StepStats& stats, const std::vector<Resolution>& resolved) {
+  std::ostream& os = *trace_;
+  if (trace_options_.summary) {
+    os << "step " << stats.step << " [" << to_string(mode_) << "]: " << stats.processors
+       << " procs, " << stats.reads << " reads, " << stats.writes << " writes into "
+       << stats.cells_written << " cells (max contention " << stats.max_contention
+       << ")\n";
+  }
+  if (trace_options_.accesses) {
+    for (const auto& r : mem_.read_log()) {
+      os << "  P" << r.proc << " reads  [" << r.addr << "] -> " << r.value << '\n';
+    }
+    for (const auto& w : mem_.write_log()) {
+      os << "  P" << w.proc << " offers [" << w.addr << "] <- " << w.value << '\n';
+    }
+  }
+  if (trace_options_.resolutions) {
+    for (const auto& r : resolved) {
+      os << "  [" << r.addr << "] <- " << r.value << " (P" << r.winner << " of "
+         << r.contenders << " contender" << (r.contenders == 1 ? "" : "s") << ")\n";
+    }
+  }
+}
+
+}  // namespace crcw::sim

@@ -1,0 +1,154 @@
+// sim::Simulator — a deterministic executable semantics for PRAM.
+//
+// The OpenMP kernels in src/algorithms are *implementations*; this simulator
+// is the *model*. It executes a step's virtual processors sequentially,
+// logging every access, then resolves write conflicts at the step boundary
+// under the selected memory-access mode:
+//
+//   EREW / CREW        exclusivity violations throw ModelViolation — "if a
+//                      concurrent read/write is attempted in an exclusive
+//                      mode, the algorithm fails" (§2).
+//   Common             all offered values must be equal, else it throws.
+//   Arbitrary          a seeded-random offered write commits (deterministic
+//                      per seed, adversarial across seeds).
+//   Priority           minimum rank or minimum value wins (§2).
+//
+// Tests run each algorithm on this engine and on the OpenMP machine and
+// require identical observable results; property suites re-run Arbitrary
+// resolutions across seeds to check algorithm correctness does not depend
+// on *which* write wins — the defining obligation of arbitrary CW.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pram/work_depth.hpp"
+#include "sim/memory.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace crcw::sim {
+
+enum class AccessMode {
+  kEREW,
+  kCREW,
+  kCommon,
+  kArbitrary,
+  kPriorityMinRank,
+  kPriorityMinValue,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(AccessMode m) noexcept {
+  switch (m) {
+    case AccessMode::kEREW: return "EREW";
+    case AccessMode::kCREW: return "CREW";
+    case AccessMode::kCommon: return "CRCW-Common";
+    case AccessMode::kArbitrary: return "CRCW-Arbitrary";
+    case AccessMode::kPriorityMinRank: return "CRCW-Priority(min-rank)";
+    case AccessMode::kPriorityMinValue: return "CRCW-Priority(min-value)";
+  }
+  return "unknown";
+}
+
+/// Thrown when a program violates the selected memory-access mode.
+class ModelViolation : public std::runtime_error {
+ public:
+  enum class Kind { kConcurrentRead, kConcurrentWrite, kCommonMismatch };
+
+  ModelViolation(Kind kind, std::uint64_t step, addr_t addr, std::string what)
+      : std::runtime_error(std::move(what)), kind_(kind), step_(step), addr_(addr) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint64_t step() const noexcept { return step_; }
+  [[nodiscard]] addr_t addr() const noexcept { return addr_; }
+
+ private:
+  Kind kind_;
+  std::uint64_t step_;
+  addr_t addr_;
+};
+
+class Simulator {
+ public:
+  /// Handle through which a virtual processor touches shared memory.
+  class Proc {
+   public:
+    [[nodiscard]] proc_t id() const noexcept { return id_; }
+
+    /// Reads pre-step memory (PRAM: reads precede writes within a step).
+    word_t read(addr_t addr) { return mem_->read(id_, addr); }
+
+    /// Offers a write, committed at the step boundary if it wins.
+    void write(addr_t addr, word_t value) { mem_->write(id_, addr, value); }
+
+   private:
+    friend class Simulator;
+    Proc(Memory* mem, proc_t id) : mem_(mem), id_(id) {}
+    Memory* mem_;
+    proc_t id_;
+  };
+
+  explicit Simulator(AccessMode mode, std::size_t words, std::uint64_t seed = 42)
+      : mode_(mode), mem_(words), rng_(seed) {}
+
+  [[nodiscard]] AccessMode mode() const noexcept { return mode_; }
+  [[nodiscard]] Memory& memory() noexcept { return mem_; }
+  [[nodiscard]] const Memory& memory() const noexcept { return mem_; }
+  [[nodiscard]] const pram::WorkDepth& counters() const noexcept { return counters_; }
+  [[nodiscard]] const std::vector<StepStats>& history() const noexcept { return history_; }
+
+  /// Executes one PRAM time step with `n` virtual processors; body receives
+  /// a Proc handle. Resolves and commits writes before returning.
+  template <typename Body>
+  StepStats step(proc_t n, Body&& body) {
+    for (proc_t i = 0; i < n; ++i) {
+      Proc p(&mem_, i);
+      body(p);
+    }
+    return finish_step(n);
+  }
+
+  /// Resets counters, history and the RNG stream (memory is left as-is).
+  void reset_accounting(std::uint64_t seed = 42) {
+    counters_.reset();
+    history_.clear();
+    rng_ = util::Xoshiro256(seed);
+  }
+
+  /// What a trace stream receives per step.
+  struct TraceOptions {
+    bool accesses = false;     ///< every logged read/write
+    bool resolutions = true;   ///< per-cell conflict outcomes
+    bool summary = true;       ///< one StepStats line per step
+  };
+
+  /// Streams a human-readable execution trace (teaching / debugging).
+  /// Pass nullptr to stop tracing. The stream must outlive the simulator's
+  /// tracing use; tracing costs a pass over the logs per step.
+  void set_trace(std::ostream* os, TraceOptions options) {
+    trace_ = os;
+    trace_options_ = options;
+  }
+
+  /// Default options: step summaries + per-cell resolutions.
+  void set_trace(std::ostream* os) { set_trace(os, TraceOptions{}); }
+
+ private:
+  /// Resolves the logged accesses of the step just executed.
+  StepStats finish_step(proc_t n);
+
+  void emit_trace(const StepStats& stats, const std::vector<Resolution>& resolved);
+
+  AccessMode mode_;
+  Memory mem_;
+  util::Xoshiro256 rng_;
+  pram::WorkDepth counters_{};
+  std::vector<StepStats> history_;
+  std::ostream* trace_ = nullptr;
+  TraceOptions trace_options_{};
+};
+
+}  // namespace crcw::sim

@@ -1,0 +1,40 @@
+// Event records produced by the PRAM model simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace crcw::sim {
+
+using addr_t = std::uint64_t;
+using word_t = std::int64_t;
+using proc_t = std::uint64_t;
+
+/// One logged memory access within a step.
+struct Access {
+  proc_t proc = 0;
+  addr_t addr = 0;
+  word_t value = 0;  ///< value read (for reads) or offered (for writes)
+};
+
+/// Outcome of conflict resolution at one address at the end of a step.
+struct Resolution {
+  addr_t addr = 0;
+  proc_t winner = 0;        ///< processor whose write committed
+  word_t value = 0;         ///< committed value
+  std::uint64_t contenders = 0;  ///< writes offered at this address this step
+};
+
+/// Per-step statistics, useful for asserting contention profiles in tests.
+struct StepStats {
+  std::uint64_t step = 0;
+  std::uint64_t processors = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;          ///< writes offered
+  std::uint64_t cells_written = 0;   ///< distinct addresses committed
+  std::uint64_t max_contention = 0;  ///< max writes offered at one address
+
+  friend bool operator==(const StepStats&, const StepStats&) = default;
+};
+
+}  // namespace crcw::sim

@@ -1,0 +1,119 @@
+// Cache-line-aligned heap buffers.
+//
+// std::vector gives no alignment guarantee beyond alignof(T); the benchmark
+// kernels want their shared arrays to start on a cache-line boundary so that
+// padding policies behave as declared and so runs are reproducible across
+// allocator moods.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+#include "util/cacheline.hpp"
+
+namespace crcw::util {
+
+/// Minimal aligned allocator usable with std::vector.
+template <typename T, std::size_t Alignment = kCacheLineSize>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment weaker than natural");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) throw std::bad_alloc{};
+    // operator new rounds the size itself; aligned variant requires the size
+    // to be a multiple of the alignment on some platforms, so round up.
+    const std::size_t bytes = (n * sizeof(T) + Alignment - 1) / Alignment * Alignment;
+    void* p = ::operator new(bytes, std::align_val_t{Alignment});
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept { return true; }
+};
+
+/// Fixed-size, cache-line-aligned, non-copyable buffer. Value-initialises
+/// its contents and never relocates them, so it can hold non-movable types
+/// (atomics, mutex-bearing tags).
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) : size_(n) {
+    if (n == 0) return;
+    const std::size_t bytes =
+        (n * sizeof(T) + kCacheLineSize - 1) / kCacheLineSize * kCacheLineSize;
+    data_ = static_cast<T*>(::operator new(bytes, std::align_val_t{kCacheLineSize}));
+    for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(data_ + i)) T();
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr) {
+      if constexpr (!std::is_trivially_destructible_v<T>) {
+        for (std::size_t i = size_; i > 0; --i) data_[i - 1].~T();
+      }
+      ::operator delete(data_, std::align_val_t{kCacheLineSize});
+      data_ = nullptr;
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace crcw::util

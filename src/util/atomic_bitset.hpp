@@ -1,0 +1,72 @@
+// Fixed-size concurrent bitset.
+//
+// BFS-style kernels keep a `visited` array that many threads set at once; a
+// bit-packed atomic set is 8× denser than byte flags and test_and_set gives
+// a free "was I first?" answer (itself a form of concurrent-write
+// resolution for boolean payloads).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crcw::util {
+
+class AtomicBitset {
+ public:
+  AtomicBitset() = default;
+
+  explicit AtomicBitset(std::size_t bits)
+      : bits_(bits), words_((bits + kBitsPerWord - 1) / kBitsPerWord) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+  /// Relaxed read; pair with an external barrier before dependent reads,
+  /// mirroring the PRAM synchronisation-point contract.
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i / kBitsPerWord].load(std::memory_order_relaxed) & mask(i)) != 0;
+  }
+
+  void set(std::size_t i) noexcept {
+    words_[i / kBitsPerWord].fetch_or(mask(i), std::memory_order_relaxed);
+  }
+
+  /// Atomically sets bit i; returns true iff this call changed it (first
+  /// setter wins — an arbitrary concurrent write of `true`).
+  bool test_and_set(std::size_t i) noexcept {
+    const std::uint64_t prev =
+        words_[i / kBitsPerWord].fetch_or(mask(i), std::memory_order_acq_rel);
+    return (prev & mask(i)) == 0;
+  }
+
+  void reset(std::size_t i) noexcept {
+    words_[i / kBitsPerWord].fetch_and(~mask(i), std::memory_order_relaxed);
+  }
+
+  /// Non-atomic whole-set clear; callers must quiesce writers first.
+  void clear() noexcept {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (const auto& w : words_) {
+      total += static_cast<std::size_t>(
+          __builtin_popcountll(w.load(std::memory_order_relaxed)));
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kBitsPerWord = 64;
+
+  static constexpr std::uint64_t mask(std::size_t i) noexcept {
+    return std::uint64_t{1} << (i % kBitsPerWord);
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace crcw::util

@@ -1,0 +1,48 @@
+// Cache-line geometry and anti-false-sharing wrappers.
+//
+// The concurrent-write tags of the core library are written with atomic RMW
+// instructions by many threads at once; whether neighbouring tags share a
+// cache line is a first-order performance effect (see bench/ablation_padding).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace crcw::util {
+
+/// Size of a destructive-interference region. Fixed at 64 bytes — correct
+/// for every x86 and most ARM implementations — rather than
+/// std::hardware_destructive_interference_size, whose value is an ABI
+/// hazard (GCC warns that it may differ across translation units).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a T so that each instance occupies at least one full cache line.
+/// Used for arrays of contended atomics (one contended word per line).
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+
+  Padded() = default;
+
+  template <typename... Args>
+    requires std::is_constructible_v<T, Args...>
+  explicit Padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(sizeof(Padded<char>) == kCacheLineSize);
+static_assert(alignof(Padded<char>) == kCacheLineSize);
+
+/// True if [p, p + sizeof(T)) cannot straddle a cache-line boundary.
+template <typename T>
+constexpr bool fits_single_line() noexcept {
+  return sizeof(T) <= kCacheLineSize;
+}
+
+}  // namespace crcw::util

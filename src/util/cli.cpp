@@ -1,0 +1,119 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace crcw::util {
+namespace {
+
+bool looks_like_option(std::string_view s) {
+  return s.size() > 2 && s.substr(0, 2) == "--";
+}
+
+[[noreturn]] void bad_value(std::string_view key, std::string_view value, std::string_view type) {
+  throw std::invalid_argument("option --" + std::string(key) + ": cannot parse '" +
+                              std::string(value) + "' as " + std::string(type));
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!looks_like_option(arg)) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      options_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    // `--key value` when the next token is not itself an option; otherwise a
+    // bare flag. A negative number after a key is a value, not an option.
+    if (i + 1 < argc && !looks_like_option(argv[i + 1])) {
+      options_.emplace(std::string(arg), argv[i + 1]);
+      ++i;
+    } else {
+      options_.emplace(std::string(arg), "");
+    }
+  }
+}
+
+bool Cli::has(std::string_view key) const { return options_.find(key) != options_.end(); }
+
+std::optional<std::string> Cli::get(std::string_view key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_string(std::string_view key, std::string fallback) const {
+  const auto v = get(key);
+  return v.has_value() && !v->empty() ? *v : std::move(fallback);
+}
+
+std::int64_t Cli::get_int(std::string_view key, std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v.has_value() || v->empty()) return fallback;
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) bad_value(key, *v, "integer");
+  return out;
+}
+
+std::uint64_t Cli::get_uint(std::string_view key, std::uint64_t fallback) const {
+  const auto v = get(key);
+  if (!v.has_value() || v->empty()) return fallback;
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) bad_value(key, *v, "unsigned integer");
+  return out;
+}
+
+double Cli::get_double(std::string_view key, double fallback) const {
+  const auto v = get(key);
+  if (!v.has_value() || v->empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(*v, &pos);
+    if (pos != v->size()) bad_value(key, *v, "double");
+    return out;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *v, "double");
+  } catch (const std::out_of_range&) {
+    bad_value(key, *v, "double");
+  }
+}
+
+bool Cli::get_bool(std::string_view key, bool fallback) const {
+  const auto v = get(key);
+  if (!v.has_value()) return fallback;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes" || *v == "on") return true;
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  bad_value(key, *v, "bool");
+}
+
+std::vector<std::uint64_t> Cli::get_uint_list(std::string_view key,
+                                              std::vector<std::uint64_t> fallback) const {
+  const auto v = get(key);
+  if (!v.has_value() || v->empty()) return fallback;
+  std::vector<std::uint64_t> out;
+  std::size_t start = 0;
+  while (start <= v->size()) {
+    std::size_t comma = v->find(',', start);
+    if (comma == std::string::npos) comma = v->size();
+    const std::string_view tok(v->data() + start, comma - start);
+    if (tok.empty()) bad_value(key, *v, "uint list");
+    std::uint64_t x = 0;
+    const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), x);
+    if (ec != std::errc{} || ptr != tok.data() + tok.size()) bad_value(key, *v, "uint list");
+    out.push_back(x);
+    start = comma + 1;
+    if (comma == v->size()) break;
+  }
+  return out;
+}
+
+}  // namespace crcw::util

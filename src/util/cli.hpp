@@ -1,0 +1,51 @@
+// Tiny command-line parser for the examples and figure harnesses.
+//
+// Supports `--key value`, `--key=value` and boolean `--flag` forms; anything
+// not starting with `--` is a positional argument. No external dependency so
+// the examples stay single-file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crcw::util {
+
+class Cli {
+ public:
+  /// Parses argv; throws std::invalid_argument on a malformed option
+  /// (e.g. `--key` at end of argv when the key is consumed as valued).
+  Cli(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  /// Raw string value; empty optional when absent or flag-only.
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  [[nodiscard]] std::string get_string(std::string_view key, std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(std::string_view key, std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Comma-separated unsigned list, e.g. `--sizes 1024,2048,4096`.
+  [[nodiscard]] std::vector<std::uint64_t> get_uint_list(
+      std::string_view key, std::vector<std::uint64_t> fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace crcw::util

@@ -1,0 +1,33 @@
+#include "util/env.hpp"
+
+#include <omp.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+namespace crcw::util {
+
+int omp_max_threads() noexcept { return omp_get_max_threads(); }
+
+int hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void set_omp_threads(int threads) noexcept {
+  if (threads > 0) omp_set_num_threads(threads);
+}
+
+bool oversubscribed(int threads) noexcept { return threads > hardware_threads(); }
+
+std::string environment_summary() {
+  std::ostringstream ss;
+  ss << "omp_max_threads=" << omp_max_threads() << " hardware_threads=" << hardware_threads();
+  for (const char* var : {"OMP_WAIT_POLICY", "OMP_PROC_BIND", "OMP_PLACES", "OMP_SCHEDULE"}) {
+    if (const char* v = std::getenv(var); v != nullptr) ss << ' ' << var << '=' << v;
+  }
+  return ss.str();
+}
+
+}  // namespace crcw::util

@@ -1,0 +1,28 @@
+// Execution-environment introspection and control.
+//
+// The paper pins threads and uses an active OpenMP wait policy (§7.1); these
+// helpers surface that configuration in bench output so every result records
+// the conditions it was measured under.
+#pragma once
+
+#include <string>
+
+namespace crcw::util {
+
+/// Threads OpenMP would use for a parallel region right now.
+[[nodiscard]] int omp_max_threads() noexcept;
+
+/// Physical concurrency reported by the OS (hardware_concurrency, min 1).
+[[nodiscard]] int hardware_threads() noexcept;
+
+/// Sets the OpenMP thread count for subsequent parallel regions.
+void set_omp_threads(int threads) noexcept;
+
+/// Human-readable one-line description: thread counts, OMP_* env knobs.
+[[nodiscard]] std::string environment_summary();
+
+/// True when requested thread count exceeds physical concurrency, i.e. the
+/// measurement exercises oversubscription rather than parallel speedup.
+[[nodiscard]] bool oversubscribed(int threads) noexcept;
+
+}  // namespace crcw::util

@@ -1,0 +1,82 @@
+// Sparse-table range-minimum queries.
+//
+// O(n log n) construction (each level is one parallel step), O(1) queries.
+// Used by the Tarjan–Vishkin biconnectivity kernel to aggregate low/high
+// values over Euler-tour segments (each vertex's subtree is one contiguous
+// tour range), and generally useful for offline RMQ on PRAM-style data.
+#pragma once
+
+#include <omp.h>
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace crcw::util {
+
+template <typename T, typename Compare = std::less<T>>
+class SparseTableRmq {
+ public:
+  SparseTableRmq() = default;
+
+  /// Builds over a copy of `values`. `threads` work-shares the level
+  /// construction (0 = ambient OpenMP setting).
+  explicit SparseTableRmq(std::span<const T> values, int threads = 0,
+                          Compare compare = Compare{})
+      : values_(values.begin(), values.end()), compare_(compare) {
+    const std::size_t n = values_.size();
+    if (n == 0) return;
+    const int levels = std::bit_width(n);  // 1 + floor(log2 n)
+    table_.resize(static_cast<std::size_t>(levels));
+    table_[0].resize(n);
+    for (std::size_t i = 0; i < n; ++i) table_[0][i] = i;
+
+    if (threads <= 0) threads = omp_get_max_threads();
+    for (int k = 1; k < levels; ++k) {
+      const std::size_t half = std::size_t{1} << (k - 1);
+      const std::size_t count = n - (std::size_t{1} << k) + 1;
+      table_[static_cast<std::size_t>(k)].resize(count);
+      auto& cur = table_[static_cast<std::size_t>(k)];
+      const auto& prev = table_[static_cast<std::size_t>(k - 1)];
+#pragma omp parallel for num_threads(threads) schedule(static)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(count); ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        cur[idx] = better(prev[idx], prev[idx + half]);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  /// Index of the best (minimum under Compare) element in [lo, hi]
+  /// (inclusive). Ties go to the leftmost candidate of the two covering
+  /// blocks. Throws std::out_of_range on an empty or reversed range.
+  [[nodiscard]] std::size_t argbest(std::size_t lo, std::size_t hi) const {
+    if (lo > hi || hi >= values_.size()) {
+      throw std::out_of_range("SparseTableRmq: bad range");
+    }
+    const auto k = static_cast<std::size_t>(std::bit_width(hi - lo + 1) - 1);
+    const std::size_t left = table_[k][lo];
+    const std::size_t right = table_[k][hi - (std::size_t{1} << k) + 1];
+    return better(left, right);
+  }
+
+  /// Best value in [lo, hi].
+  [[nodiscard]] const T& best(std::size_t lo, std::size_t hi) const {
+    return values_[argbest(lo, hi)];
+  }
+
+ private:
+  std::size_t better(std::size_t a, std::size_t b) const {
+    return compare_(values_[b], values_[a]) ? b : a;
+  }
+
+  std::vector<T> values_;
+  std::vector<std::vector<std::size_t>> table_;
+  Compare compare_;
+};
+
+}  // namespace crcw::util

@@ -1,0 +1,118 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// The graph generators and the arbitrary-conflict-resolution rule of the
+// PRAM simulator must be reproducible across runs and platforms, so we ship
+// our own generators (splitmix64 for seeding, xoshiro256** for streams)
+// instead of relying on implementation-defined std::default_random_engine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace crcw::util {
+
+/// splitmix64 — tiny generator used to expand a single seed into state for
+/// larger generators. Passes BigCrush when used directly.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator (Blackman/Vigna).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : state_{} {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  /// Unbiased integer in [0, bound) via Lemire's multiply-shift rejection.
+  constexpr std::uint64_t bounded(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Jump function: advances the stream by 2^128 steps. Used to derive
+  /// statistically independent per-thread substreams from one seed.
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull,
+        0xa9582618e03fc9aaull, 0x39abdc4529b1661cull};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if ((word & (1ull << b)) != 0) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+        }
+        next();
+      }
+    }
+    state_ = acc;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace crcw::util

@@ -1,0 +1,61 @@
+// Descriptive statistics used by the benchmark harness.
+//
+// The paper reports per-point execution times plus maximum and geometric-mean
+// speedups across a sweep (§7.2); Summary and geometric_mean implement
+// exactly those aggregations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace crcw::util {
+
+/// Streaming mean/variance (Welford) plus min/max.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Order statistics and moments of a fixed sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarises a sample (copies + sorts internally; input order preserved).
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Geometric mean; requires every element > 0 (throws std::invalid_argument
+/// otherwise). Returns 0 for an empty span, matching "no data".
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+
+/// Interpolated quantile (q in [0,1]) of an already **sorted** sample.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Element-wise ratios a[i]/b[i]; used for per-point speedups.
+[[nodiscard]] std::vector<double> ratios(std::span<const double> numer,
+                                         std::span<const double> denom);
+
+}  // namespace crcw::util

@@ -1,0 +1,44 @@
+// Aligned console tables + CSV export for the figure harnesses.
+//
+// Every bench binary prints the same series the corresponding paper figure
+// plots; Table keeps that output legible and machine-readable at once.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crcw::util {
+
+/// Row-oriented string table with column alignment and CSV export.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t columns() const noexcept { return headers_.size(); }
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Appends a row; throws std::invalid_argument if width mismatches.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt(std::uint64_t value);
+
+  /// Renders with padded, right-aligned numeric-looking columns.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (fields containing comma/quote/newline are quoted).
+  void write_csv(std::ostream& os) const;
+
+  /// Writes CSV to `path`; creates parent directories if missing.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crcw::util

@@ -1,0 +1,49 @@
+// Wall-clock timing for the benchmark harness.
+//
+// The paper excludes initialisation and serial setup from every measurement
+// (§7.2); Timer/ScopedTimer make the measured region explicit at call sites.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace crcw::util {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] double microseconds() const noexcept { return seconds() * 1e6; }
+  [[nodiscard]] std::uint64_t nanoseconds() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_).count());
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed seconds into a double on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink) noexcept : sink_(sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_ += timer_.seconds(); }
+
+ private:
+  double& sink_;
+  Timer timer_;
+};
+
+}  // namespace crcw::util

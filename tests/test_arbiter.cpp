@@ -1,0 +1,117 @@
+// WriteArbiter — per-target tag arrays with round management.
+#include "core/arbiter.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <vector>
+
+namespace crcw {
+namespace {
+
+TEST(WriteArbiter, SizeAndInitialRound) {
+  WriteArbiter<CasLtPolicy> arb(10);
+  EXPECT_EQ(arb.size(), 10u);
+  EXPECT_EQ(arb.round(), kInitialRound);
+}
+
+TEST(WriteArbiter, BeginRoundAdvances) {
+  WriteArbiter<CasLtPolicy> arb(4);
+  EXPECT_EQ(arb.begin_round(), 1u);
+  EXPECT_EQ(arb.begin_round(), 2u);
+  EXPECT_EQ(arb.round(), 2u);
+}
+
+TEST(WriteArbiter, OneWinnerPerTargetPerRound) {
+  WriteArbiter<CasLtPolicy> arb(3);
+  arb.begin_round();
+  EXPECT_TRUE(arb.try_acquire(0));
+  EXPECT_FALSE(arb.try_acquire(0));
+  EXPECT_TRUE(arb.try_acquire(1));  // distinct targets are independent
+  EXPECT_TRUE(arb.try_acquire(2));
+
+  arb.begin_round();
+  EXPECT_TRUE(arb.try_acquire(0));  // re-armed without any reset
+}
+
+TEST(WriteArbiter, GatekeeperBeginRoundResets) {
+  WriteArbiter<GatekeeperPolicy> arb(5);
+  arb.begin_round();
+  for (std::size_t i = 0; i < 5; ++i) ASSERT_TRUE(arb.try_acquire(i));
+  for (std::size_t i = 0; i < 5; ++i) ASSERT_FALSE(arb.try_acquire(i));
+  // begin_round must perform the gatekeeper re-initialisation sweep.
+  arb.begin_round();
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(arb.try_acquire(i));
+}
+
+TEST(WriteArbiter, ExplicitRoundOverload) {
+  WriteArbiter<CasLtPolicy> arb(2);
+  // Loop iteration used as the round id (§5: "round could be substituted
+  // by the loop iteration").
+  for (round_t l = 1; l <= 10; ++l) {
+    EXPECT_TRUE(arb.try_acquire(0, l));
+    EXPECT_FALSE(arb.try_acquire(0, l));
+  }
+}
+
+TEST(WriteArbiter, ResetAllRestoresFreshState) {
+  WriteArbiter<CasLtPolicy> arb(2);
+  arb.begin_round();
+  ASSERT_TRUE(arb.try_acquire(0));
+  arb.reset_all();
+  EXPECT_EQ(arb.round(), kInitialRound);
+  arb.begin_round();
+  EXPECT_TRUE(arb.try_acquire(0));
+}
+
+TEST(WriteArbiter, PaddedLayoutSpacing) {
+  WriteArbiter<CasLtPolicy, TagLayout::kPadded> arb(4);
+  arb.begin_round();
+  const auto a = reinterpret_cast<std::uintptr_t>(&arb.tag(0));
+  const auto b = reinterpret_cast<std::uintptr_t>(&arb.tag(1));
+  EXPECT_GE(b - a, util::kCacheLineSize);
+  EXPECT_TRUE(arb.try_acquire(0));
+  EXPECT_FALSE(arb.try_acquire(0));
+}
+
+TEST(WriteArbiter, PackedLayoutIsDense) {
+  WriteArbiter<CasLtPolicy, TagLayout::kPacked> arb(4);
+  const auto a = reinterpret_cast<std::uintptr_t>(&arb.tag(0));
+  const auto b = reinterpret_cast<std::uintptr_t>(&arb.tag(1));
+  EXPECT_EQ(b - a, sizeof(RoundTag));
+}
+
+TEST(WriteArbiterStress, PerTargetExactlyOneWinner) {
+  constexpr std::size_t kTargets = 64;
+  WriteArbiter<CasLtPolicy> arb(kTargets);
+  std::vector<std::atomic<int>> winners(kTargets);
+
+  for (int round = 0; round < 20; ++round) {
+    for (auto& w : winners) w.store(0);
+    arb.begin_round();
+#pragma omp parallel num_threads(8)
+    {
+      for (std::size_t t = 0; t < kTargets; ++t) {
+        if (arb.try_acquire(t)) winners[t].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    for (std::size_t t = 0; t < kTargets; ++t) ASSERT_EQ(winners[t].load(), 1) << t;
+  }
+}
+
+TEST(WriteArbiterStress, CriticalPolicyUnderContention) {
+  WriteArbiter<CriticalPolicy> arb(8);
+  arb.begin_round();
+  std::atomic<int> winners{0};
+#pragma omp parallel num_threads(8)
+  {
+    for (std::size_t t = 0; t < arb.size(); ++t) {
+      if (arb.try_acquire(t)) winners.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  EXPECT_EQ(winners.load(), 8);
+}
+
+}  // namespace
+}  // namespace crcw

@@ -1,0 +1,81 @@
+// AtomicBitset — concurrent boolean flags (a degenerate concurrent write).
+#include "util/atomic_bitset.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+
+namespace crcw::util {
+namespace {
+
+TEST(AtomicBitset, StartsClear) {
+  AtomicBitset bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(bits.test(i));
+}
+
+TEST(AtomicBitset, SetTestReset) {
+  AtomicBitset bits(70);
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);  // crosses the word boundary
+  bits.set(69);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(69));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 4u);
+
+  bits.reset(63);
+  EXPECT_FALSE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_EQ(bits.count(), 3u);
+}
+
+TEST(AtomicBitset, TestAndSetReportsFirstSetter) {
+  AtomicBitset bits(10);
+  EXPECT_TRUE(bits.test_and_set(5));
+  EXPECT_FALSE(bits.test_and_set(5));
+  EXPECT_TRUE(bits.test(5));
+}
+
+TEST(AtomicBitset, Clear) {
+  AtomicBitset bits(200);
+  for (std::size_t i = 0; i < 200; i += 3) bits.set(i);
+  EXPECT_GT(bits.count(), 0u);
+  bits.clear();
+  EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(AtomicBitsetStress, ExactlyOneFirstSetterPerBit) {
+  constexpr std::size_t kBits = 512;
+  AtomicBitset bits(kBits);
+  std::atomic<int> first_setters{0};
+
+#pragma omp parallel num_threads(8)
+  {
+    for (std::size_t i = 0; i < kBits; ++i) {
+      if (bits.test_and_set(i)) first_setters.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  EXPECT_EQ(first_setters.load(), static_cast<int>(kBits));
+  EXPECT_EQ(bits.count(), kBits);
+}
+
+TEST(AtomicBitsetStress, ConcurrentDisjointSets) {
+  constexpr std::size_t kBits = 4096;
+  AtomicBitset bits(kBits);
+#pragma omp parallel for num_threads(8) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(kBits); ++i) {
+    if (i % 2 == 0) bits.set(static_cast<std::size_t>(i));
+  }
+  EXPECT_EQ(bits.count(), kBits / 2);
+  for (std::size_t i = 0; i < kBits; ++i) EXPECT_EQ(bits.test(i), i % 2 == 0);
+}
+
+}  // namespace
+}  // namespace crcw::util

@@ -1,0 +1,249 @@
+// Tarjan–Vishkin biconnected components vs a sequential Hopcroft–Tarjan
+// reference, across structured and random graphs.
+#include "algorithms/bicc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stack>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference.hpp"
+#include "util/rng.hpp"
+
+namespace crcw::algo {
+namespace {
+
+using graph::EdgeList;
+using graph::vertex_t;
+
+/// Sequential Hopcroft–Tarjan biconnected components (iterative DFS with an
+/// edge stack). Returns the canonical per-edge labelling (smallest edge id
+/// per component) and the articulation set.
+struct RefBicc {
+  std::vector<std::uint64_t> edge_label;
+  std::set<vertex_t> articulation;
+};
+
+RefBicc reference_bicc(std::uint64_t n, const EdgeList& edges) {
+  // Adjacency with edge ids.
+  std::vector<std::vector<std::pair<vertex_t, std::uint64_t>>> adj(n);
+  for (std::uint64_t i = 0; i < edges.size(); ++i) {
+    adj[edges[i].u].push_back({edges[i].v, i});
+    adj[edges[i].v].push_back({edges[i].u, i});
+  }
+
+  RefBicc out;
+  out.edge_label.assign(edges.size(), 0);
+  std::vector<std::int64_t> num(n, -1);
+  std::vector<std::int64_t> low(n, 0);
+  std::vector<std::uint64_t> edge_stack;
+  std::int64_t counter = 0;
+  std::vector<std::vector<std::uint64_t>> components;
+
+  struct Frame {
+    vertex_t v;
+    vertex_t parent_vertex;
+    std::size_t next_edge;
+    std::uint64_t via_edge;
+  };
+
+  const auto pop_component = [&](std::uint64_t until_edge) {
+    std::vector<std::uint64_t> comp;
+    while (true) {
+      const std::uint64_t e = edge_stack.back();
+      edge_stack.pop_back();
+      comp.push_back(e);
+      if (e == until_edge) break;
+    }
+    components.push_back(std::move(comp));
+  };
+
+  for (vertex_t start = 0; start < n; ++start) {
+    if (num[start] != -1) continue;
+    std::stack<Frame> stack;
+    stack.push({start, start, 0, static_cast<std::uint64_t>(-1)});
+    num[start] = low[start] = counter++;
+    std::uint64_t root_children = 0;
+
+    while (!stack.empty()) {
+      Frame& f = stack.top();
+      if (f.next_edge < adj[f.v].size()) {
+        const auto [w, eid] = adj[f.v][f.next_edge++];
+        if (eid == f.via_edge) continue;  // the tree edge we came by
+        if (num[w] == -1) {
+          edge_stack.push_back(eid);
+          if (f.v == start) ++root_children;
+          num[w] = low[w] = counter++;
+          stack.push({w, f.v, 0, eid});
+        } else if (num[w] < num[f.v]) {
+          edge_stack.push_back(eid);
+          low[f.v] = std::min(low[f.v], num[w]);
+        }
+      } else {
+        const Frame done = f;
+        stack.pop();
+        if (stack.empty()) break;
+        Frame& up = stack.top();
+        low[up.v] = std::min(low[up.v], low[done.v]);
+        if (low[done.v] >= num[up.v]) {
+          // up.v separates done.v's subtree: one component closes.
+          pop_component(done.via_edge);
+          if (up.v != start) out.articulation.insert(up.v);
+        }
+      }
+    }
+    if (root_children >= 2) out.articulation.insert(start);
+  }
+
+  // Canonical labels.
+  for (const auto& comp : components) {
+    const std::uint64_t label = *std::min_element(comp.begin(), comp.end());
+    for (const std::uint64_t e : comp) out.edge_label[e] = label;
+  }
+  return out;
+}
+
+void expect_matches_reference(std::uint64_t n, const EdgeList& edges, int threads) {
+  const BiccResult got = biconnected_components(n, edges, {.threads = threads});
+  const RefBicc want = reference_bicc(n, edges);
+
+  ASSERT_EQ(got.edge_label.size(), edges.size());
+  ASSERT_EQ(got.edge_label, want.edge_label);
+
+  std::set<vertex_t> got_arts;
+  for (vertex_t v = 0; v < n; ++v) {
+    if (got.is_articulation[v] != 0) got_arts.insert(v);
+  }
+  ASSERT_EQ(got_arts, want.articulation);
+
+  // Component count agrees with the number of distinct labels.
+  const std::set<std::uint64_t> labels(got.edge_label.begin(), got.edge_label.end());
+  ASSERT_EQ(got.components, labels.size());
+}
+
+TEST(Bicc, SingleEdgeIsABridge) {
+  const EdgeList edges = {{0, 1}};
+  const BiccResult r = biconnected_components(2, edges);
+  EXPECT_EQ(r.components, 1u);
+  ASSERT_EQ(r.bridges.size(), 1u);
+  EXPECT_EQ(r.bridges[0], 0u);
+  EXPECT_EQ(r.is_articulation[0], 0);
+  EXPECT_EQ(r.is_articulation[1], 0);
+}
+
+TEST(Bicc, TriangleIsOneComponent) {
+  const EdgeList edges = {{0, 1}, {1, 2}, {0, 2}};
+  const BiccResult r = biconnected_components(3, edges);
+  EXPECT_EQ(r.components, 1u);
+  EXPECT_TRUE(r.bridges.empty());
+  for (const auto l : r.edge_label) EXPECT_EQ(l, 0u);
+}
+
+TEST(Bicc, PathEveryEdgeItsOwnComponent) {
+  const EdgeList edges = graph::path(6);
+  const BiccResult r = biconnected_components(6, edges);
+  EXPECT_EQ(r.components, 5u);
+  EXPECT_EQ(r.bridges.size(), 5u);
+  // Interior vertices are cut vertices.
+  for (vertex_t v = 1; v <= 4; ++v) EXPECT_EQ(r.is_articulation[v], 1) << v;
+  EXPECT_EQ(r.is_articulation[0], 0);
+  EXPECT_EQ(r.is_articulation[5], 0);
+}
+
+TEST(Bicc, TwoTrianglesSharingAVertex) {
+  // Bowtie: triangles {0,1,2} and {2,3,4} share vertex 2.
+  const EdgeList edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}};
+  const BiccResult r = biconnected_components(5, edges);
+  EXPECT_EQ(r.components, 2u);
+  EXPECT_EQ(r.is_articulation[2], 1);
+  for (const vertex_t v : {0u, 1u, 3u, 4u}) EXPECT_EQ(r.is_articulation[v], 0) << v;
+  EXPECT_TRUE(r.bridges.empty());
+  expect_matches_reference(5, edges, 4);
+}
+
+TEST(Bicc, CycleWithPendantEdge) {
+  // Square 0-1-2-3-0 plus pendant 3-4: one 4-cycle component + one bridge.
+  const EdgeList edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {3, 4}};
+  const BiccResult r = biconnected_components(5, edges);
+  EXPECT_EQ(r.components, 2u);
+  ASSERT_EQ(r.bridges.size(), 1u);
+  EXPECT_EQ(r.bridges[0], 4u);
+  EXPECT_EQ(r.is_articulation[3], 1);
+  expect_matches_reference(5, edges, 4);
+}
+
+TEST(Bicc, StructuredFamilies) {
+  expect_matches_reference(8, graph::cycle(8), 4);
+  expect_matches_reference(9, graph::star(9), 4);
+  expect_matches_reference(12, graph::grid2d(3, 4), 4);
+  expect_matches_reference(6, graph::complete(6), 4);
+  expect_matches_reference(10, graph::path(10), 1);
+}
+
+class BiccRandomTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t, int>> {};
+
+TEST_P(BiccRandomTest, MatchesHopcroftTarjanOnConnectedRandomGraphs) {
+  const auto& [n, extra, threads] = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    // Connected by construction: random tree + extra random simple edges.
+    EdgeList edges = graph::random_tree(n, seed);
+    std::set<std::uint64_t> used;
+    for (const auto& e : edges) {
+      used.insert((static_cast<std::uint64_t>(std::min(e.u, e.v)) << 32) |
+                  std::max(e.u, e.v));
+    }
+    util::Xoshiro256 rng(seed * 17 + 3);
+    std::uint64_t added = 0;
+    while (added < extra) {
+      const auto u = static_cast<vertex_t>(rng.bounded(n));
+      auto v = static_cast<vertex_t>(rng.bounded(n - 1));
+      if (v >= u) ++v;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+      if (!used.insert(key).second) continue;
+      edges.push_back({u, v});
+      ++added;
+    }
+    expect_matches_reference(n, edges, threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BiccRandomTest,
+    ::testing::Values(std::make_tuple(std::uint64_t{4}, std::uint64_t{1}, 1),
+                      std::make_tuple(std::uint64_t{10}, std::uint64_t{5}, 4),
+                      std::make_tuple(std::uint64_t{50}, std::uint64_t{10}, 4),
+                      std::make_tuple(std::uint64_t{50}, std::uint64_t{120}, 4),
+                      std::make_tuple(std::uint64_t{300}, std::uint64_t{50}, 8),
+                      std::make_tuple(std::uint64_t{300}, std::uint64_t{900}, 8)),
+    [](const auto& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_x" +
+             std::to_string(std::get<1>(pinfo.param)) + "_t" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(Bicc, InputValidation) {
+  EXPECT_THROW((void)biconnected_components(0, {}), std::invalid_argument);
+  EXPECT_THROW((void)biconnected_components(2, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW((void)biconnected_components(2, {{0, 1}, {1, 0}}), std::invalid_argument);
+  EXPECT_THROW((void)biconnected_components(2, {{0, 5}}), std::invalid_argument);
+  // Disconnected.
+  EXPECT_THROW((void)biconnected_components(4, {{0, 1}, {2, 3}}), std::invalid_argument);
+  EXPECT_THROW((void)biconnected_components(3, {{0, 1}}), std::invalid_argument);
+}
+
+TEST(Bicc, SingletonVertex) {
+  const BiccResult r = biconnected_components(1, {});
+  EXPECT_EQ(r.components, 0u);
+  EXPECT_TRUE(r.edge_label.empty());
+}
+
+}  // namespace
+}  // namespace crcw::algo

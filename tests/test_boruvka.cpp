@@ -1,0 +1,140 @@
+// Borůvka MSF via packed priority concurrent writes.
+#include "algorithms/boruvka.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/reference.hpp"
+
+namespace crcw::algo {
+namespace {
+
+TEST(Boruvka, EmptyGraph) {
+  const MsfResult r = boruvka_msf(0, {});
+  EXPECT_TRUE(r.edge_ids.empty());
+  EXPECT_EQ(r.components, 0u);
+}
+
+TEST(Boruvka, NoEdges) {
+  const MsfResult r = boruvka_msf(5, {});
+  EXPECT_TRUE(r.edge_ids.empty());
+  EXPECT_EQ(r.components, 5u);
+  EXPECT_EQ(r.total_weight, 0u);
+}
+
+TEST(Boruvka, SingleEdge) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 7}};
+  const MsfResult r = boruvka_msf(2, edges);
+  ASSERT_EQ(r.edge_ids.size(), 1u);
+  EXPECT_EQ(r.total_weight, 7u);
+  EXPECT_EQ(r.components, 1u);
+}
+
+TEST(Boruvka, TriangleDropsHeaviestEdge) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {1, 2, 2}, {0, 2, 3}};
+  const MsfResult r = boruvka_msf(3, edges);
+  EXPECT_EQ(r.total_weight, 3u);
+  EXPECT_EQ(r.edge_ids.size(), 2u);
+  const std::set<std::uint64_t> chosen(r.edge_ids.begin(), r.edge_ids.end());
+  EXPECT_FALSE(chosen.contains(2)) << "the weight-3 edge closes a cycle";
+}
+
+TEST(Boruvka, SelfLoopsIgnored) {
+  const std::vector<WeightedEdge> edges = {{0, 0, 1}, {0, 1, 5}};
+  const MsfResult r = boruvka_msf(2, edges);
+  EXPECT_EQ(r.total_weight, 5u);
+  ASSERT_EQ(r.edge_ids.size(), 1u);
+  EXPECT_EQ(r.edge_ids[0], 1u);
+}
+
+TEST(Boruvka, EqualWeightsResolveByEdgeIdTotalOrder) {
+  // Square with all-equal weights: the MSF picks 3 edges; weight is 3w and
+  // Kruskal under the same order picks an identical total.
+  const std::vector<WeightedEdge> edges = {{0, 1, 4}, {1, 2, 4}, {2, 3, 4}, {3, 0, 4}};
+  const MsfResult r = boruvka_msf(4, edges);
+  EXPECT_EQ(r.edge_ids.size(), 3u);
+  EXPECT_EQ(r.total_weight, 12u);
+}
+
+TEST(Boruvka, DisconnectedForest) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 2}, {2, 3, 5}};
+  const MsfResult r = boruvka_msf(5, edges);  // vertex 4 isolated
+  EXPECT_EQ(r.total_weight, 7u);
+  EXPECT_EQ(r.components, 3u);
+}
+
+TEST(Boruvka, RejectsBadInput) {
+  const std::vector<WeightedEdge> bad = {{0, 9, 1}};
+  EXPECT_THROW((void)boruvka_msf(3, bad), std::invalid_argument);
+}
+
+TEST(Kruskal, MatchesHandResult) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {1, 2, 2}, {0, 2, 3}};
+  EXPECT_EQ(msf_weight_kruskal(3, edges), 3u);
+}
+
+class BoruvkaRandomTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t, int>> {};
+
+TEST_P(BoruvkaRandomTest, WeightMatchesKruskalAndTreeIsSpanning) {
+  const auto& [n, m, threads] = GetParam();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto edges = random_weighted_edges(n, m, 1000, seed);
+    const MsfResult r = boruvka_msf(n, edges, {.threads = threads});
+
+    // 1. Optimal weight (MSF weight is unique even with ties).
+    ASSERT_EQ(r.total_weight, msf_weight_kruskal(n, edges))
+        << "n=" << n << " m=" << m << " seed=" << seed;
+
+    // 2. Selected edges form a forest with the right structure: |MSF| =
+    //    n - #components, and using only those edges reproduces exactly
+    //    the connectivity of the full graph.
+    graph::UnionFind uf(n);
+    for (const auto id : r.edge_ids) {
+      ASSERT_TRUE(uf.unite(edges[id].u, edges[id].v)) << "cycle edge selected";
+    }
+    ASSERT_EQ(r.edge_ids.size(), n - r.components);
+
+    graph::UnionFind full(n);
+    for (const auto& e : edges) {
+      if (e.u != e.v) full.unite(e.u, e.v);
+    }
+    ASSERT_EQ(uf.num_sets(), full.num_sets());
+    ASSERT_EQ(r.components, full.num_sets());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BoruvkaRandomTest,
+    ::testing::Values(std::make_tuple(std::uint64_t{10}, std::uint64_t{15}, 1),
+                      std::make_tuple(std::uint64_t{100}, std::uint64_t{80}, 4),
+                      std::make_tuple(std::uint64_t{100}, std::uint64_t{400}, 4),
+                      std::make_tuple(std::uint64_t{500}, std::uint64_t{2000}, 8),
+                      std::make_tuple(std::uint64_t{1000}, std::uint64_t{1000}, 8)),
+    [](const auto& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_m" +
+             std::to_string(std::get<1>(pinfo.param)) + "_t" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(Boruvka, LogarithmicRounds) {
+  const auto edges = random_weighted_edges(2048, 8192, 100, 5);
+  const MsfResult r = boruvka_msf(2048, edges);
+  EXPECT_LE(r.rounds, 14u) << "Borůvka halves components per round";
+}
+
+TEST(RandomWeightedEdges, DeterministicAndInRange) {
+  const auto a = random_weighted_edges(50, 100, 10, 3);
+  const auto b = random_weighted_edges(50, 100, 10, 3);
+  EXPECT_EQ(a, b);
+  for (const auto& e : a) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_LE(e.weight, 10u);
+  }
+}
+
+}  // namespace
+}  // namespace crcw::algo

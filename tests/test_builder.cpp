@@ -1,0 +1,82 @@
+// Edge-list → CSR builder options.
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crcw::graph {
+namespace {
+
+TEST(Builder, SymmetrizeDoublesEdges) {
+  const EdgeList edges = {{0, 1}, {1, 2}};
+  const Csr g = build_csr(3, edges);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+}
+
+TEST(Builder, DirectedKeepsSingleDirection) {
+  const EdgeList edges = {{0, 1}};
+  const Csr g = build_csr(2, edges, {.symmetrize = false});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Builder, SortsNeighbors) {
+  const EdgeList edges = {{0, 3}, {0, 1}, {0, 2}};
+  const Csr g = build_csr(4, edges, {.symmetrize = false, .sort_neighbors = true});
+  const auto n = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(Builder, DedupRemovesParallelEdges) {
+  const EdgeList edges = {{0, 1}, {0, 1}, {0, 1}, {1, 2}};
+  const Csr g = build_csr(3, edges, {.symmetrize = true, .dedup = true});
+  EXPECT_EQ(g.num_edges(), 4u);  // 0-1 and 1-2, both directions, once each
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Builder, SelfLoopHandling) {
+  const EdgeList edges = {{0, 0}, {0, 1}};
+  const Csr keep = build_csr(2, edges);
+  // A self-loop is stored once even when symmetrising.
+  EXPECT_EQ(keep.num_edges(), 3u);
+  EXPECT_TRUE(keep.has_edge(0, 0));
+
+  const Csr drop = build_csr(2, edges, {.remove_self_loops = true});
+  EXPECT_EQ(drop.num_edges(), 2u);
+  EXPECT_FALSE(drop.has_edge(0, 0));
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoints) {
+  const EdgeList edges = {{0, 5}};
+  EXPECT_THROW(build_csr(3, edges), std::invalid_argument);
+}
+
+TEST(Builder, EmptyEdgeList) {
+  const Csr g = build_csr(5, {});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Builder, ToEdgeListRoundTrip) {
+  const EdgeList edges = {{0, 1}, {1, 2}, {2, 3}};
+  const Csr g = build_csr(4, edges, {.symmetrize = false, .sort_neighbors = true});
+  const EdgeList out = to_edge_list(g);
+  ASSERT_EQ(out.size(), 3u);
+  const Csr g2 = build_csr(4, out, {.symmetrize = false, .sort_neighbors = true});
+  EXPECT_EQ(g, g2);
+}
+
+TEST(Builder, PreservesMultigraphWhenNotDeduping) {
+  const EdgeList edges = {{0, 1}, {0, 1}};
+  const Csr g = build_csr(2, edges, {.symmetrize = false});
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+}  // namespace
+}  // namespace crcw::graph

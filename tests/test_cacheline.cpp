@@ -1,0 +1,63 @@
+// Padding/alignment utilities.
+#include "util/cacheline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace crcw::util {
+namespace {
+
+TEST(Cacheline, SizeIsPowerOfTwo) {
+  EXPECT_GT(kCacheLineSize, 0u);
+  EXPECT_EQ(kCacheLineSize & (kCacheLineSize - 1), 0u);
+}
+
+TEST(Padded, OccupiesWholeLines) {
+  EXPECT_EQ(sizeof(Padded<std::uint64_t>), kCacheLineSize);
+  EXPECT_EQ(alignof(Padded<std::uint64_t>), kCacheLineSize);
+  // A type slightly larger than one line gets two.
+  struct Big {
+    char data[65];
+  };
+  EXPECT_EQ(sizeof(Padded<Big>), 2 * kCacheLineSize);
+}
+
+TEST(Padded, ArrayElementsLandOnDistinctLines) {
+  Padded<std::atomic<int>> tags[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&tags[i].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&tags[i + 1].value);
+    EXPECT_GE(b - a, kCacheLineSize);
+  }
+}
+
+TEST(Padded, ValueAccessors) {
+  Padded<int> p(42);
+  EXPECT_EQ(*p, 42);
+  *p = 7;
+  EXPECT_EQ(p.value, 7);
+
+  const Padded<int>& cref = p;
+  EXPECT_EQ(*cref, 7);
+}
+
+TEST(Padded, ArrowForwardsToValue) {
+  struct S {
+    int f() const { return 3; }
+  };
+  Padded<S> p;
+  EXPECT_EQ(p->f(), 3);
+}
+
+TEST(Cacheline, FitsSingleLine) {
+  EXPECT_TRUE(fits_single_line<std::uint64_t>());
+  struct Huge {
+    char data[128];
+  };
+  EXPECT_FALSE(fits_single_line<Huge>());
+}
+
+}  // namespace
+}  // namespace crcw::util

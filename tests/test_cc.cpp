@@ -1,0 +1,181 @@
+// Connected Components (Awerbuch–Shiloach) — the partition must equal
+// union–find's for every method, graph family, and thread count.
+#include "algorithms/cc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "algorithms/dispatch.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference.hpp"
+
+namespace crcw::algo {
+namespace {
+
+using graph::Csr;
+using graph::vertex_t;
+
+struct GraphCase {
+  std::string name;
+  Csr graph;
+  std::uint64_t expected_components;
+};
+
+GraphCase make_case(const std::string& name) {
+  using namespace graph;
+  if (name == "path") return {name, build_csr(100, path(100)), 1};
+  if (name == "star") return {name, build_csr(200, star(200)), 1};
+  if (name == "cycle") return {name, build_csr(64, cycle(64)), 1};
+  if (name == "grid") return {name, build_csr(100, grid2d(10, 10)), 1};
+  if (name == "gnm") {
+    Csr g = random_graph(300, 900, 13);
+    const std::uint64_t k = count_components(g);
+    return {name, std::move(g), k};
+  }
+  if (name == "planted5") return {name, build_csr(100, planted_components(5, 20, 6, 3)), 5};
+  if (name == "isolated") return {name, build_csr(50, {}), 50};
+  if (name == "twopair") return {name, build_csr(4, EdgeList{{0, 1}, {2, 3}}), 2};
+  throw std::logic_error("unknown case " + name);
+}
+
+using CcParam = std::tuple<std::string, std::string, int>;
+
+class CcMethodTest : public ::testing::TestWithParam<CcParam> {};
+
+TEST_P(CcMethodTest, PartitionMatchesUnionFind) {
+  const auto& [method, gcase, threads] = GetParam();
+  const GraphCase c = make_case(gcase);
+  const CcResult r = run_cc(method, c.graph, {.threads = threads});
+  EXPECT_EQ(r.components, c.expected_components) << method << "/" << gcase;
+  EXPECT_TRUE(graph::validate_components(c.graph, r.label)) << method << "/" << gcase;
+}
+
+TEST_P(CcMethodTest, LabelsAreRootsOfThemselves) {
+  // After convergence every label must itself be labelled with itself —
+  // i.e. pointer jumping reached a fixpoint.
+  const auto& [method, gcase, threads] = GetParam();
+  const GraphCase c = make_case(gcase);
+  const CcResult r = run_cc(method, c.graph, {.threads = threads});
+  for (vertex_t v = 0; v < c.graph.num_vertices(); ++v) {
+    ASSERT_EQ(r.label[r.label[v]], r.label[v]) << method << "/" << gcase << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsByGraphsByThreads, CcMethodTest,
+    ::testing::Combine(
+        ::testing::Values("gatekeeper", "gatekeeper-skip", "caslt", "critical", "min-hook"),
+        ::testing::Values("path", "star", "cycle", "grid", "gnm", "planted5", "isolated",
+                          "twopair"),
+        ::testing::Values(1, 8)),
+    [](const ::testing::TestParamInfo<CcParam>& pinfo) {
+      auto name = std::get<0>(pinfo.param) + "_" + std::get<1>(pinfo.param) + "_t" +
+                  std::to_string(std::get<2>(pinfo.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+
+TEST(Cc, EmptyGraph) {
+  const Csr g;
+  const CcResult r = cc_caslt(g);
+  EXPECT_TRUE(r.label.empty());
+  EXPECT_EQ(r.components, 0u);
+}
+
+TEST(Cc, SingleVertex) {
+  const auto g = graph::build_csr(1, {});
+  const CcResult r = cc_caslt(g);
+  EXPECT_EQ(r.components, 1u);
+  EXPECT_EQ(r.label[0], 0u);
+}
+
+TEST(Cc, SelfLoopsAndMultiEdges) {
+  graph::EdgeList edges = {{0, 0}, {0, 1}, {0, 1}, {2, 2}};
+  const auto g = graph::build_csr(3, edges);
+  const CcResult r = cc_caslt(g);
+  EXPECT_EQ(r.components, 2u);
+  EXPECT_TRUE(graph::validate_components(g, r.label));
+}
+
+TEST(Cc, IterationCountIsLogarithmic) {
+  // A-S converges in O(log n) iterations; a path is the deep-tree stressor.
+  const auto g = graph::build_csr(4096, graph::path(4096));
+  const CcResult r = cc_caslt(g);
+  EXPECT_EQ(r.components, 1u);
+  EXPECT_LE(r.iterations, 30u) << "A-S must converge in O(log n) iterations";
+}
+
+TEST(Cc, ManySeedsManyShapes) {
+  // Randomised property sweep: sparse through dense.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const std::uint64_t n = 100 + seed * 50;
+    const std::uint64_t m = n * (1 + seed % 4);
+    const auto g = graph::random_graph(n, m, seed);
+    const auto expected = graph::count_components(g);
+    const CcResult r = cc_caslt(g);
+    ASSERT_EQ(r.components, expected) << "seed " << seed;
+    ASSERT_TRUE(graph::validate_components(g, r.label)) << "seed " << seed;
+  }
+}
+
+TEST(Cc, AllMethodsProduceIdenticalCanonicalLabels) {
+  const auto g = graph::random_graph(200, 380, 23);
+  const auto canon = graph::canonicalize_labels(cc_caslt(g).label);
+  for (const auto& method : cc_methods()) {
+    const CcResult r = run_cc(method, g);
+    EXPECT_EQ(graph::canonicalize_labels(r.label), canon) << method;
+  }
+}
+
+/// The multi-array hook record really is a spanning forest — the §7.2
+/// reason CC demands single-winner CW: n − components edges, no cycles,
+/// and exactly the connectivity of the full graph.
+TEST(Cc, ForestEdgesFormASpanningForest) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto g = graph::random_graph(150, 300 + seed * 120, seed);
+    const CcResult r = cc_caslt(g, {.threads = 8});
+    ASSERT_EQ(r.forest_edges.size(), g.num_vertices() - r.components) << seed;
+
+    // Recover endpoints from CSR slots and union them: every edge must
+    // merge two distinct trees (no cycles), and the final partition must
+    // equal the labels.
+    std::vector<vertex_t> src(g.num_edges());
+    for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+      for (graph::edge_t j = g.offset(u); j < g.offset(u) + g.degree(u); ++j) src[j] = u;
+    }
+    graph::UnionFind uf(g.num_vertices());
+    for (const auto j : r.forest_edges) {
+      ASSERT_LT(j, g.num_edges());
+      ASSERT_TRUE(uf.unite(src[j], g.targets()[j])) << "cycle edge in forest, seed " << seed;
+    }
+    ASSERT_EQ(uf.num_sets(), r.components);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(uf.find(v) == uf.find(static_cast<vertex_t>(r.label[v])), true);
+    }
+  }
+}
+
+TEST(Cc, ForestEdgesAcrossAllGuardedMethods) {
+  const auto g = graph::random_graph(120, 240, 77);
+  for (const std::string method : {"gatekeeper", "gatekeeper-skip", "caslt", "critical"}) {
+    const CcResult r = run_cc(method, g);
+    EXPECT_EQ(r.forest_edges.size(), g.num_vertices() - r.components) << method;
+  }
+  // min-hook uses combining writes (no payload) — no forest by design.
+  EXPECT_TRUE(run_cc("min-hook", g).forest_edges.empty());
+}
+
+TEST(Cc, DispatchRejectsNaive) {
+  // §7.2: no naive CC exists — racing multi-array hooks are unsafe.
+  const auto g = graph::build_csr(2, graph::path(2));
+  EXPECT_THROW((void)run_cc("naive", g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crcw::algo

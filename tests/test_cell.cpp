@@ -1,0 +1,108 @@
+// ConWriteCell — payload + tag in one object.
+#include "core/cell.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace crcw {
+namespace {
+
+TEST(ConWriteCell, DefaultAndInitialValue) {
+  ConWriteCell<int> a;
+  EXPECT_EQ(a.read(), 0);
+  ConWriteCell<int> b(41);
+  EXPECT_EQ(b.read(), 41);
+}
+
+TEST(ConWriteCell, WinnerStoresValue) {
+  ConWriteCell<int> cell;
+  EXPECT_TRUE(cell.try_write(1, 10));
+  EXPECT_EQ(cell.read(), 10);
+  EXPECT_FALSE(cell.try_write(1, 20));
+  EXPECT_EQ(cell.read(), 10) << "loser must not overwrite";
+  EXPECT_TRUE(cell.try_write(2, 30));
+  EXPECT_EQ(cell.read(), 30);
+}
+
+TEST(ConWriteCell, MoveOverloadWorks) {
+  ConWriteCell<std::string, CriticalPolicy> cell;
+  std::string s = "payload";
+  EXPECT_TRUE(cell.try_write(1, std::move(s)));
+  EXPECT_EQ(cell.read(), "payload");
+}
+
+TEST(ConWriteCell, FactoryRunsOnlyForWinner) {
+  ConWriteCell<int> cell;
+  int factory_calls = 0;
+  const auto make = [&] {
+    ++factory_calls;
+    return 99;
+  };
+  EXPECT_TRUE(cell.try_write_with(1, make));
+  EXPECT_FALSE(cell.try_write_with(1, make));
+  EXPECT_FALSE(cell.try_write_with(1, make));
+  EXPECT_EQ(factory_calls, 1) << "losers must skip payload construction";
+  EXPECT_EQ(cell.read(), 99);
+}
+
+TEST(ConWriteCell, ResetTagReopens) {
+  ConWriteCell<int> cell;
+  ASSERT_TRUE(cell.try_write(1, 1));
+  cell.reset_tag();
+  EXPECT_TRUE(cell.try_write(1, 2));
+  EXPECT_EQ(cell.read(), 2);
+}
+
+TEST(ConWriteCell, GatekeeperPolicyVariant) {
+  ConWriteCell<int, GatekeeperPolicy> cell;
+  EXPECT_TRUE(cell.try_write(1, 5));
+  EXPECT_FALSE(cell.try_write(2, 6));  // gatekeeper ignores rounds...
+  cell.reset_tag();                    // ...and needs explicit reset
+  EXPECT_TRUE(cell.try_write(2, 6));
+  EXPECT_EQ(cell.read(), 6);
+}
+
+TEST(ConWriteCellStress, ArbitraryWriteCommitsExactlyOneOffer) {
+  // The defining arbitrary-CW property: the committed value is exactly one
+  // of the concurrently offered values, and exactly one thread observed
+  // success.
+  const int threads = std::max(4, omp_get_max_threads());
+  for (round_t round = 1; round <= 100; ++round) {
+    ConWriteCell<int> cell(-1);
+    std::atomic<int> winners{0};
+    std::atomic<int> winner_value{-1};
+#pragma omp parallel num_threads(threads)
+    {
+      const int mine = omp_get_thread_num() + 1000;
+      if (cell.try_write(round, mine)) {
+        winners.fetch_add(1, std::memory_order_relaxed);
+        winner_value.store(mine, std::memory_order_relaxed);
+      }
+    }
+    ASSERT_EQ(winners.load(), 1);
+    ASSERT_EQ(cell.read(), winner_value.load())
+        << "committed value must be the winner's offer";
+    ASSERT_GE(cell.read(), 1000);
+    ASSERT_LT(cell.read(), 1000 + threads);
+  }
+}
+
+TEST(ConWriteCellStress, CommonWriteAllValuesEqual) {
+  // Common CW through the cell: everyone offers the same value; whoever
+  // wins, the result is that value.
+  for (round_t round = 1; round <= 50; ++round) {
+    ConWriteCell<int> cell(0);
+#pragma omp parallel num_threads(8)
+    {
+      (void)cell.try_write(round, 7);
+    }
+    ASSERT_EQ(cell.read(), 7);
+  }
+}
+
+}  // namespace
+}  // namespace crcw

@@ -1,0 +1,119 @@
+// Combining atomics (fetch-min/max over CAS) and Min/Max cells.
+#include "core/combining.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+namespace crcw {
+namespace {
+
+TEST(AtomicFetchMin, BasicSemantics) {
+  std::atomic<int> a{10};
+  EXPECT_TRUE(atomic_fetch_min(a, 5));
+  EXPECT_EQ(a.load(), 5);
+  EXPECT_FALSE(atomic_fetch_min(a, 7));
+  EXPECT_EQ(a.load(), 5);
+  EXPECT_FALSE(atomic_fetch_min(a, 5));  // equal is not an improvement
+}
+
+TEST(AtomicFetchMax, BasicSemantics) {
+  std::atomic<int> a{10};
+  EXPECT_TRUE(atomic_fetch_max(a, 15));
+  EXPECT_EQ(a.load(), 15);
+  EXPECT_FALSE(atomic_fetch_max(a, 12));
+  EXPECT_FALSE(atomic_fetch_max(a, 15));
+}
+
+TEST(AtomicFetchMin, WorksOnAtomicRef) {
+  std::uint32_t raw = 100;
+  EXPECT_TRUE(atomic_fetch_min(std::atomic_ref<std::uint32_t>(raw), 42u));
+  EXPECT_EQ(raw, 42u);
+}
+
+TEST(AtomicFetchMin, WorksOnDoubles) {
+  std::atomic<double> a{1.5};
+  EXPECT_TRUE(atomic_fetch_min(a, 0.25));
+  EXPECT_EQ(a.load(), 0.25);
+  EXPECT_FALSE(atomic_fetch_min(a, 0.5));
+}
+
+TEST(AtomicCombine, SaturatingAdd) {
+  std::atomic<int> a{0};
+  const auto op = [](int cur, int v) { return std::min(cur + v, 100); };
+  const auto improves = [](int cur, int /*v*/) { return cur < 100; };
+  EXPECT_TRUE(atomic_combine(a, 60, op, improves));
+  EXPECT_EQ(a.load(), 60);
+  EXPECT_TRUE(atomic_combine(a, 60, op, improves));
+  EXPECT_EQ(a.load(), 100);
+  EXPECT_FALSE(atomic_combine(a, 60, op, improves));
+}
+
+TEST(MinCell, OfferAndRead) {
+  MinCell<int> cell(std::numeric_limits<int>::max());
+  EXPECT_TRUE(cell.offer(9));
+  EXPECT_TRUE(cell.offer(3));
+  EXPECT_FALSE(cell.offer(5));
+  EXPECT_EQ(cell.read(), 3);
+  cell.reset(std::numeric_limits<int>::max());
+  EXPECT_TRUE(cell.offer(7));
+}
+
+TEST(MaxCell, OfferAndRead) {
+  MaxCell<int> cell(std::numeric_limits<int>::min());
+  EXPECT_TRUE(cell.offer(-5));
+  EXPECT_TRUE(cell.offer(10));
+  EXPECT_FALSE(cell.offer(2));
+  EXPECT_EQ(cell.read(), 10);
+}
+
+TEST(CombiningStress, ConcurrentMinFindsGlobalMinimum) {
+  const int threads = std::max(4, omp_get_max_threads());
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> cell{std::numeric_limits<std::uint64_t>::max()};
+#pragma omp parallel num_threads(threads)
+    {
+      const auto t = static_cast<std::uint64_t>(omp_get_thread_num());
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        atomic_fetch_min(cell, (t * 100 + i) * 7 + 13);
+      }
+    }
+    // Global minimum over all offers is t=0, i=0 → 13.
+    ASSERT_EQ(cell.load(), 13u);
+  }
+}
+
+TEST(CombiningStress, ConcurrentMaxFindsGlobalMaximum) {
+  const int threads = std::max(4, omp_get_max_threads());
+  std::atomic<std::int64_t> cell{std::numeric_limits<std::int64_t>::min()};
+#pragma omp parallel num_threads(threads)
+  {
+    const auto t = static_cast<std::int64_t>(omp_get_thread_num());
+    for (std::int64_t i = 0; i < 1000; ++i) atomic_fetch_max(cell, t * 1000 + i);
+  }
+  EXPECT_EQ(cell.load(), static_cast<std::int64_t>(threads - 1) * 1000 + 999);
+}
+
+TEST(CombiningStress, ExactlyOneWinnerObservesFinalValue) {
+  // The "won at time of update" return value: the number of successful
+  // improvements equals the length of some decreasing chain ending at the
+  // minimum — at least 1, at most the offer count, and the *last* winner
+  // wrote the final value.
+  const int threads = std::max(4, omp_get_max_threads());
+  std::atomic<int> cell{std::numeric_limits<int>::max()};
+  std::atomic<int> improvements{0};
+#pragma omp parallel num_threads(threads)
+  {
+    const int mine = omp_get_thread_num() + 1;
+    if (atomic_fetch_min(cell, mine)) improvements.fetch_add(1);
+  }
+  EXPECT_EQ(cell.load(), 1);
+  EXPECT_GE(improvements.load(), 1);
+  EXPECT_LE(improvements.load(), threads);
+}
+
+}  // namespace
+}  // namespace crcw

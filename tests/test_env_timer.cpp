@@ -1,0 +1,83 @@
+// Environment introspection and wall-clock timing.
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <chrono>
+#include <thread>
+
+namespace crcw::util {
+namespace {
+
+TEST(Env, HardwareThreadsPositive) { EXPECT_GE(hardware_threads(), 1); }
+
+TEST(Env, OmpMaxThreadsPositive) { EXPECT_GE(omp_max_threads(), 1); }
+
+TEST(Env, SetOmpThreadsRoundTrips) {
+  const int before = omp_max_threads();
+  set_omp_threads(3);
+  EXPECT_EQ(omp_max_threads(), 3);
+  set_omp_threads(before);
+  EXPECT_EQ(omp_max_threads(), before);
+}
+
+TEST(Env, SetOmpThreadsIgnoresNonPositive) {
+  const int before = omp_max_threads();
+  set_omp_threads(0);
+  set_omp_threads(-4);
+  EXPECT_EQ(omp_max_threads(), before);
+}
+
+TEST(Env, OversubscriptionDetection) {
+  EXPECT_FALSE(oversubscribed(1));
+  EXPECT_TRUE(oversubscribed(hardware_threads() + 1));
+}
+
+TEST(Env, SummaryMentionsThreadCounts) {
+  const std::string s = environment_summary();
+  EXPECT_NE(s.find("omp_max_threads="), std::string::npos);
+  EXPECT_NE(s.find("hardware_threads="), std::string::npos);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);  // generous: CI machines stall
+  EXPECT_NEAR(t.milliseconds(), t.seconds() * 1e3, t.seconds() * 20.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Timer, UnitsAgree) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = t.seconds();
+  EXPECT_GT(t.microseconds(), s * 1e6 * 0.5);
+  EXPECT_GT(static_cast<double>(t.nanoseconds()), s * 1e9 * 0.5);
+}
+
+TEST(ScopedTimer, AccumulatesIntoSink) {
+  double sink = 0.0;
+  {
+    ScopedTimer st(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(sink, 0.005);
+  {
+    ScopedTimer st(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(sink, 0.01);
+}
+
+}  // namespace
+}  // namespace crcw::util

@@ -1,0 +1,96 @@
+// Gatekeeper — the prefix-sum baseline of paper Figure 2.
+#include "core/gatekeeper.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+
+namespace crcw {
+namespace {
+
+TEST(Gatekeeper, FirstContenderWins) {
+  Gatekeeper g;
+  EXPECT_TRUE(g.try_acquire());
+  EXPECT_FALSE(g.try_acquire());
+  EXPECT_FALSE(g.try_acquire());
+}
+
+TEST(Gatekeeper, CountsContenders) {
+  Gatekeeper g;
+  (void)g.try_acquire();
+  (void)g.try_acquire();
+  (void)g.try_acquire();
+  EXPECT_EQ(g.contenders(), 3u);
+  EXPECT_TRUE(g.taken());
+}
+
+TEST(Gatekeeper, RequiresResetBetweenRounds) {
+  Gatekeeper g;
+  ASSERT_TRUE(g.try_acquire());
+  // Without a reset, no one can ever win again — the structural weakness
+  // CAS-LT removes (§5).
+  EXPECT_FALSE(g.try_acquire());
+  g.reset();
+  EXPECT_TRUE(g.try_acquire());
+}
+
+TEST(Gatekeeper, SkipVariantSameWinnerSemantics) {
+  Gatekeeper g;
+  EXPECT_TRUE(g.try_acquire_skip());
+  EXPECT_FALSE(g.try_acquire_skip());
+  g.reset();
+  EXPECT_TRUE(g.try_acquire_skip());
+}
+
+TEST(Gatekeeper, SkipVariantAvoidsRmwWhenTaken) {
+  Gatekeeper g;
+  ASSERT_TRUE(g.try_acquire());
+  const auto before = g.contenders();
+  // The mitigated check must not bump the counter once a winner exists.
+  EXPECT_FALSE(g.try_acquire_skip());
+  EXPECT_EQ(g.contenders(), before);
+  // The unmitigated check always pays the RMW.
+  EXPECT_FALSE(g.try_acquire());
+  EXPECT_EQ(g.contenders(), before + 1);
+}
+
+TEST(GatekeeperStress, ExactlyOneWinnerPerRound) {
+  Gatekeeper g;
+  constexpr int kRounds = 200;
+  const int threads = std::max(4, omp_get_max_threads());
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> winners{0};
+#pragma omp parallel num_threads(threads)
+    {
+      if (g.try_acquire()) winners.fetch_add(1, std::memory_order_relaxed);
+    }
+    ASSERT_EQ(winners.load(), 1) << "round " << round;
+    ASSERT_EQ(g.contenders(), static_cast<std::uint64_t>(threads));
+    g.reset();
+  }
+}
+
+TEST(GatekeeperStress, SkipExactlyOneWinnerPerRound) {
+  Gatekeeper g;
+  constexpr int kRounds = 200;
+  const int threads = std::max(4, omp_get_max_threads());
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> winners{0};
+#pragma omp parallel num_threads(threads)
+    {
+      if (g.try_acquire_skip()) winners.fetch_add(1, std::memory_order_relaxed);
+    }
+    ASSERT_EQ(winners.load(), 1) << "round " << round;
+    // With the skip, contenders that arrive after the winner never RMW.
+    ASSERT_LE(g.contenders(), static_cast<std::uint64_t>(threads));
+    g.reset();
+  }
+}
+
+TEST(Gatekeeper, SizeIsOneWord) {
+  EXPECT_EQ(sizeof(Gatekeeper), sizeof(std::uint64_t));
+}
+
+}  // namespace
+}  // namespace crcw

@@ -1,0 +1,136 @@
+// Graph generators — determinism and structural ground truths.
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "graph/reference.hpp"
+
+namespace crcw::graph {
+namespace {
+
+TEST(Gnm, ProducesExactlyMEdgesNoSelfLoops) {
+  const EdgeList edges = gnm(100, 500, 42);
+  EXPECT_EQ(edges.size(), 500u);
+  for (const auto& e : edges) {
+    EXPECT_LT(e.u, 100u);
+    EXPECT_LT(e.v, 100u);
+    EXPECT_NE(e.u, e.v);
+  }
+}
+
+TEST(Gnm, DeterministicPerSeed) {
+  EXPECT_EQ(gnm(50, 200, 7), gnm(50, 200, 7));
+  EXPECT_NE(gnm(50, 200, 7), gnm(50, 200, 8));
+}
+
+TEST(Gnm, RejectsTinyVertexCount) {
+  EXPECT_THROW(gnm(1, 5, 0), std::invalid_argument);
+  EXPECT_NO_THROW(gnm(1, 0, 0));
+}
+
+TEST(GnmSimple, NoDuplicatePairs) {
+  const EdgeList edges = gnm_simple(30, 200, 5);
+  EXPECT_EQ(edges.size(), 200u);
+  std::set<std::pair<vertex_t, vertex_t>> seen;
+  for (const auto& e : edges) {
+    const auto key = std::minmax(e.u, e.v);
+    EXPECT_TRUE(seen.emplace(key.first, key.second).second) << e.u << "," << e.v;
+  }
+}
+
+TEST(GnmSimple, RejectsImpossibleDensity) {
+  EXPECT_THROW(gnm_simple(4, 7, 0), std::invalid_argument);  // max 6 pairs
+  EXPECT_NO_THROW(gnm_simple(4, 6, 0));
+}
+
+TEST(Rmat, SizeAndRange) {
+  const EdgeList edges = rmat(1000, 5000, 11);
+  EXPECT_EQ(edges.size(), 5000u);
+  for (const auto& e : edges) {
+    EXPECT_LT(e.u, 1024u);  // rounded to the next power of two
+    EXPECT_NE(e.u, e.v);
+  }
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  // Graph500 parameters concentrate edges: max degree must far exceed the
+  // average (the defining property vs G(n,m)).
+  const Csr g = build_csr(1024, rmat(1024, 8192, 3));
+  EXPECT_GT(static_cast<double>(g.max_degree()), 4.0 * g.average_degree());
+}
+
+TEST(Rmat, RejectsBadParams) {
+  EXPECT_THROW(rmat(16, 10, 0, {.a = 0.9, .b = 0.2, .c = 0.2}), std::invalid_argument);
+  EXPECT_THROW(rmat(16, 10, 0, {.a = -0.1, .b = 0.5, .c = 0.5}), std::invalid_argument);
+}
+
+TEST(StructuredFamilies, PathCycleStarComplete) {
+  EXPECT_EQ(path(5).size(), 4u);
+  EXPECT_EQ(cycle(5).size(), 5u);
+  EXPECT_EQ(star(5).size(), 4u);
+  EXPECT_EQ(complete(5).size(), 10u);
+  EXPECT_TRUE(path(1).empty());
+  EXPECT_TRUE(star(1).empty());
+}
+
+TEST(StructuredFamilies, PathDiameter) {
+  const Csr g = build_csr(10, path(10));
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels[9], 9);
+}
+
+TEST(StructuredFamilies, StarHasCentreZero) {
+  const Csr g = build_csr(8, star(8));
+  EXPECT_EQ(g.degree(0), 7u);
+  for (vertex_t v = 1; v < 8; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(StructuredFamilies, Grid2d) {
+  const EdgeList edges = grid2d(3, 4);
+  // 3 rows × 3 horizontal + 2×4 vertical = 9 + 8 = 17.
+  EXPECT_EQ(edges.size(), 17u);
+  const Csr g = build_csr(12, edges);
+  EXPECT_EQ(count_components(g), 1u);
+  EXPECT_EQ(g.degree(0), 2u);  // corner
+}
+
+TEST(RandomTree, ConnectedWithNMinusOneEdges) {
+  const EdgeList edges = random_tree(64, 9);
+  EXPECT_EQ(edges.size(), 63u);
+  const Csr g = build_csr(64, edges);
+  EXPECT_EQ(count_components(g), 1u);
+}
+
+TEST(PlantedComponents, ExactComponentCount) {
+  for (const std::uint64_t k : {1ull, 3ull, 10ull}) {
+    const EdgeList edges = planted_components(k, 20, 5, 31);
+    const Csr g = build_csr(k * 20, edges);
+    EXPECT_EQ(count_components(g), k);
+  }
+}
+
+TEST(PlantedComponents, SingletonComponents) {
+  const EdgeList edges = planted_components(4, 1, 0, 0);
+  EXPECT_TRUE(edges.empty());
+  const Csr g = build_csr(4, edges);
+  EXPECT_EQ(count_components(g), 4u);
+}
+
+TEST(RandomGraph, BuildsSymmetrizedCsr) {
+  const Csr g = random_graph(100, 300, 17);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 600u);  // both directions
+  // Symmetry spot check.
+  for (vertex_t u = 0; u < 100; ++u) {
+    for (const vertex_t v : g.neighbors(u)) {
+      ASSERT_TRUE(g.has_edge(v, u)) << u << "->" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crcw::graph

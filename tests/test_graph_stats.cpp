@@ -1,0 +1,63 @@
+// Graph statistics.
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace crcw::graph {
+namespace {
+
+TEST(GraphStats, EmptyGraph) {
+  const GraphStats s = compute_stats(Csr{});
+  EXPECT_EQ(s.vertices, 0u);
+  EXPECT_EQ(s.directed_slots, 0u);
+}
+
+TEST(GraphStats, StarShape) {
+  const auto g = build_csr(9, star(9));
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.vertices, 9u);
+  EXPECT_EQ(s.directed_slots, 16u);
+  EXPECT_EQ(s.max_degree, 8u);
+  EXPECT_EQ(s.isolated, 0u);
+  EXPECT_EQ(s.components, 1u);
+  EXPECT_EQ(s.self_loop_slots, 0u);
+  // 8 leaves of degree 1 in bucket 0, centre degree 8 in bucket 3.
+  ASSERT_EQ(s.log_degree_histogram.size(), 4u);
+  EXPECT_EQ(s.log_degree_histogram[0], 8u);
+  EXPECT_EQ(s.log_degree_histogram[3], 1u);
+}
+
+TEST(GraphStats, IsolatedAndSelfLoops) {
+  EdgeList edges = {{0, 0}, {1, 2}};
+  const auto g = build_csr(4, edges);
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.isolated, 1u);  // vertex 3
+  EXPECT_EQ(s.self_loop_slots, 1u);
+  EXPECT_EQ(s.components, 3u);
+}
+
+TEST(GraphStats, CollisionIndexOrdersStarAboveGnm) {
+  // A star concentrates all collisions on one vertex; G(n,m) at the same
+  // size spreads them — the index must reflect that.
+  const auto st = compute_stats(build_csr(1000, star(1000)));
+  const auto rnd = compute_stats(random_graph(1000, 999, 4));
+  EXPECT_GT(st.collision_index, 5.0 * rnd.collision_index);
+}
+
+TEST(GraphStats, PrintContainsKeyLines) {
+  const auto g = random_graph(50, 100, 1);
+  std::ostringstream os;
+  print_stats(os, compute_stats(g));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("vertices           50"), std::string::npos);
+  EXPECT_NE(out.find("collision index"), std::string::npos);
+  EXPECT_NE(out.find("degree histogram"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crcw::graph

@@ -1,0 +1,118 @@
+// InstrumentedPolicy — measuring the §6 cost claims directly: under R
+// rounds with A attempts each, the gatekeeper issues Θ(A·R) atomic RMWs
+// while CAS-LT issues O(R) plus failed races, and both admit exactly R
+// winners.
+#include "core/instrumented.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include "core/arbiter.hpp"
+
+namespace crcw {
+namespace {
+
+using ICasLt = InstrumentedPolicy<CasLtPolicy>;
+using IGate = InstrumentedPolicy<GatekeeperPolicy>;
+using IGateSkip = InstrumentedPolicy<GatekeeperSkipPolicy>;
+
+TEST(Instrumented, CasLtSkipsAtomicsOnceCommitted) {
+  ICasLt::reset_counters();
+  ICasLt::tag_type tag;
+  ASSERT_TRUE(ICasLt::try_acquire(tag, 1));
+  for (int i = 0; i < 99; ++i) ASSERT_FALSE(ICasLt::try_acquire(tag, 1));
+  const auto& c = ICasLt::counters();
+  EXPECT_EQ(c.attempts.load(), 100u);
+  EXPECT_EQ(c.atomics.load(), 1u) << "99 late contenders must skip the CAS";
+  EXPECT_EQ(c.wins.load(), 1u);
+}
+
+TEST(Instrumented, GatekeeperPaysOneRmwPerAttempt) {
+  IGate::reset_counters();
+  IGate::tag_type tag;
+  ASSERT_TRUE(IGate::try_acquire(tag, 1));
+  for (int i = 0; i < 99; ++i) ASSERT_FALSE(IGate::try_acquire(tag, 1));
+  const auto& c = IGate::counters();
+  EXPECT_EQ(c.attempts.load(), 100u);
+  EXPECT_EQ(c.atomics.load(), 100u) << "every contender executes the RMW (§5)";
+  EXPECT_EQ(c.wins.load(), 1u);
+}
+
+TEST(Instrumented, GatekeeperSkipAvoidsLateRmws) {
+  IGateSkip::reset_counters();
+  IGateSkip::tag_type tag;
+  ASSERT_TRUE(IGateSkip::try_acquire(tag, 1));
+  for (int i = 0; i < 99; ++i) ASSERT_FALSE(IGateSkip::try_acquire(tag, 1));
+  const auto& c = IGateSkip::counters();
+  EXPECT_EQ(c.atomics.load(), 1u);
+}
+
+TEST(Instrumented, MultiRoundSerialCosts) {
+  // R rounds, A attempts per round, one serial thread.
+  constexpr round_t kRounds = 50;
+  constexpr int kAttempts = 20;
+
+  ICasLt::reset_counters();
+  {
+    ICasLt::tag_type tag;
+    for (round_t r = 1; r <= kRounds; ++r) {
+      for (int a = 0; a < kAttempts; ++a) (void)ICasLt::try_acquire(tag, r);
+    }
+  }
+  EXPECT_EQ(ICasLt::counters().wins.load(), kRounds);
+  EXPECT_EQ(ICasLt::counters().atomics.load(), kRounds) << "serial: exactly one CAS/round";
+
+  IGate::reset_counters();
+  {
+    IGate::tag_type tag;
+    for (round_t r = 1; r <= kRounds; ++r) {
+      IGate::reset(tag);  // the mandatory per-round re-initialisation
+      for (int a = 0; a < kAttempts; ++a) (void)IGate::try_acquire(tag, r);
+    }
+  }
+  EXPECT_EQ(IGate::counters().wins.load(), kRounds);
+  EXPECT_EQ(IGate::counters().atomics.load(), kRounds * kAttempts)
+      << "gatekeeper: A RMWs per round";
+}
+
+TEST(Instrumented, ContendedCasLtAtomicsBoundedByThreadsPerRound) {
+  // §6: once the write commits, remaining P_phys threads fail at most one
+  // CAS each; later arrivals skip entirely. So atomics <= threads per
+  // round (and usually far fewer).
+  const int threads = std::max(4, omp_get_max_threads());
+  constexpr round_t kRounds = 50;
+  constexpr int kAttempts = 32;
+
+  ICasLt::reset_counters();
+  ICasLt::tag_type tag;
+  for (round_t r = 1; r <= kRounds; ++r) {
+    std::atomic<int> winners{0};
+#pragma omp parallel num_threads(threads)
+    {
+      for (int a = 0; a < kAttempts; ++a) {
+        if (ICasLt::try_acquire(tag, r)) winners.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ASSERT_EQ(winners.load(), 1);
+  }
+  const auto& c = ICasLt::counters();
+  EXPECT_EQ(c.wins.load(), kRounds);
+  EXPECT_LE(c.atomics.load(), kRounds * static_cast<std::uint64_t>(threads));
+  // The total attempt volume is far larger than the atomics issued.
+  EXPECT_EQ(c.attempts.load(),
+            kRounds * static_cast<std::uint64_t>(threads) * kAttempts);
+  EXPECT_LT(c.atomics.load(), c.attempts.load() / 4);
+}
+
+TEST(Instrumented, WorksInsideWriteArbiter) {
+  ICasLt::reset_counters();
+  WriteArbiter<ICasLt> arbiter(8);
+  arbiter.begin_round();
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_TRUE(arbiter.try_acquire(i));
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_FALSE(arbiter.try_acquire(i));
+  EXPECT_EQ(ICasLt::counters().wins.load(), 8u);
+  EXPECT_EQ(ICasLt::counters().atomics.load(), 8u);
+}
+
+}  // namespace
+}  // namespace crcw

@@ -1,0 +1,79 @@
+// Leader election primitives.
+#include "algorithms/leader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace crcw::algo {
+namespace {
+
+TEST(ElectAny, NoCandidateIsEmpty) {
+  EXPECT_FALSE(elect_any(100, [](std::uint64_t) { return false; }).has_value());
+  EXPECT_FALSE(elect_any(0, [](std::uint64_t) { return true; }).has_value());
+}
+
+TEST(ElectAny, SingleCandidateWins) {
+  const auto r = elect_any(100, [](std::uint64_t i) { return i == 73; });
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 73u);
+}
+
+TEST(ElectAny, WinnerAlwaysQualifies) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto r = elect_any(1000, [](std::uint64_t i) { return i % 7 == 3; },
+                             {.threads = 4});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r % 7, 3u);
+  }
+}
+
+TEST(ElectMin, DeterministicSmallest) {
+  const auto r = elect_min(1000, [](std::uint64_t i) { return i % 7 == 3; },
+                           {.threads = 4});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 3u);
+  EXPECT_FALSE(elect_min(10, [](std::uint64_t) { return false; }).has_value());
+}
+
+TEST(ElectMinKey, SmallestKeyWins) {
+  // key(i) = (i * 37) % 101 for even i; global min over even i < 50.
+  std::vector<std::uint32_t> keys(50);
+  std::uint32_t best_key = 0xFFFFFFFF;
+  std::uint64_t best_i = 0;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    keys[i] = static_cast<std::uint32_t>((i * 37) % 101);
+    if (i % 2 == 0 && keys[i] < best_key) {
+      best_key = keys[i];
+      best_i = i;
+    }
+  }
+  const auto r = elect_min_key(
+      50,
+      [&](std::uint64_t i) -> std::optional<std::uint32_t> {
+        if (i % 2 != 0) return std::nullopt;
+        return keys[i];
+      },
+      {.threads = 4});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, best_i);
+}
+
+TEST(ElectMinKey, TieGoesToSmallerIndex) {
+  const auto r = elect_min_key(10, [](std::uint64_t) -> std::optional<std::uint32_t> {
+    return 5;  // all tie
+  });
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 0u);
+}
+
+TEST(ElectMinKey, EmptyWhenNoKeys) {
+  EXPECT_FALSE(
+      elect_min_key(10, [](std::uint64_t) -> std::optional<std::uint32_t> {
+        return std::nullopt;
+      }).has_value());
+}
+
+}  // namespace
+}  // namespace crcw::algo

@@ -1,0 +1,134 @@
+// pram::Machine — lock-step step execution with automatic rounds.
+#include "pram/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/cell.hpp"
+
+namespace crcw::pram {
+namespace {
+
+TEST(Machine, FreshState) {
+  Machine m;
+  EXPECT_EQ(m.round(), kInitialRound);
+  EXPECT_EQ(m.counters().work, 0u);
+  EXPECT_EQ(m.counters().depth, 0u);
+  EXPECT_GE(m.physical_processors(), 1);
+}
+
+TEST(Machine, StepCoversAllVirtualProcessors) {
+  Machine m;
+  std::vector<std::atomic<int>> hits(100);
+  m.step(100, [&](Machine::vproc_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Machine, RoundsIncrementPerStep) {
+  Machine m;
+  const round_t r1 = m.step(10, [](Machine::vproc_t) {});
+  const round_t r2 = m.step(10, [](Machine::vproc_t) {});
+  EXPECT_EQ(r1, 1u);
+  EXPECT_EQ(r2, 2u);
+  EXPECT_EQ(m.round(), 2u);
+}
+
+TEST(Machine, WorkDepthAccounting) {
+  Machine m;
+  m.step(100, [](Machine::vproc_t) {});
+  m.step(50, [](Machine::vproc_t) {});
+  m.serial_step([] {});
+  EXPECT_EQ(m.counters().depth, 3u);
+  EXPECT_EQ(m.counters().work, 151u);
+}
+
+TEST(Machine, TwoArgBodyReceivesRound) {
+  Machine m;
+  m.step(1, [](Machine::vproc_t, round_t) {});
+  std::atomic<round_t> seen{0};
+  m.step(4, [&](Machine::vproc_t, round_t r) { seen.store(r); });
+  EXPECT_EQ(seen.load(), 2u);
+}
+
+TEST(Machine, ResetClearsState) {
+  Machine m;
+  m.step(10, [](Machine::vproc_t) {});
+  m.reset();
+  EXPECT_EQ(m.round(), kInitialRound);
+  EXPECT_EQ(m.counters().depth, 0u);
+}
+
+TEST(Machine, ConfiguredThreadCountReported) {
+  Machine m(MachineConfig{.threads = 3});
+  EXPECT_EQ(m.physical_processors(), 3);
+}
+
+TEST(Machine, SchedulesAllCoverTheIndexSpace) {
+  for (const Schedule s : {Schedule::kStatic, Schedule::kDynamic, Schedule::kGuided}) {
+    Machine m(MachineConfig{.threads = 4, .schedule = s});
+    std::atomic<std::uint64_t> sum{0};
+    m.step(1000, [&](Machine::vproc_t i) { sum.fetch_add(i, std::memory_order_relaxed); });
+    EXPECT_EQ(sum.load(), 1000u * 999u / 2) << to_string(s);
+  }
+}
+
+TEST(Machine, DynamicScheduleWithChunk) {
+  Machine m(MachineConfig{.threads = 4, .schedule = Schedule::kDynamic, .chunk = 16});
+  std::atomic<int> count{0};
+  m.step(257, [&](Machine::vproc_t) { count.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(count.load(), 257);
+}
+
+TEST(Machine, StepBarrierPublishesWinnerWrite) {
+  // The canonical pattern: a concurrent write in step k, the dependent read
+  // in step k+1 — the step boundary is the synchronisation point (§4).
+  Machine m(MachineConfig{.threads = 4});
+  ConWriteCell<std::uint64_t> cell;
+
+  m.step(64, [&](Machine::vproc_t i, round_t r) { (void)cell.try_write(r, i + 1); });
+
+  std::atomic<std::uint64_t> observed{0};
+  m.step(64, [&](Machine::vproc_t) {
+    observed.store(cell.read(), std::memory_order_relaxed);
+  });
+  EXPECT_GE(observed.load(), 1u);
+  EXPECT_LE(observed.load(), 64u);
+}
+
+TEST(Machine, MachineRoundDrivesArbitraryWrites) {
+  // Rounds from the machine re-arm CAS-LT tags automatically; no resets.
+  Machine m(MachineConfig{.threads = 4});
+  ConWriteCell<std::uint64_t> cell;
+  for (int k = 0; k < 20; ++k) {
+    std::atomic<int> winners{0};
+    m.step(16, [&](Machine::vproc_t i, round_t r) {
+      if (cell.try_write(r, i)) winners.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(winners.load(), 1) << "machine step " << k;
+  }
+}
+
+TEST(Machine, ZeroProcessorStepStillAdvancesRound) {
+  Machine m;
+  const round_t r = m.step(0, [](Machine::vproc_t) { FAIL() << "body must not run"; });
+  EXPECT_EQ(r, 1u);
+  EXPECT_EQ(m.counters().depth, 1u);
+  EXPECT_EQ(m.counters().work, 0u);
+}
+
+TEST(ParallelFor, FreeFunctionCoversRange) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(500, [&](std::uint64_t i) { hits[i].fetch_add(1); }, 4);
+  const int total = std::accumulate(hits.begin(), hits.end(), 0,
+                                    [](int acc, const std::atomic<int>& h) {
+                                      return acc + h.load();
+                                    });
+  EXPECT_EQ(total, 500);
+}
+
+}  // namespace
+}  // namespace crcw::pram

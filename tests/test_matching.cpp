@@ -1,0 +1,139 @@
+// Randomized maximal matching via priority concurrent writes.
+#include "algorithms/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "graph/generators.hpp"
+
+namespace crcw::algo {
+namespace {
+
+using graph::EdgeList;
+using graph::kNoVertex;
+
+TEST(Matching, EmptyInputs) {
+  const MatchingResult r0 = maximal_matching(0, {});
+  EXPECT_TRUE(r0.mate.empty());
+  const MatchingResult r1 = maximal_matching(5, {});
+  EXPECT_EQ(r1.mate.size(), 5u);
+  for (const auto m : r1.mate) EXPECT_EQ(m, kNoVertex);
+  EXPECT_TRUE(validate_matching(5, {}, r1));
+}
+
+TEST(Matching, SingleEdge) {
+  const EdgeList edges = {{0, 1}};
+  const MatchingResult r = maximal_matching(2, edges);
+  EXPECT_EQ(r.edges.size(), 1u);
+  EXPECT_EQ(r.mate[0], 1u);
+  EXPECT_EQ(r.mate[1], 0u);
+  EXPECT_TRUE(validate_matching(2, edges, r));
+}
+
+TEST(Matching, TrianglePicksExactlyOneEdge) {
+  const EdgeList edges = {{0, 1}, {1, 2}, {0, 2}};
+  const MatchingResult r = maximal_matching(3, edges);
+  EXPECT_EQ(r.edges.size(), 1u);
+  EXPECT_TRUE(validate_matching(3, edges, r));
+}
+
+TEST(Matching, PathOfFour) {
+  // 0-1-2-3: maximal matchings have 1 or 2 edges; validity demands the
+  // middle edge alone, or both outer edges.
+  const EdgeList edges = {{0, 1}, {1, 2}, {2, 3}};
+  const MatchingResult r = maximal_matching(4, edges);
+  EXPECT_TRUE(validate_matching(4, edges, r));
+  EXPECT_GE(r.edges.size(), 1u);
+  EXPECT_LE(r.edges.size(), 2u);
+}
+
+TEST(Matching, SelfLoopsIgnored) {
+  const EdgeList edges = {{0, 0}, {0, 1}, {1, 1}};
+  const MatchingResult r = maximal_matching(2, edges);
+  EXPECT_TRUE(validate_matching(2, edges, r));
+  EXPECT_EQ(r.edges.size(), 1u);
+  EXPECT_EQ(r.edges[0], 1u);
+}
+
+TEST(Matching, ParallelEdgesYieldOneMatch) {
+  const EdgeList edges = {{0, 1}, {0, 1}, {1, 0}};
+  const MatchingResult r = maximal_matching(2, edges);
+  EXPECT_TRUE(validate_matching(2, edges, r));
+  EXPECT_EQ(r.edges.size(), 1u);
+}
+
+TEST(Matching, StarMatchesExactlyOneLeaf) {
+  const EdgeList edges = graph::star(100);
+  const MatchingResult r = maximal_matching(100, edges);
+  EXPECT_TRUE(validate_matching(100, edges, r));
+  EXPECT_EQ(r.edges.size(), 1u) << "all star edges share the centre";
+}
+
+TEST(Matching, RejectsBadEndpoint) {
+  const EdgeList edges = {{0, 7}};
+  EXPECT_THROW((void)maximal_matching(3, edges), std::invalid_argument);
+}
+
+using MatchParam = std::tuple<std::uint64_t, std::uint64_t, int>;
+
+class MatchingRandomTest : public ::testing::TestWithParam<MatchParam> {};
+
+TEST_P(MatchingRandomTest, ValidAndMaximalAcrossSeedsAndThreads) {
+  const auto& [n, m, threads] = GetParam();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const EdgeList edges = graph::gnm(n, m, seed);
+    const MatchingResult r =
+        maximal_matching(n, edges, {.threads = threads, .seed = seed * 13 + 1});
+    ASSERT_TRUE(validate_matching(n, edges, r))
+        << "n=" << n << " m=" << m << " seed=" << seed;
+    // O(log m) w.h.p. convergence, with slack.
+    ASSERT_LE(r.rounds, 60u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatchingRandomTest,
+    ::testing::Values(std::make_tuple(std::uint64_t{10}, std::uint64_t{20}, 1),
+                      std::make_tuple(std::uint64_t{100}, std::uint64_t{300}, 4),
+                      std::make_tuple(std::uint64_t{1000}, std::uint64_t{500}, 4),
+                      std::make_tuple(std::uint64_t{1000}, std::uint64_t{5000}, 8),
+                      std::make_tuple(std::uint64_t{5000}, std::uint64_t{20000}, 8)),
+    [](const auto& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_m" +
+             std::to_string(std::get<1>(pinfo.param)) + "_t" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(Matching, PathGraphNearHalfMatched) {
+  // On a long path a maximal matching covers at least 1/2 of the maximum
+  // (n/2); check the size lower bound m* >= matched_max / 2 = n/4 - ish.
+  const std::uint64_t n = 1000;
+  const EdgeList edges = graph::path(n);
+  const MatchingResult r = maximal_matching(n, edges);
+  EXPECT_TRUE(validate_matching(n, edges, r));
+  EXPECT_GE(r.edges.size(), n / 4);
+}
+
+TEST(ValidateMatching, CatchesBrokenResults) {
+  const EdgeList edges = {{0, 1}, {2, 3}};
+  MatchingResult r = maximal_matching(4, edges);
+  ASSERT_TRUE(validate_matching(4, edges, r));
+
+  MatchingResult not_maximal = r;
+  not_maximal.mate.assign(4, graph::kNoVertex);
+  not_maximal.edges.clear();
+  EXPECT_FALSE(validate_matching(4, edges, not_maximal));
+
+  MatchingResult broken_involution = r;
+  broken_involution.mate[0] = 2;
+  EXPECT_FALSE(validate_matching(4, edges, broken_involution));
+
+  MatchingResult bad_edge = r;
+  bad_edge.edges.push_back(99);
+  EXPECT_FALSE(validate_matching(4, edges, bad_edge));
+}
+
+}  // namespace
+}  // namespace crcw::algo

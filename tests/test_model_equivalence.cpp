@@ -1,0 +1,140 @@
+// Randomized model-equivalence sweeps: for a battery of random inputs, the
+// OpenMP kernels, the PRAM model simulator, and the sequential references
+// must all tell the same story. This file is the library's broadest
+// correctness net — each TEST_P case covers one (algorithm, input-shape)
+// pair across seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "algorithms/cc.hpp"
+#include "algorithms/bfs.hpp"
+#include "algorithms/max.hpp"
+#include "algorithms/or_any.hpp"
+#include "algorithms/scan.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference.hpp"
+#include "sim/programs.hpp"
+#include "util/rng.hpp"
+
+namespace crcw {
+namespace {
+
+using graph::Csr;
+
+Csr shape_graph(const std::string& shape, std::uint64_t seed) {
+  using namespace graph;
+  if (shape == "sparse") return random_graph(80, 100, seed);
+  if (shape == "dense") return random_graph(40, 400, seed);
+  if (shape == "tree") return build_csr(60, random_tree(60, seed));
+  if (shape == "clusters") return build_csr(60, planted_components(3, 20, 8, seed));
+  if (shape == "rmat") {
+    return build_csr(64, rmat(64, 200, seed), {.remove_self_loops = true});
+  }
+  throw std::logic_error("unknown shape " + shape);
+}
+
+class GraphEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {};
+
+TEST_P(GraphEquivalenceTest, BfsKernelSimulatorAndReferenceAgree) {
+  const auto& [shape, seed] = GetParam();
+  const Csr g = shape_graph(shape, seed);
+  const auto reference = graph::bfs_levels(g, 0);
+
+  const auto kernel = algo::bfs_caslt(g, 0, {.threads = 4});
+  sim::Simulator model(sim::AccessMode::kArbitrary, 1, seed);
+  const auto modeled = sim::programs::bfs(model, g.offsets(), g.targets(), 0);
+
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(kernel.level[v], reference[v]) << shape << " kernel v=" << v;
+    ASSERT_EQ(modeled.level[v], reference[v]) << shape << " model v=" << v;
+  }
+}
+
+TEST_P(GraphEquivalenceTest, CcKernelSimulatorAndReferenceAgree) {
+  const auto& [shape, seed] = GetParam();
+  const Csr g = shape_graph(shape, seed);
+  const auto reference = graph::connected_components(g);
+
+  const auto kernel = algo::cc_caslt(g, {.threads = 4});
+  ASSERT_EQ(graph::canonicalize_labels(kernel.label), reference) << shape;
+
+  sim::Simulator model(sim::AccessMode::kArbitrary, 1, seed);
+  const auto modeled64 = sim::programs::connected_components(model, g.offsets(), g.targets());
+  std::vector<graph::vertex_t> modeled(modeled64.begin(), modeled64.end());
+  ASSERT_EQ(graph::canonicalize_labels(modeled), reference) << shape;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesBySeeds, GraphEquivalenceTest,
+    ::testing::Combine(::testing::Values("sparse", "dense", "tree", "clusters", "rmat"),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})),
+    [](const auto& pinfo) {
+      return std::get<0>(pinfo.param) + "_s" + std::to_string(std::get<1>(pinfo.param));
+    });
+
+class ScalarEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalarEquivalenceTest, MaxAgreesEverywhere) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256 rng(seed);
+  const std::uint64_t n = 10 + rng.bounded(60);
+  std::vector<std::uint32_t> list(n);
+  for (auto& x : list) x = static_cast<std::uint32_t>(rng.bounded(500));
+
+  const std::uint64_t reference = algo::max_index_seq(list);
+  EXPECT_EQ(algo::max_index_caslt(list, {.threads = 4}), reference);
+  EXPECT_EQ(algo::max_index_doubly_log(list, {.threads = 4}), reference);
+
+  std::vector<sim::word_t> model_list(list.begin(), list.end());
+  sim::Simulator a(sim::AccessMode::kCommon, 1, seed);
+  EXPECT_EQ(sim::programs::max_constant_time(a, model_list), reference);
+  sim::Simulator b(sim::AccessMode::kCommon, 1, seed);
+  EXPECT_EQ(sim::programs::max_doubly_log(b, model_list), reference);
+}
+
+TEST_P(ScalarEquivalenceTest, ScanAgreesWithModel) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256 rng(seed * 7 + 1);
+  const std::uint64_t n = 1 + rng.bounded(100);
+  std::vector<std::uint64_t> xs(n);
+  for (auto& x : xs) x = rng.bounded(100);
+
+  const auto kernel = algo::exclusive_scan(xs, {.threads = 4});
+  std::vector<sim::word_t> model_xs(xs.begin(), xs.end());
+  sim::Simulator model(sim::AccessMode::kEREW, 1);
+  const auto modeled = sim::programs::exclusive_scan(model, model_xs);
+  ASSERT_EQ(kernel.size(), modeled.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(kernel[i], static_cast<std::uint64_t>(modeled[i])) << i;
+  }
+}
+
+TEST_P(ScalarEquivalenceTest, OrAgreesEverywhere) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256 rng(seed * 13 + 5);
+  const std::uint64_t n = 1 + rng.bounded(200);
+  std::vector<std::uint8_t> bits(n, 0);
+  if (rng.bounded(2) == 0) bits[rng.bounded(n)] = 1;
+
+  const bool reference = algo::parallel_or_naive(bits);
+  EXPECT_EQ(algo::parallel_or_caslt(bits, {.threads = 4}), reference);
+  EXPECT_EQ(algo::parallel_or_crew(bits, {.threads = 4}), reference);
+
+  std::vector<sim::word_t> model_bits(bits.begin(), bits.end());
+  sim::Simulator model(sim::AccessMode::kCommon, 1);
+  EXPECT_EQ(sim::programs::parallel_or(model, model_bits), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalarEquivalenceTest,
+                         ::testing::Range(std::uint64_t{0}, std::uint64_t{10}),
+                         [](const auto& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
+                         });
+
+}  // namespace
+}  // namespace crcw

@@ -1,0 +1,89 @@
+// Dart-throwing random permutation (arbitrary CW as slot allocation).
+#include "algorithms/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace crcw::algo {
+namespace {
+
+void expect_valid_permutation(std::uint64_t n, const std::vector<std::uint64_t>& perm) {
+  ASSERT_EQ(perm.size(), n);
+  std::vector<std::uint8_t> seen(n, 0);
+  for (const auto x : perm) {
+    ASSERT_LT(x, n);
+    ASSERT_EQ(seen[x], 0) << "duplicate element " << x;
+    seen[x] = 1;
+  }
+}
+
+TEST(RandomPermutation, EmptyAndSingleton) {
+  EXPECT_TRUE(random_permutation(0).perm.empty());
+  const auto r = random_permutation(1);
+  EXPECT_EQ(r.perm, (std::vector<std::uint64_t>{0}));
+}
+
+TEST(RandomPermutation, ValidAcrossSizesSeedsThreads) {
+  for (const std::uint64_t n : {2ull, 3ull, 17ull, 256ull, 5000ull}) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      for (const int threads : {1, 8}) {
+        const auto r =
+            random_permutation(n, {.threads = threads, .seed = seed});
+        expect_valid_permutation(n, r.perm);
+        ASSERT_LE(r.rounds, 60u) << "dart throwing must land in O(log n) rounds";
+      }
+    }
+  }
+}
+
+TEST(RandomPermutation, DifferentSeedsDifferentOrders) {
+  const auto a = random_permutation(100, {.seed = 1});
+  const auto b = random_permutation(100, {.seed = 2});
+  EXPECT_NE(a.perm, b.perm);
+}
+
+TEST(RandomPermutation, NotTheIdentityForLargeN) {
+  const auto r = random_permutation(1000, {.seed = 5});
+  std::vector<std::uint64_t> identity(1000);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_NE(r.perm, identity);
+}
+
+TEST(RandomPermutation, CoarseUniformity) {
+  // Element 0's output position should spread over the whole range: across
+  // 200 seeds, its mean position is near n/2 and it visits both halves.
+  constexpr std::uint64_t n = 64;
+  double mean_pos = 0.0;
+  int low_half = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const auto r = random_permutation(n, {.seed = seed});
+    const auto it = std::find(r.perm.begin(), r.perm.end(), 0ull);
+    const auto pos = static_cast<double>(it - r.perm.begin());
+    mean_pos += pos;
+    low_half += pos < n / 2 ? 1 : 0;
+  }
+  mean_pos /= 200.0;
+  EXPECT_GT(mean_pos, n * 0.35);
+  EXPECT_LT(mean_pos, n * 0.65);
+  EXPECT_GT(low_half, 60);
+  EXPECT_LT(low_half, 140);
+}
+
+TEST(RandomPermutation, HigherExpansionFewerRounds) {
+  const auto tight = random_permutation(2000, {.seed = 3, .expansion = 2});
+  const auto loose = random_permutation(2000, {.seed = 3, .expansion = 8});
+  expect_valid_permutation(2000, tight.perm);
+  expect_valid_permutation(2000, loose.perm);
+  EXPECT_LE(loose.rounds, tight.rounds);
+}
+
+TEST(RandomPermutation, RejectsTinyExpansion) {
+  EXPECT_THROW((void)random_permutation(4, {.expansion = 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crcw::algo

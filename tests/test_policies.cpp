@@ -1,0 +1,136 @@
+// Write-policy contract: every policy admits exactly one winner per
+// (tag, round) — the invariant all §7 kernels rest on. Parameterised over
+// thread count to sweep contention levels (a property-style suite).
+#include "core/policies.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <string>
+
+#include "core/concurrent_write.hpp"
+
+namespace crcw {
+namespace {
+
+template <WritePolicy P>
+struct PolicyUnderTest {
+  using policy = P;
+};
+
+template <typename T>
+class PolicyContractTest : public ::testing::Test {};
+
+using AllSingleWinnerPolicies =
+    ::testing::Types<PolicyUnderTest<CasLtPolicy>, PolicyUnderTest<CasLtRetryPolicy>,
+                     PolicyUnderTest<CasLtNoSkipPolicy>, PolicyUnderTest<GatekeeperPolicy>,
+                     PolicyUnderTest<GatekeeperSkipPolicy>, PolicyUnderTest<CriticalPolicy>>;
+TYPED_TEST_SUITE(PolicyContractTest, AllSingleWinnerPolicies);
+
+TYPED_TEST(PolicyContractTest, SerialFirstWinsRestFail) {
+  using P = typename TypeParam::policy;
+  typename P::tag_type tag{};
+  EXPECT_TRUE(P::try_acquire(tag, 1));
+  EXPECT_FALSE(P::try_acquire(tag, 1));
+  EXPECT_FALSE(P::try_acquire(tag, 1));
+}
+
+TYPED_TEST(PolicyContractTest, ResetReopensTheTag) {
+  using P = typename TypeParam::policy;
+  typename P::tag_type tag{};
+  ASSERT_TRUE(P::try_acquire(tag, 1));
+  P::reset(tag);
+  EXPECT_TRUE(P::try_acquire(tag, 1));
+}
+
+TYPED_TEST(PolicyContractTest, RoundAdvanceBehaviour) {
+  using P = typename TypeParam::policy;
+  typename P::tag_type tag{};
+  ASSERT_TRUE(P::try_acquire(tag, 1));
+  if constexpr (P::kNeedsRoundReset) {
+    // Round-stateful tags stay closed until reset, whatever the round.
+    EXPECT_FALSE(P::try_acquire(tag, 2));
+    P::reset(tag);
+    EXPECT_TRUE(P::try_acquire(tag, 2));
+  } else {
+    // Round-aware tags re-arm by just advancing the round (§5).
+    EXPECT_TRUE(P::try_acquire(tag, 2));
+    EXPECT_FALSE(P::try_acquire(tag, 2));
+  }
+}
+
+TYPED_TEST(PolicyContractTest, ExactlyOneWinnerUnderContention) {
+  using P = typename TypeParam::policy;
+  typename P::tag_type tag{};
+  const int threads = std::max(4, omp_get_max_threads());
+  for (round_t round = 1; round <= 100; ++round) {
+    std::atomic<int> winners{0};
+#pragma omp parallel num_threads(threads)
+    {
+      // Several attempts per thread: models P_PRAM > P_Phys contenders.
+      for (int a = 0; a < 8; ++a) {
+        if (P::try_acquire(tag, round)) winners.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ASSERT_EQ(winners.load(), 1) << P::kName << " round " << round;
+    if constexpr (P::kNeedsRoundReset) P::reset(tag);
+  }
+}
+
+TYPED_TEST(PolicyContractTest, NameIsNonEmpty) {
+  using P = typename TypeParam::policy;
+  EXPECT_FALSE(std::string(P::kName).empty());
+}
+
+TEST(NaivePolicy, AdmitsEveryone) {
+  NaivePolicy::tag_type tag{};
+  EXPECT_TRUE(NaivePolicy::try_acquire(tag, 1));
+  EXPECT_TRUE(NaivePolicy::try_acquire(tag, 1));
+  static_assert(!kSingleWinner<NaivePolicy>);
+  static_assert(kSingleWinner<CasLtPolicy>);
+}
+
+TEST(PaperApi, CanConWriteCASLTMatchesFigure1) {
+  std::atomic<unsigned> last_round{0};
+  EXPECT_TRUE(canConWriteCASLT(last_round, 1));
+  EXPECT_FALSE(canConWriteCASLT(last_round, 1));
+  EXPECT_TRUE(canConWriteCASLT(last_round, 2));
+  EXPECT_FALSE(canConWriteCASLT(last_round, 1));  // stale round
+  EXPECT_EQ(last_round.load(), 2u);
+}
+
+TEST(PaperApi, CanConWriteAtomicMatchesFigure2) {
+  std::atomic<unsigned> gatekeeper{0};
+  EXPECT_TRUE(canConWriteAtomic(gatekeeper));
+  EXPECT_FALSE(canConWriteAtomic(gatekeeper));
+  EXPECT_EQ(gatekeeper.load(), 2u);  // every call pays the RMW
+  gatekeeper.store(0);               // the required re-initialisation
+  EXPECT_TRUE(canConWriteAtomic(gatekeeper));
+}
+
+TEST(PaperApi, OmpAtomicCaptureFormMatchesFigure2) {
+  unsigned gatekeeper = 0;
+  EXPECT_TRUE(canConWriteAtomicOmp(gatekeeper));
+  EXPECT_FALSE(canConWriteAtomicOmp(gatekeeper));
+  EXPECT_EQ(gatekeeper, 2u);
+  gatekeeper = 0;
+  EXPECT_TRUE(canConWriteAtomicOmp(gatekeeper));
+}
+
+TEST(PaperApi, OmpAtomicCaptureExactlyOneWinnerUnderContention) {
+  const int threads = std::max(4, omp_get_max_threads());
+  for (int round = 0; round < 100; ++round) {
+    unsigned gatekeeper = 0;
+    std::atomic<int> winners{0};
+#pragma omp parallel num_threads(threads)
+    {
+      if (canConWriteAtomicOmp(gatekeeper)) winners.fetch_add(1, std::memory_order_relaxed);
+    }
+    ASSERT_EQ(winners.load(), 1);
+    ASSERT_EQ(gatekeeper, static_cast<unsigned>(threads));
+  }
+}
+
+}  // namespace
+}  // namespace crcw

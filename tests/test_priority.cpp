@@ -1,0 +1,119 @@
+// Priority CRCW cells — the strongest resolution rule of §2.
+#include "core/priority.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace crcw {
+namespace {
+
+TEST(PriorityCell, UntouchedInitially) {
+  PriorityCell<std::uint32_t, std::string> cell;
+  EXPECT_TRUE(cell.untouched());
+}
+
+TEST(PriorityCell, MinimumKeyWins) {
+  PriorityCell<std::uint32_t, std::string> cell;
+  cell.offer(5);
+  cell.offer(2);
+  cell.offer(9);
+  EXPECT_EQ(cell.best_key(), 2u);
+  EXPECT_FALSE(cell.untouched());
+
+  // Phase 2: only the best key commits.
+  EXPECT_FALSE(cell.try_commit(5, "five"));
+  EXPECT_FALSE(cell.try_commit(9, "nine"));
+  EXPECT_TRUE(cell.try_commit(2, "two"));
+  EXPECT_EQ(cell.read(), "two");
+}
+
+TEST(PriorityCell, ResetReopens) {
+  PriorityCell<std::uint32_t, int> cell;
+  cell.offer(1);
+  ASSERT_TRUE(cell.try_commit(1, 10));
+  cell.reset();
+  EXPECT_TRUE(cell.untouched());
+  cell.offer(4);
+  EXPECT_TRUE(cell.try_commit(4, 40));
+  EXPECT_EQ(cell.read(), 40);
+}
+
+TEST(PriorityCellStress, MinRankProtocolCommitsExactlyLowestRank) {
+  // Two-phase Priority(min-rank) CW: every thread offers its rank, barrier,
+  // then the winner commits. Exactly the §2 Priority semantics.
+  const int threads = std::max(4, omp_get_max_threads());
+  for (int round = 0; round < 100; ++round) {
+    PriorityCell<std::uint32_t, int> cell;
+    std::atomic<int> commits{0};
+#pragma omp parallel num_threads(threads)
+    {
+      const auto rank = static_cast<std::uint32_t>(omp_get_thread_num());
+      cell.offer(rank);
+#pragma omp barrier
+      if (cell.try_commit(rank, static_cast<int>(rank) * 10)) {
+        commits.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ASSERT_EQ(commits.load(), 1);
+    ASSERT_EQ(cell.best_key(), 0u) << "min rank must win";
+    ASSERT_EQ(cell.read(), 0);
+  }
+}
+
+TEST(PackedPriorityCell, UntouchedAndReset) {
+  PackedPriorityCell cell;
+  EXPECT_TRUE(cell.untouched());
+  cell.offer(3, 30);
+  EXPECT_FALSE(cell.untouched());
+  cell.reset();
+  EXPECT_TRUE(cell.untouched());
+}
+
+TEST(PackedPriorityCell, MinKeyWinsSinglePhase) {
+  PackedPriorityCell cell;
+  EXPECT_TRUE(cell.offer(10, 100));
+  EXPECT_TRUE(cell.offer(5, 50));    // improvement
+  EXPECT_FALSE(cell.offer(7, 70));   // worse key: rejected
+  EXPECT_FALSE(cell.offer(10, 99));  // worse key: rejected
+  EXPECT_EQ(cell.key(), 5u);
+  EXPECT_EQ(cell.payload(), 50u);
+}
+
+TEST(PackedPriorityCell, PayloadBreaksKeyTies) {
+  PackedPriorityCell cell;
+  cell.offer(5, 80);
+  EXPECT_TRUE(cell.offer(5, 20));  // same key, smaller payload wins the tie
+  EXPECT_FALSE(cell.offer(5, 60));
+  EXPECT_EQ(cell.key(), 5u);
+  EXPECT_EQ(cell.payload(), 20u);
+}
+
+TEST(PackedPriorityCell, PackOrderingMatchesLexicographic) {
+  EXPECT_LT(PackedPriorityCell::pack(1, 0xFFFFFFFF), PackedPriorityCell::pack(2, 0));
+  EXPECT_LT(PackedPriorityCell::pack(3, 5), PackedPriorityCell::pack(3, 6));
+}
+
+TEST(PackedPriorityCellStress, GlobalMinimumAlwaysSurvives) {
+  const int threads = std::max(4, omp_get_max_threads());
+  for (int round = 0; round < 100; ++round) {
+    PackedPriorityCell cell;
+#pragma omp parallel num_threads(threads)
+    {
+      const auto t = static_cast<std::uint32_t>(omp_get_thread_num());
+      // Each thread offers several (key, payload) pairs; the global min is
+      // key 1 / payload round, offered by thread 0.
+      cell.offer(100 + t, t);
+      if (t == 0) cell.offer(1, static_cast<std::uint32_t>(round));
+      cell.offer(50 + t, t);
+    }
+    ASSERT_EQ(cell.key(), 1u);
+    ASSERT_EQ(cell.payload(), static_cast<std::uint32_t>(round));
+  }
+}
+
+}  // namespace
+}  // namespace crcw

@@ -1,0 +1,148 @@
+// Sequential references and structural verifiers.
+#include "graph/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace crcw::graph {
+namespace {
+
+TEST(BfsLevels, PathGraph) {
+  const Csr g = build_csr(5, path(5));
+  const auto levels = bfs_levels(g, 0);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(levels[static_cast<std::size_t>(v)], v);
+}
+
+TEST(BfsLevels, StarFromLeaf) {
+  const Csr g = build_csr(6, star(6));
+  const auto levels = bfs_levels(g, 3);
+  EXPECT_EQ(levels[3], 0);
+  EXPECT_EQ(levels[0], 1);
+  for (const vertex_t v : {1u, 2u, 4u, 5u}) EXPECT_EQ(levels[v], 2);
+}
+
+TEST(BfsLevels, UnreachableIsMinusOne) {
+  const Csr g = build_csr(4, EdgeList{{0, 1}});
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels[2], -1);
+  EXPECT_EQ(levels[3], -1);
+}
+
+TEST(BfsLevels, BadSourceThrows) {
+  const Csr g = build_csr(2, path(2));
+  EXPECT_THROW(bfs_levels(g, 9), std::invalid_argument);
+}
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_NE(uf.find(0), uf.find(2));
+}
+
+TEST(ConnectedComponents, LabelsAreSmallestVertex) {
+  // Components {0,1,2} and {3,4}.
+  const Csr g = build_csr(5, EdgeList{{1, 2}, {0, 2}, {3, 4}});
+  const auto labels = connected_components(g);
+  EXPECT_EQ(labels, (std::vector<vertex_t>{0, 0, 0, 3, 3}));
+  EXPECT_EQ(count_components(g), 2u);
+}
+
+TEST(ConnectedComponents, PlantedGroundTruth) {
+  const Csr g = build_csr(60, planted_components(3, 20, 4, 77));
+  const auto labels = connected_components(g);
+  for (vertex_t v = 0; v < 60; ++v) {
+    EXPECT_EQ(labels[v], (v / 20) * 20) << v;
+  }
+}
+
+TEST(CanonicalizeLabels, MapsAnyLabellingToSmallestVertexForm) {
+  // Same partition, different representative scheme.
+  const std::vector<vertex_t> labels = {2, 2, 2, 4, 4};
+  const auto canon = canonicalize_labels(labels);
+  EXPECT_EQ(canon, (std::vector<vertex_t>{0, 0, 0, 3, 3}));
+}
+
+TEST(CanonicalizeLabels, RejectsOutOfRange) {
+  const std::vector<vertex_t> labels = {9};
+  EXPECT_THROW((void)canonicalize_labels(labels), std::invalid_argument);
+}
+
+TEST(ValidateBfsTree, AcceptsSequentialResult) {
+  const Csr g = random_graph(50, 150, 4);
+  const auto levels = bfs_levels(g, 0);
+  // Build a valid parent assignment from the levels.
+  std::vector<vertex_t> parent(50, kNoVertex);
+  parent[0] = 0;
+  for (vertex_t v = 1; v < 50; ++v) {
+    if (levels[v] <= 0) continue;
+    for (const vertex_t u : g.neighbors(v)) {
+      if (levels[u] == levels[v] - 1) {
+        parent[v] = u;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(validate_bfs_tree(g, 0, levels, parent));
+}
+
+TEST(ValidateBfsTree, RejectsWrongLevel) {
+  const Csr g = build_csr(3, path(3));
+  auto levels = bfs_levels(g, 0);
+  const std::vector<vertex_t> parent = {0, 0, 1};
+  ASSERT_TRUE(validate_bfs_tree(g, 0, levels, parent));
+  levels[2] = 5;
+  EXPECT_FALSE(validate_bfs_tree(g, 0, levels, parent));
+}
+
+TEST(ValidateBfsTree, RejectsNonEdgeParent) {
+  const Csr g = build_csr(4, path(4));
+  const auto levels = bfs_levels(g, 0);
+  std::vector<vertex_t> parent = {0, 0, 1, 2};
+  ASSERT_TRUE(validate_bfs_tree(g, 0, levels, parent));
+  parent[3] = 0;  // (0,3) is not an edge and level would be wrong
+  EXPECT_FALSE(validate_bfs_tree(g, 0, levels, parent));
+}
+
+TEST(ValidateBfsTree, RejectsUnreachableWithParent) {
+  const Csr g = build_csr(3, EdgeList{{0, 1}});
+  const auto levels = bfs_levels(g, 0);
+  std::vector<vertex_t> parent = {0, 0, kNoVertex};
+  ASSERT_TRUE(validate_bfs_tree(g, 0, levels, parent));
+  parent[2] = 1;
+  EXPECT_FALSE(validate_bfs_tree(g, 0, levels, parent));
+}
+
+TEST(ValidateComponents, AcceptsTrueLabelling) {
+  const Csr g = random_graph(40, 60, 2);
+  EXPECT_TRUE(validate_components(g, connected_components(g)));
+}
+
+TEST(ValidateComponents, RejectsMergedComponents) {
+  const Csr g = build_csr(4, EdgeList{{0, 1}, {2, 3}});
+  const std::vector<vertex_t> wrong = {0, 0, 0, 0};
+  EXPECT_FALSE(validate_components(g, wrong));
+}
+
+TEST(ValidateComponents, RejectsSplitComponents) {
+  const Csr g = build_csr(3, EdgeList{{0, 1}, {1, 2}});
+  const std::vector<vertex_t> wrong = {0, 0, 2};
+  EXPECT_FALSE(validate_components(g, wrong));
+}
+
+TEST(ValidateComponents, RejectsSizeMismatch) {
+  const Csr g = build_csr(3, path(3));
+  const std::vector<vertex_t> wrong = {0, 0};
+  EXPECT_FALSE(validate_components(g, wrong));
+}
+
+}  // namespace
+}  // namespace crcw::graph

@@ -1,0 +1,111 @@
+// RNG determinism and distribution sanity.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace crcw::util {
+namespace {
+
+TEST(SplitMix64, DeterministicPerSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 0 from the canonical splitmix64.c.
+  SplitMix64 g(0);
+  EXPECT_EQ(g.next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(g.next(), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(g.next(), 0x06c45d188009454full);
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 a(77);
+  Xoshiro256 b(77);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 g(5);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(g.bounded(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BoundedZeroReturnsZero) {
+  Xoshiro256 g(5);
+  EXPECT_EQ(g.bounded(0), 0u);
+}
+
+TEST(Xoshiro256, BoundedOneAlwaysZero) {
+  Xoshiro256 g(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(g.bounded(1), 0u);
+}
+
+TEST(Xoshiro256, BoundedCoversSmallRange) {
+  Xoshiro256 g(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(g.bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 g(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[g.bounded(kBuckets)];
+  // Expected 10000 per bucket; allow ±5 sigma (~±470).
+  for (const int c : counts) {
+    EXPECT_GT(c, 9500);
+    EXPECT_LT(c, 10500);
+  }
+}
+
+TEST(Xoshiro256, Uniform01InRange) {
+  Xoshiro256 g(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = g.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, JumpDecorrelatesStreams) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ull);
+  Xoshiro256 g(1);
+  EXPECT_NE(g(), g());
+}
+
+}  // namespace
+}  // namespace crcw::util

@@ -1,0 +1,133 @@
+// RoundTag unit tests: the CAS-LT primitive of paper Figure 1.
+#include "core/round_tag.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace crcw {
+namespace {
+
+TEST(RoundTag, FreshTagHoldsInitialRound) {
+  RoundTag tag;
+  EXPECT_EQ(tag.last_round(), kInitialRound);
+  EXPECT_FALSE(tag.committed(kInitialRound + 1));
+}
+
+TEST(RoundTag, FirstAcquireWins) {
+  RoundTag tag;
+  EXPECT_TRUE(tag.try_acquire(1));
+  EXPECT_EQ(tag.last_round(), 1u);
+  EXPECT_TRUE(tag.committed(1));
+}
+
+TEST(RoundTag, SecondAcquireSameRoundFails) {
+  RoundTag tag;
+  ASSERT_TRUE(tag.try_acquire(1));
+  EXPECT_FALSE(tag.try_acquire(1));
+}
+
+TEST(RoundTag, NewRoundNeedsNoReset) {
+  RoundTag tag;
+  ASSERT_TRUE(tag.try_acquire(1));
+  // Bumping the round re-arms the tag "for free" (paper §5).
+  EXPECT_TRUE(tag.try_acquire(2));
+  EXPECT_FALSE(tag.try_acquire(2));
+}
+
+TEST(RoundTag, StaleRoundFails) {
+  RoundTag tag;
+  ASSERT_TRUE(tag.try_acquire(5));
+  EXPECT_FALSE(tag.try_acquire(3));
+  EXPECT_FALSE(tag.try_acquire(5));
+  EXPECT_TRUE(tag.try_acquire(6));
+}
+
+TEST(RoundTag, ResetRestoresInitialState) {
+  RoundTag tag;
+  ASSERT_TRUE(tag.try_acquire(7));
+  tag.reset();
+  EXPECT_EQ(tag.last_round(), kInitialRound);
+  EXPECT_TRUE(tag.try_acquire(1));
+}
+
+TEST(RoundTag, RetryVariantMatchesStrictSemantics) {
+  RoundTag tag;
+  EXPECT_TRUE(tag.try_acquire_retry(1));
+  EXPECT_FALSE(tag.try_acquire_retry(1));
+  EXPECT_TRUE(tag.try_acquire_retry(2));
+  EXPECT_FALSE(tag.try_acquire_retry(1));
+}
+
+TEST(RoundTag, NoSkipVariantMatchesStrictSemantics) {
+  RoundTag tag;
+  EXPECT_TRUE(tag.try_acquire_no_skip(1));
+  EXPECT_FALSE(tag.try_acquire_no_skip(1));
+  EXPECT_TRUE(tag.try_acquire_no_skip(2));
+  EXPECT_FALSE(tag.try_acquire_no_skip(1));
+}
+
+TEST(RoundTag, SizeIsOneWord) {
+  // §5: one auxiliary memory location per concurrent-write target.
+  EXPECT_EQ(sizeof(RoundTag), sizeof(std::uint64_t));
+}
+
+/// Exactly-one-winner invariant under real contention: many OpenMP threads
+/// race one tag per round, over many rounds.
+TEST(RoundTagStress, ExactlyOneWinnerPerRound) {
+  RoundTag tag;
+  constexpr int kRounds = 200;
+  const int threads = std::max(4, omp_get_max_threads());
+  for (round_t round = 1; round <= kRounds; ++round) {
+    std::atomic<int> winners{0};
+#pragma omp parallel num_threads(threads)
+    {
+      if (tag.try_acquire(round)) winners.fetch_add(1, std::memory_order_relaxed);
+    }
+    ASSERT_EQ(winners.load(), 1) << "round " << round;
+  }
+}
+
+TEST(RoundTagStress, RetryExactlyOneWinnerPerRound) {
+  RoundTag tag;
+  constexpr int kRounds = 200;
+  const int threads = std::max(4, omp_get_max_threads());
+  for (round_t round = 1; round <= kRounds; ++round) {
+    std::atomic<int> winners{0};
+#pragma omp parallel num_threads(threads)
+    {
+      if (tag.try_acquire_retry(round)) winners.fetch_add(1, std::memory_order_relaxed);
+    }
+    ASSERT_EQ(winners.load(), 1) << "round " << round;
+  }
+}
+
+/// Monotone rounds from concurrent threads: with mixed rounds in flight the
+/// strict single-shot contract does not apply, but the retry variant must
+/// still admit at most one winner per distinct round value.
+TEST(RoundTagStress, RetryMixedRoundsAtMostOneWinnerEach) {
+  RoundTag tag;
+  constexpr int kRoundsInFlight = 8;
+  std::vector<std::atomic<int>> winners(kRoundsInFlight + 1);
+  for (auto& w : winners) w.store(0);
+
+#pragma omp parallel for num_threads(8) schedule(static)
+  for (int i = 0; i < 400; ++i) {
+    const round_t round = 1 + static_cast<round_t>(i % kRoundsInFlight);
+    if (tag.try_acquire_retry(round)) {
+      winners[static_cast<std::size_t>(round)].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  for (std::size_t r = 1; r < winners.size(); ++r) {
+    EXPECT_LE(winners[r].load(), 1) << "round " << r;
+  }
+  // The largest round always ends up committed.
+  EXPECT_EQ(tag.last_round(), static_cast<round_t>(kRoundsInFlight));
+}
+
+}  // namespace
+}  // namespace crcw

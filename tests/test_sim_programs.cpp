@@ -1,0 +1,254 @@
+// Classic PRAM programs on the model simulator, including the §6
+// work–depth claims.
+#include "sim/programs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference.hpp"
+#include "util/rng.hpp"
+
+namespace crcw::sim::programs {
+namespace {
+
+TEST(SimMax, FindsMaximum) {
+  Simulator sim(AccessMode::kCommon, 1);
+  const std::vector<word_t> values = {3, 9, 2, 9, 5};
+  // Fig 4 tie-break: the LAST occurrence of the max wins.
+  EXPECT_EQ(max_constant_time(sim, values), 3u);
+}
+
+TEST(SimMax, SingleElement) {
+  Simulator sim(AccessMode::kCommon, 1);
+  const std::vector<word_t> values = {7};
+  EXPECT_EQ(max_constant_time(sim, values), 0u);
+}
+
+TEST(SimMax, EmptyThrows) {
+  Simulator sim(AccessMode::kCommon, 1);
+  EXPECT_THROW(max_constant_time(sim, {}), std::invalid_argument);
+}
+
+TEST(SimMax, ConstantDepthQuadraticWork) {
+  // §6 / §7.2: depth O(1) — exactly one parallel step — and work Θ(N²).
+  Simulator sim(AccessMode::kCommon, 1);
+  const std::vector<word_t> values = {5, 1, 4, 2, 8, 3, 7, 6};
+  (void)max_constant_time(sim, values);
+  EXPECT_EQ(sim.counters().depth, 1u);
+  EXPECT_EQ(sim.counters().work, 64u);
+}
+
+TEST(SimMax, WorksUnderArbitraryAndPriorityToo) {
+  // Common is the weakest CRCW rule; stronger rules must simulate it (§2).
+  for (const AccessMode mode :
+       {AccessMode::kArbitrary, AccessMode::kPriorityMinRank, AccessMode::kPriorityMinValue}) {
+    Simulator sim(mode, 1);
+    const std::vector<word_t> values = {4, 11, 6};
+    EXPECT_EQ(max_constant_time(sim, values), 1u) << to_string(mode);
+  }
+}
+
+TEST(SimMax, FailsOnExclusiveWriteModel) {
+  // The whole point of CRCW: this algorithm is illegal on CREW.
+  Simulator sim(AccessMode::kCREW, 1);
+  const std::vector<word_t> values = {1, 1, 1};
+  EXPECT_THROW(max_constant_time(sim, values), ModelViolation);
+}
+
+TEST(SimMax, RandomListsMatchStdMax) {
+  util::Xoshiro256 rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Simulator sim(AccessMode::kCommon, 1, trial);
+    std::vector<word_t> values(20);
+    for (auto& v : values) v = static_cast<word_t>(rng.bounded(50));
+    const std::uint64_t got = max_constant_time(sim, values);
+    const word_t expected = *std::max_element(values.begin(), values.end());
+    EXPECT_EQ(values[got], expected);
+    // Last occurrence per the tie-break.
+    for (std::uint64_t j = got + 1; j < values.size(); ++j) EXPECT_LT(values[j], expected);
+  }
+}
+
+TEST(SimParallelOr, OneStepAnyMode) {
+  Simulator sim(AccessMode::kCommon, 1);
+  const std::vector<word_t> bits = {0, 0, 1, 0};
+  EXPECT_TRUE(parallel_or(sim, bits));
+  EXPECT_EQ(sim.counters().depth, 1u) << "OR must take exactly one CRCW step";
+}
+
+TEST(SimParallelOr, AllZeros) {
+  Simulator sim(AccessMode::kCommon, 1);
+  const std::vector<word_t> bits = {0, 0, 0};
+  EXPECT_FALSE(parallel_or(sim, bits));
+}
+
+TEST(SimParallelOr, AllOnesMaxContention) {
+  Simulator sim(AccessMode::kCommon, 1);
+  const std::vector<word_t> bits(16, 1);
+  EXPECT_TRUE(parallel_or(sim, bits));
+  EXPECT_EQ(sim.history().back().max_contention, 16u);
+}
+
+TEST(SimFirstOne, FindsFirstSetBit) {
+  Simulator sim(AccessMode::kPriorityMinValue, 1);
+  const std::vector<word_t> bits = {0, 0, 1, 0, 1, 1};
+  EXPECT_EQ(first_one(sim, bits), 2u);
+}
+
+TEST(SimFirstOne, NoBitsReturnsN) {
+  Simulator sim(AccessMode::kPriorityMinValue, 1);
+  const std::vector<word_t> bits = {0, 0, 0};
+  EXPECT_EQ(first_one(sim, bits), 3u);
+}
+
+TEST(SimFirstOne, RequiresPriorityMode) {
+  Simulator sim(AccessMode::kArbitrary, 1);
+  const std::vector<word_t> bits = {1};
+  EXPECT_THROW(first_one(sim, bits), std::invalid_argument);
+}
+
+TEST(SimPointerJump, FindsRoots) {
+  Simulator sim(AccessMode::kCREW, 1);
+  // Forest: 0←1←2←3 and 4←5; roots 0 and 4.
+  const std::vector<std::uint64_t> parent = {0, 0, 1, 2, 4, 4};
+  const auto roots = pointer_jump_roots(sim, parent);
+  EXPECT_EQ(roots, (std::vector<std::uint64_t>{0, 0, 0, 0, 4, 4}));
+}
+
+TEST(SimPointerJump, LogarithmicDepth) {
+  Simulator sim(AccessMode::kCREW, 1);
+  // A chain of 64: depth must be Θ(log n), not Θ(n).
+  std::vector<std::uint64_t> parent(64);
+  parent[0] = 0;
+  for (std::uint64_t i = 1; i < 64; ++i) parent[i] = i - 1;
+  const auto roots = pointer_jump_roots(sim, parent);
+  for (const auto r : roots) EXPECT_EQ(r, 0u);
+  EXPECT_LE(sim.counters().depth, 8u);
+  EXPECT_GE(sim.counters().depth, 6u);
+}
+
+TEST(SimPointerJump, RejectsBadParent) {
+  Simulator sim(AccessMode::kCREW, 1);
+  const std::vector<std::uint64_t> parent = {5};
+  EXPECT_THROW(pointer_jump_roots(sim, parent), std::invalid_argument);
+}
+
+TEST(SimBfs, MatchesSequentialLevels) {
+  const auto g = graph::build_csr(8, graph::path(8));
+  Simulator sim(AccessMode::kArbitrary, 1);
+  const auto result = bfs(sim, g.offsets(), g.targets(), 0);
+  const auto expected = graph::bfs_levels(g, 0);
+  for (std::uint64_t v = 0; v < 8; ++v) EXPECT_EQ(result.level[v], expected[v]) << v;
+}
+
+TEST(SimBfs, ArbitraryParentIsAlwaysValid) {
+  // Across adversarial seeds the chosen parent differs but must always be a
+  // real previous-level neighbour — the arbitrary-CW obligation.
+  const auto g = graph::random_graph(40, 120, 3);
+  const auto expected = graph::bfs_levels(g, 0);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Simulator sim(AccessMode::kArbitrary, 1, seed);
+    const auto result = bfs(sim, g.offsets(), g.targets(), 0);
+    for (std::uint64_t v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(result.level[v], expected[v]) << "seed " << seed << " v " << v;
+      if (expected[v] > 0) {
+        const auto p = static_cast<graph::vertex_t>(result.parent[v]);
+        ASSERT_TRUE(g.has_edge(p, static_cast<graph::vertex_t>(v)));
+        ASSERT_EQ(result.level[p], expected[v] - 1);
+      }
+    }
+  }
+}
+
+TEST(SimBfs, UnreachableStaysMinusOne) {
+  // Two components: 0-1 and 2-3.
+  graph::EdgeList edges = {{0, 1}, {2, 3}};
+  const auto g = graph::build_csr(4, edges);
+  Simulator sim(AccessMode::kArbitrary, 1);
+  const auto result = bfs(sim, g.offsets(), g.targets(), 0);
+  EXPECT_EQ(result.level[2], -1);
+  EXPECT_EQ(result.level[3], -1);
+  EXPECT_EQ(result.parent[2], -1);
+}
+
+TEST(SimBfs, SourceOutOfRangeThrows) {
+  const auto g = graph::build_csr(2, graph::path(2));
+  Simulator sim(AccessMode::kArbitrary, 1);
+  EXPECT_THROW(bfs(sim, g.offsets(), g.targets(), 7), std::invalid_argument);
+}
+
+TEST(SimScan, MatchesSerialPrefixSums) {
+  Simulator sim(AccessMode::kEREW, 1);
+  const std::vector<word_t> xs = {3, 1, 4, 1, 5, 9, 2};
+  const auto got = exclusive_scan(sim, xs);
+  EXPECT_EQ(got, (std::vector<word_t>{0, 3, 4, 8, 9, 14, 23}));
+}
+
+TEST(SimScan, RunsUnderErewWithLogDepth) {
+  // Blelloch scan is exclusive-everything: it must pass the strictest mode,
+  // in 2·log2(n) + 1 steps.
+  Simulator sim(AccessMode::kEREW, 1);
+  std::vector<word_t> xs(64, 1);
+  const auto got = exclusive_scan(sim, xs);
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(got[i], static_cast<word_t>(i));
+  EXPECT_EQ(sim.counters().depth, 13u);  // 6 up + 1 clear + 6 down
+}
+
+TEST(SimScan, PadsNonPowerOfTwo) {
+  Simulator sim(AccessMode::kEREW, 1);
+  const std::vector<word_t> xs = {2, 2, 2, 2, 2};
+  const auto got = exclusive_scan(sim, xs);
+  EXPECT_EQ(got, (std::vector<word_t>{0, 2, 4, 6, 8}));
+}
+
+TEST(SimScan, EmptyInput) {
+  Simulator sim(AccessMode::kEREW, 1);
+  EXPECT_TRUE(exclusive_scan(sim, {}).empty());
+}
+
+TEST(SimDoublyLogMax, MatchesConstantTimeKernel) {
+  util::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<word_t> xs(40);
+    for (auto& x : xs) x = static_cast<word_t>(rng.bounded(100));
+    Simulator a(AccessMode::kCommon, 1, trial);
+    Simulator b(AccessMode::kCommon, 1, trial);
+    EXPECT_EQ(max_doubly_log(a, xs), max_constant_time(b, xs)) << trial;
+  }
+}
+
+TEST(SimDoublyLogMax, DoublyLogarithmicDepth) {
+  // n = 65536: the Fig 4 kernel takes 1 step of n² work; the cascading
+  // schedule takes Θ(log log n) rounds of 3 steps each — far below log n.
+  Simulator sim(AccessMode::kCommon, 1);
+  std::vector<word_t> xs(65536);
+  util::Xoshiro256 rng(3);
+  for (auto& x : xs) x = static_cast<word_t>(rng.bounded(1 << 30));
+  const auto idx = max_doubly_log(sim, xs);
+  EXPECT_EQ(xs[idx], *std::max_element(xs.begin(), xs.end()));
+  EXPECT_LE(sim.counters().depth, 18u) << "must be ~3 * loglog n steps";
+  // Work stays O(n) per round — far from the n² of the one-shot kernel.
+  EXPECT_LT(sim.counters().work, 65536ull * 64);
+}
+
+TEST(SimDoublyLogMax, TieBreakLastOccurrence) {
+  Simulator sim(AccessMode::kCommon, 1);
+  const std::vector<word_t> xs = {9, 1, 9, 9, 2};
+  EXPECT_EQ(max_doubly_log(sim, xs), 3u);
+}
+
+TEST(SimBfs, DepthTracksGraphDiameter) {
+  const auto g = graph::build_csr(16, graph::path(16));
+  Simulator sim(AccessMode::kArbitrary, 1);
+  (void)bfs(sim, g.offsets(), g.targets(), 0);
+  // One step per frontier plus the final empty check: diameter 15 → 16.
+  EXPECT_EQ(sim.counters().depth, 16u);
+}
+
+}  // namespace
+}  // namespace crcw::sim::programs

@@ -1,0 +1,201 @@
+// sim::Simulator — PRAM conflict-resolution semantics per access mode.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace crcw::sim {
+namespace {
+
+TEST(Simulator, ReadsPrecedeWritesWithinAStep) {
+  Simulator sim(AccessMode::kArbitrary, 2);
+  sim.memory().poke(0, 10);
+  // Every processor reads cell 0 then writes it; all must read the
+  // pre-step value (§2: "reads always happen before writes").
+  std::vector<word_t> seen;
+  sim.step(4, [&](Simulator::Proc& p) {
+    seen.push_back(p.read(0));
+    p.write(0, static_cast<word_t>(p.id()));
+  });
+  for (const word_t v : seen) EXPECT_EQ(v, 10);
+  EXPECT_NE(sim.memory().peek(0), 10);
+}
+
+TEST(Simulator, ErewRejectsConcurrentReads) {
+  Simulator sim(AccessMode::kEREW, 2);
+  EXPECT_THROW(sim.step(2, [](Simulator::Proc& p) { (void)p.read(0); }), ModelViolation);
+}
+
+TEST(Simulator, ErewAllowsDisjointReads) {
+  Simulator sim(AccessMode::kEREW, 4);
+  EXPECT_NO_THROW(sim.step(4, [](Simulator::Proc& p) { (void)p.read(p.id()); }));
+}
+
+TEST(Simulator, ErewRepeatedReadBySameProcIsFine) {
+  Simulator sim(AccessMode::kEREW, 2);
+  EXPECT_NO_THROW(sim.step(1, [](Simulator::Proc& p) {
+    (void)p.read(0);
+    (void)p.read(0);
+  }));
+}
+
+TEST(Simulator, ExclusiveWriteModesRejectConcurrentWrites) {
+  for (const AccessMode mode : {AccessMode::kEREW, AccessMode::kCREW}) {
+    Simulator sim(mode, 2);
+    try {
+      sim.step(2, [](Simulator::Proc& p) { p.write(1, static_cast<word_t>(p.id())); });
+      FAIL() << "expected ModelViolation under " << to_string(mode);
+    } catch (const ModelViolation& v) {
+      EXPECT_EQ(v.kind(), ModelViolation::Kind::kConcurrentWrite);
+      EXPECT_EQ(v.addr(), 1u);
+      EXPECT_EQ(v.step(), 1u);
+    }
+  }
+}
+
+TEST(Simulator, CrewAllowsConcurrentReads) {
+  Simulator sim(AccessMode::kCREW, 2);
+  EXPECT_NO_THROW(sim.step(8, [](Simulator::Proc& p) { (void)p.read(0); }));
+}
+
+TEST(Simulator, CommonAcceptsEqualValues) {
+  Simulator sim(AccessMode::kCommon, 2);
+  sim.step(8, [](Simulator::Proc& p) { p.write(0, 5); });
+  EXPECT_EQ(sim.memory().peek(0), 5);
+}
+
+TEST(Simulator, CommonRejectsDifferingValues) {
+  Simulator sim(AccessMode::kCommon, 2);
+  try {
+    sim.step(2, [](Simulator::Proc& p) { p.write(0, static_cast<word_t>(p.id())); });
+    FAIL() << "expected CommonViolation";
+  } catch (const ModelViolation& v) {
+    EXPECT_EQ(v.kind(), ModelViolation::Kind::kCommonMismatch);
+  }
+}
+
+TEST(Simulator, ArbitraryCommitsSomeOfferedValue) {
+  Simulator sim(AccessMode::kArbitrary, 1);
+  sim.step(8, [](Simulator::Proc& p) { p.write(0, static_cast<word_t>(p.id() * 10)); });
+  const word_t v = sim.memory().peek(0);
+  EXPECT_EQ(v % 10, 0);
+  EXPECT_GE(v, 0);
+  EXPECT_LE(v, 70);
+}
+
+TEST(Simulator, ArbitraryIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Simulator sim(AccessMode::kArbitrary, 1, seed);
+    sim.step(16, [](Simulator::Proc& p) { p.write(0, static_cast<word_t>(p.id())); });
+    return sim.memory().peek(0);
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(Simulator, ArbitrarySeedsExerciseDifferentWinners) {
+  std::set<word_t> winners;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Simulator sim(AccessMode::kArbitrary, 1, seed);
+    sim.step(16, [](Simulator::Proc& p) { p.write(0, static_cast<word_t>(p.id())); });
+    winners.insert(sim.memory().peek(0));
+  }
+  // 32 seeds over 16 contenders: overwhelmingly likely to see >1 winner.
+  EXPECT_GT(winners.size(), 1u) << "adversary must vary across seeds";
+}
+
+TEST(Simulator, PriorityMinRankWins) {
+  Simulator sim(AccessMode::kPriorityMinRank, 1);
+  sim.step(8, [](Simulator::Proc& p) {
+    if (p.id() >= 2) p.write(0, static_cast<word_t>(100 + p.id()));
+  });
+  EXPECT_EQ(sim.memory().peek(0), 102);
+}
+
+TEST(Simulator, PriorityMinValueWins) {
+  Simulator sim(AccessMode::kPriorityMinValue, 1);
+  sim.step(8, [](Simulator::Proc& p) {
+    p.write(0, static_cast<word_t>((p.id() * 3 + 5) % 7));  // min value 0 at id 3
+  });
+  EXPECT_EQ(sim.memory().peek(0), 0);
+}
+
+TEST(Simulator, PriorityMinValueTieBreaksByRank) {
+  Simulator sim(AccessMode::kPriorityMinValue, 2);
+  // All write the same value; the resolution record should name proc 0.
+  const StepStats stats = sim.step(4, [](Simulator::Proc& p) { p.write(0, 9); });
+  EXPECT_EQ(stats.max_contention, 4u);
+  EXPECT_EQ(sim.memory().peek(0), 9);
+}
+
+TEST(Simulator, StepStatsAreAccurate) {
+  Simulator sim(AccessMode::kArbitrary, 8);
+  const StepStats s = sim.step(4, [](Simulator::Proc& p) {
+    (void)p.read(0);
+    p.write(p.id() % 2, 1);  // two cells, contention 2 each
+  });
+  EXPECT_EQ(s.step, 1u);
+  EXPECT_EQ(s.processors, 4u);
+  EXPECT_EQ(s.reads, 4u);
+  EXPECT_EQ(s.writes, 4u);
+  EXPECT_EQ(s.cells_written, 2u);
+  EXPECT_EQ(s.max_contention, 2u);
+}
+
+TEST(Simulator, WorkDepthCounters) {
+  Simulator sim(AccessMode::kCommon, 1);
+  sim.step(10, [](Simulator::Proc&) {});
+  sim.step(20, [](Simulator::Proc&) {});
+  EXPECT_EQ(sim.counters().depth, 2u);
+  EXPECT_EQ(sim.counters().work, 30u);
+  EXPECT_EQ(sim.history().size(), 2u);
+  sim.reset_accounting();
+  EXPECT_EQ(sim.counters().depth, 0u);
+  EXPECT_TRUE(sim.history().empty());
+}
+
+TEST(Simulator, ModeNames) {
+  EXPECT_EQ(to_string(AccessMode::kEREW), "EREW");
+  EXPECT_EQ(to_string(AccessMode::kArbitrary), "CRCW-Arbitrary");
+}
+
+TEST(Simulator, TraceSummaryAndResolutions) {
+  Simulator sim(AccessMode::kArbitrary, 2);
+  std::ostringstream trace;
+  sim.set_trace(&trace);
+  sim.step(3, [](Simulator::Proc& p) { p.write(0, static_cast<word_t>(p.id())); });
+  const std::string out = trace.str();
+  EXPECT_NE(out.find("step 1 [CRCW-Arbitrary]"), std::string::npos);
+  EXPECT_NE(out.find("3 writes into 1 cells"), std::string::npos);
+  EXPECT_NE(out.find("of 3 contenders"), std::string::npos);
+}
+
+TEST(Simulator, TraceAccessesOptIn) {
+  Simulator sim(AccessMode::kCommon, 2);
+  std::ostringstream trace;
+  sim.set_trace(&trace, {.accesses = true, .resolutions = false, .summary = false});
+  sim.step(1, [](Simulator::Proc& p) {
+    (void)p.read(1);
+    p.write(0, 7);
+  });
+  const std::string out = trace.str();
+  EXPECT_NE(out.find("P0 reads  [1]"), std::string::npos);
+  EXPECT_NE(out.find("P0 offers [0] <- 7"), std::string::npos);
+  EXPECT_EQ(out.find("step 1"), std::string::npos) << "summary disabled";
+}
+
+TEST(Simulator, TraceDisabledByNull) {
+  Simulator sim(AccessMode::kCommon, 1);
+  std::ostringstream trace;
+  sim.set_trace(&trace);
+  sim.step(1, [](Simulator::Proc& p) { p.write(0, 1); });
+  sim.set_trace(nullptr);
+  const auto before = trace.str().size();
+  sim.step(1, [](Simulator::Proc& p) { p.write(0, 2); });
+  EXPECT_EQ(trace.str().size(), before);
+}
+
+}  // namespace
+}  // namespace crcw::sim

@@ -1,0 +1,106 @@
+// ConWriteSlot — multi-word concurrent writes, and the torn-write failure
+// mode the paper's §4 warns about ("a structure that does not match any of
+// the ones being written").
+#include "core/slot.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace crcw {
+namespace {
+
+using Payload = Stamped<8>;
+
+TEST(Stamped, ConsistencyDetection) {
+  Payload p(42);
+  EXPECT_TRUE(p.consistent());
+  EXPECT_EQ(p.stamp(), 42u);
+  p.words[3] = 7;
+  EXPECT_FALSE(p.consistent());
+}
+
+TEST(ConWriteSlot, WinnerWritesWholeStruct) {
+  ConWriteSlot<Payload> slot;
+  EXPECT_TRUE(slot.try_write(1, Payload(5)));
+  EXPECT_TRUE(slot.read().consistent());
+  EXPECT_EQ(slot.read().stamp(), 5u);
+  EXPECT_FALSE(slot.try_write(1, Payload(6)));
+  EXPECT_EQ(slot.read().stamp(), 5u);
+}
+
+TEST(ConWriteSlot, RoundsAdvanceWithoutReset) {
+  ConWriteSlot<Payload> slot;
+  for (round_t r = 1; r <= 20; ++r) {
+    ASSERT_TRUE(slot.try_write(r, Payload(r)));
+    ASSERT_FALSE(slot.try_write(r, Payload(r + 100)));
+    ASSERT_EQ(slot.read().stamp(), r);
+  }
+}
+
+/// Protected multi-word arbitrary CW: under heavy contention the payload is
+/// never torn and always equals one of the offered values.
+TEST(ConWriteSlotStress, ProtectedWritesNeverTear) {
+  const int threads = std::max(4, omp_get_max_threads());
+  ConWriteSlot<Payload> slot(Payload(0));
+  for (round_t round = 1; round <= 300; ++round) {
+    std::atomic<int> winners{0};
+#pragma omp parallel num_threads(threads)
+    {
+      const auto stamp = static_cast<std::uint64_t>(omp_get_thread_num() + 1) * 1000000 +
+                         static_cast<std::uint64_t>(round);
+      if (slot.try_write(round, Payload(stamp))) {
+        winners.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ASSERT_EQ(winners.load(), 1);
+    ASSERT_TRUE(slot.read().consistent()) << "torn multi-word write in round " << round;
+    ASSERT_EQ(slot.read().stamp() % 1000000, round % 1000000);
+  }
+}
+
+/// The demonstration the paper argues from: unprotected racing struct
+/// copies CAN tear. We can't force tearing deterministically, so this test
+/// only *checks the detector plumbing* under race and asserts the stronger
+/// property that each word carries SOME offered stamp — and records
+/// (without failing) whether tearing was observed.
+TEST(ConWriteSlotStress, UnprotectedWritesAreDetectablyUnsafe) {
+  const int threads = std::max(4, omp_get_max_threads());
+  ConWriteSlot<Payload> slot(Payload(0));
+  int torn_observed = 0;
+  for (int round = 1; round <= 300; ++round) {
+#pragma omp parallel num_threads(threads)
+    {
+      const auto stamp =
+          static_cast<std::uint64_t>(omp_get_thread_num() + 1) * 1000000 +
+          static_cast<std::uint64_t>(round);
+      Payload p(stamp);
+      slot.write_unprotected(p);
+    }
+    const Payload& seen = slot.read();
+    if (!seen.consistent()) ++torn_observed;
+    // Every word must be one of this round's offers (stores are word-wise).
+    for (const std::uint64_t w : seen.words) {
+      const std::uint64_t tid = w / 1000000;
+      const std::uint64_t r = w % 1000000;
+      ASSERT_GE(tid, 1u);
+      ASSERT_LE(tid, static_cast<std::uint64_t>(threads));
+      ASSERT_EQ(r, static_cast<std::uint64_t>(round));
+    }
+  }
+  // Informational: on a single-core box preemption-induced tearing is rare;
+  // on real multicores this is routinely nonzero.
+  RecordProperty("torn_rounds", torn_observed);
+}
+
+TEST(ConWriteSlot, CriticalPolicySlot) {
+  ConWriteSlot<Payload, CriticalPolicy> slot;
+  EXPECT_TRUE(slot.try_write(1, Payload(9)));
+  EXPECT_FALSE(slot.try_write(1, Payload(10)));
+  EXPECT_EQ(slot.read().stamp(), 9u);
+}
+
+}  // namespace
+}  // namespace crcw

@@ -1,0 +1,117 @@
+// SSSP via priority concurrent writes vs Dijkstra.
+#include "algorithms/sssp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/csr.hpp"
+
+namespace crcw::algo {
+namespace {
+
+using graph::kNoVertex;
+
+TEST(SsspDijkstra, HandComputedSmall) {
+  //   0 --1-- 1 --1-- 2
+  //    \------5------/
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {1, 2, 1}, {0, 2, 5}};
+  const auto d = sssp_dijkstra(3, edges, 0);
+  EXPECT_EQ(d, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(SsspTwoPhase, SmallKnownAnswers) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {1, 2, 1}, {0, 2, 5}};
+  const SsspResult r = sssp_two_phase(3, edges, 0);
+  EXPECT_EQ(r.dist, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(r.parent[0], kNoVertex);
+  EXPECT_EQ(r.parent[1], 0u);
+  EXPECT_EQ(r.parent[2], 1u) << "the weight-5 shortcut must not be the parent";
+  EXPECT_TRUE(validate_sssp(3, edges, 0, r));
+}
+
+TEST(SsspFetchMin, SmallKnownAnswers) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {1, 2, 1}, {0, 2, 5}};
+  const SsspResult r = sssp_fetch_min(3, edges, 0);
+  EXPECT_EQ(r.dist, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_TRUE(validate_sssp(3, edges, 0, r));
+}
+
+TEST(Sssp, UnreachableVertices) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 3}};
+  for (const auto* kind : {"two_phase", "fetch_min"}) {
+    const SsspResult r = std::string(kind) == "two_phase"
+                             ? sssp_two_phase(4, edges, 0)
+                             : sssp_fetch_min(4, edges, 0);
+    EXPECT_EQ(r.dist[2], kUnreachable) << kind;
+    EXPECT_EQ(r.dist[3], kUnreachable) << kind;
+    EXPECT_EQ(r.parent[2], kNoVertex) << kind;
+    EXPECT_TRUE(validate_sssp(4, edges, 0, r)) << kind;
+  }
+}
+
+TEST(Sssp, ZeroWeightsAndTies) {
+  // Multiple equal-length paths: any tight parent is fine; validate_sssp
+  // checks tightness, not a specific tree.
+  const std::vector<WeightedEdge> edges = {{0, 1, 2}, {0, 2, 2}, {1, 3, 2},
+                                           {2, 3, 2}, {0, 3, 4}, {3, 4, 0}};
+  const SsspResult r = sssp_two_phase(5, edges, 0);
+  EXPECT_EQ(r.dist[3], 4u);
+  EXPECT_EQ(r.dist[4], 4u);
+  EXPECT_TRUE(validate_sssp(5, edges, 0, r));
+}
+
+TEST(Sssp, InputValidation) {
+  const std::vector<WeightedEdge> bad = {{0, 9, 1}};
+  EXPECT_THROW((void)sssp_two_phase(3, bad, 0), std::invalid_argument);
+  EXPECT_THROW((void)sssp_fetch_min(3, bad, 0), std::invalid_argument);
+  const std::vector<WeightedEdge> ok = {{0, 1, 1}};
+  EXPECT_THROW((void)sssp_two_phase(2, ok, 7), std::invalid_argument);
+}
+
+using SsspParam = std::tuple<std::uint64_t, std::uint64_t, std::uint32_t, int>;
+
+class SsspRandomTest : public ::testing::TestWithParam<SsspParam> {};
+
+TEST_P(SsspRandomTest, BothVariantsMatchDijkstra) {
+  const auto& [n, m, max_w, threads] = GetParam();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto edges = random_weighted_edges(n, m, max_w, seed);
+    const auto source = static_cast<graph::vertex_t>(seed % n);
+    const SsspResult a = sssp_two_phase(n, edges, source, {.threads = threads});
+    ASSERT_TRUE(validate_sssp(n, edges, source, a))
+        << "two_phase n=" << n << " seed=" << seed;
+    const SsspResult b = sssp_fetch_min(n, edges, source, {.threads = threads});
+    ASSERT_TRUE(validate_sssp(n, edges, source, b))
+        << "fetch_min n=" << n << " seed=" << seed;
+    ASSERT_EQ(a.dist, b.dist);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SsspRandomTest,
+    ::testing::Values(
+        std::make_tuple(std::uint64_t{10}, std::uint64_t{20}, 10u, 1),
+        std::make_tuple(std::uint64_t{100}, std::uint64_t{400}, 100u, 4),
+        std::make_tuple(std::uint64_t{100}, std::uint64_t{400}, 0u, 4),  // all zero weights
+        std::make_tuple(std::uint64_t{500}, std::uint64_t{600}, 1000u, 4),
+        std::make_tuple(std::uint64_t{2000}, std::uint64_t{10000}, 50u, 8)),
+    [](const auto& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_m" +
+             std::to_string(std::get<1>(pinfo.param)) + "_w" +
+             std::to_string(std::get<2>(pinfo.param)) + "_t" +
+             std::to_string(std::get<3>(pinfo.param));
+    });
+
+TEST(Sssp, RoundCountIsHopBounded) {
+  // A path graph settles in (diameter + 1) rounds.
+  std::vector<WeightedEdge> edges;
+  for (std::uint32_t i = 0; i + 1 < 64; ++i) edges.push_back({i, i + 1, 1});
+  const SsspResult r = sssp_two_phase(64, edges, 0);
+  EXPECT_LE(r.rounds, 65u);
+  EXPECT_GE(r.rounds, 63u);
+  EXPECT_EQ(r.dist[63], 63u);
+}
+
+}  // namespace
+}  // namespace crcw::algo

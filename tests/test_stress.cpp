@@ -1,0 +1,196 @@
+// Adversarial stress suite for the concurrent-write core: long runs, many
+// tags, mixed policies, hostile interleavings. These tests are the
+// library's race-condition canaries — they must stay green under
+// ThreadSanitizer and at any thread count.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/concurrent_write.hpp"
+#include "util/rng.hpp"
+
+namespace crcw {
+namespace {
+
+/// Payload-vs-winner agreement over thousands of rounds: the committed
+/// value must always be the value offered by the thread that observed
+/// success — never a blend, never a loser's offer.
+TEST(Stress, PayloadAlwaysMatchesTheObservedWinner) {
+  const int threads = std::max(4, omp_get_max_threads());
+  constexpr int kRounds = 2000;
+
+  ConWriteCell<std::uint64_t> cell(0);
+  std::vector<std::uint64_t> winner_offer(kRounds + 1, 0);
+
+#pragma omp parallel num_threads(threads)
+  {
+    const auto me = static_cast<std::uint64_t>(omp_get_thread_num()) + 1;
+    for (round_t r = 1; r <= kRounds; ++r) {
+      const std::uint64_t offer = me * 1'000'000 + r;
+      if (cell.try_write(r, offer)) winner_offer[r] = offer;
+#pragma omp barrier
+      if (me == 1) {
+        // One thread audits after the synchronisation point.
+        if (cell.read() != winner_offer[r]) {
+          ADD_FAILURE() << "round " << r << ": committed " << cell.read()
+                        << " but winner offered " << winner_offer[r];
+        }
+      }
+#pragma omp barrier
+    }
+  }
+}
+
+/// Interleaved tags: threads sweep a tag array in opposing directions so
+/// acquisition order differs per thread; per (tag, round) exactly one win.
+TEST(Stress, OpposingSweepsOverTagArray) {
+  constexpr std::size_t kTags = 128;
+  constexpr int kRounds = 200;
+  const int threads = std::max(4, omp_get_max_threads());
+
+  WriteArbiter<CasLtPolicy> arbiter(kTags);
+  std::vector<std::atomic<std::uint32_t>> wins(kTags);
+
+  for (int round = 1; round <= kRounds; ++round) {
+    arbiter.begin_round();
+    for (auto& w : wins) w.store(0);
+#pragma omp parallel num_threads(threads)
+    {
+      const bool forward = omp_get_thread_num() % 2 == 0;
+      for (std::size_t k = 0; k < kTags; ++k) {
+        const std::size_t i = forward ? k : kTags - 1 - k;
+        if (arbiter.try_acquire(i)) wins[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    for (std::size_t i = 0; i < kTags; ++i) {
+      ASSERT_EQ(wins[i].load(), 1u) << "tag " << i << " round " << round;
+    }
+  }
+}
+
+/// Round skipping: threads jump rounds forward at different paces
+/// (monotone per tag, as the contract requires); at most one winner per
+/// round value and the tag ends at the maximum round.
+TEST(Stress, SparseMonotoneRounds) {
+  const int threads = std::max(4, omp_get_max_threads());
+  RoundTag tag;
+  std::atomic<std::uint64_t> total_wins{0};
+  constexpr round_t kMaxRound = 10'000;
+
+#pragma omp parallel num_threads(threads)
+  {
+    util::Xoshiro256 rng(static_cast<std::uint64_t>(omp_get_thread_num()) + 99);
+    round_t r = 0;
+    while (r < kMaxRound) {
+      r += 1 + rng.bounded(7);  // private pacing; global monotonicity not required
+      if (r > kMaxRound) r = kMaxRound;
+      if (tag.try_acquire_retry(r)) total_wins.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Wins are at most one per distinct round value and at least one (the
+  // first arrival at some round certainly won).
+  EXPECT_GE(total_wins.load(), 1u);
+  EXPECT_LE(total_wins.load(), kMaxRound);
+  EXPECT_EQ(tag.last_round(), kMaxRound);
+}
+
+/// Gatekeeper reset hammering: reset+acquire cycles from a coordinator
+/// thread while workers spin — per round exactly one winner, never more.
+TEST(Stress, GatekeeperResetCycles) {
+  const int threads = std::max(4, omp_get_max_threads());
+  Gatekeeper gate;
+  constexpr int kRounds = 1000;
+  std::atomic<std::uint32_t> wins{0};
+
+  for (int r = 0; r < kRounds; ++r) {
+    wins.store(0);
+#pragma omp parallel num_threads(threads)
+    {
+      for (int a = 0; a < 16; ++a) {
+        if (gate.try_acquire_skip()) wins.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ASSERT_EQ(wins.load(), 1u) << "round " << r;
+    gate.reset();
+  }
+}
+
+/// Slot storm: alternating protected/unprotected writes — protected rounds
+/// must still never expose torn state to the post-barrier reader.
+TEST(Stress, SlotsSurviveMixedProtectedRounds) {
+  const int threads = std::max(4, omp_get_max_threads());
+  ConWriteSlot<Stamped<16>> slot(Stamped<16>(0));
+  constexpr int kRounds = 500;
+
+  for (round_t r = 1; r <= kRounds; ++r) {
+#pragma omp parallel num_threads(threads)
+    {
+      const auto stamp =
+          static_cast<std::uint64_t>(omp_get_thread_num() + 1) * 100'000 + r;
+      (void)slot.try_write(r, Stamped<16>(stamp));
+    }
+    ASSERT_TRUE(slot.read().consistent()) << "round " << r;
+    ASSERT_EQ(slot.read().stamp() % 100'000, r % 100'000);
+  }
+}
+
+/// Priority cells under rapid reset/offer cycles: the surviving key is
+/// always the global minimum of that round's offers.
+TEST(Stress, PriorityCellMinimumAlwaysSurvives) {
+  const int threads = std::max(4, omp_get_max_threads());
+  PackedPriorityCell cell;
+  constexpr int kRounds = 1000;
+
+  for (int r = 0; r < kRounds; ++r) {
+    cell.reset();
+    std::atomic<std::uint32_t> global_min{0xFFFFFFFFu};
+#pragma omp parallel num_threads(threads)
+    {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(omp_get_thread_num()) * 7919 +
+                           static_cast<std::uint64_t>(r));
+      for (int k = 0; k < 8; ++k) {
+        const auto key = static_cast<std::uint32_t>(rng.bounded(1 << 20));
+        cell.offer(key, key);
+        atomic_fetch_min(global_min, key);
+      }
+    }
+    ASSERT_EQ(cell.key(), global_min.load()) << "round " << r;
+  }
+}
+
+/// Cross-policy agreement marathon: for identical contention patterns,
+/// every single-winner policy commits the same NUMBER of writes (one per
+/// round) even though the winners differ.
+TEST(Stress, AllPoliciesAgreeOnWinCounts) {
+  const int threads = std::max(4, omp_get_max_threads());
+  constexpr int kRounds = 300;
+
+  const auto run = [&](auto policy_tag) -> std::uint64_t {
+    using P = decltype(policy_tag);
+    typename P::tag_type tag{};
+    std::atomic<std::uint64_t> wins{0};
+    for (round_t r = 1; r <= kRounds; ++r) {
+      if constexpr (P::kNeedsRoundReset) P::reset(tag);
+#pragma omp parallel num_threads(threads)
+      {
+        for (int a = 0; a < 4; ++a) {
+          if (P::try_acquire(tag, r)) wins.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    return wins.load();
+  };
+
+  EXPECT_EQ(run(CasLtPolicy{}), static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(run(CasLtRetryPolicy{}), static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(run(CasLtNoSkipPolicy{}), static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(run(GatekeeperPolicy{}), static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(run(GatekeeperSkipPolicy{}), static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(run(CriticalPolicy{}), static_cast<std::uint64_t>(kRounds));
+}
+
+}  // namespace
+}  // namespace crcw

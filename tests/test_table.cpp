@@ -1,0 +1,81 @@
+// Table formatting / CSV export.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace crcw::util {
+namespace {
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowWidthChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::fmt(0.5), "0.500");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"method", "time_ms"});
+  t.add_row({"caslt", "1.5"});
+  t.add_row({"gatekeeper", "3.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("caslt"), std::string::npos);
+  EXPECT_NE(out.find("3.25"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrippableShape) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"x", "y"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(Table, SaveCsvCreatesDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "crcw_table_test";
+  std::filesystem::remove_all(dir);
+  Table t({"x"});
+  t.add_row({"1"});
+  const auto path = (dir / "sub" / "out.csv").string();
+  t.save_csv(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace crcw::util

@@ -1,0 +1,56 @@
+// Work–depth accounting and Brent's bound (§6).
+#include "pram/work_depth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crcw::pram {
+namespace {
+
+TEST(WorkDepth, StartsEmpty) {
+  WorkDepth wd;
+  EXPECT_EQ(wd.work, 0u);
+  EXPECT_EQ(wd.depth, 0u);
+}
+
+TEST(WorkDepth, AccumulatesSteps) {
+  WorkDepth wd;
+  wd.add_step(100);
+  wd.add_step(50);
+  EXPECT_EQ(wd.work, 150u);
+  EXPECT_EQ(wd.depth, 2u);
+}
+
+TEST(WorkDepth, ResetClears) {
+  WorkDepth wd;
+  wd.add_step(5);
+  wd.reset();
+  EXPECT_EQ(wd, WorkDepth{});
+}
+
+TEST(BrentTime, MatchesFormula) {
+  // T = D + W/p (§6).
+  const WorkDepth wd{.work = 1000, .depth = 10};
+  EXPECT_DOUBLE_EQ(brent_time(wd, 1), 1010.0);
+  EXPECT_DOUBLE_EQ(brent_time(wd, 10), 110.0);
+  EXPECT_DOUBLE_EQ(brent_time(wd, 1000), 11.0);
+}
+
+TEST(BrentTime, ZeroProcessorsTreatedAsOne) {
+  const WorkDepth wd{.work = 100, .depth = 1};
+  EXPECT_DOUBLE_EQ(brent_time(wd, 0), brent_time(wd, 1));
+}
+
+TEST(BrentTime, MoreProcessorsNeverSlower) {
+  const WorkDepth wd{.work = 123456, .depth = 7};
+  double prev = brent_time(wd, 1);
+  for (std::uint64_t p = 2; p <= 1024; p *= 2) {
+    const double t = brent_time(wd, p);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+  // And never below the depth lower bound.
+  EXPECT_GE(prev, static_cast<double>(wd.depth));
+}
+
+}  // namespace
+}  // namespace crcw::pram
