@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/policies.hpp"
+#include "util/sanitizer.hpp"
 
 namespace crcw {
 
@@ -37,12 +38,15 @@ class ConWriteCell {
   /// this thread was selected and the value was stored.
   bool try_write(round_t round, const T& v) {
     if (!Policy::try_acquire(tag_, round)) return false;
+    // Benign under TSan: single policy winner, published by the step barrier.
+    const util::TsanIgnoreWritesScope published_by_barrier;
     value_ = v;
     return true;
   }
 
   bool try_write(round_t round, T&& v) {
     if (!Policy::try_acquire(tag_, round)) return false;
+    const util::TsanIgnoreWritesScope published_by_barrier;
     value_ = std::move(v);
     return true;
   }
@@ -53,7 +57,11 @@ class ConWriteCell {
     requires std::is_invocable_r_v<T, Factory>
   bool try_write_with(round_t round, Factory&& make) {
     if (!Policy::try_acquire(tag_, round)) return false;
-    value_ = std::forward<Factory>(make)();
+    // Run the factory outside the ignore window: only the store into the
+    // barrier-published payload is the documented benign race.
+    T made = std::forward<Factory>(make)();
+    const util::TsanIgnoreWritesScope published_by_barrier;
+    value_ = std::move(made);
     return true;
   }
 

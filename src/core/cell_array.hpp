@@ -26,6 +26,7 @@
 
 #include "core/arbiter.hpp"
 #include "core/policies.hpp"
+#include "util/sanitizer.hpp"
 
 namespace crcw {
 
@@ -73,12 +74,16 @@ class ConWriteArray {
   /// the calling thread won.
   bool try_write(std::size_t i, const T& v) {
     if (!arbiter_.try_acquire(i)) return false;
+    // Benign under TSan: single arbiter winner per (cell, round); the step
+    // barrier publishes the store (same annotation discipline as ConWriteCell).
+    const util::TsanIgnoreWritesScope published_by_barrier;
     values_[i] = v;
     return true;
   }
 
   bool try_write(std::size_t i, T&& v) {
     if (!arbiter_.try_acquire(i)) return false;
+    const util::TsanIgnoreWritesScope published_by_barrier;
     values_[i] = std::move(v);
     return true;
   }
@@ -87,6 +92,7 @@ class ConWriteArray {
   /// BFS level counter).
   bool try_write(std::size_t i, round_t round, const T& v) {
     if (!arbiter_.try_acquire(i, round)) return false;
+    const util::TsanIgnoreWritesScope published_by_barrier;
     values_[i] = v;
     return true;
   }
@@ -96,7 +102,9 @@ class ConWriteArray {
     requires std::is_invocable_r_v<T, Factory>
   bool try_write_with(std::size_t i, Factory&& make) {
     if (!arbiter_.try_acquire(i)) return false;
-    values_[i] = std::forward<Factory>(make)();
+    T made = std::forward<Factory>(make)();
+    const util::TsanIgnoreWritesScope published_by_barrier;
+    values_[i] = std::move(made);
     return true;
   }
 

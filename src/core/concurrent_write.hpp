@@ -6,6 +6,8 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
+#include <limits>
 
 #include "core/arbiter.hpp"
 #include "core/cell.hpp"
@@ -20,11 +22,40 @@
 
 namespace crcw {
 
+/// The published pseudo-code's round type. Figures 1 and 2 store rounds in
+/// `unsigned` (32-bit on every target we build for), while the library's
+/// typed interfaces use 64-bit round_t. The narrow tag inherits a wrap
+/// hazard the paper shape does not discuss: after 2^32 rounds on one tag
+/// the comparison `current < round` inverts and every later write is
+/// refused (or, across the wrap point itself, a stale round is admitted).
+/// The figure benches restart round numbering per repetition, so they stay
+/// far below the horizon — but any long-lived caller must either use the
+/// 64-bit library types or re-initialise tags before the wrap.
+using round32_t = unsigned;
+
+/// Checked narrowing from library rounds to the figure shapes' 32-bit
+/// rounds, used by the figure benches that drive the verbatim API from
+/// round_t counters. Asserts (debug builds) that the value is below the
+/// 2^32 wrap horizon instead of wrapping silently.
+constexpr round32_t to_round32(round_t round) noexcept {
+  static_assert(sizeof(round32_t) < sizeof(round_t),
+                "round32_t exists precisely because the published shapes use a "
+                "narrower round than the library's round_t; if the widths ever "
+                "match, fold the figure API onto round_t and delete this helper");
+  static_assert(std::numeric_limits<round32_t>::digits == 32,
+                "the 2^32 wrap-hazard comments assume a 32-bit figure round");
+  assert(round <= static_cast<round_t>(std::numeric_limits<round32_t>::max()) &&
+         "round beyond the figure shapes' 2^32 wrap horizon");
+  return static_cast<round32_t>(round);
+}
+
 /// Paper Figure 1, verbatim semantics: returns true iff the caller may
 /// perform the round-`round` concurrent write guarded by `lastRoundUpdated`.
-inline bool canConWriteCASLT(std::atomic<unsigned>& lastRoundUpdated, unsigned round) noexcept {
+/// Rounds are the paper's 32-bit ones — see the round32_t wrap caveat.
+inline bool canConWriteCASLT(std::atomic<round32_t>& lastRoundUpdated,
+                             round32_t round) noexcept {
   bool x = false;
-  if (unsigned current = lastRoundUpdated.load(std::memory_order_relaxed); current < round) {
+  if (round32_t current = lastRoundUpdated.load(std::memory_order_relaxed); current < round) {
     x = lastRoundUpdated.compare_exchange_strong(current, round, std::memory_order_acq_rel,
                                                  std::memory_order_relaxed);
   }
@@ -33,9 +64,11 @@ inline bool canConWriteCASLT(std::atomic<unsigned>& lastRoundUpdated, unsigned r
 
 /// Paper Figure 2, verbatim semantics: atomic capture of a post-increment on
 /// the gatekeeper; the thread that observed 0 wins. The gatekeeper must be
-/// re-zeroed before every new concurrent-write round.
-inline bool canConWriteAtomic(std::atomic<unsigned>& gatekeeper) noexcept {
-  const unsigned x = gatekeeper.fetch_add(1, std::memory_order_acq_rel);
+/// re-zeroed before every new concurrent-write round. The 32-bit counter
+/// shares round32_t's width caveat: 2^32 contender arrivals without a reset
+/// wrap it back to a winning 0.
+inline bool canConWriteAtomic(std::atomic<round32_t>& gatekeeper) noexcept {
+  const round32_t x = gatekeeper.fetch_add(1, std::memory_order_acq_rel);
   return x == 0;
 }
 
@@ -43,8 +76,8 @@ inline bool canConWriteAtomic(std::atomic<unsigned>& gatekeeper) noexcept {
 /// paper's benchmarks actually compiled ("we used OpenMP's atomic capture
 /// directive", §7.1), over a plain unsigned. Identical x86 codegen to the
 /// std::atomic form; kept so the published listing is runnable verbatim.
-inline bool canConWriteAtomicOmp(unsigned& gatekeeper) noexcept {
-  unsigned x = 0;
+inline bool canConWriteAtomicOmp(round32_t& gatekeeper) noexcept {
+  round32_t x = 0;
 #pragma omp atomic capture
   {
     x = gatekeeper;

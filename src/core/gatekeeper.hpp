@@ -30,8 +30,16 @@ class Gatekeeper {
 
   /// Mitigated variant: skip the RMW once a winner is visible. Note the
   /// skip read does not remove the per-round reset requirement.
+  ///
+  /// The skip load is acquire so it pairs with the release in reset(): a
+  /// straggler admitted into the RMW because this load observed the freshly
+  /// re-zeroed counter is ordered after everything the resetting thread did
+  /// before re-opening the gate (in particular its reads of the previous
+  /// round's payload). With a relaxed load, that admission decision would
+  /// carry no ordering and the straggler's subsequent payload write could
+  /// race those reads on weakly-ordered targets.
   bool try_acquire_skip() noexcept {
-    if (count_.load(std::memory_order_relaxed) != 0) return false;
+    if (count_.load(std::memory_order_acquire) != 0) return false;
     return count_.fetch_add(1, std::memory_order_acq_rel) == 0;
   }
 
@@ -44,7 +52,18 @@ class Gatekeeper {
   [[nodiscard]] bool taken() const noexcept { return contenders() != 0; }
 
   /// Required before every new concurrent-write round (Fig 3(b) line 34-35).
-  void reset() noexcept { count_.store(0, std::memory_order_relaxed); }
+  ///
+  /// Release, not relaxed: the resetting thread has typically just consumed
+  /// the previous round's payload, and the zero it publishes is what
+  /// re-admits contenders. A relaxed store could be reordered ahead of those
+  /// payload reads on weakly-ordered targets; a straggler whose skip-load
+  /// (acquire) or fetch_add (acq_rel) observes the fresh 0 would then write
+  /// the next payload concurrently with the old reads. Release/acquire on
+  /// the counter closes exactly that window — and no more: the protocol
+  /// still requires a synchronisation point (the PRAM step barrier) between
+  /// the winner's payload write and any OTHER thread's dependent read,
+  /// because the gate word only orders the resetting thread's own accesses.
+  void reset() noexcept { count_.store(0, std::memory_order_release); }
 
  private:
   std::atomic<std::uint64_t> count_{0};

@@ -22,6 +22,7 @@
 #include <limits>
 
 #include "core/combining.hpp"
+#include "util/sanitizer.hpp"
 
 namespace crcw {
 
@@ -45,6 +46,9 @@ class PriorityCell {
   /// Returns true for exactly the contender holding the minimum key.
   bool try_commit(Key key, const T& v) {
     if (best_.load(std::memory_order_acquire) != key) return false;
+    // Benign under TSan: keys are unique per round, so exactly one
+    // contender passes the check; the post-phase barrier publishes it.
+    const util::TsanIgnoreWritesScope published_by_barrier;
     value_ = v;
     return true;
   }

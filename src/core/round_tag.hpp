@@ -67,16 +67,28 @@ class RoundTag {
     return false;
   }
 
-  /// Ablation variant (bench/ablation_memorder): no pre-load skip — always
-  /// executes the CAS. Mimics what the gatekeeper scheme pays per contender.
+  /// Ablation variant (bench/ablation_memorder): no pre-load skip — every
+  /// call issues at least one atomic RMW, mimicking the gatekeeper's
+  /// unconditional fetch_add. The expected value now seeds from a fresh
+  /// load; it used to seed from kInitialRound, which guaranteed the first
+  /// CAS failed on any tag that had ever advanced, so the ablation measured
+  /// "failed CAS + reload + retry" (two RMWs even uncontended) instead of
+  /// "CAS-LT minus the skip". Post-fix cost: a winner pays one successful
+  /// CAS; a late contender pays one same-value CAS (the RMW is still
+  /// executed, but the tag can never move backward). This also repairs a
+  /// semantic edge: the old seed made try_acquire_no_skip(kInitialRound)
+  /// "win" round 0 on a fresh tag, a round that is never live.
   bool try_acquire_no_skip(round_t round) noexcept {
-    round_t current = kInitialRound;
-    // Start the CAS from the strongest "stale" guess and walk forward.
-    while (!last_round_.compare_exchange_weak(current, round, std::memory_order_acq_rel,
-                                              std::memory_order_relaxed)) {
-      if (current >= round) return false;
+    round_t current = last_round_.load(std::memory_order_relaxed);
+    for (;;) {
+      // Committed rounds re-store the current value: pays the RMW without
+      // regressing the tag. Live rounds race to install `round`.
+      const round_t desired = current < round ? round : current;
+      if (last_round_.compare_exchange_weak(current, desired, std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        return current < round;
+      }
     }
-    return true;
   }
 
   /// True iff the round-`round` write has already been committed.

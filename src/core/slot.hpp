@@ -21,6 +21,7 @@
 #include <type_traits>
 
 #include "core/policies.hpp"
+#include "util/sanitizer.hpp"
 
 namespace crcw {
 
@@ -42,6 +43,11 @@ class ConWriteSlot {
   /// Single-winner multi-word concurrent write.
   bool try_write(round_t round, const T& v) {
     if (!Policy::try_acquire(tag_, round)) return false;
+    // Benign under TSan: the policy admitted exactly one writer for this
+    // round and the PRAM step barrier publishes the multi-word copy. The
+    // word-wise write_unprotected path below is NOT annotated — it goes
+    // through atomic_ref so its struct-level race stays observable.
+    const util::TsanIgnoreWritesScope published_by_barrier;
     value_ = v;
     return true;
   }

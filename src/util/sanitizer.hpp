@@ -1,0 +1,74 @@
+// ThreadSanitizer annotations for the library's *intentional* plain accesses.
+//
+// The concurrent-write protocol (paper §5) admits exactly one writer per
+// (target, round) and publishes the written payload through the PRAM step
+// barrier — in practice an OpenMP barrier, which TSan's happens-before
+// analysis cannot see (libgomp synchronises internally, invisibly to the
+// runtime). A TSan build would therefore flag every barrier-published plain
+// payload store as a race against its post-barrier readers, drowning real
+// findings. Rather than suppressing whole classes of reports in tsan.supp,
+// each such store is wrapped in a scoped ignore-writes annotation *at the
+// site*, with a comment naming the barrier that publishes it. The raw-thread
+// stress tier (tests/stress/) uses std::barrier, whose synchronisation TSan
+// does see, so the protocol itself — tag CAS races, gatekeeper resets,
+// reset/acquire hand-offs — remains fully checked there.
+//
+// Discipline for new annotations (docs/concurrency-model.md, "Benign races
+// and how we prove it"):
+//   1. only payload stores that a single-winner policy already protects and
+//      a named synchronisation point publishes may be annotated;
+//   2. the annotation must be the narrowest possible scope (the store, not
+//      the surrounding control flow);
+//   3. tag/counter words are std::atomic and must NEVER be annotated — races
+//      on them are always real bugs.
+#pragma once
+
+// Detection: gcc defines __SANITIZE_THREAD__; clang exposes __has_feature.
+#if defined(__SANITIZE_THREAD__)
+#define CRCW_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CRCW_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifndef CRCW_TSAN_ENABLED
+#define CRCW_TSAN_ENABLED 0
+#endif
+
+#if CRCW_TSAN_ENABLED
+// Dynamic-annotation entry points exported by the TSan runtime (both gcc's
+// libtsan and llvm's compiler-rt ship them).
+extern "C" {
+void AnnotateIgnoreWritesBegin(const char* file, int line);
+void AnnotateIgnoreWritesEnd(const char* file, int line);
+void AnnotateHappensBefore(const char* file, int line, const volatile void* addr);
+void AnnotateHappensAfter(const char* file, int line, const volatile void* addr);
+}
+
+#define CRCW_TSAN_ANNOTATE_IGNORE_WRITES_BEGIN() AnnotateIgnoreWritesBegin(__FILE__, __LINE__)
+#define CRCW_TSAN_ANNOTATE_IGNORE_WRITES_END() AnnotateIgnoreWritesEnd(__FILE__, __LINE__)
+#define CRCW_TSAN_ANNOTATE_HAPPENS_BEFORE(addr) AnnotateHappensBefore(__FILE__, __LINE__, addr)
+#define CRCW_TSAN_ANNOTATE_HAPPENS_AFTER(addr) AnnotateHappensAfter(__FILE__, __LINE__, addr)
+#else
+#define CRCW_TSAN_ANNOTATE_IGNORE_WRITES_BEGIN() static_cast<void>(0)
+#define CRCW_TSAN_ANNOTATE_IGNORE_WRITES_END() static_cast<void>(0)
+#define CRCW_TSAN_ANNOTATE_HAPPENS_BEFORE(addr) static_cast<void>(0)
+#define CRCW_TSAN_ANNOTATE_HAPPENS_AFTER(addr) static_cast<void>(0)
+#endif
+
+namespace crcw::util {
+
+/// RAII scope for one barrier-published payload store. Exception-safe (a
+/// throwing copy assignment must still end the ignore window) and a no-op
+/// outside TSan builds.
+class TsanIgnoreWritesScope {
+ public:
+  TsanIgnoreWritesScope() noexcept { CRCW_TSAN_ANNOTATE_IGNORE_WRITES_BEGIN(); }
+  ~TsanIgnoreWritesScope() { CRCW_TSAN_ANNOTATE_IGNORE_WRITES_END(); }
+
+  TsanIgnoreWritesScope(const TsanIgnoreWritesScope&) = delete;
+  TsanIgnoreWritesScope& operator=(const TsanIgnoreWritesScope&) = delete;
+};
+
+}  // namespace crcw::util

@@ -1,0 +1,149 @@
+// WriteArbiter / ConWriteArray under raw-thread schedules shaped like the
+// BFS and CC kernels: explicit rounds reused as BFS levels, CC-style hook
+// races over a parent array, and the padded tag layout. The invariant that
+// downstream consumers rely on (docs/concurrency-model.md): every committed
+// concurrent write is permanent — exactly one winner, never overwritten
+// within or after its round.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/arbiter.hpp"
+#include "core/cell_array.hpp"
+#include "stress_common.hpp"
+#include "util/rng.hpp"
+
+namespace crcw {
+namespace {
+
+using stress::run_lockstep;
+using stress::scaled;
+using stress::thread_count;
+
+/// Opposing full-array sweeps per round (the hostile acquisition order of
+/// the tier-1 stress suite, now with TSan-visible barriers): exactly one
+/// winner per (cell, round) and the payload matches a real offer.
+TEST(StressArbiter, OpposingSweepsEveryCellExactlyOneWinner) {
+  constexpr std::size_t kCells = 64;
+  const int threads = thread_count();
+  const round_t rounds = static_cast<round_t>(scaled(300, 60));
+
+  ConWriteArray<std::uint64_t> cells(kCells, 0);
+  std::vector<std::atomic<std::uint32_t>> wins(kCells);
+  for (auto& w : wins) w.store(0, std::memory_order_relaxed);
+
+  run_lockstep(
+      threads, rounds,
+      [&](int tid, round_t r) {
+        const bool forward = tid % 2 == 0;
+        for (std::size_t k = 0; k < kCells; ++k) {
+          const std::size_t i = forward ? k : kCells - 1 - k;
+          const std::uint64_t offer =
+              static_cast<std::uint64_t>(tid + 1) * 1'000'000 + r;
+          if (cells.try_write(i, r, offer)) {
+            wins[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      [&](round_t r) {
+        for (std::size_t i = 0; i < kCells; ++i) {
+          ASSERT_EQ(wins[i].exchange(0, std::memory_order_relaxed), 1u)
+              << "cell " << i << " round " << r;
+          ASSERT_EQ(cells[i] % 1'000'000, r % 1'000'000) << "cell " << i;
+        }
+      });
+}
+
+/// BFS-shaped schedule: the level counter is the explicit round (paper §5,
+/// "round could be substituted by the loop iteration"). Level L writes only
+/// cells in window L; the audit checks the fresh window won exactly once
+/// AND that every earlier window still holds its own level — permanence.
+TEST(StressArbiter, BfsLevelsAsExplicitRoundsArePermanent) {
+  constexpr std::size_t kWindow = 32;
+  const int threads = thread_count();
+  const auto levels = static_cast<round_t>(scaled(200, 50));
+
+  ConWriteArray<std::uint64_t> level_of(kWindow * static_cast<std::size_t>(levels),
+                                        ~std::uint64_t{0});
+
+  run_lockstep(
+      threads, levels,
+      [&](int /*tid*/, round_t level) {
+        // Every thread offers the whole frontier window, like all owners of
+        // frontier edges racing to settle the same neighbours.
+        const std::size_t base = (static_cast<std::size_t>(level) - 1) * kWindow;
+        for (std::size_t k = 0; k < kWindow; ++k) {
+          (void)level_of.try_write(base + k, level, static_cast<std::uint64_t>(level));
+        }
+      },
+      [&](round_t level) {
+        for (round_t l = 1; l <= level; ++l) {
+          const std::size_t base = (static_cast<std::size_t>(l) - 1) * kWindow;
+          for (std::size_t k = 0; k < kWindow; ++k) {
+            ASSERT_EQ(level_of[base + k], static_cast<std::uint64_t>(l))
+                << "vertex " << base + k << " audited at level " << level;
+          }
+        }
+      });
+}
+
+/// CC-hook-shaped schedule: threads race arbitrary concurrent writes of
+/// their own id into a shared parent array; a committed hook must survive
+/// every later attempt in the same round and the winner id must be a live
+/// contender for that cell.
+TEST(StressArbiter, CcHookRacesCommitExactlyOneLiveParent) {
+  constexpr std::size_t kVertices = 96;
+  const int threads = thread_count();
+  const round_t rounds = static_cast<round_t>(scaled(300, 60));
+
+  ConWriteArray<std::uint64_t> parent(kVertices, 0);
+
+  run_lockstep(
+      threads, rounds,
+      [&](int tid, round_t r) {
+        util::Xoshiro256 rng(static_cast<std::uint64_t>(tid) * 7919 + r);
+        for (int a = 0; a < 64; ++a) {
+          const auto v = static_cast<std::size_t>(rng.bounded(kVertices));
+          (void)parent.try_write(v, r, static_cast<std::uint64_t>(tid + 1));
+        }
+      },
+      [&](round_t r) {
+        for (std::size_t v = 0; v < kVertices; ++v) {
+          // Either untouched this round (kept an older id) or exactly one
+          // live thread id in [1, threads].
+          ASSERT_LE(parent[v], static_cast<std::uint64_t>(threads))
+              << "vertex " << v << " round " << r;
+        }
+      });
+}
+
+/// Padded tag layout under the same contention as packed: layout must not
+/// change winner semantics (ablation A1 only measures cost).
+TEST(StressArbiter, PaddedLayoutSameWinnerSemantics) {
+  constexpr std::size_t kCells = 32;
+  const int threads = thread_count();
+  const round_t rounds = static_cast<round_t>(scaled(300, 60));
+
+  WriteArbiter<CasLtPolicy, TagLayout::kPadded> arbiter(kCells);
+  std::vector<std::atomic<std::uint32_t>> wins(kCells);
+  for (auto& w : wins) w.store(0, std::memory_order_relaxed);
+
+  run_lockstep(
+      threads, rounds,
+      [&](int /*tid*/, round_t r) {
+        for (std::size_t i = 0; i < kCells; ++i) {
+          if (arbiter.try_acquire(i, r)) wins[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      [&](round_t r) {
+        for (std::size_t i = 0; i < kCells; ++i) {
+          ASSERT_EQ(wins[i].exchange(0, std::memory_order_relaxed), 1u)
+              << "cell " << i << " round " << r;
+        }
+      });
+}
+
+}  // namespace
+}  // namespace crcw

@@ -1,0 +1,122 @@
+// ConWriteCell / ConWriteSlot payload schedules under raw threads: the
+// barrier-published plain stores the TSan annotations cover, exercised with
+// multi-word payloads, winner-computes factories, and every single-winner
+// policy — the claim "one atomic plus a normal copy" (paper §5) end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/cell.hpp"
+#include "core/priority.hpp"
+#include "core/slot.hpp"
+#include "stress_common.hpp"
+
+namespace crcw {
+namespace {
+
+using stress::run_lockstep;
+using stress::scaled;
+using stress::thread_count;
+
+/// Multi-word payload (16 words, several cache lines): the committed struct
+/// must carry one writer's stamp in every word after each barrier.
+TEST(StressConWrite, MultiWordSlotNeverTearsAcrossRounds) {
+  const int threads = thread_count();
+  const round_t rounds = static_cast<round_t>(scaled(1000, 200));
+
+  ConWriteSlot<Stamped<16>> slot(Stamped<16>(0));
+
+  run_lockstep(
+      threads, rounds,
+      [&](int tid, round_t r) {
+        const auto stamp = static_cast<std::uint64_t>(tid + 1) * 100'000 + r;
+        (void)slot.try_write(r, Stamped<16>(stamp));
+      },
+      [&](round_t r) {
+        ASSERT_TRUE(slot.read().consistent()) << "round " << r;
+        ASSERT_EQ(slot.read().stamp() % 100'000, r % 100'000) << "round " << r;
+      });
+}
+
+/// Winner-computes: the factory runs exactly once per round (losers must
+/// skip payload construction entirely), and the committed value is the
+/// winner's product.
+TEST(StressConWrite, FactoryRunsExactlyOncePerRound) {
+  const int threads = thread_count();
+  const round_t rounds = static_cast<round_t>(scaled(1500, 250));
+
+  ConWriteCell<std::uint64_t> cell(0);
+  std::atomic<std::uint64_t> factory_runs{0};
+
+  run_lockstep(
+      threads, rounds,
+      [&](int tid, round_t r) {
+        (void)cell.try_write_with(r, [&] {
+          factory_runs.fetch_add(1, std::memory_order_relaxed);
+          return static_cast<std::uint64_t>(tid + 1) * 1'000'000 + r;
+        });
+      },
+      [&](round_t r) {
+        ASSERT_EQ(factory_runs.exchange(0, std::memory_order_relaxed), 1u)
+            << "round " << r;
+        ASSERT_EQ(cell.read() % 1'000'000, r % 1'000'000) << "round " << r;
+      });
+}
+
+/// Gatekeeper-backed cells: the same barrier-published payload contract
+/// with a reset-requiring policy, reset performed in the audit window.
+TEST(StressConWrite, GatekeeperPolicyCellLockstep) {
+  const int threads = thread_count();
+  const round_t rounds = static_cast<round_t>(scaled(1500, 250));
+
+  ConWriteCell<std::uint64_t, GatekeeperSkipPolicy> cell(0);
+  std::atomic<int> winners{0};
+
+  run_lockstep(
+      threads, rounds,
+      [&](int tid, round_t r) {
+        const std::uint64_t offer = static_cast<std::uint64_t>(tid + 1) * 1'000'000 + r;
+        if (cell.try_write(r, offer)) winners.fetch_add(1, std::memory_order_relaxed);
+      },
+      [&](round_t r) {
+        ASSERT_EQ(winners.exchange(0, std::memory_order_relaxed), 1) << "round " << r;
+        ASSERT_EQ(cell.read() % 1'000'000, r % 1'000'000) << "round " << r;
+        cell.reset_tag();
+      });
+}
+
+/// Two-phase priority cell: offers race in the step, the unique minimum
+/// commits in a second step, the audit sees exactly that payload.
+TEST(StressConWrite, PriorityCellMinimumKeyCommits) {
+  const int threads = thread_count();
+  const int rounds = scaled(1000, 200);
+
+  PriorityCell<std::uint32_t, std::uint64_t> cell;
+
+  for (int r = 1; r <= rounds; ++r) {
+    // Phase 1 + phase 2 inside one lock-step run: round 1 offers, round 2
+    // commits (run_lockstep's barriers are the inter-phase sync points).
+    run_lockstep(
+        threads, 2,
+        [&](int tid, round_t phase) {
+          // Unique keys per round: rank rotated by the round index.
+          const auto key = static_cast<std::uint32_t>((tid + r) % threads);
+          if (phase == 1) {
+            cell.offer(key);
+          } else {
+            (void)cell.try_commit(key, static_cast<std::uint64_t>(key) * 7919 + 1);
+          }
+        },
+        [&](round_t phase) {
+          if (phase == 2) {
+            ASSERT_EQ(cell.best_key(), 0u) << "round " << r;
+            ASSERT_EQ(cell.read(), 1u) << "round " << r;
+            cell.reset();
+          }
+        });
+  }
+}
+
+}  // namespace
+}  // namespace crcw

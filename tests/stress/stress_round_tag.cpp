@@ -1,0 +1,165 @@
+// RoundTag under raw-thread schedules TSan can fully analyse: lock-step
+// rounds, deliberately mixed rounds, reset racing, and the repaired
+// no-skip ablation path under contention.
+#include "core/round_tag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/cell.hpp"
+#include "stress_common.hpp"
+
+namespace crcw {
+namespace {
+
+using stress::run_lockstep;
+using stress::run_threads;
+using stress::scaled;
+using stress::thread_count;
+
+/// Lock-step exactly-one-winner, with the winner's payload audited through
+/// a ConWriteCell so the annotated plain store is exercised under TSan.
+TEST(StressRoundTag, LockstepExactlyOneWinnerAndPayloadAgrees) {
+  const int threads = thread_count();
+  const round_t rounds = static_cast<round_t>(scaled(2000, 300));
+
+  ConWriteCell<std::uint64_t> cell(0);
+  std::atomic<int> winners{0};
+  std::atomic<std::uint64_t> winner_offer{0};
+
+  run_lockstep(
+      threads, rounds,
+      [&](int tid, round_t r) {
+        const std::uint64_t offer = static_cast<std::uint64_t>(tid + 1) * 1'000'000 + r;
+        if (cell.try_write(r, offer)) {
+          winners.fetch_add(1, std::memory_order_relaxed);
+          winner_offer.store(offer, std::memory_order_relaxed);
+        }
+      },
+      [&](round_t r) {
+        ASSERT_EQ(winners.exchange(0, std::memory_order_relaxed), 1) << "round " << r;
+        // Post-barrier dependent read: must be the winner's offer, untorn.
+        ASSERT_EQ(cell.read(), winner_offer.load(std::memory_order_relaxed))
+            << "round " << r;
+      });
+}
+
+/// Distinct rounds racing one tag via the strict single-shot acquire — the
+/// misuse the contract forbids. The library's defensive guarantee: at most
+/// one winner per round value and a monotonically increasing tag (every
+/// successful CAS strictly raises it), even off-contract.
+TEST(StressRoundTag, StrictAcquireMixedRoundsAtMostOneWinnerEach) {
+  const int threads = thread_count();
+  const int epochs = scaled(2000, 300);
+  const int rounds_in_flight = threads;
+
+  RoundTag tag;
+  std::vector<std::atomic<int>> wins(
+      static_cast<std::size_t>(epochs * rounds_in_flight + 1));
+  for (auto& w : wins) w.store(0, std::memory_order_relaxed);
+
+  run_threads(threads, [&](int tid) {
+    for (int e = 0; e < epochs; ++e) {
+      // Each thread attempts a thread-specific round: all distinct, racing.
+      const auto round = static_cast<round_t>(e * rounds_in_flight + tid + 1);
+      if (tag.try_acquire(round)) {
+        wins[static_cast<std::size_t>(round)].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  for (std::size_t r = 1; r < wins.size(); ++r) {
+    EXPECT_LE(wins[r].load(std::memory_order_relaxed), 1) << "round " << r;
+  }
+  EXPECT_GT(tag.last_round(), kInitialRound);
+}
+
+/// Same mixed-round schedule through the retry variant: identical at-most-
+/// one-winner bound, plus the guarantee that the maximum attempted round
+/// always ends up committed (retry loops until it observes >= its round).
+TEST(StressRoundTag, RetryMixedRoundsCommitMaxRound) {
+  const int threads = thread_count();
+  const int epochs = scaled(1500, 250);
+  const int rounds_in_flight = threads;
+
+  RoundTag tag;
+  std::vector<std::atomic<int>> wins(
+      static_cast<std::size_t>(epochs * rounds_in_flight + 1));
+  for (auto& w : wins) w.store(0, std::memory_order_relaxed);
+
+  run_threads(threads, [&](int tid) {
+    for (int e = 0; e < epochs; ++e) {
+      const auto round = static_cast<round_t>(e * rounds_in_flight + tid + 1);
+      if (tag.try_acquire_retry(round)) {
+        wins[static_cast<std::size_t>(round)].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  for (std::size_t r = 1; r < wins.size(); ++r) {
+    EXPECT_LE(wins[r].load(std::memory_order_relaxed), 1) << "round " << r;
+  }
+  EXPECT_EQ(tag.last_round(), static_cast<round_t>(epochs * rounds_in_flight));
+}
+
+/// The repaired no-skip ablation path under full contention: every call
+/// issues an RMW, yet exactly one winner per lock-step round and the tag
+/// never regresses (the old kInitialRound seed could only waste CAS
+/// attempts; the rewrite must not have traded that for a lost update).
+TEST(StressRoundTag, NoSkipLockstepExactlyOneWinner) {
+  const int threads = thread_count();
+  const round_t rounds = static_cast<round_t>(scaled(2000, 300));
+
+  RoundTag tag;
+  std::atomic<int> winners{0};
+
+  run_lockstep(
+      threads, rounds,
+      [&](int /*tid*/, round_t r) {
+        if (tag.try_acquire_no_skip(r)) winners.fetch_add(1, std::memory_order_relaxed);
+      },
+      [&](round_t r) {
+        ASSERT_EQ(winners.exchange(0, std::memory_order_relaxed), 1) << "round " << r;
+        ASSERT_EQ(tag.last_round(), r);
+      });
+}
+
+/// Reset racing late acquires (benchmark-repetition shape): a coordinator
+/// rewinds the tag while stragglers still hammer old rounds. The tag word
+/// is atomic, so this must stay TSan-clean, and wins in the post-reset era
+/// are bounded by one per round value per era.
+TEST(StressRoundTag, ResetRacingLateAcquiresStaysBounded) {
+  const int threads = thread_count();
+  const int eras = scaled(400, 80);
+  constexpr round_t kRoundsPerEra = 16;
+
+  RoundTag tag;
+  std::atomic<std::uint64_t> total_wins{0};
+  std::atomic<bool> stop{false};
+
+  run_threads(threads, [&](int tid) {
+    if (tid == 0) {
+      for (int e = 0; e < eras; ++e) tag.reset();
+      stop.store(true, std::memory_order_release);
+      return;
+    }
+    std::uint64_t wins = 0;
+    do {  // do-while: at least one pass even if the coordinator already quit
+      for (round_t r = 1; r <= kRoundsPerEra; ++r) {
+        if (tag.try_acquire(r)) ++wins;
+      }
+    } while (!stop.load(std::memory_order_acquire));
+    total_wins.fetch_add(wins, std::memory_order_relaxed);
+  });
+
+  // Each era re-opens at most kRoundsPerEra round values; the era count
+  // seen by the workers is at most eras + 1 (initial state included).
+  EXPECT_GE(total_wins.load(), 1u);
+  EXPECT_LE(total_wins.load(), static_cast<std::uint64_t>(eras + 1) * kRoundsPerEra);
+}
+
+}  // namespace
+}  // namespace crcw

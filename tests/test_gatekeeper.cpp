@@ -92,5 +92,67 @@ TEST(Gatekeeper, SizeIsOneWord) {
   EXPECT_EQ(sizeof(Gatekeeper), sizeof(std::uint64_t));
 }
 
+/// Reset racing late acquires: one thread resets at full speed while the
+/// rest hammer both acquire paths with no round structure. Every win
+/// consumes a zero, and zeros only come from the initial state or a reset,
+/// so total wins <= resets + 1. (The release/acquire pair added to
+/// reset()/try_acquire_skip() also makes this hand-off well-ordered for
+/// payloads — the TSan stress tier checks that half; see
+/// tests/stress/stress_gatekeeper.cpp.)
+TEST(GatekeeperStress, ResetRacingLateAcquiresBoundedWins) {
+  Gatekeeper gate;
+  const int threads = std::max(4, omp_get_max_threads());
+  constexpr int kResets = 500;
+  std::atomic<std::uint64_t> total_wins{0};
+  std::atomic<bool> stop{false};
+
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = omp_get_thread_num();
+    if (tid == 0) {
+      for (int e = 0; e < kResets; ++e) gate.reset();
+      stop.store(true, std::memory_order_release);
+    } else {
+      std::uint64_t wins = 0;
+      do {
+        if (tid % 2 == 0 ? gate.try_acquire_skip() : gate.try_acquire()) ++wins;
+      } while (!stop.load(std::memory_order_acquire));
+      total_wins.fetch_add(wins, std::memory_order_relaxed);
+    }
+  }
+
+  EXPECT_GE(total_wins.load(), 1u);
+  EXPECT_LE(total_wins.load(), static_cast<std::uint64_t>(kResets) + 1);
+}
+
+/// Per-round exactly-one-winner with the reset issued by a *different*
+/// thread each round (rotating coordinator): the release reset must hand
+/// the re-opened gate to whichever thread resets next, regardless of
+/// affinity.
+TEST(GatekeeperStress, RotatingCoordinatorExactlyOneWinnerPerRound) {
+  Gatekeeper gate;
+  const int threads = std::max(4, omp_get_max_threads());
+  constexpr int kRounds = 200;
+  std::atomic<int> winners{0};
+  std::atomic<int> failures{0};
+
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = omp_get_thread_num();
+    for (int r = 0; r < kRounds; ++r) {
+      if (gate.try_acquire_skip()) winners.fetch_add(1, std::memory_order_relaxed);
+#pragma omp barrier
+      if (tid == r % threads) {
+        if (winners.exchange(0, std::memory_order_relaxed) != 1) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        gate.reset();
+      }
+#pragma omp barrier
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
 }  // namespace
 }  // namespace crcw

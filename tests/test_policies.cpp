@@ -7,7 +7,9 @@
 #include <omp.h>
 
 #include <atomic>
+#include <limits>
 #include <string>
+#include <type_traits>
 
 #include "core/concurrent_write.hpp"
 
@@ -116,6 +118,39 @@ TEST(PaperApi, OmpAtomicCaptureFormMatchesFigure2) {
   EXPECT_EQ(gatekeeper, 2u);
   gatekeeper = 0;
   EXPECT_TRUE(canConWriteAtomicOmp(gatekeeper));
+}
+
+TEST(PaperApi, Round32AliasMatchesThePublishedShape) {
+  // The figure API stores rounds in `unsigned` (what the paper's listings
+  // declare); round32_t is that type, not a new one — existing callers that
+  // pass unsigned keep compiling unchanged.
+  static_assert(std::is_same_v<round32_t, unsigned>);
+  static_assert(sizeof(round32_t) == 4);
+  static_assert(sizeof(round_t) == 8);
+}
+
+TEST(PaperApi, ToRound32ConvertsLibraryRounds) {
+  EXPECT_EQ(to_round32(kInitialRound), 0u);
+  EXPECT_EQ(to_round32(round_t{1}), 1u);
+  EXPECT_EQ(to_round32(round_t{0xFFFF'FFFFull}), 0xFFFF'FFFFu);
+  static_assert(to_round32(round_t{42}) == 42u);  // usable in constant context
+
+  // Driving the figure shape from a 64-bit library counter.
+  std::atomic<round32_t> last_round{0};
+  round_t library_round = 0;
+  EXPECT_TRUE(canConWriteCASLT(last_round, to_round32(++library_round)));
+  EXPECT_FALSE(canConWriteCASLT(last_round, to_round32(library_round)));
+  EXPECT_TRUE(canConWriteCASLT(last_round, to_round32(++library_round)));
+}
+
+TEST(PaperApi, Round32WrapHazardIsTheDocumentedOne) {
+  // What the 32-bit figure shape does at its horizon — the hazard the
+  // round_t interfaces avoid: once the tag saturates, every later round is
+  // "stale" and refused. to_round32's debug assert exists so a 64-bit
+  // counter cannot silently wrap into this regime.
+  std::atomic<round32_t> last_round{std::numeric_limits<round32_t>::max()};
+  EXPECT_FALSE(canConWriteCASLT(last_round, 1));  // wrapped round looks stale
+  EXPECT_FALSE(canConWriteCASLT(last_round, std::numeric_limits<round32_t>::max()));
 }
 
 TEST(PaperApi, OmpAtomicCaptureExactlyOneWinnerUnderContention) {

@@ -70,6 +70,30 @@ TEST(RoundTag, NoSkipVariantMatchesStrictSemantics) {
   EXPECT_FALSE(tag.try_acquire_no_skip(1));
 }
 
+/// Regression for the kInitialRound CAS seed: the old implementation's
+/// first CAS compared against kInitialRound, so on a fresh tag
+/// try_acquire_no_skip(kInitialRound) "won" round 0 — a round that is
+/// reserved and never live (no other acquire path can win it).
+TEST(RoundTag, NoSkipNeverWinsTheInitialRound) {
+  RoundTag tag;
+  EXPECT_FALSE(tag.try_acquire_no_skip(kInitialRound));
+  EXPECT_EQ(tag.last_round(), kInitialRound);
+  // The refused attempt must not have consumed anything: round 1 still wins.
+  EXPECT_TRUE(tag.try_acquire_no_skip(1));
+}
+
+/// The no-skip rewrite must leave the tag monotone even when probed with
+/// stale rounds: a committed round is re-stored, never regressed.
+TEST(RoundTag, NoSkipStaleRoundNeverMovesTagBackward) {
+  RoundTag tag;
+  ASSERT_TRUE(tag.try_acquire_no_skip(9));
+  EXPECT_FALSE(tag.try_acquire_no_skip(4));
+  EXPECT_EQ(tag.last_round(), 9u);
+  EXPECT_FALSE(tag.try_acquire_no_skip(9));
+  EXPECT_EQ(tag.last_round(), 9u);
+  EXPECT_TRUE(tag.try_acquire_no_skip(10));
+}
+
 TEST(RoundTag, SizeIsOneWord) {
   // §5: one auxiliary memory location per concurrent-write target.
   EXPECT_EQ(sizeof(RoundTag), sizeof(std::uint64_t));
@@ -127,6 +151,95 @@ TEST(RoundTagStress, RetryMixedRoundsAtMostOneWinnerEach) {
   }
   // The largest round always ends up committed.
   EXPECT_EQ(tag.last_round(), static_cast<round_t>(kRoundsInFlight));
+}
+
+/// Mixed-round misuse torture for the STRICT single-shot acquire: distinct
+/// rounds race one tag (the contract forbids it, a defensive library must
+/// survive it). Guarantees that still hold off-contract: at most one winner
+/// per round value, and a tag that only ever moves forward (every
+/// successful CAS strictly raises it, so no ABA re-admission).
+TEST(RoundTagStress, StrictMixedRoundsAtMostOneWinnerEach) {
+  RoundTag tag;
+  const int threads = std::max(4, omp_get_max_threads());
+  constexpr int kEpochs = 300;
+
+  std::vector<std::atomic<int>> winners(
+      static_cast<std::size_t>(kEpochs) * static_cast<std::size_t>(threads) + 1);
+  for (auto& w : winners) w.store(0);
+
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = omp_get_thread_num();
+    round_t seen_floor = kInitialRound;
+    for (int e = 0; e < kEpochs; ++e) {
+      // All-distinct rounds in flight: one per thread per epoch.
+      const auto round = static_cast<round_t>(e * threads + tid + 1);
+      if (tag.try_acquire(round)) {
+        winners[static_cast<std::size_t>(round)].fetch_add(1, std::memory_order_relaxed);
+      }
+      const round_t now = tag.last_round();
+      if (now < seen_floor) {
+        ADD_FAILURE() << "tag regressed from " << seen_floor << " to " << now;
+      }
+      seen_floor = now;
+    }
+  }
+
+  for (std::size_t r = 1; r < winners.size(); ++r) {
+    ASSERT_LE(winners[r].load(), 1) << "round " << r;
+  }
+  EXPECT_GT(tag.last_round(), kInitialRound);
+}
+
+/// The repaired no-skip path under full same-round contention: exactly one
+/// winner per round even though every contender (winner and losers alike)
+/// issues an RMW.
+TEST(RoundTagStress, NoSkipExactlyOneWinnerPerRound) {
+  RoundTag tag;
+  constexpr int kRounds = 200;
+  const int threads = std::max(4, omp_get_max_threads());
+  for (round_t round = 1; round <= kRounds; ++round) {
+    std::atomic<int> winners{0};
+#pragma omp parallel num_threads(threads)
+    {
+      if (tag.try_acquire_no_skip(round)) winners.fetch_add(1, std::memory_order_relaxed);
+    }
+    ASSERT_EQ(winners.load(), 1) << "round " << round;
+    ASSERT_EQ(tag.last_round(), round);
+  }
+}
+
+/// Reset racing late acquires: a coordinator rewinds the tag while workers
+/// hammer a fixed round window. Each era (initial state or one reset)
+/// re-opens a round value at most once, so total wins are bounded by
+/// (eras) * (window size) — and the schedule must not deadlock or corrupt
+/// the tag word.
+TEST(RoundTagStress, ResetRacingLateAcquiresBoundedWins) {
+  RoundTag tag;
+  const int threads = std::max(4, omp_get_max_threads());
+  constexpr int kResets = 200;
+  constexpr round_t kWindow = 8;
+  std::atomic<std::uint64_t> total_wins{0};
+  std::atomic<bool> stop{false};
+
+#pragma omp parallel num_threads(threads)
+  {
+    if (omp_get_thread_num() == 0) {
+      for (int e = 0; e < kResets; ++e) tag.reset();
+      stop.store(true, std::memory_order_release);
+    } else {
+      std::uint64_t wins = 0;
+      do {
+        for (round_t r = 1; r <= kWindow; ++r) {
+          if (tag.try_acquire(r)) ++wins;
+        }
+      } while (!stop.load(std::memory_order_acquire));
+      total_wins.fetch_add(wins, std::memory_order_relaxed);
+    }
+  }
+
+  EXPECT_GE(total_wins.load(), 1u);
+  EXPECT_LE(total_wins.load(), static_cast<std::uint64_t>(kResets + 1) * kWindow);
 }
 
 }  // namespace
