@@ -8,12 +8,12 @@
 //      quantifies what the strongest ordering would cost on x86 (where
 //      seq_cst loads are plain loads but seq_cst CAS is unchanged, so the
 //      difference is expected to be small — that *finding* is the point).
-#include <benchmark/benchmark.h>
 #include <omp.h>
 
 #include <atomic>
 #include <cstdint>
 
+#include "bench_common.hpp"
 #include "core/policies.hpp"
 #include "util/timer.hpp"
 
@@ -37,8 +37,15 @@ constexpr int kRounds = 500;
 constexpr int kAttemptsPerRound = 64;
 
 template <typename TryAcquire>
-void run_contended(benchmark::State& state, TryAcquire&& attempt, auto&& reset) {
+void run_contended(benchmark::State& state, const std::string& variant, TryAcquire&& attempt,
+                   auto&& reset) {
   const int threads = static_cast<int>(state.range(0));
+  crcw::bench::RowRecorder rec(state, {.series = "ablation_memorder/" + variant,
+                                       .policy = variant,
+                                       .baseline = "caslt-skip-acqrel",
+                                       .threads = threads,
+                                       .n = kRounds,
+                                       .m = kAttemptsPerRound});
   std::uint64_t wins = 0;
   for (auto _ : state) {
     reset();
@@ -52,7 +59,7 @@ void run_contended(benchmark::State& state, TryAcquire&& attempt, auto&& reset) 
 #pragma omp barrier
       }
     }
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
   }
   benchmark::DoNotOptimize(wins);
 }
@@ -60,30 +67,33 @@ void run_contended(benchmark::State& state, TryAcquire&& attempt, auto&& reset) 
 void caslt_skip_acqrel(benchmark::State& state) {
   crcw::RoundTag tag;
   run_contended(
-      state, [&](round_t r) { return tag.try_acquire(r); }, [&] { tag.reset(); });
+      state, "caslt-skip-acqrel", [&](round_t r) { return tag.try_acquire(r); },
+      [&] { tag.reset(); });
 }
 
 void caslt_noskip(benchmark::State& state) {
   crcw::RoundTag tag;
   run_contended(
-      state, [&](round_t r) { return tag.try_acquire_no_skip(r); }, [&] { tag.reset(); });
+      state, "caslt-noskip", [&](round_t r) { return tag.try_acquire_no_skip(r); },
+      [&] { tag.reset(); });
 }
 
 void caslt_retry(benchmark::State& state) {
   crcw::RoundTag tag;
   run_contended(
-      state, [&](round_t r) { return tag.try_acquire_retry(r); }, [&] { tag.reset(); });
+      state, "caslt-retry", [&](round_t r) { return tag.try_acquire_retry(r); },
+      [&] { tag.reset(); });
 }
 
 void caslt_skip_seqcst(benchmark::State& state) {
   SeqCstTag tag;
   run_contended(
-      state, [&](round_t r) { return tag.try_acquire(r); },
+      state, "caslt-skip-seqcst", [&](round_t r) { return tag.try_acquire(r); },
       [&] { tag.last.store(0, std::memory_order_relaxed); });
 }
 
 void args(benchmark::internal::Benchmark* b) {
-  for (const int t : {1, 2, 4, 8}) b->Arg(t);
+  for (const int t : crcw::bench::sweep_points<int>({1, 2, 4, 8}, 2)) b->Arg(t);
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }
 

@@ -12,17 +12,21 @@
 //             false sharing differentiates the layouts;
 //   shared  — all threads hammer the same K tags: true sharing dominates
 //             and padding shouldn't matter much.
-#include <benchmark/benchmark.h>
 #include <omp.h>
 
 #include <cstdint>
+#include <string>
 
+#include "bench_common.hpp"
 #include "core/arbiter.hpp"
+#include "core/instrumented.hpp"
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
 using crcw::CasLtPolicy;
+using crcw::InstrumentedPolicy;
 using crcw::round_t;
 using crcw::TagLayout;
 using crcw::WriteArbiter;
@@ -30,26 +34,56 @@ using crcw::WriteArbiter;
 constexpr std::size_t kTagsPerThread = 8;  // within one cache line when packed
 constexpr int kRounds = 2000;
 
+const char* layout_name(TagLayout layout) {
+  return layout == TagLayout::kPacked ? "packed" : "padded";
+}
+
+/// Untimed instrumented replay of one iteration of `body(arbiter)`; the
+/// counters land in a registry local to this call.
+template <TagLayout Layout, typename Body>
+crcw::obs::ContentionTotals profile_layout(std::size_t tags, Body&& body) {
+  crcw::obs::MetricsRegistry local;
+  const crcw::obs::ScopedRegistry scoped(local);
+  {
+    WriteArbiter<InstrumentedPolicy<CasLtPolicy>, Layout> arbiter(tags);
+    body(arbiter);
+  }
+  return local.totals();
+}
+
 template <TagLayout Layout>
 void spread_pattern(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
-  WriteArbiter<CasLtPolicy, Layout> arbiter(static_cast<std::size_t>(threads) *
-                                            kTagsPerThread);
-  std::uint64_t wins = 0;
-  for (auto _ : state) {
-    arbiter.reset_all();
-    crcw::util::Timer timer;
+  const auto tags = static_cast<std::size_t>(threads) * kTagsPerThread;
+  WriteArbiter<CasLtPolicy, Layout> arbiter(tags);
+  const std::string variant = std::string("spread-") + layout_name(Layout);
+  crcw::bench::RowRecorder rec(state, {.series = "ablation_padding/" + variant,
+                                       .policy = variant,
+                                       .baseline = "spread-packed",
+                                       .threads = threads,
+                                       .n = tags,
+                                       .m = kRounds});
+  const auto body = [threads](auto& arb) {
+    std::uint64_t wins = 0;
 #pragma omp parallel num_threads(threads) reduction(+ : wins)
     {
       const auto base = static_cast<std::size_t>(omp_get_thread_num()) * kTagsPerThread;
       for (round_t r = 1; r <= kRounds; ++r) {
         for (std::size_t k = 0; k < kTagsPerThread; ++k) {
-          if (arbiter.try_acquire(base + k, r)) ++wins;
+          if (arb.acquire_at(base + k, r)) ++wins;
         }
       }
     }
-    state.SetIterationTime(timer.seconds());
+    return wins;
+  };
+  std::uint64_t wins = 0;
+  for (auto _ : state) {
+    arbiter.reset_all();
+    crcw::util::Timer timer;
+    wins += body(arbiter);
+    rec.record(timer.seconds());
   }
+  rec.profile([&] { return profile_layout<Layout>(tags, body); });
   benchmark::DoNotOptimize(wins);
   state.counters["tags"] = static_cast<double>(arbiter.size());
 }
@@ -58,26 +92,39 @@ template <TagLayout Layout>
 void shared_pattern(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
   WriteArbiter<CasLtPolicy, Layout> arbiter(kTagsPerThread);
-  std::uint64_t wins = 0;
-  for (auto _ : state) {
-    arbiter.reset_all();
-    crcw::util::Timer timer;
+  const std::string variant = std::string("shared-") + layout_name(Layout);
+  crcw::bench::RowRecorder rec(state, {.series = "ablation_padding/" + variant,
+                                       .policy = variant,
+                                       .baseline = "shared-packed",
+                                       .threads = threads,
+                                       .n = kTagsPerThread,
+                                       .m = kRounds});
+  const auto body = [threads](auto& arb) {
+    std::uint64_t wins = 0;
 #pragma omp parallel num_threads(threads) reduction(+ : wins)
     {
       for (round_t r = 1; r <= kRounds; ++r) {
         for (std::size_t k = 0; k < kTagsPerThread; ++k) {
-          if (arbiter.try_acquire(k, r)) ++wins;
+          if (arb.acquire_at(k, r)) ++wins;
         }
 #pragma omp barrier
       }
     }
-    state.SetIterationTime(timer.seconds());
+    return wins;
+  };
+  std::uint64_t wins = 0;
+  for (auto _ : state) {
+    arbiter.reset_all();
+    crcw::util::Timer timer;
+    wins += body(arbiter);
+    rec.record(timer.seconds());
   }
+  rec.profile([&] { return profile_layout<Layout>(kTagsPerThread, body); });
   benchmark::DoNotOptimize(wins);
 }
 
 void args(benchmark::internal::Benchmark* b) {
-  for (const int t : {1, 2, 4, 8}) b->Arg(t);
+  for (const int t : crcw::bench::sweep_points<int>({1, 2, 4, 8}, 2)) b->Arg(t);
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }
 

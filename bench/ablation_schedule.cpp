@@ -29,12 +29,28 @@ const Csr& skewed_graph() {
   return g;
 }
 
+const char* schedule_name(Schedule s) {
+  switch (s) {
+    case Schedule::kStatic: return "static";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kGuided: return "guided";
+  }
+  return "unknown";
+}
+
 /// Irregular step: every virtual processor scans its vertex's adjacency
 /// (R-MAT degrees are power-law distributed).
 void irregular_step(benchmark::State& state, Schedule schedule) {
   const int threads = static_cast<int>(state.range(0));
   const auto& g = skewed_graph();
   Machine machine(MachineConfig{.threads = threads, .schedule = schedule, .chunk = 64});
+  crcw::bench::RowRecorder rec(
+      state, {.series = std::string("ablation_schedule/irregular_") + schedule_name(schedule),
+              .policy = schedule_name(schedule),
+              .baseline = "static",
+              .threads = threads,
+              .n = g.num_vertices(),
+              .m = g.num_edges()});
 
   std::uint64_t total = 0;
   for (auto _ : state) {
@@ -45,7 +61,7 @@ void irregular_step(benchmark::State& state, Schedule schedule) {
       for (const auto u : g.neighbors(static_cast<crcw::graph::vertex_t>(v))) local += u;
       sum.fetch_add(local, std::memory_order_relaxed);
     });
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     total = sum.load();
   }
   benchmark::DoNotOptimize(total);
@@ -57,6 +73,13 @@ void uniform_step(benchmark::State& state, Schedule schedule) {
   const int threads = static_cast<int>(state.range(0));
   Machine machine(MachineConfig{.threads = threads, .schedule = schedule, .chunk = 64});
   constexpr std::uint64_t kProcs = 1 << 18;
+  crcw::bench::RowRecorder rec(
+      state, {.series = std::string("ablation_schedule/uniform_") + schedule_name(schedule),
+              .policy = schedule_name(schedule),
+              .baseline = "static",
+              .threads = threads,
+              .n = kProcs,
+              .m = 0});
 
   std::uint64_t total = 0;
   for (auto _ : state) {
@@ -65,14 +88,14 @@ void uniform_step(benchmark::State& state, Schedule schedule) {
     machine.step(kProcs, [&](Machine::vproc_t v) {
       sum.fetch_add(v * 2654435761u, std::memory_order_relaxed);
     });
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     total = sum.load();
   }
   benchmark::DoNotOptimize(total);
 }
 
 void args(benchmark::internal::Benchmark* b) {
-  for (const int t : {1, 2, 4, 8}) b->Arg(t);
+  for (const int t : crcw::bench::sweep_points<int>({1, 2, 4, 8}, 2)) b->Arg(t);
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }
 

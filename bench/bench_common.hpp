@@ -10,19 +10,34 @@
 //   * problem sizes default to laptop scale; rerun with --paper-scale sizes
 //     by editing the sweep constants or via the figN --n/--m overrides in
 //     bench/paper_tables.cpp.
+//
+// Besides the human-readable google-benchmark table, every bench binary
+// emits a machine-readable bench_results/BENCH_<name>.json (schema
+// "crcw-bench", see obs/bench_report.hpp) through the RowRecorder below;
+// scripts/bench_compare.py diffs two such files and gates CI on timing
+// regressions. Environment knobs:
+//   CRCW_BENCH_THREADS   fixed-thread figures' thread count (default 4)
+//   CRCW_BENCH_SMOKE     truncate sweeps to their first point(s) — CI smoke
+//   CRCW_BENCH_JSON_DIR  where BENCH_<name>.json lands (default
+//                        ./bench_results)
 #pragma once
 
 #include <benchmark/benchmark.h>
 #include <omp.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace crcw::bench {
@@ -35,6 +50,22 @@ inline int default_threads() {
     if (t > 0) return t;
   }
   return 4;
+}
+
+/// CI smoke mode: sweeps shrink to their leading point(s) so every bench
+/// binary still runs end to end — same code paths, minutes not hours.
+inline bool smoke_mode() {
+  const char* env = std::getenv("CRCW_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+/// A figure sweep: the full point list, or its first `smoke_keep` points in
+/// smoke mode.
+template <typename T>
+std::vector<T> sweep_points(std::initializer_list<T> full, std::size_t smoke_keep = 1) {
+  std::vector<T> pts(full);
+  if (smoke_mode() && pts.size() > smoke_keep) pts.resize(smoke_keep);
+  return pts;
 }
 
 /// Graph cache: the benches sweep sizes with several methods per size; the
@@ -64,10 +95,96 @@ inline const std::vector<std::uint32_t>& cached_list(std::uint64_t n,
   return *slot;
 }
 
-/// Standard thread sweep for the "effect of number of threads" figures.
+/// Standard thread sweep for the "effect of number of threads" figures
+/// (smoke mode keeps 1 and 2 threads so contention paths still execute).
 inline void thread_sweep(benchmark::internal::Benchmark* b) {
-  for (const int t : {1, 2, 4, 8, 16, 32}) b->Arg(t);
+  for (const int t : sweep_points({1, 2, 4, 8, 16, 32}, 2)) b->Arg(t);
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }
+
+/// The process-wide BENCH_<name>.json document, named after the running
+/// binary and written once at exit (only if any row was recorded, so
+/// --benchmark_list_tests etc. stay side-effect free).
+inline obs::BenchReport& report() {
+  static obs::BenchReport* instance = [] {
+    std::string name = "bench";
+#if defined(__GLIBC__)
+    if (program_invocation_short_name != nullptr && *program_invocation_short_name) {
+      name = program_invocation_short_name;
+    }
+#endif
+    auto* r = new obs::BenchReport(std::move(name));
+    std::atexit([] {
+      obs::BenchReport& rep = report();
+      if (!rep.empty()) rep.write_file(rep.default_path());
+    });
+    return r;
+  }();
+  return *instance;
+}
+
+/// Identity of one figure point; what BenchRow carries besides samples.
+struct RowSpec {
+  std::string series;    ///< unique point id, e.g. "fig5/caslt"
+  std::string policy;    ///< method name ("" if not applicable)
+  std::string baseline;  ///< policy speedup is measured against ("" = none)
+  int threads = 0;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+};
+
+/// Per-benchmark-run recorder: wraps the manual-timing idiom
+/// (Timer + SetIterationTime) while capturing each sample, and emits one
+/// BenchRow into report() at scope end. google-benchmark re-invokes a
+/// benchmark function while tuning iteration counts; rows are keyed on
+/// (series, threads, n, m) so the final (longest) run wins.
+///
+///   RowRecorder rec(state, {.series = "fig5/" + method, ...});
+///   for (auto _ : state) {
+///     crcw::util::Timer timer;
+///     work();
+///     rec.record(timer.seconds());
+///   }
+///   rec.profile([&] { return algo::profile_max(method, list, opts); });
+class RowRecorder {
+ public:
+  RowRecorder(benchmark::State& state, RowSpec spec)
+      : state_(state), spec_(std::move(spec)) {}
+
+  RowRecorder(const RowRecorder&) = delete;
+  RowRecorder& operator=(const RowRecorder&) = delete;
+
+  ~RowRecorder() {
+    obs::BenchRow row{spec_.series,  spec_.policy, spec_.baseline, spec_.threads,
+                      spec_.n,       spec_.m,      std::move(samples_ns_),
+                      std::move(counters_)};
+    if (!row.samples_ns.empty()) report().add_row(std::move(row));
+  }
+
+  /// One timed iteration: forwards to SetIterationTime and keeps the
+  /// sample for the JSON row's samples_ns / median_ns.
+  void record(double seconds) {
+    state_.SetIterationTime(seconds);
+    samples_ns_.push_back(seconds * 1e9);
+  }
+
+  /// Runs `fn` (returning optional<ContentionTotals>) once per figure
+  /// point: skipped when a previous invocation of this benchmark already
+  /// recorded counters for the same row key. Call it AFTER the timing loop
+  /// — instrumented runs cost extra RMWs and must never be timed.
+  template <typename Fn>
+  void profile(Fn&& fn) {
+    obs::BenchRow key{spec_.series, spec_.policy, spec_.baseline, spec_.threads,
+                      spec_.n,      spec_.m,      {},             {}};
+    if (report().has_counters(key)) return;
+    counters_ = std::forward<Fn>(fn)();
+  }
+
+ private:
+  benchmark::State& state_;
+  RowSpec spec_;
+  std::vector<double> samples_ns_;
+  std::optional<obs::ContentionTotals> counters_;
+};
 
 }  // namespace crcw::bench

@@ -54,15 +54,25 @@ const EdgeList& cached_connected_simple(std::uint64_t n) {
   return *slot;
 }
 
+crcw::bench::RowSpec spec(const char* kernel, std::uint64_t n, std::uint64_t m) {
+  return {.series = std::string("ext_analytics/") + kernel,
+          .policy = kernel,
+          .baseline = "",  // the kernels solve different problems — no ratio
+          .threads = default_threads(),
+          .n = n,
+          .m = m};
+}
+
 void bench_matching(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   const EdgeList edges = crcw::graph::gnm(n, 4 * n, 42);
+  crcw::bench::RowRecorder rec(state, spec("matching", n, edges.size()));
   std::size_t matched = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     const auto r =
         crcw::algo::maximal_matching(n, edges, {.threads = default_threads()});
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     matched = r.edges.size();
   }
   state.counters["matched"] = static_cast<double>(matched);
@@ -71,11 +81,12 @@ void bench_matching(benchmark::State& state) {
 void bench_kcore(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   const auto& g = cached_graph(n, 4 * n);
+  crcw::bench::RowRecorder rec(state, spec("kcore", n, g.num_edges()));
   std::uint32_t degeneracy = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     const auto r = crcw::algo::kcore(g, {.threads = default_threads()});
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     degeneracy = r.degeneracy;
   }
   state.counters["degeneracy"] = degeneracy;
@@ -84,11 +95,12 @@ void bench_kcore(benchmark::State& state) {
 void bench_boruvka(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   const auto edges = crcw::algo::random_weighted_edges(n, 4 * n, 100000, 42);
+  crcw::bench::RowRecorder rec(state, spec("boruvka", n, edges.size()));
   std::uint64_t weight = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     const auto r = crcw::algo::boruvka_msf(n, edges, {.threads = default_threads()});
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     weight = r.total_weight;
   }
   benchmark::DoNotOptimize(weight);
@@ -97,19 +109,23 @@ void bench_boruvka(benchmark::State& state) {
 void bench_bicc(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   const auto& edges = cached_connected_simple(n);
+  crcw::bench::RowRecorder rec(state, spec("bicc", n, edges.size()));
   std::uint64_t components = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     const auto r =
         crcw::algo::biconnected_components(n, edges, {.threads = default_threads()});
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     components = r.components;
   }
   state.counters["bcc"] = static_cast<double>(components);
 }
 
 void args(benchmark::internal::Benchmark* b) {
-  for (const std::int64_t n : {10'000, 50'000, 200'000}) b->Arg(n);
+  for (const std::int64_t n :
+       crcw::bench::sweep_points<std::int64_t>({10'000, 50'000, 200'000})) {
+    b->Arg(n);
+  }
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }
 

@@ -39,26 +39,38 @@ const std::vector<std::uint8_t>& cached_bits(std::uint64_t n) {
 }
 
 template <typename Fn>
-void run_or(benchmark::State& state, Fn&& fn) {
+void run_or(benchmark::State& state, const std::string& variant, Fn&& fn) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   const auto& bits = cached_bits(n);
   const crcw::algo::OrOptions opts{.threads = default_threads()};
+  crcw::bench::RowRecorder rec(state, {.series = "ext_or/" + variant,
+                                       .policy = variant,
+                                       .baseline = "crew-tree",
+                                       .threads = default_threads(),
+                                       .n = n});
   bool result = false;
   for (auto _ : state) {
     crcw::util::Timer timer;
     result = fn(bits, opts);
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
   }
   benchmark::DoNotOptimize(result);
   state.counters["n"] = static_cast<double>(n);
 }
 
-void or_crcw_naive(benchmark::State& s) { run_or(s, crcw::algo::parallel_or_naive); }
-void or_crcw_caslt(benchmark::State& s) { run_or(s, crcw::algo::parallel_or_caslt); }
-void or_crew_tree(benchmark::State& s) { run_or(s, crcw::algo::parallel_or_crew); }
+void or_crcw_naive(benchmark::State& s) {
+  run_or(s, "crcw-naive", crcw::algo::parallel_or_naive);
+}
+void or_crcw_caslt(benchmark::State& s) {
+  run_or(s, "crcw-caslt", crcw::algo::parallel_or_caslt);
+}
+void or_crew_tree(benchmark::State& s) { run_or(s, "crew-tree", crcw::algo::parallel_or_crew); }
 
 void or_args(benchmark::internal::Benchmark* b) {
-  for (const std::int64_t n : {1 << 14, 1 << 17, 1 << 20, 1 << 23}) b->Arg(n);
+  for (const std::int64_t n :
+       crcw::bench::sweep_points<std::int64_t>({1 << 14, 1 << 17, 1 << 20, 1 << 23})) {
+    b->Arg(n);
+  }
   b->UseManualTime()->Unit(benchmark::kMicrosecond);
 }
 
@@ -67,34 +79,44 @@ BENCHMARK(or_crcw_caslt)->Apply(or_args);
 BENCHMARK(or_crew_tree)->Apply(or_args);
 
 template <typename Fn>
-void run_max(benchmark::State& state, Fn&& fn) {
+void run_max(benchmark::State& state, const std::string& variant, Fn&& fn) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   const auto& list = cached_list(n);
   const crcw::algo::MaxOptions opts{.threads = default_threads()};
+  crcw::bench::RowRecorder rec(state, {.series = "ext_max/" + variant,
+                                       .policy = variant,
+                                       .baseline = "crew-reduce",
+                                       .threads = default_threads(),
+                                       .n = n});
   std::uint64_t result = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     result = fn(list, opts);
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
   }
   benchmark::DoNotOptimize(result);
   state.counters["n"] = static_cast<double>(n);
 }
 
 void max_fig4_caslt(benchmark::State& s) {
-  run_max(s, [](auto list, auto opts) { return crcw::algo::max_index_caslt(list, opts); });
+  run_max(s, "fig4-caslt",
+          [](auto list, auto opts) { return crcw::algo::max_index_caslt(list, opts); });
 }
 void max_doubly_log(benchmark::State& s) {
-  run_max(s, [](auto list, auto opts) {
+  run_max(s, "doubly-log", [](auto list, auto opts) {
     return crcw::algo::max_index_doubly_log(list, opts);
   });
 }
 void max_crew_reduce(benchmark::State& s) {
-  run_max(s, [](auto list, auto opts) { return crcw::algo::max_index_reduce(list, opts); });
+  run_max(s, "crew-reduce",
+          [](auto list, auto opts) { return crcw::algo::max_index_reduce(list, opts); });
 }
 
 void max_args(benchmark::internal::Benchmark* b) {
-  for (const std::int64_t n : {1 << 10, 1 << 12, 1 << 14}) b->Arg(n);
+  for (const std::int64_t n :
+       crcw::bench::sweep_points<std::int64_t>({1 << 10, 1 << 12, 1 << 14})) {
+    b->Arg(n);
+  }
   b->UseManualTime()->Unit(benchmark::kMicrosecond);
 }
 

@@ -33,15 +33,21 @@ const std::vector<WeightedEdge>& cached_edges(std::uint64_t m) {
 }
 
 template <typename Fn>
-void run(benchmark::State& state, Fn&& fn) {
+void run(benchmark::State& state, const std::string& variant, Fn&& fn) {
   const auto m = static_cast<std::uint64_t>(state.range(0));
   const auto& edges = cached_edges(m);
   const crcw::algo::SsspOptions opts{.threads = default_threads()};
+  crcw::bench::RowRecorder rec(state, {.series = "ext_sssp/" + variant,
+                                       .policy = variant,
+                                       .baseline = "two-phase",
+                                       .threads = default_threads(),
+                                       .n = kVertices,
+                                       .m = m});
   std::uint64_t rounds = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     const auto r = fn(kVertices, edges, 0, opts);
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     rounds = r.rounds;
   }
   state.counters["edges"] = static_cast<double>(m);
@@ -50,14 +56,17 @@ void run(benchmark::State& state, Fn&& fn) {
 }
 
 void sssp_two_phase_bench(benchmark::State& s) {
-  run(s, [](auto... a) { return crcw::algo::sssp_two_phase(a...); });
+  run(s, "two-phase", [](auto... a) { return crcw::algo::sssp_two_phase(a...); });
 }
 void sssp_fetch_min_bench(benchmark::State& s) {
-  run(s, [](auto... a) { return crcw::algo::sssp_fetch_min(a...); });
+  run(s, "fetch-min", [](auto... a) { return crcw::algo::sssp_fetch_min(a...); });
 }
 
 void args(benchmark::internal::Benchmark* b) {
-  for (const std::int64_t m : {50'000, 100'000, 200'000, 400'000}) b->Arg(m);
+  for (const std::int64_t m :
+       crcw::bench::sweep_points<std::int64_t>({50'000, 100'000, 200'000, 400'000})) {
+    b->Arg(m);
+  }
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }
 

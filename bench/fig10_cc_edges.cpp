@@ -19,14 +19,23 @@ void fig10(benchmark::State& state, const std::string& method) {
   const auto edges = static_cast<std::uint64_t>(state.range(0));
   const auto& g = cached_graph(kVertices, edges);
   const crcw::algo::CcOptions opts{.threads = default_threads()};
+  // No naive series exists for CC; the paper's headline ratio is CAS-LT vs
+  // the prefix-sum (gatekeeper) method, so that is the baseline here.
+  crcw::bench::RowRecorder rec(state, {.series = "fig10/" + method,
+                                       .policy = method,
+                                       .baseline = "gatekeeper",
+                                       .threads = default_threads(),
+                                       .n = kVertices,
+                                       .m = edges});
 
   std::uint64_t components = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     const auto r = crcw::algo::run_cc(method, g, opts);
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     components = r.components;
   }
+  rec.profile([&] { return crcw::algo::profile_cc(method, g, opts); });
   benchmark::DoNotOptimize(components);
   state.counters["vertices"] = static_cast<double>(kVertices);
   state.counters["edges"] = static_cast<double>(edges);
@@ -35,7 +44,10 @@ void fig10(benchmark::State& state, const std::string& method) {
 }
 
 void edge_sweep(benchmark::internal::Benchmark* b) {
-  for (const std::int64_t m : {125'000, 250'000, 500'000, 1'000'000}) b->Arg(m);
+  for (const std::int64_t m :
+       crcw::bench::sweep_points<std::int64_t>({125'000, 250'000, 500'000, 1'000'000})) {
+    b->Arg(m);
+  }
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }
 

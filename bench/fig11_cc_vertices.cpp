@@ -19,14 +19,21 @@ void fig11(benchmark::State& state, const std::string& method) {
   const auto vertices = static_cast<std::uint64_t>(state.range(0));
   const auto& g = cached_graph(vertices, kEdges);
   const crcw::algo::CcOptions opts{.threads = default_threads()};
+  crcw::bench::RowRecorder rec(state, {.series = "fig11/" + method,
+                                       .policy = method,
+                                       .baseline = "gatekeeper",
+                                       .threads = default_threads(),
+                                       .n = vertices,
+                                       .m = kEdges});
 
   std::uint64_t components = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     const auto r = crcw::algo::run_cc(method, g, opts);
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     components = r.components;
   }
+  rec.profile([&] { return crcw::algo::profile_cc(method, g, opts); });
   benchmark::DoNotOptimize(components);
   state.counters["vertices"] = static_cast<double>(vertices);
   state.counters["edges"] = static_cast<double>(kEdges);
@@ -34,7 +41,10 @@ void fig11(benchmark::State& state, const std::string& method) {
 }
 
 void vertex_sweep(benchmark::internal::Benchmark* b) {
-  for (const std::int64_t n : {12'500, 25'000, 50'000, 100'000, 200'000}) b->Arg(n);
+  for (const std::int64_t n : crcw::bench::sweep_points<std::int64_t>(
+           {12'500, 25'000, 50'000, 100'000, 200'000})) {
+    b->Arg(n);
+  }
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }
 

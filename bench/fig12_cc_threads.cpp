@@ -17,14 +17,21 @@ void fig12(benchmark::State& state, const std::string& method) {
   const int threads = static_cast<int>(state.range(0));
   const auto& g = cached_graph(kVertices, kEdges);
   const crcw::algo::CcOptions opts{.threads = threads};
+  crcw::bench::RowRecorder rec(state, {.series = "fig12/" + method,
+                                       .policy = method,
+                                       .baseline = "gatekeeper",
+                                       .threads = threads,
+                                       .n = kVertices,
+                                       .m = kEdges});
 
   std::uint64_t components = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     const auto r = crcw::algo::run_cc(method, g, opts);
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     components = r.components;
   }
+  rec.profile([&] { return crcw::algo::profile_cc(method, g, opts); });
   benchmark::DoNotOptimize(components);
   state.counters["vertices"] = static_cast<double>(kVertices);
   state.counters["edges"] = static_cast<double>(kEdges);

@@ -19,13 +19,19 @@ void fig5(benchmark::State& state, const std::string& method) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   const auto& list = cached_list(n);
   const crcw::algo::MaxOptions opts{.threads = default_threads()};
+  crcw::bench::RowRecorder rec(state, {.series = "fig5/" + method,
+                                       .policy = method,
+                                       .baseline = "naive",
+                                       .threads = default_threads(),
+                                       .n = n});
 
   std::uint64_t result = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     result = crcw::algo::run_max(method, list, opts);
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
   }
+  rec.profile([&] { return crcw::algo::profile_max(method, list, opts); });
   benchmark::DoNotOptimize(result);
   state.counters["n"] = static_cast<double>(n);
   state.counters["threads"] = default_threads();
@@ -33,8 +39,8 @@ void fig5(benchmark::State& state, const std::string& method) {
 }
 
 void size_sweep(benchmark::internal::Benchmark* b) {
-  for (const std::uint64_t n : {1024, 2048, 4096, 8192}) {
-    b->Arg(static_cast<std::int64_t>(n));
+  for (const std::int64_t n : crcw::bench::sweep_points<std::int64_t>({1024, 2048, 4096, 8192})) {
+    b->Arg(n);
   }
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }

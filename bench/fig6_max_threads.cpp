@@ -22,13 +22,19 @@ void fig6(benchmark::State& state, const std::string& method) {
   const int threads = static_cast<int>(state.range(0));
   const auto& list = cached_list(kListSize);
   const crcw::algo::MaxOptions opts{.threads = threads};
+  crcw::bench::RowRecorder rec(state, {.series = "fig6/" + method,
+                                       .policy = method,
+                                       .baseline = "naive",
+                                       .threads = threads,
+                                       .n = kListSize});
 
   std::uint64_t result = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     result = crcw::algo::run_max(method, list, opts);
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
   }
+  rec.profile([&] { return crcw::algo::profile_max(method, list, opts); });
   benchmark::DoNotOptimize(result);
   state.counters["n"] = static_cast<double>(kListSize);
   state.counters["threads"] = threads;

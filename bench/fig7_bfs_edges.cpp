@@ -17,14 +17,21 @@ void fig7(benchmark::State& state, const std::string& method) {
   const auto edges = static_cast<std::uint64_t>(state.range(0));
   const auto& g = cached_graph(kVertices, edges);
   const crcw::algo::BfsOptions opts{.threads = default_threads()};
+  crcw::bench::RowRecorder rec(state, {.series = "fig7/" + method,
+                                       .policy = method,
+                                       .baseline = "naive",
+                                       .threads = default_threads(),
+                                       .n = kVertices,
+                                       .m = edges});
 
   std::uint64_t reached = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     const auto r = crcw::algo::run_bfs(method, g, 0, opts);
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     reached = r.rounds;
   }
+  rec.profile([&] { return crcw::algo::profile_bfs(method, g, 0, opts); });
   benchmark::DoNotOptimize(reached);
   state.counters["vertices"] = static_cast<double>(kVertices);
   state.counters["edges"] = static_cast<double>(edges);
@@ -32,7 +39,10 @@ void fig7(benchmark::State& state, const std::string& method) {
 }
 
 void edge_sweep(benchmark::internal::Benchmark* b) {
-  for (const std::int64_t m : {250'000, 500'000, 1'000'000, 2'000'000}) b->Arg(m);
+  for (const std::int64_t m :
+       crcw::bench::sweep_points<std::int64_t>({250'000, 500'000, 1'000'000, 2'000'000})) {
+    b->Arg(m);
+  }
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }
 

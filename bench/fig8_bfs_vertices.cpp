@@ -18,14 +18,21 @@ void fig8(benchmark::State& state, const std::string& method) {
   const auto vertices = static_cast<std::uint64_t>(state.range(0));
   const auto& g = cached_graph(vertices, kEdges);
   const crcw::algo::BfsOptions opts{.threads = default_threads()};
+  crcw::bench::RowRecorder rec(state, {.series = "fig8/" + method,
+                                       .policy = method,
+                                       .baseline = "naive",
+                                       .threads = default_threads(),
+                                       .n = vertices,
+                                       .m = kEdges});
 
   std::uint64_t rounds = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     const auto r = crcw::algo::run_bfs(method, g, 0, opts);
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     rounds = r.rounds;
   }
+  rec.profile([&] { return crcw::algo::profile_bfs(method, g, 0, opts); });
   benchmark::DoNotOptimize(rounds);
   state.counters["vertices"] = static_cast<double>(vertices);
   state.counters["edges"] = static_cast<double>(kEdges);
@@ -33,7 +40,10 @@ void fig8(benchmark::State& state, const std::string& method) {
 }
 
 void vertex_sweep(benchmark::internal::Benchmark* b) {
-  for (const std::int64_t n : {25'000, 50'000, 100'000, 200'000, 400'000}) b->Arg(n);
+  for (const std::int64_t n : crcw::bench::sweep_points<std::int64_t>(
+           {25'000, 50'000, 100'000, 200'000, 400'000})) {
+    b->Arg(n);
+  }
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }
 

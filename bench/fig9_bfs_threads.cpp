@@ -17,14 +17,21 @@ void fig9(benchmark::State& state, const std::string& method) {
   const int threads = static_cast<int>(state.range(0));
   const auto& g = cached_graph(kVertices, kEdges);
   const crcw::algo::BfsOptions opts{.threads = threads};
+  crcw::bench::RowRecorder rec(state, {.series = "fig9/" + method,
+                                       .policy = method,
+                                       .baseline = "naive",
+                                       .threads = threads,
+                                       .n = kVertices,
+                                       .m = kEdges});
 
   std::uint64_t rounds = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
     const auto r = crcw::algo::run_bfs(method, g, 0, opts);
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     rounds = r.rounds;
   }
+  rec.profile([&] { return crcw::algo::profile_bfs(method, g, 0, opts); });
   benchmark::DoNotOptimize(rounds);
   state.counters["vertices"] = static_cast<double>(kVertices);
   state.counters["edges"] = static_cast<double>(kEdges);

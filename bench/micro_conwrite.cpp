@@ -5,12 +5,12 @@
 // executes Θ(T·R) atomic RMWs while CAS-LT executes O(R) successful CAS
 // plus cheap relaxed loads, and the naive method performs Θ(T·R) stores.
 // Series: time per round vs thread count, one benchmark per method.
-#include <benchmark/benchmark.h>
 #include <omp.h>
 
 #include <atomic>
 #include <cstdint>
 
+#include "bench_common.hpp"
 #include "core/concurrent_write.hpp"
 #include "util/timer.hpp"
 
@@ -24,8 +24,18 @@ constexpr int kRoundsPerIter = 64;
 // processors all targeting one cell.
 constexpr int kAttemptsPerRound = 256;
 
+crcw::bench::RowSpec spec(const char* variant, int threads) {
+  return {.series = std::string("micro_conwrite/") + variant,
+          .policy = variant,
+          .baseline = "naive",
+          .threads = threads,
+          .n = kRoundsPerIter,
+          .m = kAttemptsPerRound};
+}
+
 void bench_caslt_contended(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  crcw::bench::RowRecorder rec(state, spec("caslt", threads));
   RoundTag tag;
   std::uint64_t wins = 0;
   for (auto _ : state) {
@@ -39,7 +49,7 @@ void bench_caslt_contended(benchmark::State& state) {
 #pragma omp barrier
       }
     }
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     tag.reset();
   }
   state.counters["wins_per_iter"] =
@@ -53,6 +63,7 @@ void bench_caslt_contended(benchmark::State& state) {
 /// guard that the narrowing helper costs nothing measurable).
 void bench_caslt_figure1_literal(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  crcw::bench::RowRecorder rec(state, spec("caslt-figure1", threads));
   std::atomic<crcw::round32_t> last_round_updated{0};
   std::uint64_t wins = 0;
   for (auto _ : state) {
@@ -69,7 +80,7 @@ void bench_caslt_figure1_literal(benchmark::State& state) {
 #pragma omp barrier
       }
     }
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     last_round_updated.store(0, std::memory_order_relaxed);
   }
   state.counters["wins_per_iter"] =
@@ -79,6 +90,7 @@ void bench_caslt_figure1_literal(benchmark::State& state) {
 
 void bench_gatekeeper_contended(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  crcw::bench::RowRecorder rec(state, spec("gatekeeper", threads));
   Gatekeeper gate;
   std::uint64_t wins = 0;
   for (auto _ : state) {
@@ -94,7 +106,7 @@ void bench_gatekeeper_contended(benchmark::State& state) {
         gate.reset();  // the per-round re-initialisation the scheme requires
       }
     }
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
   }
   state.counters["wins_per_iter"] =
       benchmark::Counter(static_cast<double>(wins) / static_cast<double>(state.iterations()));
@@ -103,6 +115,7 @@ void bench_gatekeeper_contended(benchmark::State& state) {
 
 void bench_gatekeeper_skip_contended(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  crcw::bench::RowRecorder rec(state, spec("gatekeeper-skip", threads));
   Gatekeeper gate;
   std::uint64_t wins = 0;
   for (auto _ : state) {
@@ -118,7 +131,7 @@ void bench_gatekeeper_skip_contended(benchmark::State& state) {
         gate.reset();
       }
     }
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
   }
   state.counters["wins_per_iter"] =
       benchmark::Counter(static_cast<double>(wins) / static_cast<double>(state.iterations()));
@@ -127,6 +140,7 @@ void bench_gatekeeper_skip_contended(benchmark::State& state) {
 
 void bench_naive_contended(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  crcw::bench::RowRecorder rec(state, spec("naive", threads));
   std::uint64_t cell = 0;
   for (auto _ : state) {
     crcw::util::Timer timer;
@@ -141,7 +155,7 @@ void bench_naive_contended(benchmark::State& state) {
 #pragma omp barrier
       }
     }
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
   }
   benchmark::DoNotOptimize(cell);
   state.counters["rounds"] = kRoundsPerIter;
@@ -149,6 +163,7 @@ void bench_naive_contended(benchmark::State& state) {
 
 void bench_critical_contended(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  crcw::bench::RowRecorder rec(state, spec("critical", threads));
   crcw::CriticalPolicy::tag_type tag;
   std::uint64_t wins = 0;
   for (auto _ : state) {
@@ -162,7 +177,7 @@ void bench_critical_contended(benchmark::State& state) {
 #pragma omp barrier
       }
     }
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     crcw::CriticalPolicy::reset(tag);
   }
   state.counters["wins_per_iter"] =
@@ -171,7 +186,7 @@ void bench_critical_contended(benchmark::State& state) {
 }
 
 void thread_args(benchmark::internal::Benchmark* b) {
-  for (const int t : {1, 2, 4, 8}) b->Arg(t);
+  for (const int t : crcw::bench::sweep_points<int>({1, 2, 4, 8}, 2)) b->Arg(t);
   b->UseManualTime()->Unit(benchmark::kMicrosecond);
 }
 

@@ -6,11 +6,12 @@
 // (lock + copy for every loser too, before it learns it lost), and the
 // unsafe unprotected copy as the floor (every thread copies; result may be
 // torn — measured only to show what the safety costs).
-#include <benchmark/benchmark.h>
 #include <omp.h>
 
 #include <cstdint>
+#include <string>
 
+#include "bench_common.hpp"
 #include "core/slot.hpp"
 #include "util/timer.hpp"
 
@@ -23,9 +24,22 @@ using crcw::Stamped;
 
 constexpr int kRounds = 256;
 
+/// Rows compare methods at equal payload width: the n field carries the
+/// word count, so the caslt row at the same (threads, n) is the baseline.
+crcw::bench::RowSpec spec(const char* method, std::size_t words, int threads) {
+  const std::string suffix = "-" + std::to_string(words) + "w";
+  return {.series = "micro_slot/" + (method + suffix),
+          .policy = method + suffix,
+          .baseline = "caslt" + suffix,
+          .threads = threads,
+          .n = words,
+          .m = kRounds};
+}
+
 template <std::size_t Words>
 void slot_caslt(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  crcw::bench::RowRecorder rec(state, spec("caslt", Words, threads));
   ConWriteSlot<Stamped<Words>> slot;
   for (auto _ : state) {
     slot.reset_tag();
@@ -38,7 +52,7 @@ void slot_caslt(benchmark::State& state) {
 #pragma omp barrier
       }
     }
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
   }
   state.counters["payload_bytes"] = static_cast<double>(Words * 8);
 }
@@ -46,6 +60,7 @@ void slot_caslt(benchmark::State& state) {
 template <std::size_t Words>
 void slot_critical(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  crcw::bench::RowRecorder rec(state, spec("critical", Words, threads));
   ConWriteSlot<Stamped<Words>, CriticalPolicy> slot;
   for (auto _ : state) {
     slot.reset_tag();
@@ -58,7 +73,7 @@ void slot_critical(benchmark::State& state) {
 #pragma omp barrier
       }
     }
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
   }
   state.counters["payload_bytes"] = static_cast<double>(Words * 8);
 }
@@ -66,6 +81,7 @@ void slot_critical(benchmark::State& state) {
 template <std::size_t Words>
 void slot_unprotected(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  crcw::bench::RowRecorder rec(state, spec("unprotected", Words, threads));
   ConWriteSlot<Stamped<Words>> slot;
   std::uint64_t torn = 0;
   for (auto _ : state) {
@@ -78,7 +94,7 @@ void slot_unprotected(benchmark::State& state) {
 #pragma omp barrier
       }
     }
-    state.SetIterationTime(timer.seconds());
+    rec.record(timer.seconds());
     if (!slot.read_unprotected().consistent()) ++torn;
   }
   state.counters["payload_bytes"] = static_cast<double>(Words * 8);
@@ -86,7 +102,7 @@ void slot_unprotected(benchmark::State& state) {
 }
 
 void args(benchmark::internal::Benchmark* b) {
-  for (const int t : {1, 2, 4, 8}) b->Arg(t);
+  for (const int t : crcw::bench::sweep_points<int>({1, 2, 4, 8}, 2)) b->Arg(t);
   b->UseManualTime()->Unit(benchmark::kMicrosecond);
 }
 

@@ -24,6 +24,7 @@
 
 #include "algorithms/dispatch.hpp"
 #include "graph/generators.hpp"
+#include "obs/bench_report.hpp"
 #include "util/cli.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -42,15 +43,33 @@ struct Config {
   std::string csv_dir;
 };
 
-/// Best-of-reps wall time of one call.
-template <typename Fn>
-double time_best(const Config& cfg, Fn&& fn) {
+crcw::obs::BenchReport& report() {
+  static crcw::obs::BenchReport r("paper_tables");
+  return r;
+}
+
+/// Best-of-reps wall time of one call; every rep plus the untimed profile
+/// pass lands as one row in the BENCH_paper_tables.json report.
+template <typename Fn, typename ProfileFn>
+double time_series(const Config& cfg, const std::string& figure, const std::string& method,
+                   std::string baseline, int threads, std::uint64_t n, std::uint64_t m,
+                   Fn&& fn, ProfileFn&& profile) {
+  crcw::obs::BenchRow row{.series = figure + "/" + method,
+                          .policy = method,
+                          .baseline = std::move(baseline),
+                          .threads = threads,
+                          .n = n,
+                          .m = m};
   double best = 1e300;
   for (int r = 0; r < cfg.reps; ++r) {
     crcw::util::Timer timer;
     fn();
-    best = std::min(best, timer.seconds());
+    const double s = timer.seconds();
+    row.samples_ns.push_back(s * 1e9);
+    best = std::min(best, s);
   }
+  row.counters = profile();
+  report().add_row(std::move(row));
   return best;
 }
 
@@ -97,9 +116,10 @@ void run_max_tables(const Config& cfg) {
     std::vector<std::string> row = {Table::fmt(n)};
     std::vector<double> times;
     for (const auto& m : methods) {
-      const double s = time_best(cfg, [&] {
-        (void)crcw::algo::run_max(m, list, {.threads = cfg.threads});
-      });
+      const double s = time_series(
+          cfg, "fig5", m, "naive", cfg.threads, n, 0,
+          [&] { (void)crcw::algo::run_max(m, list, {.threads = cfg.threads}); },
+          [&] { return crcw::algo::profile_max(m, list, {.threads = cfg.threads}); });
       times.push_back(s);
       row.push_back(Table::fmt(s * 1e3));
     }
@@ -127,8 +147,10 @@ void run_max_tables(const Config& cfg) {
     std::vector<std::string> row = {Table::fmt(static_cast<std::uint64_t>(threads))};
     std::vector<double> times;
     for (const auto& m : methods) {
-      const double s =
-          time_best(cfg, [&] { (void)crcw::algo::run_max(m, list6, {.threads = threads}); });
+      const double s = time_series(
+          cfg, "fig6", m, "naive", threads, n6, 0,
+          [&] { (void)crcw::algo::run_max(m, list6, {.threads = threads}); },
+          [&] { return crcw::algo::profile_max(m, list6, {.threads = threads}); });
       times.push_back(s);
       row.push_back(Table::fmt(s * 1e3));
     }
@@ -164,8 +186,10 @@ void run_bfs_tables(const Config& cfg) {
     std::vector<std::string> row = {Table::fmt(m_edges)};
     std::vector<double> times;
     for (const auto& m : methods) {
-      const double s = time_best(
-          cfg, [&] { (void)crcw::algo::run_bfs(m, g, 0, {.threads = cfg.threads}); });
+      const double s = time_series(
+          cfg, "fig7", m, "naive", cfg.threads, v_fixed, m_edges,
+          [&] { (void)crcw::algo::run_bfs(m, g, 0, {.threads = cfg.threads}); },
+          [&] { return crcw::algo::profile_bfs(m, g, 0, {.threads = cfg.threads}); });
       times.push_back(s);
       row.push_back(Table::fmt(s * 1e3));
     }
@@ -192,8 +216,10 @@ void run_bfs_tables(const Config& cfg) {
     std::vector<std::string> row = {Table::fmt(n)};
     std::vector<double> times;
     for (const auto& m : methods) {
-      const double s = time_best(
-          cfg, [&] { (void)crcw::algo::run_bfs(m, g, 0, {.threads = cfg.threads}); });
+      const double s = time_series(
+          cfg, "fig8", m, "naive", cfg.threads, n, e_fixed,
+          [&] { (void)crcw::algo::run_bfs(m, g, 0, {.threads = cfg.threads}); },
+          [&] { return crcw::algo::profile_bfs(m, g, 0, {.threads = cfg.threads}); });
       times.push_back(s);
       row.push_back(Table::fmt(s * 1e3));
     }
@@ -217,8 +243,10 @@ void run_bfs_tables(const Config& cfg) {
     std::vector<std::string> row = {Table::fmt(static_cast<std::uint64_t>(threads))};
     std::vector<double> times;
     for (const auto& m : methods) {
-      const double s =
-          time_best(cfg, [&] { (void)crcw::algo::run_bfs(m, g9, 0, {.threads = threads}); });
+      const double s = time_series(
+          cfg, "fig9", m, "naive", threads, v_fixed, e_fixed,
+          [&] { (void)crcw::algo::run_bfs(m, g9, 0, {.threads = threads}); },
+          [&] { return crcw::algo::profile_bfs(m, g9, 0, {.threads = threads}); });
       times.push_back(s);
       row.push_back(Table::fmt(s * 1e3));
     }
@@ -253,8 +281,10 @@ void run_cc_tables(const Config& cfg) {
     std::vector<std::string> row = {Table::fmt(m_edges)};
     std::vector<double> times;
     for (const auto& m : methods) {
-      const double s =
-          time_best(cfg, [&] { (void)crcw::algo::run_cc(m, g, {.threads = cfg.threads}); });
+      const double s = time_series(
+          cfg, "fig10", m, "gatekeeper", cfg.threads, v_fixed, m_edges,
+          [&] { (void)crcw::algo::run_cc(m, g, {.threads = cfg.threads}); },
+          [&] { return crcw::algo::profile_cc(m, g, {.threads = cfg.threads}); });
       times.push_back(s);
       row.push_back(Table::fmt(s * 1e3));
     }
@@ -278,8 +308,10 @@ void run_cc_tables(const Config& cfg) {
     const auto g = crcw::graph::random_graph(n, e_fixed, 42);
     std::vector<std::string> row = {Table::fmt(n)};
     for (const auto& m : methods) {
-      const double s =
-          time_best(cfg, [&] { (void)crcw::algo::run_cc(m, g, {.threads = cfg.threads}); });
+      const double s = time_series(
+          cfg, "fig11", m, "gatekeeper", cfg.threads, n, e_fixed,
+          [&] { (void)crcw::algo::run_cc(m, g, {.threads = cfg.threads}); },
+          [&] { return crcw::algo::profile_cc(m, g, {.threads = cfg.threads}); });
       row.push_back(Table::fmt(s * 1e3));
     }
     t11.add_row(std::move(row));
@@ -300,8 +332,10 @@ void run_cc_tables(const Config& cfg) {
     std::vector<std::string> row = {Table::fmt(static_cast<std::uint64_t>(threads))};
     std::vector<double> times;
     for (const auto& m : methods) {
-      const double s =
-          time_best(cfg, [&] { (void)crcw::algo::run_cc(m, g12, {.threads = threads}); });
+      const double s = time_series(
+          cfg, "fig12", m, "gatekeeper", threads, v_fixed, e_fixed,
+          [&] { (void)crcw::algo::run_cc(m, g12, {.threads = threads}); },
+          [&] { return crcw::algo::profile_cc(m, g12, {.threads = threads}); });
       times.push_back(s);
       row.push_back(Table::fmt(s * 1e3));
     }
@@ -341,6 +375,8 @@ int main(int argc, char** argv) {
   run_bfs_tables(cfg);
   run_cc_tables(cfg);
 
-  std::cout << "\ndone.\n";
+  const std::string json_path = report().default_path();
+  report().write_file(json_path);
+  std::cout << "\nwrote " << json_path << "\ndone.\n";
   return 0;
 }

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Validate and compare machine-readable benchmark results (BENCH_*.json).
+
+The bench binaries emit one schema-stable JSON document each (schema
+"crcw-bench", see scripts/bench_schema.json and src/obs/bench_report.hpp).
+This tool is the CI regression gate over those documents:
+
+  bench_compare.py BASELINE_DIR CURRENT_DIR          # full gate
+  bench_compare.py --validate-only CURRENT_DIR       # schema check alone
+  bench_compare.py --counters-only BASELINE_DIR CURRENT_DIR
+
+Gate semantics, per row matched on (bench, series, threads, n, m):
+
+  * timing — FAIL when current median_ns exceeds the baseline median by
+    more than --threshold (default 0.15 = 15%). Medians, not means: one
+    noisy rep must not trip the gate.
+  * counters — attempts/atomics/wins are compared with a relative
+    tolerance (--counter-tol, default 0.25). Contended counts are
+    scheduling-dependent, so mismatches WARN by default and only fail
+    under --counters-strict. `rounds` and `wins` of single-winner
+    policies are deterministic in theory, but cross-machine baselines
+    may legitimately differ in sweep shape, so strictness is opt-in.
+
+Exit codes: 0 = gate passed, 1 = validation failure or regression,
+2 = usage / IO error. No third-party dependencies (runs on a bare
+python3): the schema file is interpreted by the small validator below
+rather than by the `jsonschema` package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent / "bench_schema.json"
+
+COUNTER_FIELDS = ("attempts", "atomics", "failures", "wins", "rounds")
+
+
+# --------------------------------------------------------------------------
+# Minimal JSON-Schema-subset validator (type/const/required/properties/
+# items/minimum) — enough for bench_schema.json, no dependencies.
+
+
+def _type_ok(value, expected):
+    types = expected if isinstance(expected, list) else [expected]
+    for t in types:
+        if t == "object" and isinstance(value, dict):
+            return True
+        if t == "array" and isinstance(value, list):
+            return True
+        if t == "string" and isinstance(value, str):
+            return True
+        if t == "integer" and isinstance(value, int) and not isinstance(value, bool):
+            return True
+        if (
+            t == "number"
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        ):
+            return True
+        if t == "boolean" and isinstance(value, bool):
+            return True
+        if t == "null" and value is None:
+            return True
+    return False
+
+
+def validate(value, schema, path="$"):
+    """Returns a list of human-readable schema violations."""
+    errors = []
+    if "const" in schema:
+        if value != schema["const"]:
+            errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return errors
+    if "type" in schema and not _type_ok(value, schema["type"]):
+        errors.append(f"{path}: expected type {schema['type']}, got {value!r}")
+        return errors
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required member {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                errors.extend(validate(value[key], sub, f"{path}.{key}"))
+    elif isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+    return errors
+
+
+# --------------------------------------------------------------------------
+# Loading and comparison
+
+
+def load_dir(directory: Path):
+    """Returns {bench_name: doc} for every BENCH_*.json in `directory`."""
+    docs = {}
+    for f in sorted(directory.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(f.read_text())
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"error: {f}: not valid JSON: {e}")
+        docs[doc.get("bench", f.stem)] = (f, doc)
+    return docs
+
+
+def validate_docs(docs, schema):
+    failures = 0
+    for bench, (path, doc) in docs.items():
+        errors = validate(doc, schema)
+        if errors:
+            failures += 1
+            print(f"SCHEMA FAIL {path}")
+            for e in errors[:20]:
+                print(f"    {e}")
+        else:
+            print(f"schema ok   {path} ({len(doc['rows'])} rows)")
+    return failures
+
+
+def row_index(docs):
+    index = {}
+    for bench, (_path, doc) in docs.items():
+        for row in doc["rows"]:
+            key = (bench, row["series"], row["threads"], row["n"], row["m"])
+            index[key] = row
+    return index
+
+
+def fmt_key(key):
+    bench, series, threads, n, m = key
+    return f"{bench}:{series} t={threads} n={n} m={m}"
+
+
+def compare_timing(base_index, cur_index, threshold):
+    regressions = 0
+    compared = 0
+    for key, base_row in sorted(base_index.items()):
+        cur_row = cur_index.get(key)
+        if cur_row is None:
+            print(f"MISSING  {fmt_key(key)} (in baseline, not in current)")
+            continue
+        base_med, cur_med = base_row["median_ns"], cur_row["median_ns"]
+        if base_med <= 0:
+            continue
+        compared += 1
+        ratio = cur_med / base_med
+        delta = (ratio - 1.0) * 100.0
+        if ratio > 1.0 + threshold:
+            regressions += 1
+            print(
+                f"REGRESS  {fmt_key(key)}: {base_med:.0f}ns -> {cur_med:.0f}ns "
+                f"({delta:+.1f}% > {threshold * 100:.0f}% threshold)"
+            )
+        else:
+            print(f"ok       {fmt_key(key)}: {delta:+.1f}%")
+    return compared, regressions
+
+
+def compare_counters(base_index, cur_index, tol, strict):
+    mismatches = 0
+    compared = 0
+    for key, base_row in sorted(base_index.items()):
+        cur_row = cur_index.get(key)
+        if cur_row is None:
+            continue
+        base_c, cur_c = base_row["counters"], cur_row["counters"]
+        if base_c is None or cur_c is None:
+            if (base_c is None) != (cur_c is None):
+                print(f"COUNTERS {fmt_key(key)}: presence changed "
+                      f"(baseline {'has' if base_c else 'lacks'} counters, "
+                      f"current {'has' if cur_c else 'lacks'})")
+                mismatches += 1
+            continue
+        compared += 1
+        for field in COUNTER_FIELDS:
+            b, c = base_c[field], cur_c[field]
+            if b == c:
+                continue
+            rel = abs(c - b) / max(b, 1)
+            if rel > tol:
+                mismatches += 1
+                print(
+                    f"COUNTERS {fmt_key(key)}.{field}: {b} -> {c} "
+                    f"({rel * 100:.1f}% > {tol * 100:.0f}% tolerance)"
+                )
+    label = "failures" if strict else "warnings"
+    print(f"counters: {compared} rows compared, {mismatches} {label}")
+    return mismatches if strict else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Regression gate over BENCH_*.json benchmark results."
+    )
+    parser.add_argument("dirs", nargs="+", type=Path,
+                        help="BASELINE_DIR CURRENT_DIR (CURRENT_DIR alone "
+                             "with --validate-only)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative median slowdown that fails the gate "
+                             "(default 0.15)")
+    parser.add_argument("--counter-tol", type=float, default=0.25,
+                        help="relative counter drift reported (default 0.25)")
+    parser.add_argument("--counters-strict", action="store_true",
+                        help="counter drift beyond tolerance fails the gate")
+    parser.add_argument("--validate-only", action="store_true",
+                        help="schema-check CURRENT_DIR, skip comparison")
+    parser.add_argument("--counters-only", action="store_true",
+                        help="compare counters, skip the timing gate")
+    args = parser.parse_args(argv)
+
+    schema = json.loads(SCHEMA_PATH.read_text())
+
+    if args.validate_only:
+        if len(args.dirs) != 1:
+            parser.error("--validate-only takes exactly one directory")
+        docs = load_dir(args.dirs[0])
+        if not docs:
+            print(f"error: no BENCH_*.json in {args.dirs[0]}", file=sys.stderr)
+            return 2
+        return 1 if validate_docs(docs, schema) else 0
+
+    if len(args.dirs) != 2:
+        parser.error("expected BASELINE_DIR CURRENT_DIR")
+    base_docs = load_dir(args.dirs[0])
+    cur_docs = load_dir(args.dirs[1])
+    if not base_docs:
+        print(f"error: no BENCH_*.json in {args.dirs[0]}", file=sys.stderr)
+        return 2
+    if not cur_docs:
+        print(f"error: no BENCH_*.json in {args.dirs[1]}", file=sys.stderr)
+        return 2
+
+    failures = validate_docs(base_docs, schema) + validate_docs(cur_docs, schema)
+    base_index, cur_index = row_index(base_docs), row_index(cur_docs)
+
+    if not args.counters_only:
+        compared, regressions = compare_timing(base_index, cur_index, args.threshold)
+        if compared == 0:
+            print("error: no overlapping rows between baseline and current",
+                  file=sys.stderr)
+            return 2
+        failures += regressions
+        print(f"timing: {compared} rows compared, {regressions} regressions "
+              f"(threshold {args.threshold * 100:.0f}%)")
+
+    failures += compare_counters(base_index, cur_index, args.counter_tol,
+                                 args.counters_strict)
+
+    print("gate PASSED" if failures == 0 else f"gate FAILED ({failures} failures)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,11 +6,15 @@
 # Produces:
 #   out-dir/paper_tables.txt + per-figure CSVs   (Figures 5-12 summaries)
 #   out-dir/<bench>.txt                          (every google-benchmark binary)
+#   out-dir/BENCH_<bench>.json                   (machine-readable, schema
+#                                                 crcw-bench; see
+#                                                 docs/reproducing.md)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench_results}"
 mkdir -p "$OUT_DIR"
+export CRCW_BENCH_JSON_DIR="$OUT_DIR"
 
 echo "== environment =="
 nproc || true
@@ -29,4 +33,4 @@ for bench in "$BUILD_DIR"/bench/*; do
   "$bench" --benchmark_min_time=0.05 | tee "$OUT_DIR/$name.txt"
 done
 
-echo "all benchmark outputs in $OUT_DIR/"
+echo "all benchmark outputs in $OUT_DIR/ (tables: *.txt, machine-readable: BENCH_*.json)"

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Reduced-size benchmark pass: the nightly CI job and the source of the
+# committed baseline under bench_results/baseline/.
+#
+#   scripts/run_bench_smoke.sh [build-dir] [out-dir]
+#
+# CRCW_BENCH_SMOKE=1 makes every harness truncate its sweeps (size sweeps
+# keep their first point, thread sweeps keep {1,2}) and paper_tables runs
+# --quick with 2 reps, so one full pass stays in CI-minutes territory while
+# still emitting a schema-valid BENCH_<name>.json per binary for
+# scripts/bench_compare.py.
+#
+# To refresh the committed baseline after an intentional perf change (or
+# on new reference hardware):
+#
+#   scripts/run_bench_smoke.sh build bench_results/baseline
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_results/smoke}"
+MIN_TIME="${CRCW_BENCH_MIN_TIME:-0.02}"
+mkdir -p "$OUT_DIR"
+export CRCW_BENCH_SMOKE=1
+export CRCW_BENCH_JSON_DIR="$OUT_DIR"
+
+echo "== environment =="
+nproc || true
+echo "OMP_WAIT_POLICY=${OMP_WAIT_POLICY:-unset} CRCW_BENCH_THREADS=${CRCW_BENCH_THREADS:-unset}"
+
+echo "== paper_tables (quick, 2 reps) =="
+"$BUILD_DIR/bench/paper_tables" --quick --reps 2 > "$OUT_DIR/paper_tables.txt"
+
+for bench in "$BUILD_DIR"/bench/*; do
+  name="$(basename "$bench")"
+  case "$name" in
+    paper_tables|CMakeFiles|*.cmake|CTestTestfile.cmake) continue ;;
+  esac
+  [ -x "$bench" ] || continue
+  echo "== $name =="
+  "$bench" --benchmark_min_time="$MIN_TIME" > "$OUT_DIR/$name.txt"
+done
+
+echo "smoke results (BENCH_*.json + tables) in $OUT_DIR/"

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/arbiter.hpp"
+#include "core/instrumented.hpp"
 
 namespace crcw::algo {
 namespace {
@@ -62,9 +63,13 @@ BfsResult bfs_kernel(const Csr& g, vertex_t source, const BfsOptions& opts) {
   bool done = false;
   while (!done) {
     std::uint8_t frontier_empty = 1;
+    // Fig 3(b) lines 34-35: re-zero the whole gatekeeper array — the
+    // Θ(N)-work-per-level overhead CAS-LT avoids (no-op for policies
+    // without per-round reset).
+    arbiter.reset_tags_parallel(threads);
     // Round id L+1 (Fig 3(a) line 22): monotone across levels, so CAS-LT
     // tags never need re-initialisation.
-    const auto round = static_cast<round_t>(l + 1);
+    auto scope = arbiter.next_round(ResetMode::kCaller);
 
 #pragma omp parallel for num_threads(threads) schedule(static) \
     reduction(&& : frontier_empty)
@@ -74,7 +79,7 @@ BfsResult bfs_kernel(const Csr& g, vertex_t source, const BfsOptions& opts) {
       for (edge_t j = offsets[v]; j < offsets[v + 1]; ++j) {
         const vertex_t u = targets[j];
         if (load_level(level[u]) != -1) continue;  // Fig 3 "visited" check
-        if (arbiter.try_acquire(u, round)) {
+        if (scope.acquire(u)) {
           // The multi-word discovery write of Fig 3 lines 23-27. Only the
           // policy winner executes it, so plain stores suffice for the
           // arbitrary-CW members (parent, sel_edge).
@@ -88,15 +93,6 @@ BfsResult bfs_kernel(const Csr& g, vertex_t source, const BfsOptions& opts) {
     // Implicit barrier = the synchronisation point before dependent reads.
     done = frontier_empty != 0;
     ++l;  // Fig 3(a) line 33: "update round ID"
-
-    if constexpr (Policy::kNeedsRoundReset) {
-      // Fig 3(b) lines 34-35: re-zero the whole gatekeeper array — the
-      // Θ(N)-work-per-level overhead CAS-LT avoids.
-#pragma omp parallel for num_threads(threads) schedule(static)
-      for (std::int64_t i = 0; i < count; ++i) {
-        Policy::reset(arbiter.tag(static_cast<std::size_t>(i)));
-      }
-    }
   }
 
   result.rounds = static_cast<std::uint64_t>(l);
@@ -107,6 +103,13 @@ template BfsResult bfs_kernel<CasLtPolicy>(const Csr&, vertex_t, const BfsOption
 template BfsResult bfs_kernel<GatekeeperPolicy>(const Csr&, vertex_t, const BfsOptions&);
 template BfsResult bfs_kernel<GatekeeperSkipPolicy>(const Csr&, vertex_t, const BfsOptions&);
 template BfsResult bfs_kernel<CriticalPolicy>(const Csr&, vertex_t, const BfsOptions&);
+// Instrumented variants for the contention-profiling entry points.
+template BfsResult bfs_kernel<InstrumentedPolicy<CasLtPolicy>>(const Csr&, vertex_t,
+                                                               const BfsOptions&);
+template BfsResult bfs_kernel<InstrumentedPolicy<GatekeeperPolicy>>(const Csr&, vertex_t,
+                                                                    const BfsOptions&);
+template BfsResult bfs_kernel<InstrumentedPolicy<GatekeeperSkipPolicy>>(const Csr&, vertex_t,
+                                                                        const BfsOptions&);
 
 }  // namespace detail
 
@@ -174,7 +177,7 @@ BfsResult bfs_frontier(const Csr& g, vertex_t source, const BfsOptions& opts) {
   std::int64_t l = 0;
 
   while (!frontier.empty()) {
-    const auto round = static_cast<round_t>(l + 1);
+    auto scope = arbiter.next_round(ResetMode::kNone);
     std::atomic<std::uint64_t> tail{0};
     const auto fsize = static_cast<std::int64_t>(frontier.size());
 
@@ -186,7 +189,7 @@ BfsResult bfs_frontier(const Csr& g, vertex_t source, const BfsOptions& opts) {
       for (edge_t j = offsets[v]; j < offsets[v + 1]; ++j) {
         const vertex_t u = targets[j];
         if (load_level(level[u]) != -1) continue;
-        if (arbiter.try_acquire(u, round)) {
+        if (scope.acquire(u)) {
           parent[u] = v;
           sel_edge[u] = j;
           store_level(level[u], l + 1);
@@ -228,7 +231,7 @@ BfsResult bfs_direction_optimizing(const Csr& g, vertex_t source, const BfsOptio
   std::int64_t l = 0;
   bool done = false;
   while (!done) {
-    const auto round = static_cast<round_t>(l + 1);
+    auto scope = arbiter.next_round(ResetMode::kNone);
     std::uint8_t frontier_empty = 1;
     std::uint64_t next_edges = 0;
 
@@ -242,7 +245,7 @@ BfsResult bfs_direction_optimizing(const Csr& g, vertex_t source, const BfsOptio
         for (edge_t j = offsets[v]; j < offsets[v + 1]; ++j) {
           const vertex_t u = targets[j];
           if (load_level(level[u]) != -1) continue;
-          if (arbiter.try_acquire(u, round)) {
+          if (scope.acquire(u)) {
             parent[u] = v;
             sel_edge[u] = j;
             store_level(level[u], l + 1);

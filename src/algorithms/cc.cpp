@@ -9,6 +9,7 @@
 
 #include "core/arbiter.hpp"
 #include "core/combining.hpp"
+#include "core/instrumented.hpp"
 
 namespace crcw::algo {
 namespace {
@@ -124,23 +125,11 @@ CcResult cc_kernel(const Csr& g, const CcOptions& opts) {
     }
   };
 
-  const auto reset_tags = [&] {
-    if constexpr (Policy::kNeedsRoundReset) {
-      // The gatekeeper re-initialisation sweep, once per hooking substep —
-      // the recurring Θ(N) cost CAS-LT does not pay (§6).
-#pragma omp parallel for num_threads(threads) schedule(static)
-      for (std::int64_t v = 0; v < vcount; ++v) {
-        Policy::reset(arbiter.tag(static_cast<std::size_t>(v)));
-      }
-    }
-  };
-
   // Safety net for implementation bugs: A-S converges in O(log n)
   // iterations; exceeding a generous multiple means non-convergence.
   std::uint64_t max_iters = 16;
   for (std::uint64_t s = 1; s < n; s *= 2) max_iters += 4;
 
-  round_t round = kInitialRound;
   std::uint64_t iterations = 0;
   bool changed = true;
 
@@ -155,22 +144,26 @@ CcResult cc_kernel(const Csr& g, const CcOptions& opts) {
 
     // --- 2. conditional star hooking (one arbitrary-CW round) --------------
     take_snapshot();
-    reset_tags();
-    ++round;
+    // The gatekeeper re-initialisation sweep, once per hooking substep —
+    // the recurring Θ(N) cost CAS-LT does not pay (§6).
+    arbiter.reset_tags_parallel(threads);
+    {
+      auto scope = arbiter.next_round(ResetMode::kCaller);
 #pragma omp parallel for num_threads(threads) schedule(static) \
     reduction(| : any_change)
-    for (std::int64_t j = 0; j < ecount; ++j) {
-      const vertex_t u = edges.src[static_cast<std::size_t>(j)];
-      const vertex_t v = edges.dst[static_cast<std::size_t>(j)];
-      const vertex_t pu = snapshot[u];
-      const vertex_t pv = snapshot[v];
-      if (star[u] != 0 && pv < pu) {
-        if (arbiter.try_acquire(pu, round)) {
-          // The multi-array hook update of §7.2: new parent + hook edge
-          // must come from ONE winning edge, or the pair is inconsistent.
-          store_v(parent[pu], pv);
-          hook_edge[pu] = static_cast<edge_t>(j);
-          any_change = 1;
+      for (std::int64_t j = 0; j < ecount; ++j) {
+        const vertex_t u = edges.src[static_cast<std::size_t>(j)];
+        const vertex_t v = edges.dst[static_cast<std::size_t>(j)];
+        const vertex_t pu = snapshot[u];
+        const vertex_t pv = snapshot[v];
+        if (star[u] != 0 && pv < pu) {
+          if (scope.acquire(pu)) {
+            // The multi-array hook update of §7.2: new parent + hook edge
+            // must come from ONE winning edge, or the pair is inconsistent.
+            store_v(parent[pu], pv);
+            hook_edge[pu] = static_cast<edge_t>(j);
+            any_change = 1;
+          }
         }
       }
     }
@@ -194,20 +187,22 @@ CcResult cc_kernel(const Csr& g, const CcOptions& opts) {
     //     neighbouring root (downward merges belong to the conditional
     //     phase by construction).
     take_snapshot();
-    reset_tags();
-    ++round;
+    arbiter.reset_tags_parallel(threads);
+    {
+      auto scope = arbiter.next_round(ResetMode::kCaller);
 #pragma omp parallel for num_threads(threads) schedule(static) \
     reduction(| : any_change)
-    for (std::int64_t j = 0; j < ecount; ++j) {
-      const vertex_t u = edges.src[static_cast<std::size_t>(j)];
-      const vertex_t v = edges.dst[static_cast<std::size_t>(j)];
-      const vertex_t pu = snapshot[u];
-      const vertex_t pv = snapshot[v];
-      if (star[u] != 0 && pv > pu && snapshot[pv] == pv) {
-        if (arbiter.try_acquire(pu, round)) {
-          store_v(parent[pu], pv);
-          hook_edge[pu] = static_cast<edge_t>(j);
-          any_change = 1;
+      for (std::int64_t j = 0; j < ecount; ++j) {
+        const vertex_t u = edges.src[static_cast<std::size_t>(j)];
+        const vertex_t v = edges.dst[static_cast<std::size_t>(j)];
+        const vertex_t pu = snapshot[u];
+        const vertex_t pv = snapshot[v];
+        if (star[u] != 0 && pv > pu && snapshot[pv] == pv) {
+          if (scope.acquire(pu)) {
+            store_v(parent[pu], pv);
+            hook_edge[pu] = static_cast<edge_t>(j);
+            any_change = 1;
+          }
         }
       }
     }
@@ -242,6 +237,11 @@ template CcResult cc_kernel<CasLtPolicy>(const Csr&, const CcOptions&);
 template CcResult cc_kernel<GatekeeperPolicy>(const Csr&, const CcOptions&);
 template CcResult cc_kernel<GatekeeperSkipPolicy>(const Csr&, const CcOptions&);
 template CcResult cc_kernel<CriticalPolicy>(const Csr&, const CcOptions&);
+// Instrumented variants for the contention-profiling entry points.
+template CcResult cc_kernel<InstrumentedPolicy<CasLtPolicy>>(const Csr&, const CcOptions&);
+template CcResult cc_kernel<InstrumentedPolicy<GatekeeperPolicy>>(const Csr&, const CcOptions&);
+template CcResult cc_kernel<InstrumentedPolicy<GatekeeperSkipPolicy>>(const Csr&,
+                                                                      const CcOptions&);
 
 }  // namespace detail
 

@@ -2,12 +2,29 @@
 
 #include <stdexcept>
 
+#include "core/instrumented.hpp"
+
 namespace crcw::algo {
 namespace {
 
 [[noreturn]] void unknown(std::string_view kernel, std::string_view method) {
   throw std::invalid_argument("unknown " + std::string(kernel) + " method '" +
                               std::string(method) + "'");
+}
+
+using ICasLt = InstrumentedPolicy<CasLtPolicy>;
+using IGate = InstrumentedPolicy<GatekeeperPolicy>;
+using IGateSkip = InstrumentedPolicy<GatekeeperSkipPolicy>;
+
+/// Runs `fn` with new ContentionSites redirected into a private registry
+/// and returns everything they counted (sites die with the kernel's
+/// arbiters; the registry retains their totals).
+template <typename Fn>
+obs::ContentionTotals profiled(Fn&& fn) {
+  obs::MetricsRegistry local;
+  const obs::ScopedRegistry scoped(local);
+  fn();
+  return local.totals();
 }
 
 }  // namespace
@@ -55,6 +72,52 @@ CcResult run_cc(std::string_view method, const graph::Csr& g, const CcOptions& o
   if (method == "critical") return cc_critical(g, opts);
   if (method == "min-hook") return cc_min_hook(g, opts);
   unknown("cc", method);
+}
+
+std::optional<obs::ContentionTotals> profile_max(std::string_view method,
+                                                 std::span<const std::uint32_t> list,
+                                                 const MaxOptions& opts) {
+  if (method == "caslt") {
+    return profiled([&] { (void)detail::max_index_kernel<ICasLt>(list, opts); });
+  }
+  if (method == "gatekeeper") {
+    return profiled([&] { (void)detail::max_index_kernel<IGate>(list, opts); });
+  }
+  if (method == "gatekeeper-skip") {
+    return profiled([&] { (void)detail::max_index_kernel<IGateSkip>(list, opts); });
+  }
+  return std::nullopt;
+}
+
+std::optional<obs::ContentionTotals> profile_bfs(std::string_view method,
+                                                 const graph::Csr& g,
+                                                 graph::vertex_t source,
+                                                 const BfsOptions& opts) {
+  if (method == "caslt") {
+    return profiled([&] { (void)detail::bfs_kernel<ICasLt>(g, source, opts); });
+  }
+  if (method == "gatekeeper") {
+    return profiled([&] { (void)detail::bfs_kernel<IGate>(g, source, opts); });
+  }
+  if (method == "gatekeeper-skip") {
+    return profiled([&] { (void)detail::bfs_kernel<IGateSkip>(g, source, opts); });
+  }
+  return std::nullopt;
+}
+
+std::optional<obs::ContentionTotals> profile_cc(std::string_view method,
+                                                const graph::Csr& g,
+                                                const CcOptions& opts) {
+  if (method == "caslt") {
+    return profiled([&] { (void)detail::cc_kernel<ICasLt>(g, opts); });
+  }
+  if (method == "gatekeeper") {
+    return profiled([&] { (void)detail::cc_kernel<IGate>(g, opts); });
+  }
+  if (method == "gatekeeper-skip") {
+    return profiled([&] { (void)detail::cc_kernel<IGateSkip>(g, opts); });
+  }
+  return std::nullopt;
 }
 
 }  // namespace crcw::algo

@@ -3,6 +3,7 @@
 // (`--method caslt|gatekeeper|gatekeeper-skip|naive|critical`).
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -11,6 +12,7 @@
 #include "algorithms/bfs.hpp"
 #include "algorithms/cc.hpp"
 #include "algorithms/max.hpp"
+#include "obs/metrics.hpp"
 
 namespace crcw::algo {
 
@@ -27,5 +29,20 @@ namespace crcw::algo {
                                 graph::vertex_t source, const BfsOptions& opts = {});
 [[nodiscard]] CcResult run_cc(std::string_view method, const graph::Csr& g,
                               const CcOptions& opts = {});
+
+/// Contention profiles: run the method's kernel with instrumented tags
+/// (InstrumentedPolicy<...>) under a private MetricsRegistry and return the
+/// aggregated attempt/atomic/win counts. Untimed companions to run_* — the
+/// counting itself costs RMWs, so never profile inside a timing loop.
+/// Returns nullopt for methods without an instrumentable arbiter ("naive",
+/// "critical", "reduce", "min-hook", the structural BFS variants).
+[[nodiscard]] std::optional<obs::ContentionTotals> profile_max(
+    std::string_view method, std::span<const std::uint32_t> list,
+    const MaxOptions& opts = {});
+[[nodiscard]] std::optional<obs::ContentionTotals> profile_bfs(
+    std::string_view method, const graph::Csr& g, graph::vertex_t source,
+    const BfsOptions& opts = {});
+[[nodiscard]] std::optional<obs::ContentionTotals> profile_cc(
+    std::string_view method, const graph::Csr& g, const CcOptions& opts = {});
 
 }  // namespace crcw::algo

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/arbiter.hpp"
+#include "core/instrumented.hpp"
 #include "util/aligned_buffer.hpp"
 
 namespace crcw::algo {
@@ -95,7 +96,7 @@ std::uint64_t max_index_doubly_log(std::span<const std::uint32_t> list,
     const std::uint64_t m = candidates.size();
     const std::uint64_t g = std::min<std::uint64_t>(group, m);
     const std::uint64_t groups = (m + g - 1) / g;
-    const round_t round = arbiter.begin_round();
+    auto scope = arbiter.next_round(ResetMode::kNone);  // CAS-LT: no sweep
 
     // One CW round: every in-group pair marks its loser. Work per round is
     // #groups * g^2 = O(m * g) = O(n) by the group-size schedule.
@@ -108,7 +109,7 @@ std::uint64_t max_index_doubly_log(std::span<const std::uint32_t> list,
       const std::uint64_t j = grp * g + (gk % g);
       if (i >= m || j >= m || i == j) continue;
       const std::uint64_t loser = loses_cand(i, j) ? i : j;
-      if (arbiter.try_acquire(loser, round)) is_max[loser] = 0;
+      if (scope.acquire(loser)) is_max[loser] = 0;
     }
 
     // Gather the per-group survivors (exclusive writes, one per group).
@@ -138,7 +139,7 @@ std::uint64_t max_index_kernel(std::span<const std::uint32_t> list, const MaxOpt
   const std::uint64_t n = list.size();
   std::vector<std::uint8_t> is_max(n, 1);
   WriteArbiter<Policy> arbiter(n);
-  const round_t round = arbiter.begin_round();
+  auto scope = arbiter.next_round();
 
   const auto pairs = static_cast<std::int64_t>(n * n);
   const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
@@ -150,7 +151,7 @@ std::uint64_t max_index_kernel(std::span<const std::uint32_t> list, const MaxOpt
     const std::uint64_t loser = loses(list, i, j) ? i : j;
     // Common concurrent write of `false`; the policy admits one writer and
     // lets every later contender skip (tags stay valid: one round total).
-    if (arbiter.try_acquire(loser, round)) is_max[loser] = 0;
+    if (scope.acquire(loser)) is_max[loser] = 0;
   }
   // Implicit barrier above is the PRAM synchronisation point before the
   // dependent read below.
@@ -188,6 +189,14 @@ template std::uint64_t max_index_kernel<GatekeeperSkipPolicy>(std::span<const st
                                                               const MaxOptions&);
 template std::uint64_t max_index_kernel<CriticalPolicy>(std::span<const std::uint32_t>,
                                                         const MaxOptions&);
+// Instrumented variants for the contention-profiling entry points
+// (algorithms/dispatch.hpp): same kernel, counted tags.
+template std::uint64_t max_index_kernel<InstrumentedPolicy<CasLtPolicy>>(
+    std::span<const std::uint32_t>, const MaxOptions&);
+template std::uint64_t max_index_kernel<InstrumentedPolicy<GatekeeperPolicy>>(
+    std::span<const std::uint32_t>, const MaxOptions&);
+template std::uint64_t max_index_kernel<InstrumentedPolicy<GatekeeperSkipPolicy>>(
+    std::span<const std::uint32_t>, const MaxOptions&);
 
 }  // namespace detail
 

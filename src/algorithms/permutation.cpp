@@ -37,7 +37,7 @@ PermutationResult random_permutation(std::uint64_t n, const PermutationOptions& 
     if (++result.rounds > max_rounds) {
       throw std::runtime_error("random_permutation: exceeded round bound");
     }
-    const round_t round = arbiter.begin_round();
+    auto scope = arbiter.next_round(ResetMode::kNone);  // CAS-LT: no sweep
     std::atomic<std::uint64_t> miss_tail{0};
     const auto pcount = static_cast<std::int64_t>(pending.size());
 
@@ -56,7 +56,7 @@ PermutationResult random_permutation(std::uint64_t n, const PermutationOptions& 
       const std::uint64_t seen =
           std::atomic_ref<const std::uint64_t>(slot_owner[target])
               .load(std::memory_order_relaxed);
-      if (seen == kEmpty && arbiter.try_acquire(target, round)) {
+      if (seen == kEmpty && scope.acquire(target)) {
         std::atomic_ref<std::uint64_t>(slot_owner[target])
             .store(element, std::memory_order_relaxed);
       } else {

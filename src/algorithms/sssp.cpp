@@ -76,7 +76,7 @@ SsspResult sssp_two_phase(std::uint64_t n, std::span<const WeightedEdge> edges,
     // multi-word (dist, parent) update. Equal-key ties are arbitrated by a
     // CAS-LT tag so exactly one writer touches the pair — priority CW
     // selects the value, arbitrary CW selects the writer.
-    const round_t round = ties.advance_round_no_reset();
+    auto tie_scope = ties.next_round(ResetMode::kNone);
     const auto commit = [&](vertex_t u, vertex_t v, std::uint32_t w,
                             std::uint8_t& any_flag) {
       const std::uint64_t du = snapshot[u];
@@ -85,7 +85,7 @@ SsspResult sssp_two_phase(std::uint64_t n, std::span<const WeightedEdge> edges,
       if (cand >= snapshot[v]) return;
       const auto& cell = cells[v];
       if (cell.untouched() || cell.best_key() != cand) return;
-      if (ties.try_acquire(v, round)) {
+      if (tie_scope.acquire(v)) {
         dist[v] = cand;
         parent[v] = u;
         any_flag = 1;
@@ -151,13 +151,13 @@ SsspResult sssp_fetch_min(std::uint64_t n, std::span<const WeightedEdge> edges,
   // Parent recovery: any tight incident edge is a valid parent — an
   // arbitrary CW per vertex, guarded so the write happens exactly once.
   WriteArbiter<CasLtPolicy> arbiter(n);
-  const round_t round = arbiter.begin_round();
+  auto scope = arbiter.next_round(ResetMode::kNone);
   auto* parent = result.parent.data();
   const auto adopt = [&](vertex_t u, vertex_t v, std::uint32_t w) {
     if (v == source) return;
     const std::uint64_t du = result.dist[u];
     if (du == kUnreachable || result.dist[v] != du + w) return;
-    if (arbiter.try_acquire(v, round)) parent[v] = u;
+    if (scope.acquire(v)) parent[v] = u;
   };
 #pragma omp parallel for num_threads(threads) schedule(static)
   for (std::int64_t j = 0; j < ecount; ++j) {

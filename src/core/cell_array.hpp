@@ -51,22 +51,17 @@ class ConWriteArray {
 
   /// Starts the next concurrent-write step (serial; call between parallel
   /// regions). Returns the new round id.
-  round_t begin_round() { return arbiter_.begin_round(); }
+  round_t begin_round() { return arbiter_.next_round(ResetMode::kPolicy).round(); }
 
   /// Same, but runs the policy's per-round tag reset (if any) work-shared
   /// over OpenMP threads — what the Fig 3(b) kernel does on lines 34-35.
   round_t begin_round_parallel(int threads = 0) {
     if constexpr (Policy::kNeedsRoundReset) {
-      const round_t r = arbiter_.advance_round_no_reset();
-      const auto n = static_cast<std::int64_t>(values_.size());
-      if (threads <= 0) threads = omp_get_max_threads();
-#pragma omp parallel for num_threads(threads) schedule(static)
-      for (std::int64_t i = 0; i < n; ++i) {
-        Policy::reset(arbiter_.tag(static_cast<std::size_t>(i)));
-      }
-      return r;
+      auto scope = arbiter_.next_round(ResetMode::kCaller);
+      arbiter_.reset_tags_parallel(threads);
+      return scope.round();
     } else {
-      return arbiter_.begin_round();
+      return arbiter_.next_round(ResetMode::kNone).round();
     }
   }
 
@@ -91,7 +86,7 @@ class ConWriteArray {
   /// Explicit-round overload (round ids managed by the caller, e.g. the
   /// BFS level counter).
   bool try_write(std::size_t i, round_t round, const T& v) {
-    if (!arbiter_.try_acquire(i, round)) return false;
+    if (!arbiter_.acquire_at(i, round)) return false;
     const util::TsanIgnoreWritesScope published_by_barrier;
     values_[i] = v;
     return true;

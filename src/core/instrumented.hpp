@@ -8,10 +8,13 @@
 //   wins         writes admitted
 //
 // Wrap any policy: WriteArbiter<InstrumentedPolicy<CasLtPolicy>>. Counters
-// are global per instantiated policy type (thread-safe, relaxed); reset
-// them between measurements with reset_counters(). Intended for tests and
-// ablation benches, not for production kernels (the counters themselves
-// cost RMWs).
+// are INSTANCE-owned: each such arbiter constructs its own
+// obs::ContentionSite (named after the base policy) and registers it with
+// the current obs::MetricsRegistry — two instrumented arbiters in one
+// process count independently, and a harness reads results through
+// `arbiter.contention()` or a registry snapshot. Intended for tests and
+// profiling runs, not for production kernels (the counters themselves cost
+// RMWs — per-thread-sharded ones, but RMWs nonetheless).
 #pragma once
 
 #include <atomic>
@@ -19,20 +22,9 @@
 #include <string_view>
 
 #include "core/policies.hpp"
+#include "obs/metrics.hpp"
 
 namespace crcw {
-
-struct InstrumentationCounters {
-  std::atomic<std::uint64_t> attempts{0};
-  std::atomic<std::uint64_t> atomics{0};
-  std::atomic<std::uint64_t> wins{0};
-
-  void reset() noexcept {
-    attempts.store(0, std::memory_order_relaxed);
-    atomics.store(0, std::memory_order_relaxed);
-    wins.store(0, std::memory_order_relaxed);
-  }
-};
 
 namespace detail {
 
@@ -46,15 +38,22 @@ template <>
 struct InstrumentedTag<CasLtPolicy> {
   std::atomic<round_t> last{kInitialRound};
 
-  bool try_acquire(round_t round, InstrumentationCounters& c) noexcept {
-    c.attempts.fetch_add(1, std::memory_order_relaxed);
+  bool try_acquire(round_t round, obs::ContentionSite& site) noexcept {
+    site.count_attempt();
     round_t current = last.load(std::memory_order_relaxed);
     if (current >= round) return false;  // the skip: NO atomic issued
-    c.atomics.fetch_add(1, std::memory_order_relaxed);
+    site.count_atomic();
     const bool won = last.compare_exchange_strong(current, round, std::memory_order_acq_rel,
                                                   std::memory_order_relaxed);
-    if (won) c.wins.fetch_add(1, std::memory_order_relaxed);
+    if (won) site.count_win();
     return won;
+  }
+
+  bool try_acquire_uncounted(round_t round) noexcept {
+    round_t current = last.load(std::memory_order_relaxed);
+    if (current >= round) return false;
+    return last.compare_exchange_strong(current, round, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
   }
 
   void reset() noexcept { last.store(kInitialRound, std::memory_order_relaxed); }
@@ -64,12 +63,16 @@ template <>
 struct InstrumentedTag<GatekeeperPolicy> {
   std::atomic<std::uint64_t> count{0};
 
-  bool try_acquire(round_t /*round*/, InstrumentationCounters& c) noexcept {
-    c.attempts.fetch_add(1, std::memory_order_relaxed);
-    c.atomics.fetch_add(1, std::memory_order_relaxed);  // EVERY contender RMWs
+  bool try_acquire(round_t /*round*/, obs::ContentionSite& site) noexcept {
+    site.count_attempt();
+    site.count_atomic();  // EVERY contender RMWs
     const bool won = count.fetch_add(1, std::memory_order_acq_rel) == 0;
-    if (won) c.wins.fetch_add(1, std::memory_order_relaxed);
+    if (won) site.count_win();
     return won;
+  }
+
+  bool try_acquire_uncounted(round_t /*round*/) noexcept {
+    return count.fetch_add(1, std::memory_order_acq_rel) == 0;
   }
 
   void reset() noexcept { count.store(0, std::memory_order_relaxed); }
@@ -79,13 +82,18 @@ template <>
 struct InstrumentedTag<GatekeeperSkipPolicy> {
   std::atomic<std::uint64_t> count{0};
 
-  bool try_acquire(round_t /*round*/, InstrumentationCounters& c) noexcept {
-    c.attempts.fetch_add(1, std::memory_order_relaxed);
+  bool try_acquire(round_t /*round*/, obs::ContentionSite& site) noexcept {
+    site.count_attempt();
     if (count.load(std::memory_order_relaxed) != 0) return false;
-    c.atomics.fetch_add(1, std::memory_order_relaxed);
+    site.count_atomic();
     const bool won = count.fetch_add(1, std::memory_order_acq_rel) == 0;
-    if (won) c.wins.fetch_add(1, std::memory_order_relaxed);
+    if (won) site.count_win();
     return won;
+  }
+
+  bool try_acquire_uncounted(round_t /*round*/) noexcept {
+    if (count.load(std::memory_order_relaxed) != 0) return false;
+    return count.fetch_add(1, std::memory_order_acq_rel) == 0;
   }
 
   void reset() noexcept { count.store(0, std::memory_order_relaxed); }
@@ -97,17 +105,23 @@ template <typename Base>
 struct InstrumentedPolicy {
   using tag_type = detail::InstrumentedTag<Base>;
   static constexpr bool kNeedsRoundReset = Base::kNeedsRoundReset;
-  static constexpr std::string_view kName = "instrumented";
+  /// Marks the policy for WriteArbiter's InstrumentedWritePolicy detection:
+  /// the arbiter owns a ContentionSite and calls the 3-argument overload.
+  static constexpr bool kInstrumented = true;
+  /// Sites inherit the base policy's name, so registry snapshots and the
+  /// BENCH_*.json "policy" field line up.
+  static constexpr std::string_view kName = Base::kName;
 
-  static InstrumentationCounters& counters() {
-    static InstrumentationCounters instance;
-    return instance;
+  /// The counted path — what WriteArbiter::acquire_at routes through.
+  static bool try_acquire(tag_type& tag, round_t round, obs::ContentionSite& site) noexcept {
+    return tag.try_acquire(round, site);
   }
 
-  static void reset_counters() noexcept { counters().reset(); }
-
+  /// Uncounted fallback satisfying the WritePolicy concept, for raw-tag
+  /// users (ConWriteCell etc.) that carry no site. Same acquire semantics,
+  /// no telemetry.
   static bool try_acquire(tag_type& tag, round_t round) noexcept {
-    return tag.try_acquire(round, counters());
+    return tag.try_acquire_uncounted(round);
   }
 
   static void reset(tag_type& tag) noexcept { tag.reset(); }

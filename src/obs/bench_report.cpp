@@ -1,0 +1,133 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/env.hpp"
+#include "util/stats.hpp"
+
+namespace crcw::obs {
+namespace {
+
+bool same_key(const BenchRow& a, const BenchRow& b) {
+  return a.series == b.series && a.threads == b.threads && a.n == b.n && a.m == b.m;
+}
+
+json::Value counters_json(const ContentionTotals& t) {
+  json::Value c = json::Value::object();
+  c.add("attempts", t.attempts);
+  c.add("atomics", t.atomics);
+  c.add("failures", t.failures());
+  c.add("wins", t.wins);
+  c.add("rounds", t.rounds);
+  return c;
+}
+
+}  // namespace
+
+const std::vector<std::string>& bench_timing_fields() {
+  static const std::vector<std::string> fields = {
+      "median_ns", "mean_ns",    "stddev_ns",
+      "min_ns",    "max_ns",     "samples_ns",
+      "speedup_vs_baseline"};
+  return fields;
+}
+
+BenchReport::BenchReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+void BenchReport::add_row(BenchRow row) {
+  for (auto& existing : rows_) {
+    if (same_key(existing, row)) {
+      // Keep an earlier profile: harnesses record counters once per point,
+      // while timing re-runs replace the samples.
+      if (!row.counters.has_value()) row.counters = existing.counters;
+      existing = std::move(row);
+      return;
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+bool BenchReport::has_counters(const BenchRow& key) const {
+  for (const auto& row : rows_) {
+    if (same_key(row, key)) return row.counters.has_value();
+  }
+  return false;
+}
+
+json::Value BenchReport::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.add("schema", kBenchSchemaName);
+  doc.add("schema_version", kBenchSchemaVersion);
+  doc.add("bench", name_);
+
+  json::Value env = json::Value::object();
+  env.add("hardware_threads", util::hardware_threads());
+  env.add("omp_max_threads", util::omp_max_threads());
+  doc.add("environment", std::move(env));
+
+  const auto median_of = [](const BenchRow& row) {
+    return util::summarize(row.samples_ns).median;
+  };
+
+  json::Value rows = json::Value::array();
+  for (const auto& row : rows_) {
+    const util::Summary s = util::summarize(row.samples_ns);
+
+    json::Value r = json::Value::object();
+    r.add("series", row.series);
+    r.add("policy", row.policy);
+    r.add("baseline", row.baseline.empty() ? json::Value(nullptr) : json::Value(row.baseline));
+    r.add("threads", row.threads);
+    r.add("n", row.n);
+    r.add("m", row.m);
+    r.add("reps", static_cast<std::uint64_t>(row.samples_ns.size()));
+    r.add("median_ns", s.median);
+    r.add("mean_ns", s.mean);
+    r.add("stddev_ns", s.stddev);
+    r.add("min_ns", s.min);
+    r.add("max_ns", s.max);
+    json::Value samples = json::Value::array();
+    for (const double x : row.samples_ns) samples.push_back(x);
+    r.add("samples_ns", std::move(samples));
+
+    json::Value speedup(nullptr);
+    if (!row.baseline.empty() && s.median > 0.0) {
+      if (row.policy == row.baseline) {
+        speedup = json::Value(1.0);
+      } else {
+        for (const auto& other : rows_) {
+          if (other.policy == row.baseline && other.threads == row.threads &&
+              other.n == row.n && other.m == row.m && !other.samples_ns.empty()) {
+            speedup = json::Value(median_of(other) / s.median);
+            break;
+          }
+        }
+      }
+    }
+    r.add("speedup_vs_baseline", std::move(speedup));
+    r.add("counters",
+          row.counters.has_value() ? counters_json(*row.counters) : json::Value(nullptr));
+    rows.push_back(std::move(r));
+  }
+  doc.add("rows", std::move(rows));
+  return doc;
+}
+
+void BenchReport::write_file(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::trunc);
+  if (!out) throw std::runtime_error("BenchReport: cannot open " + path);
+  out << to_json().dump();
+}
+
+std::string BenchReport::default_path() const {
+  const char* dir = std::getenv("CRCW_BENCH_JSON_DIR");
+  const std::string base = (dir != nullptr && *dir != '\0') ? dir : "bench_results";
+  return base + "/BENCH_" + name_ + ".json";
+}
+
+}  // namespace crcw::obs

@@ -1,0 +1,97 @@
+// Machine-readable benchmark results: the schema-stable BENCH_<name>.json
+// emitter every bench binary feeds, and scripts/bench_compare.py consumes.
+//
+// Schema contract (version bumps REQUIRE updating scripts/bench_schema.json
+// and tests/test_bench_report.cpp together):
+//
+//   {
+//     "schema": "crcw-bench",
+//     "schema_version": 1,
+//     "bench": "<binary name>",
+//     "environment": {"hardware_threads": H, "omp_max_threads": T},
+//     "rows": [{
+//       "series":              string   unique point id, e.g. "fig5/caslt"
+//       "policy":              string   write policy / method ("" if n/a)
+//       "baseline":            string|null  policy this row's speedup is against
+//       "threads":             int      worker threads of the measurement
+//       "n":                   int      problem size (vertices / list length)
+//       "m":                   int      secondary size (edges; 0 if n/a)
+//       "reps":                int      timing samples taken
+//       "median_ns" "mean_ns" "stddev_ns" "min_ns" "max_ns":  number
+//       "samples_ns":          array    raw per-rep times
+//       "speedup_vs_baseline": number|null  baseline_median / median
+//       "counters":            object|null  {"attempts","atomics","failures",
+//                                            "wins","rounds"} from an
+//                                            instrumented (untimed) run
+//     }]
+//   }
+//
+// Timing-derived fields (the set bench_compare.py treats as noisy and the
+// determinism test strips) are exactly: median_ns, mean_ns, stddev_ns,
+// min_ns, max_ns, samples_ns, speedup_vs_baseline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace crcw::obs {
+
+inline constexpr std::string_view kBenchSchemaName = "crcw-bench";
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// The timing-derived row fields, in schema order.
+[[nodiscard]] const std::vector<std::string>& bench_timing_fields();
+
+struct BenchRow {
+  std::string series;
+  std::string policy;
+  std::string baseline;  ///< "" = this figure has no baseline series
+  int threads = 0;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::vector<double> samples_ns = {};
+  std::optional<ContentionTotals> counters = {};
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+
+  /// Adds a measured point; a row with the same (series, threads, n, m)
+  /// replaces the previous one (google-benchmark may re-run a benchmark
+  /// while tuning iteration counts — last result wins). A replacement
+  /// without counters inherits the previous row's counters, so one profile
+  /// pass per point survives timing re-runs.
+  void add_row(BenchRow row);
+
+  /// Existing counters for the row key, if a prior add_row recorded them
+  /// (lets harnesses skip re-profiling on google-benchmark re-runs).
+  [[nodiscard]] bool has_counters(const BenchRow& key) const;
+
+  /// Full document. Speedups are derived here: a row with baseline B gets
+  /// baseline_median / median against the B row with equal (threads, n, m);
+  /// the B row itself reports 1; no match reports null.
+  [[nodiscard]] json::Value to_json() const;
+
+  /// Writes to_json() to `path`, creating parent directories.
+  void write_file(const std::string& path) const;
+
+  /// "$CRCW_BENCH_JSON_DIR/BENCH_<name>.json" (dir defaults to
+  /// "bench_results").
+  [[nodiscard]] std::string default_path() const;
+
+ private:
+  std::string name_;
+  std::vector<BenchRow> rows_;
+};
+
+}  // namespace crcw::obs

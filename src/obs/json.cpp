@@ -1,0 +1,445 @@
+#include "obs/json.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace crcw::obs::json {
+namespace {
+
+[[noreturn]] void type_error(const char* want) {
+  throw std::logic_error(std::string("json::Value: not a ") + want);
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no inf/nan; emit null so documents always parse.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  assert(ec == std::errc());
+  out.append(buf, ptr);
+  // Shortest-round-trip of an integral double has no '.' or exponent; add
+  // ".0" so the value parses back as a double, keeping types stable.
+  std::string_view written(buf, static_cast<std::size_t>(ptr - buf));
+  if (written.find('.') == std::string_view::npos &&
+      written.find('e') == std::string_view::npos &&
+      written.find("inf") == std::string_view::npos) {
+    out += ".0";
+  }
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool");
+  return bool_;
+}
+
+std::int64_t Value::as_int() const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kUint && uint_ <= static_cast<std::uint64_t>(INT64_MAX)) {
+    return static_cast<std::int64_t>(uint_);
+  }
+  type_error("int");
+}
+
+std::uint64_t Value::as_uint() const {
+  if (type_ == Type::kUint) return uint_;
+  if (type_ == Type::kInt && int_ >= 0) return static_cast<std::uint64_t>(int_);
+  type_error("uint");
+}
+
+double Value::as_double() const {
+  switch (type_) {
+    case Type::kDouble:
+      return double_;
+    case Type::kInt:
+      return static_cast<double>(int_);
+    case Type::kUint:
+      return static_cast<double>(uint_);
+    default:
+      type_error("number");
+  }
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::kString) type_error("string");
+  return string_;
+}
+
+const std::vector<Value>& Value::items() const {
+  if (type_ != Type::kArray) type_error("array");
+  return items_;
+}
+
+const std::vector<Member>& Value::members() const {
+  if (type_ != Type::kObject) type_error("object");
+  return members_;
+}
+
+void Value::push_back(Value v) {
+  if (type_ != Type::kArray) type_error("array");
+  items_.push_back(std::move(v));
+}
+
+void Value::add(std::string key, Value v) {
+  if (type_ != Type::kObject) type_error("object");
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Value::size() const noexcept {
+  if (type_ == Type::kArray) return items_.size();
+  if (type_ == Type::kObject) return members_.size();
+  return 0;
+}
+
+void Value::dump_to(std::string& out, int indent) const {
+  const auto pad = [&out](int n) { out.append(static_cast<std::size_t>(n) * 2, ' '); };
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      out += std::to_string(int_);
+      break;
+    case Type::kUint:
+      out += std::to_string(uint_);
+      break;
+    case Type::kDouble:
+      append_double(out, double_);
+      break;
+    case Type::kString:
+      append_escaped(out, string_);
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        pad(indent + 1);
+        items_[i].dump_to(out, indent + 1);
+        if (i + 1 < items_.size()) out.push_back(',');
+        out.push_back('\n');
+      }
+      pad(indent);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        pad(indent + 1);
+        append_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.dump_to(out, indent + 1);
+        if (i + 1 < members_.size()) out.push_back(',');
+        out.push_back('\n');
+      }
+      pad(indent);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser — recursive descent over a string_view with a cursor.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::invalid_argument("json parse error at byte " + std::to_string(pos_) + ": " +
+                                what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("short \\u escape");
+            unsigned code = 0;
+            const auto [p, ec] =
+                std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+            if (ec != std::errc() || p != text_.data() + pos_ + 4) fail("bad \\u escape");
+            pos_ += 4;
+            // The emitter only escapes control characters; decode the
+            // Basic-Latin range and pass anything else through as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' ||
+          c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty()) fail("expected number");
+    const bool integral = tok.find('.') == std::string_view::npos &&
+                          tok.find('e') == std::string_view::npos &&
+                          tok.find('E') == std::string_view::npos;
+    if (integral) {
+      if (tok[0] == '-') {
+        std::int64_t i = 0;
+        const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+        if (ec == std::errc() && p == tok.data() + tok.size()) return Value(i);
+      } else {
+        std::uint64_t u = 0;
+        const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), u);
+        if (ec == std::errc() && p == tok.data() + tok.size()) {
+          if (u <= static_cast<std::uint64_t>(INT64_MAX)) {
+            return Value(static_cast<std::int64_t>(u));
+          }
+          return Value(u);
+        }
+      }
+      fail("bad integer");
+    }
+    double d = 0.0;
+    const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc() || p != tok.data() + tok.size()) fail("bad number");
+    return Value(d);
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.add(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace crcw::obs::json

@@ -1,0 +1,99 @@
+// Minimal JSON document model for the observability subsystem.
+//
+// The bench harness needs a writer whose output is byte-deterministic
+// (object fields keep insertion order, numbers use shortest round-trip
+// formatting) so that schema and determinism tests can compare dumps
+// directly, plus a parser for round-trip tests and for reading committed
+// baselines. Deliberately tiny — no external dependency, no SAX layer,
+// no UTF-16 surrogate handling beyond pass-through escapes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace crcw::obs::json {
+
+class Value;
+
+/// Object member list; a vector (not a map) so field order is exactly
+/// insertion order — the emitted schema is position-stable.
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  Value() noexcept : type_(Type::kNull) {}
+  Value(std::nullptr_t) noexcept : type_(Type::kNull) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) noexcept : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Value(std::int64_t i) noexcept : type_(Type::kInt), int_(i) {}  // NOLINT
+  Value(std::uint64_t u) noexcept : type_(Type::kUint), uint_(u) {}  // NOLINT
+  Value(int i) noexcept : Value(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(double d) noexcept : type_(Type::kDouble), double_(d) {}  // NOLINT
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(std::string_view s) : Value(std::string(s)) {}  // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}  // NOLINT
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kInt || type_ == Type::kUint || type_ == Type::kDouble;
+  }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  /// Any numeric type widened to double.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& items() const;
+  [[nodiscard]] const std::vector<Member>& members() const;
+
+  /// Array append (value must be an array).
+  void push_back(Value v);
+  /// Object append — does NOT deduplicate keys; emit-side code owns that.
+  void add(std::string key, Value v);
+  /// Object lookup; nullptr when the key is absent or value is not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Serialises with 2-space indentation and '\n' separators; deterministic
+  /// byte-for-byte for equal documents.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  friend Value parse(std::string_view text);
+  void dump_to(std::string& out, int indent) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+};
+
+/// Parses a complete JSON document; throws std::invalid_argument with a
+/// byte offset on malformed input. Numbers parse to kInt when integral and
+/// in range, kUint for large positive integers, else kDouble.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace crcw::obs::json

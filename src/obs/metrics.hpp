@@ -1,0 +1,211 @@
+// Contention telemetry: per-thread sharded counters, aggregated at round
+// boundaries — the observability layer the §6 cost argument is measured
+// with.
+//
+// Design constraints, in order:
+//   * the hot path (one try_acquire) must not touch a shared cache line —
+//     each thread increments its own padded shard, so instrumentation
+//     perturbs the contention pattern it measures as little as possible;
+//   * counters are INSTANCE-owned (one ContentionSite per WriteArbiter),
+//     never static per policy type — two instrumented arbiters in one
+//     process count independently and tests cannot leak into each other;
+//   * every live site is discoverable through a MetricsRegistry so a
+//     harness can snapshot "everything this kernel did" without plumbing
+//     references through call chains. Destroyed sites fold their totals
+//     into the registry, so short-lived arbiters inside a kernel still
+//     report.
+//
+// Related work: "Lightweight Contention Management for Efficient
+// Compare-and-Swap Operations" (PAPERS.md) identifies CAS failure/retry
+// counts as the throughput-collapse predictor; ContentionSite counts
+// exactly those (attempts / atomics issued / wins; failures = atomics -
+// wins).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/cacheline.hpp"
+
+namespace crcw::obs {
+
+/// Aggregated view of one contention site (or a whole registry).
+struct ContentionTotals {
+  std::uint64_t attempts = 0;  ///< try_acquire calls (contenders arriving)
+  std::uint64_t atomics = 0;   ///< atomic RMWs actually issued
+  std::uint64_t wins = 0;      ///< writes admitted
+  std::uint64_t rounds = 0;    ///< round boundaries flushed through the site
+
+  /// Atomic RMWs that did not admit a write — the paper's "failed races"
+  /// and the gatekeeper's serialised losers.
+  [[nodiscard]] std::uint64_t failures() const noexcept { return atomics - wins; }
+
+  ContentionTotals& operator+=(const ContentionTotals& o) noexcept {
+    attempts += o.attempts;
+    atomics += o.atomics;
+    wins += o.wins;
+    rounds += o.rounds;
+    return *this;
+  }
+  friend bool operator==(const ContentionTotals&, const ContentionTotals&) = default;
+};
+
+/// Power-of-two-bucketed histogram of uint64 samples (bucket 0 holds value
+/// 0, bucket k holds [2^(k-1), 2^k)). Recording is a relaxed increment of
+/// one bucket — safe from any thread; readers race benignly with writers
+/// and see a consistent-enough view for reporting.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+  /// Inclusive upper bound of bucket i (the largest value it can hold).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t i) noexcept {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  /// Upper bound of the bucket containing the p-quantile (p in [0,1]);
+  /// 0 when empty.
+  [[nodiscard]] std::uint64_t quantile_upper_bound(double p) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+class MetricsRegistry;
+
+/// Returns the registry new ContentionSites attach to: the innermost live
+/// ScopedRegistry on this thread, else the process-global registry.
+[[nodiscard]] MetricsRegistry& current_registry() noexcept;
+
+/// One instrumented contention domain — typically owned by one
+/// WriteArbiter. Hot-path counting lands in a per-thread shard (padded, no
+/// shared lines up to kShards concurrent threads); totals() sums shards on
+/// demand; flush_round() aggregates the round's deltas at the PRAM step
+/// boundary, feeding the per-round attempt/atomic histograms.
+class ContentionSite {
+ public:
+  static constexpr std::size_t kShards = 32;
+
+  explicit ContentionSite(std::string name);
+  ~ContentionSite();
+
+  ContentionSite(const ContentionSite&) = delete;
+  ContentionSite& operator=(const ContentionSite&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // -- hot path (any thread) ------------------------------------------------
+  void count_attempt() noexcept {
+    shard().attempts.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_atomic() noexcept { shard().atomics.fetch_add(1, std::memory_order_relaxed); }
+  void count_win() noexcept { shard().wins.fetch_add(1, std::memory_order_relaxed); }
+
+  // -- round boundary (serial code between parallel regions) ---------------
+  /// Sums the deltas since the previous flush into the per-round
+  /// histograms and advances the round count. Call between parallel
+  /// regions — the same place the round counter itself advances.
+  void flush_round() noexcept;
+
+  // -- reporting ------------------------------------------------------------
+  [[nodiscard]] ContentionTotals totals() const noexcept;
+  [[nodiscard]] const Histogram& attempts_per_round() const noexcept {
+    return attempts_per_round_;
+  }
+  [[nodiscard]] const Histogram& atomics_per_round() const noexcept {
+    return atomics_per_round_;
+  }
+
+  /// Zeroes counters, histograms and the flush cursor. Not safe
+  /// concurrently with the hot path.
+  void reset() noexcept;
+
+ private:
+  struct alignas(util::kCacheLineSize) Shard {
+    std::atomic<std::uint64_t> attempts{0};
+    std::atomic<std::uint64_t> atomics{0};
+    std::atomic<std::uint64_t> wins{0};
+  };
+  static_assert(sizeof(Shard) == util::kCacheLineSize);
+
+  [[nodiscard]] Shard& shard() noexcept;
+
+  Shard shards_[kShards];
+  std::atomic<std::uint64_t> rounds_{0};
+  ContentionTotals last_flush_;  // serial: only flush_round/reset touch it
+  Histogram attempts_per_round_;
+  Histogram atomics_per_round_;
+  std::string name_;
+  MetricsRegistry* registry_;
+};
+
+/// Tracks every live ContentionSite plus the folded totals of destroyed
+/// ones, so `totals()` answers "all contention this registry has seen".
+/// Thread-safe; sites attach in their constructor and detach (folding
+/// their totals) in their destructor.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-global registry (default attach target).
+  [[nodiscard]] static MetricsRegistry& global();
+
+  void attach(ContentionSite& site);
+  void detach(ContentionSite& site);
+
+  /// Sum over live sites and retained totals of destroyed sites.
+  [[nodiscard]] ContentionTotals totals() const;
+
+  /// Per-name totals (same-named sites merged), retained first, then live,
+  /// in attach order — deterministic for a deterministic program.
+  [[nodiscard]] std::vector<std::pair<std::string, ContentionTotals>> snapshot() const;
+
+  [[nodiscard]] std::size_t live_sites() const;
+
+  /// Resets live sites and drops retained totals.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ContentionSite*> sites_;
+  std::vector<std::pair<std::string, ContentionTotals>> retained_;
+};
+
+/// Redirects ContentionSites constructed on this thread to `r` for the
+/// scope's lifetime; nests. Lets a harness profile one kernel run into a
+/// private registry without disturbing the global one.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(MetricsRegistry& r) noexcept;
+  ~ScopedRegistry();
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
+
+}  // namespace crcw::obs

@@ -134,7 +134,7 @@ TEST(StressArbiter, PaddedLayoutSameWinnerSemantics) {
       threads, rounds,
       [&](int /*tid*/, round_t r) {
         for (std::size_t i = 0; i < kCells; ++i) {
-          if (arbiter.try_acquire(i, r)) wins[i].fetch_add(1, std::memory_order_relaxed);
+          if (arbiter.acquire_at(i, r)) wins[i].fetch_add(1, std::memory_order_relaxed);
         }
       },
       [&](round_t r) {

@@ -1,0 +1,226 @@
+// The BENCH_<name>.json emitter: golden schema (member names in exact
+// order), speedup derivation, row replacement semantics, round-trip
+// parse, and byte-determinism once the timing-derived fields are
+// stripped. scripts/bench_schema.json and scripts/bench_compare.py
+// encode the same contract — a version bump must update all three.
+#include "obs/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace obs = crcw::obs;
+namespace json = crcw::obs::json;
+
+namespace {
+
+obs::ContentionTotals totals(std::uint64_t attempts, std::uint64_t atomics,
+                             std::uint64_t wins, std::uint64_t rounds) {
+  obs::ContentionTotals t;
+  t.attempts = attempts;
+  t.atomics = atomics;
+  t.wins = wins;
+  t.rounds = rounds;
+  return t;
+}
+
+obs::BenchReport sample_report() {
+  obs::BenchReport report("fig5_max_size");
+  report.add_row({.series = "fig5/naive",
+                  .policy = "naive",
+                  .baseline = "naive",
+                  .threads = 4,
+                  .n = 1024,
+                  .m = 0,
+                  .samples_ns = {2000.0, 2100.0, 1900.0}});
+  report.add_row({.series = "fig5/caslt",
+                  .policy = "caslt",
+                  .baseline = "naive",
+                  .threads = 4,
+                  .n = 1024,
+                  .m = 0,
+                  .samples_ns = {1000.0, 1050.0, 950.0},
+                  .counters = totals(1024, 16, 8, 2)});
+  return report;
+}
+
+std::vector<std::string> member_names(const json::Value& obj) {
+  std::vector<std::string> names;
+  for (const auto& [k, v] : obj.members()) names.push_back(k);
+  return names;
+}
+
+TEST(BenchReport, GoldenSchemaFieldOrder) {
+  const json::Value doc = sample_report().to_json();
+
+  EXPECT_EQ(member_names(doc), (std::vector<std::string>{
+                                   "schema", "schema_version", "bench",
+                                   "environment", "rows"}));
+  EXPECT_EQ(doc.find("schema")->as_string(), "crcw-bench");
+  EXPECT_EQ(doc.find("schema_version")->as_int(), 1);
+  EXPECT_EQ(doc.find("bench")->as_string(), "fig5_max_size");
+  EXPECT_EQ(member_names(*doc.find("environment")),
+            (std::vector<std::string>{"hardware_threads", "omp_max_threads"}));
+
+  const auto& rows = doc.find("rows")->items();
+  ASSERT_EQ(rows.size(), 2u);
+  const std::vector<std::string> row_fields = {
+      "series",  "policy",    "baseline",  "threads",    "n",
+      "m",       "reps",      "median_ns", "mean_ns",    "stddev_ns",
+      "min_ns",  "max_ns",    "samples_ns", "speedup_vs_baseline", "counters"};
+  EXPECT_EQ(member_names(rows[0]), row_fields);
+  EXPECT_EQ(member_names(rows[1]), row_fields);
+
+  // The counters object's own schema.
+  EXPECT_EQ(member_names(*rows[1].find("counters")),
+            (std::vector<std::string>{"attempts", "atomics", "failures", "wins",
+                                      "rounds"}));
+}
+
+TEST(BenchReport, TimingFieldListMatchesSchema) {
+  EXPECT_EQ(obs::bench_timing_fields(),
+            (std::vector<std::string>{"median_ns", "mean_ns", "stddev_ns", "min_ns",
+                                      "max_ns", "samples_ns",
+                                      "speedup_vs_baseline"}));
+}
+
+TEST(BenchReport, SpeedupDerivation) {
+  const json::Value doc = sample_report().to_json();
+  const auto& rows = doc.find("rows")->items();
+  // The baseline row reports exactly 1; the caslt row the median ratio.
+  EXPECT_DOUBLE_EQ(rows[0].find("speedup_vs_baseline")->as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(rows[1].find("speedup_vs_baseline")->as_double(), 2.0);
+}
+
+TEST(BenchReport, NoBaselineMeansNullSpeedupAndNullBaseline) {
+  obs::BenchReport report("x");
+  report.add_row({.series = "s",
+                  .policy = "p",
+                  .baseline = "",
+                  .threads = 1,
+                  .n = 1,
+                  .m = 0,
+                  .samples_ns = {100.0}});
+  const json::Value doc = report.to_json();
+  const auto& row = doc.find("rows")->items()[0];
+  EXPECT_TRUE(row.find("baseline")->is_null());
+  EXPECT_TRUE(row.find("speedup_vs_baseline")->is_null());
+}
+
+TEST(BenchReport, UnmatchedBaselineKeyIsNull) {
+  obs::BenchReport report("x");
+  // Baseline series exists but at different n — no match, null speedup.
+  report.add_row({.series = "s/base", .policy = "base", .baseline = "base",
+                  .threads = 1, .n = 1, .m = 0, .samples_ns = {100.0}});
+  report.add_row({.series = "s/other", .policy = "other", .baseline = "base",
+                  .threads = 1, .n = 2, .m = 0, .samples_ns = {100.0}});
+  const json::Value doc = report.to_json();
+  const auto& rows = doc.find("rows")->items();
+  EXPECT_TRUE(rows[1].find("speedup_vs_baseline")->is_null());
+}
+
+TEST(BenchReport, ReplacementKeepsEarlierCounters) {
+  obs::BenchReport report("x");
+  report.add_row({.series = "s", .policy = "p", .baseline = "", .threads = 1,
+                  .n = 1, .m = 0, .samples_ns = {100.0},
+                  .counters = totals(10, 5, 1, 1)});
+  // google-benchmark re-runs replace the timing but carry no counters.
+  report.add_row({.series = "s", .policy = "p", .baseline = "", .threads = 1,
+                  .n = 1, .m = 0, .samples_ns = {200.0, 210.0}});
+  EXPECT_EQ(report.size(), 1u);
+  const json::Value doc = report.to_json();
+  const auto& row = doc.find("rows")->items()[0];
+  EXPECT_EQ(row.find("reps")->as_uint(), 2u);
+  ASSERT_FALSE(row.find("counters")->is_null());
+  EXPECT_EQ(row.find("counters")->find("attempts")->as_uint(), 10u);
+}
+
+TEST(BenchReport, HasCountersAnswersPerKey) {
+  obs::BenchReport report("x");
+  obs::BenchRow key{.series = "s", .policy = "p", .baseline = "", .threads = 1,
+                    .n = 1, .m = 0};
+  EXPECT_FALSE(report.has_counters(key));
+  obs::BenchRow with = key;
+  with.counters = totals(1, 1, 1, 1);
+  report.add_row(with);
+  EXPECT_TRUE(report.has_counters(key));
+}
+
+TEST(BenchReport, RoundTripParse) {
+  const std::string dumped = sample_report().to_json().dump();
+  const json::Value back = json::parse(dumped);
+  EXPECT_EQ(back.find("rows")->items().size(), 2u);
+  EXPECT_EQ(back.dump(), dumped);
+}
+
+/// Strips the timing-derived members from every row, keeping order.
+json::Value strip_timing(const json::Value& doc) {
+  const auto& noisy = obs::bench_timing_fields();
+  const auto is_noisy = [&](const std::string& k) {
+    for (const auto& f : noisy) {
+      if (f == k) return true;
+    }
+    return false;
+  };
+  json::Value out = json::Value::object();
+  for (const auto& [k, v] : doc.members()) {
+    if (k != "rows") {
+      out.add(k, v);
+      continue;
+    }
+    json::Value rows = json::Value::array();
+    for (const auto& row : v.items()) {
+      json::Value stripped = json::Value::object();
+      for (const auto& [rk, rv] : row.members()) {
+        if (!is_noisy(rk)) stripped.add(rk, rv);
+      }
+      rows.push_back(std::move(stripped));
+    }
+    out.add("rows", std::move(rows));
+  }
+  return out;
+}
+
+TEST(BenchReport, DeterministicOnceTimingFieldsStripped) {
+  // Two runs with different timings but identical workload/counters must
+  // serialise identically after the noisy fields are removed — the
+  // property bench_compare.py's counter check relies on.
+  obs::BenchReport a("d");
+  obs::BenchReport b("d");
+  // Same rep count: "reps" is workload-derived, not a timing field.
+  a.add_row({.series = "s", .policy = "p", .baseline = "", .threads = 1, .n = 8,
+             .m = 0, .samples_ns = {100.0, 101.0, 102.0},
+             .counters = totals(8, 2, 1, 1)});
+  b.add_row({.series = "s", .policy = "p", .baseline = "", .threads = 1, .n = 8,
+             .m = 0, .samples_ns = {900.0, 950.0, 1000.0},
+             .counters = totals(8, 2, 1, 1)});
+  EXPECT_NE(a.to_json().dump(), b.to_json().dump());
+  EXPECT_EQ(strip_timing(a.to_json()).dump(), strip_timing(b.to_json()).dump());
+}
+
+TEST(BenchReport, WriteFileCreatesParentDirs) {
+  const std::string dir = ::testing::TempDir() + "bench_report_test";
+  const std::string path = dir + "/nested/BENCH_x.json";
+  const obs::BenchReport report = sample_report();
+  report.write_file(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), report.to_json().dump());
+}
+
+TEST(BenchReport, DefaultPathHonoursEnvDir) {
+  const obs::BenchReport report("mybench");
+  ::unsetenv("CRCW_BENCH_JSON_DIR");
+  EXPECT_EQ(report.default_path(), "bench_results/BENCH_mybench.json");
+  ::setenv("CRCW_BENCH_JSON_DIR", "/tmp/out", 1);
+  EXPECT_EQ(report.default_path(), "/tmp/out/BENCH_mybench.json");
+  ::unsetenv("CRCW_BENCH_JSON_DIR");
+}
+
+}  // namespace

@@ -114,7 +114,7 @@ TEST(Integration, MachineDrivenBfsMatchesKernel) {
       }
       for (const auto u : g.neighbors(static_cast<graph::vertex_t>(v))) {
         if (std::atomic_ref<std::int64_t>(level[u]).load(std::memory_order_relaxed) == -1 &&
-            arbiter.try_acquire(u, round)) {
+            arbiter.acquire_at(u, round)) {
           std::atomic_ref<std::int64_t>(level[u]).store(l + 1, std::memory_order_relaxed);
           any.store(1, std::memory_order_relaxed);
         }

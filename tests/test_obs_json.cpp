@@ -1,0 +1,115 @@
+// The JSON document model under the BENCH_*.json emitter: deterministic
+// serialisation, insertion-ordered objects, and a parser good enough to
+// round-trip everything the emitter produces.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace json = crcw::obs::json;
+
+namespace {
+
+TEST(ObsJson, ScalarsDumpCanonically) {
+  // dump() is newline-terminated (documents are written to files whole).
+  EXPECT_EQ(json::Value(nullptr).dump(), "null\n");
+  EXPECT_EQ(json::Value(true).dump(), "true\n");
+  EXPECT_EQ(json::Value(false).dump(), "false\n");
+  EXPECT_EQ(json::Value(std::int64_t{-42}).dump(), "-42\n");
+  EXPECT_EQ(json::Value(std::uint64_t{18446744073709551615ull}).dump(),
+            "18446744073709551615\n");
+  EXPECT_EQ(json::Value("hi").dump(), "\"hi\"\n");
+}
+
+TEST(ObsJson, DoublesUseShortestRoundTrip) {
+  // std::to_chars shortest form: no trailing zeros, round-trips exactly.
+  EXPECT_EQ(json::Value(0.5).dump(), "0.5\n");
+  EXPECT_EQ(json::Value(1.0).dump(), json::Value(1.0).dump());
+  const double v = 123456.789;
+  EXPECT_DOUBLE_EQ(json::parse(json::Value(v).dump()).as_double(), v);
+}
+
+TEST(ObsJson, StringEscapes) {
+  const json::Value v("a\"b\\c\nd\te");
+  const std::string dumped = v.dump();
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\nd\\te\"\n");
+  EXPECT_EQ(json::parse(dumped).as_string(), "a\"b\\c\nd\te");
+}
+
+TEST(ObsJson, ObjectKeepsInsertionOrder) {
+  json::Value obj = json::Value::object();
+  obj.add("zebra", 1);
+  obj.add("alpha", 2);
+  obj.add("mid", 3);
+  ASSERT_EQ(obj.members().size(), 3u);
+  EXPECT_EQ(obj.members()[0].first, "zebra");
+  EXPECT_EQ(obj.members()[1].first, "alpha");
+  EXPECT_EQ(obj.members()[2].first, "mid");
+  // Order survives a dump/parse round trip (the schema is position-stable).
+  const json::Value back = json::parse(obj.dump());
+  EXPECT_EQ(back.members()[0].first, "zebra");
+  EXPECT_EQ(back.members()[2].first, "mid");
+}
+
+TEST(ObsJson, DumpIsByteDeterministic) {
+  const auto build = [] {
+    json::Value doc = json::Value::object();
+    doc.add("name", "bench");
+    json::Value arr = json::Value::array();
+    arr.push_back(1);
+    arr.push_back(2.5);
+    arr.push_back(json::Value(nullptr));
+    doc.add("xs", std::move(arr));
+    return doc.dump();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(ObsJson, RoundTripNestedDocument) {
+  json::Value doc = json::Value::object();
+  doc.add("schema", "crcw-bench");
+  doc.add("version", 1);
+  json::Value row = json::Value::object();
+  row.add("median_ns", 1234.5);
+  row.add("counters", json::Value(nullptr));
+  json::Value rows = json::Value::array();
+  rows.push_back(std::move(row));
+  doc.add("rows", std::move(rows));
+
+  const json::Value back = json::parse(doc.dump());
+  ASSERT_NE(back.find("rows"), nullptr);
+  const auto& rows_back = back.find("rows")->items();
+  ASSERT_EQ(rows_back.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows_back[0].find("median_ns")->as_double(), 1234.5);
+  EXPECT_TRUE(rows_back[0].find("counters")->is_null());
+  // Re-dumping the parsed document reproduces the original bytes.
+  EXPECT_EQ(back.dump(), doc.dump());
+}
+
+TEST(ObsJson, ParseNumberTypes) {
+  EXPECT_EQ(json::parse("7").type(), json::Value::Type::kInt);
+  EXPECT_EQ(json::parse("-7").as_int(), -7);
+  EXPECT_EQ(json::parse("18446744073709551615").as_uint(), 18446744073709551615ull);
+  EXPECT_EQ(json::parse("2.5").type(), json::Value::Type::kDouble);
+  EXPECT_DOUBLE_EQ(json::parse("1e3").as_double(), 1000.0);
+}
+
+TEST(ObsJson, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)json::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)json::parse("{"), std::invalid_argument);
+  EXPECT_THROW((void)json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW((void)json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)json::parse("{} trailing"), std::invalid_argument);
+}
+
+TEST(ObsJson, FindOnlyWorksOnObjects) {
+  json::Value obj = json::Value::object();
+  obj.add("k", 1);
+  ASSERT_NE(obj.find("k"), nullptr);
+  EXPECT_EQ(obj.find("absent"), nullptr);
+  EXPECT_EQ(json::Value(1).find("k"), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// The contention-telemetry primitives: histogram bucketing, sharded
+// ContentionSite counting and round flushing, registry aggregation and
+// the thread-local ScopedRegistry override. (Policy-level counting paths
+// are covered in test_instrumented.cpp.)
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace obs = crcw::obs;
+
+namespace {
+
+TEST(Histogram, BucketIndexIsBitWidth) {
+  EXPECT_EQ(obs::Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1024), 11u);
+  EXPECT_EQ(obs::Histogram::bucket_index(~std::uint64_t{0}), 64u);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  EXPECT_EQ(obs::Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_upper(11), 2047u);
+  EXPECT_EQ(obs::Histogram::bucket_upper(64), ~std::uint64_t{0});
+}
+
+TEST(Histogram, RecordCountQuantile) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 0u);
+  for (int i = 0; i < 90; ++i) h.record(1);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.bucket(obs::Histogram::bucket_index(1)), 90u);
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 1u);
+  // p99 lands in the bucket holding 1000: [512, 1023].
+  EXPECT_EQ(h.quantile_upper_bound(0.99), 1023u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ContentionSite, CountsAndTotals) {
+  obs::MetricsRegistry registry;
+  const obs::ScopedRegistry scoped(registry);
+  obs::ContentionSite site("s");
+  for (int i = 0; i < 10; ++i) site.count_attempt();
+  for (int i = 0; i < 4; ++i) site.count_atomic();
+  site.count_win();
+  const obs::ContentionTotals t = site.totals();
+  EXPECT_EQ(t.attempts, 10u);
+  EXPECT_EQ(t.atomics, 4u);
+  EXPECT_EQ(t.wins, 1u);
+  EXPECT_EQ(t.failures(), 3u);
+  EXPECT_EQ(t.rounds, 0u);
+}
+
+TEST(ContentionSite, CountingFromParallelRegionLosesNothing) {
+  obs::MetricsRegistry registry;
+  const obs::ScopedRegistry scoped(registry);
+  obs::ContentionSite site("par");
+  constexpr int kPerThread = 10'000;
+  constexpr int kThreads = 4;
+#pragma omp parallel num_threads(kThreads)
+  {
+    for (int i = 0; i < kPerThread; ++i) site.count_attempt();
+  }
+  EXPECT_EQ(site.totals().attempts,
+            static_cast<std::uint64_t>(kPerThread) * kThreads);
+}
+
+TEST(ContentionSite, FlushRoundFeedsHistogramsWithDeltas) {
+  obs::MetricsRegistry registry;
+  const obs::ScopedRegistry scoped(registry);
+  obs::ContentionSite site("f");
+  // Round 1: 8 attempts, 2 atomics. Round 2: 1 attempt, 1 atomic.
+  for (int i = 0; i < 8; ++i) site.count_attempt();
+  site.count_atomic();
+  site.count_atomic();
+  site.flush_round();
+  site.count_attempt();
+  site.count_atomic();
+  site.flush_round();
+
+  EXPECT_EQ(site.totals().rounds, 2u);
+  const auto& per_round = site.attempts_per_round();
+  EXPECT_EQ(per_round.count(), 2u);
+  EXPECT_EQ(per_round.bucket(obs::Histogram::bucket_index(8)), 1u);
+  EXPECT_EQ(per_round.bucket(obs::Histogram::bucket_index(1)), 1u);
+  EXPECT_EQ(site.atomics_per_round().bucket(obs::Histogram::bucket_index(2)), 1u);
+}
+
+TEST(ContentionSite, ResetClearsEverything) {
+  obs::MetricsRegistry registry;
+  const obs::ScopedRegistry scoped(registry);
+  obs::ContentionSite site("r");
+  site.count_attempt();
+  site.flush_round();
+  site.reset();
+  EXPECT_EQ(site.totals(), obs::ContentionTotals{});
+  EXPECT_EQ(site.attempts_per_round().count(), 0u);
+  // A fresh round after reset flushes the new deltas only.
+  site.count_attempt();
+  site.flush_round();
+  EXPECT_EQ(site.totals().attempts, 1u);
+  EXPECT_EQ(site.totals().rounds, 1u);
+}
+
+TEST(MetricsRegistry, AggregatesLiveAndDeadSites) {
+  obs::MetricsRegistry registry;
+  const obs::ScopedRegistry scoped(registry);
+  obs::ContentionSite keep("keep");
+  keep.count_win();
+  {
+    obs::ContentionSite die("die");
+    die.count_attempt();
+    die.count_attempt();
+    EXPECT_EQ(registry.live_sites(), 2u);
+  }
+  EXPECT_EQ(registry.live_sites(), 1u);
+  const obs::ContentionTotals t = registry.totals();
+  EXPECT_EQ(t.attempts, 2u);  // retained from the dead site
+  EXPECT_EQ(t.wins, 1u);      // live site
+}
+
+TEST(MetricsRegistry, SnapshotMergesByName) {
+  obs::MetricsRegistry registry;
+  const obs::ScopedRegistry scoped(registry);
+  { obs::ContentionSite a("caslt"); a.count_attempt(); }
+  obs::ContentionSite b("caslt");
+  b.count_attempt();
+  obs::ContentionSite c("gatekeeper");
+  c.count_atomic();
+
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "caslt");
+  EXPECT_EQ(snap[0].second.attempts, 2u);  // dead + live, same name
+  EXPECT_EQ(snap[1].first, "gatekeeper");
+  EXPECT_EQ(snap[1].second.atomics, 1u);
+}
+
+TEST(MetricsRegistry, ResetDropsRetainedAndZeroesLive) {
+  obs::MetricsRegistry registry;
+  const obs::ScopedRegistry scoped(registry);
+  { obs::ContentionSite dead("d"); dead.count_attempt(); }
+  obs::ContentionSite live("l");
+  live.count_attempt();
+  registry.reset();
+  EXPECT_EQ(registry.totals(), obs::ContentionTotals{});
+  EXPECT_EQ(registry.live_sites(), 1u);
+}
+
+TEST(ScopedRegistry, RedirectsAndNests) {
+  obs::MetricsRegistry outer;
+  const obs::ScopedRegistry outer_scope(outer);
+  EXPECT_EQ(&obs::current_registry(), &outer);
+  {
+    obs::MetricsRegistry inner;
+    const obs::ScopedRegistry inner_scope(inner);
+    EXPECT_EQ(&obs::current_registry(), &inner);
+    obs::ContentionSite site("in");
+    site.count_win();
+    EXPECT_EQ(inner.totals().wins, 1u);
+    EXPECT_EQ(outer.totals().wins, 0u);
+  }
+  EXPECT_EQ(&obs::current_registry(), &outer);
+}
+
+TEST(ScopedRegistry, SiteStaysWithItsBirthRegistry) {
+  obs::MetricsRegistry outer;
+  const obs::ScopedRegistry outer_scope(outer);
+  obs::ContentionSite site("born-outer");
+  {
+    obs::MetricsRegistry inner;
+    const obs::ScopedRegistry inner_scope(inner);
+    // Counting while a different registry is current still lands in the
+    // registry the site attached to at construction.
+    site.count_attempt();
+    EXPECT_EQ(inner.totals().attempts, 0u);
+  }
+  EXPECT_EQ(outer.totals().attempts, 1u);
+}
+
+}  // namespace

@@ -55,14 +55,14 @@ TEST(Stress, OpposingSweepsOverTagArray) {
   std::vector<std::atomic<std::uint32_t>> wins(kTags);
 
   for (int round = 1; round <= kRounds; ++round) {
-    arbiter.begin_round();
+    auto scope = arbiter.next_round();
     for (auto& w : wins) w.store(0);
 #pragma omp parallel num_threads(threads)
     {
       const bool forward = omp_get_thread_num() % 2 == 0;
       for (std::size_t k = 0; k < kTags; ++k) {
         const std::size_t i = forward ? k : kTags - 1 - k;
-        if (arbiter.try_acquire(i)) wins[i].fetch_add(1, std::memory_order_relaxed);
+        if (scope.acquire(i)) wins[i].fetch_add(1, std::memory_order_relaxed);
       }
     }
     for (std::size_t i = 0; i < kTags; ++i) {
