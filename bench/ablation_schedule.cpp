@@ -68,6 +68,41 @@ void irregular_step(benchmark::State& state, Schedule schedule) {
   state.counters["max_degree"] = static_cast<double>(g.max_degree());
 }
 
+/// Dynamic chunk-size row: the figure benches hand skewed frontier loops
+/// to schedule(dynamic, util::frontier_chunk()) — util/chunking.hpp holds
+/// the chosen constants and their rationale. This sweep is the evidence:
+/// too-small chunks pay a work-stealing RMW per handful of vertices,
+/// too-large chunks strand a hub's neighbours on one thread.
+void irregular_chunk(benchmark::State& state, int chunk) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto& g = skewed_graph();
+  Machine machine(
+      MachineConfig{.threads = threads, .schedule = Schedule::kDynamic, .chunk = chunk});
+  const std::string policy = "dynamic-c" + std::to_string(chunk);
+  crcw::bench::RowRecorder rec(
+      state, {.series = "ablation_schedule/irregular_" + policy,
+              .policy = policy,
+              .baseline = "dynamic",
+              .threads = threads,
+              .n = g.num_vertices(),
+              .m = g.num_edges()});
+
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sum{0};
+    crcw::util::Timer timer;
+    machine.step(g.num_vertices(), [&](Machine::vproc_t v) {
+      std::uint64_t local = 0;
+      for (const auto u : g.neighbors(static_cast<crcw::graph::vertex_t>(v))) local += u;
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    rec.record(timer.seconds());
+    total = sum.load();
+  }
+  benchmark::DoNotOptimize(total);
+  state.counters["chunk"] = chunk;
+}
+
 /// Uniform step: constant work per virtual processor.
 void uniform_step(benchmark::State& state, Schedule schedule) {
   const int threads = static_cast<int>(state.range(0));
@@ -99,6 +134,10 @@ void args(benchmark::internal::Benchmark* b) {
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }
 
+void irregular_chunk16(benchmark::State& s) { irregular_chunk(s, 16); }
+void irregular_chunk64(benchmark::State& s) { irregular_chunk(s, 64); }
+void irregular_chunk256(benchmark::State& s) { irregular_chunk(s, 256); }
+
 void irregular_static(benchmark::State& s) { irregular_step(s, Schedule::kStatic); }
 void irregular_dynamic(benchmark::State& s) { irregular_step(s, Schedule::kDynamic); }
 void irregular_guided(benchmark::State& s) { irregular_step(s, Schedule::kGuided); }
@@ -109,6 +148,9 @@ void uniform_guided(benchmark::State& s) { uniform_step(s, Schedule::kGuided); }
 BENCHMARK(irregular_static)->Apply(args);
 BENCHMARK(irregular_dynamic)->Apply(args);
 BENCHMARK(irregular_guided)->Apply(args);
+BENCHMARK(irregular_chunk16)->Apply(args);
+BENCHMARK(irregular_chunk64)->Apply(args);
+BENCHMARK(irregular_chunk256)->Apply(args);
 BENCHMARK(uniform_static)->Apply(args);
 BENCHMARK(uniform_dynamic)->Apply(args);
 BENCHMARK(uniform_guided)->Apply(args);

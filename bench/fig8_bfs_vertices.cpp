@@ -49,7 +49,13 @@ void vertex_sweep(benchmark::internal::Benchmark* b) {
 
 BENCHMARK_CAPTURE(fig8, naive, "naive")->Apply(vertex_sweep);
 BENCHMARK_CAPTURE(fig8, gatekeeper, "gatekeeper")->Apply(vertex_sweep);
+BENCHMARK_CAPTURE(fig8, gatekeeper_sparse, "gatekeeper-sparse")->Apply(vertex_sweep);
 BENCHMARK_CAPTURE(fig8, gatekeeper_skip, "gatekeeper-skip")->Apply(vertex_sweep);
 BENCHMARK_CAPTURE(fig8, caslt, "caslt")->Apply(vertex_sweep);
+// Growing V at fixed E is exactly where the sparse reset should pull away
+// from the full sweep (reset work is O(frontier), not O(V)); the frontier
+// pair rides along for the slot-allocation comparison.
+BENCHMARK_CAPTURE(fig8, frontier, "frontier")->Apply(vertex_sweep);
+BENCHMARK_CAPTURE(fig8, frontier_shared, "frontier-shared")->Apply(vertex_sweep);
 
 }  // namespace

@@ -32,6 +32,10 @@ namespace crcw::algo {
 
 struct BfsOptions {
   int threads = 0;  ///< OpenMP threads; 0 = ambient setting
+  /// Gatekeeper-family only: reset per-level tags from the touched lists
+  /// (O(#discoveries-last-level)) instead of the paper-faithful Θ(N)
+  /// sweep. No effect on reset-free policies (CAS-LT).
+  bool sparse_reset = false;
 };
 
 struct BfsResult {
@@ -44,6 +48,16 @@ struct BfsResult {
 namespace detail {
 template <WritePolicy Policy>
 BfsResult bfs_kernel(const graph::Csr& g, graph::vertex_t source, const BfsOptions& opts);
+
+/// How bfs_frontier_kernel allocates next-frontier slots: per-thread
+/// chunked grants through a SlotAllocator (one shared RMW per chunk), or
+/// the original per-discovery shared fetch_add (kept as the baseline the
+/// contention counters are compared against).
+enum class SlotMode { kChunked, kShared };
+
+template <WritePolicy Policy>
+BfsResult bfs_frontier_kernel(const graph::Csr& g, graph::vertex_t source,
+                              const BfsOptions& opts, SlotMode slot_mode);
 }
 
 /// Frontier-queue BFS (the other Rodinia formulation): instead of scanning
@@ -52,9 +66,18 @@ BfsResult bfs_kernel(const graph::Csr& g, graph::vertex_t source, const BfsOptio
 /// atomic tail counter — fetch_add as a *slot-allocating* concurrent write,
 /// complementing CAS-LT's *winner-selecting* one. Discovery itself is
 /// still guarded by CAS-LT, so parent/sel_edge stay consistent. Work is
-/// Θ(edges touched) instead of Θ(levels · N).
+/// Θ(edges touched) instead of Θ(levels · N). Slots come from a
+/// SlotAllocator (per-thread chunked grants, core/slot_alloc.hpp), and the
+/// frontier/next buffers are double-buffered with std::swap — no O(frontier)
+/// copy per level.
 [[nodiscard]] BfsResult bfs_frontier(const graph::Csr& g, graph::vertex_t source,
                                      const BfsOptions& opts = {});
+
+/// bfs_frontier with the original per-discovery shared `tail.fetch_add`
+/// slot allocation — the contention baseline the SlotAllocator variant is
+/// profiled against (see profile_bfs "frontier" vs "frontier-shared").
+[[nodiscard]] BfsResult bfs_frontier_shared(const graph::Csr& g, graph::vertex_t source,
+                                            const BfsOptions& opts = {});
 
 /// Direction-optimizing BFS (Beamer-style): dense frontiers switch to
 /// BOTTOM-UP steps, where each *unvisited* vertex scans its own adjacency
@@ -72,6 +95,10 @@ BfsResult bfs_kernel(const graph::Csr& g, graph::vertex_t source, const BfsOptio
                                   const BfsOptions& opts = {});
 [[nodiscard]] BfsResult bfs_gatekeeper(const graph::Csr& g, graph::vertex_t source,
                                        const BfsOptions& opts = {});
+/// Gatekeeper with sparse per-level reset (opts.sparse_reset forced on):
+/// the new ablation axis against the Θ(N)-sweep bfs_gatekeeper baseline.
+[[nodiscard]] BfsResult bfs_gatekeeper_sparse(const graph::Csr& g, graph::vertex_t source,
+                                              const BfsOptions& opts = {});
 [[nodiscard]] BfsResult bfs_gatekeeper_skip(const graph::Csr& g, graph::vertex_t source,
                                             const BfsOptions& opts = {});
 [[nodiscard]] BfsResult bfs_caslt(const graph::Csr& g, graph::vertex_t source,

@@ -6,7 +6,9 @@
 #include <atomic>
 #include <numeric>
 
+#include "core/slot_alloc.hpp"
 #include "util/atomic_bitset.hpp"
+#include "util/chunking.hpp"
 
 namespace crcw::algo {
 namespace {
@@ -31,8 +33,13 @@ KcoreResult kcore(const Csr& g, const KcoreOptions& opts) {
   }
 
   util::AtomicBitset removed(n);
+  // Peel wavefronts allocate their successor slots through per-thread
+  // chunked grants (one shared RMW per chunk, core/slot_alloc.hpp); the
+  // next buffer carries the grants' per-lane slack on top of n.
+  SlotAllocator slots(threads);
+  const int chunk = util::frontier_chunk();
   std::vector<vertex_t> frontier;
-  std::vector<vertex_t> next(n);
+  std::vector<vertex_t> next(static_cast<std::size_t>(slots.capacity_for(n)));
   frontier.reserve(n);
   std::uint64_t removed_total = 0;
 
@@ -51,12 +58,13 @@ KcoreResult kcore(const Csr& g, const KcoreOptions& opts) {
     while (!frontier.empty()) {
       ++result.peel_rounds;
       removed_total += frontier.size();
-      std::atomic<std::uint64_t> tail{0};
       const auto fsize = static_cast<std::int64_t>(frontier.size());
+      auto* next_data = next.data();
 
-#pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
+#pragma omp parallel for num_threads(threads) schedule(dynamic, chunk)
       for (std::int64_t fi = 0; fi < fsize; ++fi) {
         const vertex_t v = frontier[static_cast<std::size_t>(fi)];
+        const int lane = omp_get_thread_num();
         result.core[v] = k - 1;
         for (const vertex_t u : g.neighbors(v)) {
           if (u == v || removed.test(u)) continue;
@@ -66,14 +74,14 @@ KcoreResult kcore(const Csr& g, const KcoreOptions& opts) {
               std::atomic_ref<std::uint64_t>(deg[u]).fetch_sub(1, std::memory_order_acq_rel);
           if (old == k) {
             if (removed.test_and_set(u)) {
-              next[tail.fetch_add(1, std::memory_order_relaxed)] = u;
+              next_data[slots.grant(lane)] = u;
             }
           }
         }
       }
 
-      frontier.assign(next.begin(),
-                      next.begin() + static_cast<std::ptrdiff_t>(tail.load()));
+      const auto dense = static_cast<std::ptrdiff_t>(slots.compact(next_data));
+      frontier.assign(next.begin(), next.begin() + dense);
     }
   }
 

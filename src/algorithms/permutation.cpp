@@ -4,8 +4,10 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <utility>
 
 #include "core/arbiter.hpp"
+#include "core/slot_alloc.hpp"
 #include "util/rng.hpp"
 
 namespace crcw::algo {
@@ -25,21 +27,28 @@ PermutationResult random_permutation(std::uint64_t n, const PermutationOptions& 
   std::vector<std::uint64_t> slot_owner(slots, kEmpty);
   WriteArbiter<CasLtPolicy> arbiter(slots);
 
-  std::vector<std::uint64_t> pending(n);
-  std::vector<std::uint64_t> still_pending(n);
+  // Misses re-enqueue through per-thread chunked slot grants (one shared
+  // RMW per chunk, core/slot_alloc.hpp); rounds re-dart every survivor, so
+  // the compaction's unspecified order is immaterial. Both buffers carry
+  // the grants' per-lane slack and swap between rounds.
+  SlotAllocator slot_alloc(threads);
+  const auto cap = static_cast<std::size_t>(slot_alloc.capacity_for(n));
+  std::vector<std::uint64_t> pending(cap);
+  std::vector<std::uint64_t> still_pending(cap);
   for (std::uint64_t i = 0; i < n; ++i) pending[i] = i;
+  std::uint64_t pcount_u = n;
 
   // Safety bound: expected O(log n) rounds w.h.p. with expansion >= 2.
   std::uint64_t max_rounds = 64;
   for (std::uint64_t s = 1; s < n; s *= 2) max_rounds += 8;
 
-  while (!pending.empty()) {
+  while (pcount_u > 0) {
     if (++result.rounds > max_rounds) {
       throw std::runtime_error("random_permutation: exceeded round bound");
     }
     auto scope = arbiter.next_round(ResetMode::kNone);  // CAS-LT: no sweep
-    std::atomic<std::uint64_t> miss_tail{0};
-    const auto pcount = static_cast<std::int64_t>(pending.size());
+    const auto pcount = static_cast<std::int64_t>(pcount_u);
+    auto* still_data = still_pending.data();
 
 #pragma omp parallel for num_threads(threads) schedule(static)
     for (std::int64_t pi = 0; pi < pcount; ++pi) {
@@ -60,12 +69,12 @@ PermutationResult random_permutation(std::uint64_t n, const PermutationOptions& 
         std::atomic_ref<std::uint64_t>(slot_owner[target])
             .store(element, std::memory_order_relaxed);
       } else {
-        still_pending[miss_tail.fetch_add(1, std::memory_order_relaxed)] = element;
+        still_data[slot_alloc.grant(omp_get_thread_num())] = element;
       }
     }
 
-    pending.assign(still_pending.begin(),
-                   still_pending.begin() + static_cast<std::ptrdiff_t>(miss_tail.load()));
+    pcount_u = slot_alloc.compact(still_data);
+    std::swap(pending, still_pending);
   }
 
   // Readout: occupied slots in slot order give the permutation.

@@ -22,10 +22,10 @@
 
 #include <cstddef>
 #include <utility>
-#include <vector>
 
 #include "core/arbiter.hpp"
 #include "core/policies.hpp"
+#include "util/aligned_buffer.hpp"
 #include "util/sanitizer.hpp"
 
 namespace crcw {
@@ -44,7 +44,14 @@ class ConWriteArray {
   ConWriteArray() = default;
 
   explicit ConWriteArray(std::size_t n, T initial = T{})
-      : values_(n, std::move(initial)), arbiter_(n) {}
+      : values_(n, initial), arbiter_(n) {}
+
+  /// Perf-layer construction: ArbiterConfig selects touch tracking (for
+  /// begin_round_sparse) and first-touch placement; the payload array
+  /// follows the same placement as the tags.
+  ConWriteArray(std::size_t n, const ArbiterConfig& cfg, T initial = T{})
+      : values_(n, initial, cfg.first_touch, cfg.first_touch_threads),
+        arbiter_(n, cfg) {}
 
   [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
   [[nodiscard]] round_t round() const noexcept { return arbiter_.round(); }
@@ -59,6 +66,19 @@ class ConWriteArray {
     if constexpr (Policy::kNeedsRoundReset) {
       auto scope = arbiter_.next_round(ResetMode::kCaller);
       arbiter_.reset_tags_parallel(threads);
+      return scope.round();
+    } else {
+      return arbiter_.next_round(ResetMode::kNone).round();
+    }
+  }
+
+  /// Same, but sweeps only last round's touched tags — O(#writes) instead
+  /// of Θ(N). Needs construction with TouchTracking::kEnabled (falls back
+  /// to the full sweep otherwise); no-op increment for reset-free policies.
+  round_t begin_round_sparse(int threads = 0) {
+    if constexpr (Policy::kNeedsRoundReset) {
+      auto scope = arbiter_.next_round(ResetMode::kCaller);
+      arbiter_.reset_tags_sparse(threads);
       return scope.round();
     } else {
       return arbiter_.next_round(ResetMode::kNone).round();
@@ -121,13 +141,15 @@ class ConWriteArray {
   /// Post-synchronisation read access.
   [[nodiscard]] const T& operator[](std::size_t i) const { return values_[i]; }
   [[nodiscard]] T& value(std::size_t i) { return values_[i]; }
-  [[nodiscard]] const std::vector<T>& values() const noexcept { return values_; }
+  [[nodiscard]] const util::AlignedBuffer<T>& values() const noexcept { return values_; }
 
   /// Full reset: tags and round to fresh (payloads untouched).
   void reset_tags() { arbiter_.reset_all(); }
 
  private:
-  std::vector<T> values_;
+  // Cache-line-aligned (not std::vector) so the payload pages can be
+  // first-touched by the team that will write them, like the tags.
+  util::AlignedBuffer<T> values_;
   WriteArbiter<Policy, Layout> arbiter_;
 };
 

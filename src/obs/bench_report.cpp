@@ -22,6 +22,8 @@ json::Value counters_json(const ContentionTotals& t) {
   c.add("failures", t.failures());
   c.add("wins", t.wins);
   c.add("rounds", t.rounds);
+  c.add("refills", t.refills);
+  c.add("reset_tags", t.reset_tags);
   return c;
 }
 

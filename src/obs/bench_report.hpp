@@ -21,8 +21,14 @@
 //       "samples_ns":          array    raw per-rep times
 //       "speedup_vs_baseline": number|null  baseline_median / median
 //       "counters":            object|null  {"attempts","atomics","failures",
-//                                            "wins","rounds"} from an
-//                                            instrumented (untimed) run
+//                                            "wins","rounds","refills",
+//                                            "reset_tags"} from an
+//                                            instrumented (untimed) run.
+//                                            refills/reset_tags are additive
+//                                            in schema_version 1 (older
+//                                            baselines may lack them; the
+//                                            gate compares a counter only
+//                                            when both sides carry it)
 //     }]
 //   }
 //

@@ -60,6 +60,8 @@ ContentionTotals ContentionSite::totals() const noexcept {
     t.attempts += s.attempts.load(std::memory_order_relaxed);
     t.atomics += s.atomics.load(std::memory_order_relaxed);
     t.wins += s.wins.load(std::memory_order_relaxed);
+    t.refills += s.refills.load(std::memory_order_relaxed);
+    t.reset_tags += s.reset_tags.load(std::memory_order_relaxed);
   }
   t.rounds = rounds_.load(std::memory_order_relaxed);
   return t;
@@ -78,6 +80,8 @@ void ContentionSite::reset() noexcept {
     s.attempts.store(0, std::memory_order_relaxed);
     s.atomics.store(0, std::memory_order_relaxed);
     s.wins.store(0, std::memory_order_relaxed);
+    s.refills.store(0, std::memory_order_relaxed);
+    s.reset_tags.store(0, std::memory_order_relaxed);
   }
   rounds_.store(0, std::memory_order_relaxed);
   last_flush_ = {};

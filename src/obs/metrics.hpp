@@ -41,16 +41,29 @@ struct ContentionTotals {
   std::uint64_t atomics = 0;   ///< atomic RMWs actually issued
   std::uint64_t wins = 0;      ///< writes admitted
   std::uint64_t rounds = 0;    ///< round boundaries flushed through the site
+  /// SlotAllocator shared-cursor refills (one fetch_add granting a chunk).
+  /// atomics counts the same events for slot sites, so refills/atomics
+  /// separates "RMWs on the shared line" from per-slot work.
+  std::uint64_t refills = 0;
+  /// Tags re-initialised by round-reset sweeps — Θ(N)·rounds for the full
+  /// gatekeeper sweep, Σ(#writes-last-round) for the sparse one (§6 cost).
+  std::uint64_t reset_tags = 0;
 
   /// Atomic RMWs that did not admit a write — the paper's "failed races"
-  /// and the gatekeeper's serialised losers.
-  [[nodiscard]] std::uint64_t failures() const noexcept { return atomics - wins; }
+  /// and the gatekeeper's serialised losers. Saturates at 0: sites whose
+  /// wins are tallied elsewhere than their RMWs (registry-level merges of
+  /// tag sites with slot sites) must not wrap to 2^64-ish garbage.
+  [[nodiscard]] std::uint64_t failures() const noexcept {
+    return atomics >= wins ? atomics - wins : 0;
+  }
 
   ContentionTotals& operator+=(const ContentionTotals& o) noexcept {
     attempts += o.attempts;
     atomics += o.atomics;
     wins += o.wins;
     rounds += o.rounds;
+    refills += o.refills;
+    reset_tags += o.reset_tags;
     return *this;
   }
   friend bool operator==(const ContentionTotals&, const ContentionTotals&) = default;
@@ -122,6 +135,25 @@ class ContentionSite {
   void count_atomic() noexcept { shard().atomics.fetch_add(1, std::memory_order_relaxed); }
   void count_win() noexcept { shard().wins.fetch_add(1, std::memory_order_relaxed); }
 
+  // -- bulk adders (any thread) ---------------------------------------------
+  // For code that keeps private tallies on its own hot path (SlotAllocator
+  // lanes, reset sweeps) and folds them in once per run/round.
+  void add_attempts(std::uint64_t k) noexcept {
+    shard().attempts.fetch_add(k, std::memory_order_relaxed);
+  }
+  void add_atomics(std::uint64_t k) noexcept {
+    shard().atomics.fetch_add(k, std::memory_order_relaxed);
+  }
+  void add_wins(std::uint64_t k) noexcept {
+    shard().wins.fetch_add(k, std::memory_order_relaxed);
+  }
+  void add_refills(std::uint64_t k) noexcept {
+    shard().refills.fetch_add(k, std::memory_order_relaxed);
+  }
+  void add_reset_tags(std::uint64_t k) noexcept {
+    shard().reset_tags.fetch_add(k, std::memory_order_relaxed);
+  }
+
   // -- round boundary (serial code between parallel regions) ---------------
   /// Sums the deltas since the previous flush into the per-round
   /// histograms and advances the round count. Call between parallel
@@ -146,6 +178,8 @@ class ContentionSite {
     std::atomic<std::uint64_t> attempts{0};
     std::atomic<std::uint64_t> atomics{0};
     std::atomic<std::uint64_t> wins{0};
+    std::atomic<std::uint64_t> refills{0};
+    std::atomic<std::uint64_t> reset_tags{0};
   };
   static_assert(sizeof(Shard) == util::kCacheLineSize);
 

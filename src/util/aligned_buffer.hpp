@@ -4,7 +4,18 @@
 // kernels want their shared arrays to start on a cache-line boundary so that
 // padding policies behave as declared and so runs are reproducible across
 // allocator moods.
+//
+// First-touch placement: on NUMA machines (and on Linux generally) a page
+// is physically allocated on the node of the thread that first writes it.
+// A serially value-initialised buffer therefore lands entirely on the
+// constructing thread's node, and every other socket pays remote-memory
+// latency for its share of the array. FirstTouch::kParallel runs the
+// placement-new loop under the same static OpenMP schedule the kernels use
+// for their sweeps, so each thread faults in exactly the pages it will
+// later work on.
 #pragma once
+
+#include <omp.h>
 
 #include <cstddef>
 #include <cstdlib>
@@ -16,6 +27,13 @@
 #include "util/cacheline.hpp"
 
 namespace crcw::util {
+
+/// Who runs a buffer's element-construction loop (= who first touches the
+/// pages): the constructing thread, or a static-scheduled OpenMP team.
+enum class FirstTouch {
+  kSerial,    ///< constructing thread touches every page (default)
+  kParallel,  ///< OpenMP team, schedule(static) — matches kernel sweeps
+};
 
 /// Minimal aligned allocator usable with std::vector.
 template <typename T, std::size_t Alignment = kCacheLineSize>
@@ -60,10 +78,50 @@ class AlignedBuffer {
 
   explicit AlignedBuffer(std::size_t n) : size_(n) {
     if (n == 0) return;
-    const std::size_t bytes =
-        (n * sizeof(T) + kCacheLineSize - 1) / kCacheLineSize * kCacheLineSize;
-    data_ = static_cast<T*>(::operator new(bytes, std::align_val_t{kCacheLineSize}));
+    data_ = allocate(n);
     for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(data_ + i)) T();
+  }
+
+  /// Value-initialising constructor with explicit first-touch placement.
+  /// kParallel needs nothrow default construction (a throw inside an
+  /// OpenMP region terminates) — throwing types quietly construct
+  /// serially. `threads <= 0` means the OpenMP default.
+  AlignedBuffer(std::size_t n, FirstTouch first_touch, int threads = 0) : size_(n) {
+    if (n == 0) return;
+    data_ = allocate(n);
+    if constexpr (std::is_nothrow_default_constructible_v<T>) {
+      if (first_touch == FirstTouch::kParallel) {
+        if (threads <= 0) threads = omp_get_max_threads();
+        const auto count = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for num_threads(threads) schedule(static)
+        for (std::ptrdiff_t i = 0; i < count; ++i) {
+          ::new (static_cast<void*>(data_ + i)) T();
+        }
+        return;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(data_ + i)) T();
+  }
+
+  /// Fill constructor (copy-constructs every element from `fill`), with
+  /// optional parallel first touch. Same constraints as above.
+  AlignedBuffer(std::size_t n, const T& fill,
+                FirstTouch first_touch = FirstTouch::kSerial, int threads = 0)
+      : size_(n) {
+    if (n == 0) return;
+    data_ = allocate(n);
+    if constexpr (std::is_nothrow_copy_constructible_v<T>) {
+      if (first_touch == FirstTouch::kParallel) {
+        if (threads <= 0) threads = omp_get_max_threads();
+        const auto count = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for num_threads(threads) schedule(static)
+        for (std::ptrdiff_t i = 0; i < count; ++i) {
+          ::new (static_cast<void*>(data_ + i)) T(fill);
+        }
+        return;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(data_ + i)) T(fill);
   }
 
   AlignedBuffer(const AlignedBuffer&) = delete;
@@ -102,6 +160,12 @@ class AlignedBuffer {
   const T* end() const noexcept { return data_ + size_; }
 
  private:
+  [[nodiscard]] static T* allocate(std::size_t n) {
+    const std::size_t bytes =
+        (n * sizeof(T) + kCacheLineSize - 1) / kCacheLineSize * kCacheLineSize;
+    return static_cast<T*>(::operator new(bytes, std::align_val_t{kCacheLineSize}));
+  }
+
   void release() noexcept {
     if (data_ != nullptr) {
       if constexpr (!std::is_trivially_destructible_v<T>) {

@@ -1,0 +1,76 @@
+// Centralised OpenMP chunk sizes for the irregular kernels.
+//
+// The scattered `schedule(dynamic, 64)` / `schedule(dynamic, 256)` magic
+// numbers live here, with the reasoning attached:
+//
+//   * kFrontierChunk (64): frontier-shaped loops (bfs_frontier, kcore
+//     peeling) iterate over vertices whose degrees differ by orders of
+//     magnitude on skewed graphs, so static scheduling starves threads.
+//     64 iterations per dynamic grab keeps the scheduler's shared cursor
+//     off the profile (one RMW per 64 vertices) while still rebalancing
+//     within a frontier of a few thousand vertices. Smaller chunks help
+//     only when frontiers are tiny AND degrees are wildly skewed — at
+//     which point the level is too short to matter.
+//   * kBottomUpChunk (256): bottom-up BFS steps scan *all* vertices and
+//     most iterations exit after one or two edge probes, so per-iteration
+//     cost is small and uniform-ish; a larger chunk amortises scheduler
+//     traffic. 256 ≈ 1 KiB of vertex ids per grab, a few cache lines of
+//     CSR offsets.
+//   * kSlotChunk (256): slots handed to a SlotAllocator lane per shared
+//     fetch_add (core/slot_alloc.hpp). 256 divides the shared-cursor RMW
+//     rate by 256 versus per-discovery fetch_add while bounding per-lane
+//     waste (holes) to lanes×256 slots per round.
+//
+// Both dynamic-schedule chunks were sanity-checked against the
+// ablation_schedule harness (static/dynamic/guided over the same irregular
+// workload); re-run it when porting to new hardware. For experiments the
+// env vars below override the defaults at process start (first call wins):
+//
+//   CRCW_CHUNK=<n>        forces BOTH dynamic-schedule chunk sizes to n
+//   CRCW_SLOT_CHUNK=<n>   overrides the SlotAllocator grant size
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace crcw::util {
+
+inline constexpr int kFrontierChunk = 64;
+inline constexpr int kBottomUpChunk = 256;
+inline constexpr std::uint64_t kSlotChunk = 256;
+
+namespace detail {
+inline long chunk_env(const char* name, long fallback) noexcept {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  return (end != s && v > 0) ? v : fallback;
+}
+}  // namespace detail
+
+/// Dynamic-schedule chunk for frontier-shaped loops (degree-skewed work
+/// per iteration). CRCW_CHUNK overrides; cached on first call.
+inline int frontier_chunk() noexcept {
+  static const int v =
+      static_cast<int>(detail::chunk_env("CRCW_CHUNK", kFrontierChunk));
+  return v;
+}
+
+/// Dynamic-schedule chunk for bottom-up / all-vertex scans (cheap, mostly
+/// uniform iterations). CRCW_CHUNK overrides; cached on first call.
+inline int bottom_up_chunk() noexcept {
+  static const int v =
+      static_cast<int>(detail::chunk_env("CRCW_CHUNK", kBottomUpChunk));
+  return v;
+}
+
+/// Slots per SlotAllocator refill (one shared fetch_add grants this many).
+/// CRCW_SLOT_CHUNK overrides; cached on first call.
+inline std::uint64_t slot_chunk() noexcept {
+  static const auto v = static_cast<std::uint64_t>(
+      detail::chunk_env("CRCW_SLOT_CHUNK", static_cast<long>(kSlotChunk)));
+  return v;
+}
+
+}  // namespace crcw::util

@@ -91,6 +91,30 @@ TEST(AlignedAllocator, ComparesEqual) {
   EXPECT_TRUE(a == b);
 }
 
+TEST(AlignedBuffer, ParallelFirstTouchValueInitializes) {
+  AlignedBuffer<std::uint64_t> buf(10'000, FirstTouch::kParallel, 4);
+  EXPECT_EQ(buf.size(), 10'000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineSize, 0u);
+  for (std::size_t i = 0; i < buf.size(); ++i) ASSERT_EQ(buf[i], 0u);
+}
+
+TEST(AlignedBuffer, ParallelFirstTouchFillConstructor) {
+  AlignedBuffer<int> buf(10'000, 7, FirstTouch::kParallel, 4);
+  for (std::size_t i = 0; i < buf.size(); ++i) ASSERT_EQ(buf[i], 7);
+  // threads = 0 → OpenMP default team; must behave identically.
+  AlignedBuffer<int> dflt(100, 3, FirstTouch::kParallel);
+  for (std::size_t i = 0; i < dflt.size(); ++i) ASSERT_EQ(dflt[i], 3);
+}
+
+TEST(AlignedBuffer, FirstTouchFallsBackForThrowingTypes) {
+  // std::vector's copy ctor can throw, so the parallel path (which cannot
+  // unwind across an OpenMP region) must silently construct serially —
+  // same observable result.
+  const std::vector<int> proto{1, 2, 3};
+  AlignedBuffer<std::vector<int>> buf(50, proto, FirstTouch::kParallel);
+  for (std::size_t i = 0; i < buf.size(); ++i) ASSERT_EQ(buf[i], proto);
+}
+
 TEST(AlignedBuffer, HoldsMutexBearingTags) {
   struct MutexTag {
     std::mutex m;

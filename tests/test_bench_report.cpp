@@ -78,7 +78,7 @@ TEST(BenchReport, GoldenSchemaFieldOrder) {
   // The counters object's own schema.
   EXPECT_EQ(member_names(*rows[1].find("counters")),
             (std::vector<std::string>{"attempts", "atomics", "failures", "wins",
-                                      "rounds"}));
+                                      "rounds", "refills", "reset_tags"}));
 }
 
 TEST(BenchReport, TimingFieldListMatchesSchema) {
