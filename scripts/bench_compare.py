@@ -138,6 +138,25 @@ def validate_docs(docs, schema):
     return failures
 
 
+def report_presence(base_docs, cur_docs):
+    """Doc-level presence notice. A BENCH file on only one side is not a row
+    mismatch but a whole benchmark appearing or retiring; say so explicitly,
+    otherwise a brand-new bench silently skips the gate (no overlapping rows)
+    and a stale baseline lingers forever. Notices, not failures: adding or
+    retiring a benchmark is a legitimate change — the notice tells the author
+    which baseline refresh to run."""
+    for bench in sorted(set(cur_docs) - set(base_docs)):
+        path, doc = cur_docs[bench]
+        print(f"NEW      {path.name}: benchmark only in current "
+              f"({len(doc['rows'])} rows, not gated) — commit a baseline via "
+              f"scripts/run_bench_smoke.sh build bench_results/baseline")
+    for bench in sorted(set(base_docs) - set(cur_docs)):
+        path, doc = base_docs[bench]
+        print(f"REMOVED  {path.name}: benchmark only in baseline "
+              f"({len(doc['rows'])} rows) — delete the committed BENCH file "
+              f"if the bench was intentionally retired")
+
+
 def row_index(docs):
     index = {}
     for bench, (_path, doc) in docs.items():
@@ -269,6 +288,7 @@ def main(argv=None):
         return 2
 
     failures = validate_docs(base_docs, schema) + validate_docs(cur_docs, schema)
+    report_presence(base_docs, cur_docs)
     base_index, cur_index = row_index(base_docs), row_index(cur_docs)
 
     if not args.counters_only:

@@ -43,6 +43,12 @@ std::vector<std::string> cc_methods() {
           "min-hook"};
 }
 
+std::vector<std::string> dedup_methods() { return {"caslt", "chained", "sort"}; }
+
+std::vector<std::string> semijoin_methods() { return {"caslt", "serial"}; }
+
+std::vector<std::string> triangle_methods() { return {"caslt", "chained", "serial"}; }
+
 std::uint64_t run_max(std::string_view method, std::span<const std::uint32_t> list,
                       const MaxOptions& opts) {
   if (method == "naive") return max_index_naive(list, opts);
@@ -77,6 +83,31 @@ CcResult run_cc(std::string_view method, const graph::Csr& g, const CcOptions& o
   if (method == "critical") return cc_critical(g, opts);
   if (method == "min-hook") return cc_min_hook(g, opts);
   unknown("cc", method);
+}
+
+DedupResult run_dedup(std::string_view method, std::span<const std::uint64_t> keys,
+                      const DedupOptions& opts) {
+  if (method == "caslt") return dedup_caslt(keys, opts);
+  if (method == "chained") return dedup_chained(keys, opts);
+  if (method == "sort") return dedup_sort(keys, opts);
+  unknown("dedup", method);
+}
+
+std::vector<SemijoinMatch> run_semijoin(std::string_view method,
+                                        std::span<const std::uint64_t> probe_keys,
+                                        std::span<const std::uint64_t> build_keys,
+                                        const SemijoinOptions& opts) {
+  if (method == "caslt") return semijoin_caslt(probe_keys, build_keys, opts);
+  if (method == "serial") return semijoin_serial(probe_keys, build_keys, opts);
+  unknown("semijoin", method);
+}
+
+std::uint64_t run_triangles(std::string_view method, const graph::Csr& g,
+                            const TriangleOptions& opts) {
+  if (method == "caslt") return triangle_count_caslt(g, opts);
+  if (method == "chained") return triangle_count_chained(g, opts);
+  if (method == "serial") return triangle_count_serial(g, opts);
+  unknown("triangles", method);
 }
 
 std::optional<obs::ContentionTotals> profile_max(std::string_view method,
@@ -148,6 +179,33 @@ std::optional<obs::ContentionTotals> profile_cc(std::string_view method,
     return profiled([&] { (void)detail::cc_kernel<IGateSkip>(g, opts); });
   }
   return std::nullopt;
+}
+
+std::optional<obs::ContentionTotals> profile_dedup(std::string_view method,
+                                                   std::span<const std::uint64_t> keys,
+                                                   const DedupOptions& opts) {
+  if (method != "caslt" && method != "chained") return std::nullopt;
+  DedupOptions instrumented = opts;
+  instrumented.telemetry = true;
+  return profiled([&] { (void)run_dedup(method, keys, instrumented); });
+}
+
+std::optional<obs::ContentionTotals> profile_semijoin(
+    std::string_view method, std::span<const std::uint64_t> probe_keys,
+    std::span<const std::uint64_t> build_keys, const SemijoinOptions& opts) {
+  if (method != "caslt") return std::nullopt;
+  SemijoinOptions instrumented = opts;
+  instrumented.telemetry = true;
+  return profiled([&] { (void)semijoin_caslt(probe_keys, build_keys, instrumented); });
+}
+
+std::optional<obs::ContentionTotals> profile_triangles(std::string_view method,
+                                                       const graph::Csr& g,
+                                                       const TriangleOptions& opts) {
+  if (method != "caslt" && method != "chained") return std::nullopt;
+  TriangleOptions instrumented = opts;
+  instrumented.telemetry = true;
+  return profiled([&] { (void)run_triangles(method, g, instrumented); });
 }
 
 }  // namespace crcw::algo

@@ -1,0 +1,71 @@
+#include "algorithms/semijoin.hpp"
+
+#include <omp.h>
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "core/slot_alloc.hpp"
+#include "ds/concurrent_hash_map.hpp"
+#include "ds/hash_common.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace crcw::algo {
+
+std::vector<SemijoinMatch> semijoin_caslt(std::span<const std::uint64_t> probe_keys,
+                                          std::span<const std::uint64_t> build_keys,
+                                          const SemijoinOptions& opts) {
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  ds::HashConfig cfg;
+  cfg.telemetry = opts.telemetry;
+  cfg.site_name = "semijoin-build";
+  ds::ConcurrentHashMap<std::uint64_t, std::uint64_t> table(build_keys.size(), cfg);
+
+  // Build: first-claimer-wins upsert; duplicate build keys resolve to an
+  // arbitrary witness index (the claim winner's).
+  const auto build_n = static_cast<std::int64_t>(build_keys.size());
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < build_n; ++i) {
+    (void)table.insert_first(build_keys[static_cast<std::size_t>(i)],
+                             static_cast<std::uint64_t>(i));
+  }
+  table.flush_round();
+  // The parallel region's barrier published the build values; probes below
+  // read them through find() per the post-barrier contract.
+
+  SlotAllocator slots(threads);
+  util::AlignedBuffer<SemijoinMatch> out(slots.capacity_for(probe_keys.size()));
+  const auto probe_n = static_cast<std::int64_t>(probe_keys.size());
+#pragma omp parallel num_threads(threads)
+  {
+    const int lane = omp_get_thread_num();
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < probe_n; ++i) {
+      const std::uint64_t* hit = table.find(probe_keys[static_cast<std::size_t>(i)]);
+      if (hit != nullptr) {
+        out[slots.grant(lane)] = {static_cast<std::uint64_t>(i), *hit};
+      }
+    }
+  }
+
+  const std::uint64_t dense = slots.compact(out.data());
+  return {out.data(), out.data() + dense};
+}
+
+std::vector<SemijoinMatch> semijoin_serial(std::span<const std::uint64_t> probe_keys,
+                                           std::span<const std::uint64_t> build_keys,
+                                           const SemijoinOptions&) {
+  std::unordered_map<std::uint64_t, std::uint64_t> table;
+  table.reserve(build_keys.size());
+  for (std::uint64_t i = 0; i < build_keys.size(); ++i) {
+    table.emplace(build_keys[static_cast<std::size_t>(i)], i);  // first wins
+  }
+  std::vector<SemijoinMatch> matches;
+  for (std::uint64_t i = 0; i < probe_keys.size(); ++i) {
+    const auto it = table.find(probe_keys[static_cast<std::size_t>(i)]);
+    if (it != table.end()) matches.push_back({i, it->second});
+  }
+  return matches;
+}
+
+}  // namespace crcw::algo

@@ -1,0 +1,51 @@
+// Hash semijoin (probe ⋉ build) — the map workload where arbitrary-CW is
+// the *semantics*, not just the mechanism.
+//
+// Build phase: every build-side row upserts (key → row index) with
+// insert_first; when the build side carries duplicate keys, the committed
+// index is whichever racing thread won the bucket claim — a genuinely
+// arbitrary pick, exactly the paper's arbitrary-CW contract, and exactly
+// what a semijoin is allowed to do (any witness serves).
+//
+// Probe phase (after the barrier that publishes the build values): each
+// probe-side row looks its key up wait-free and, on a hit, emits a
+// (probe index, build index) match through a SlotAllocator — chunked slot
+// grants instead of one shared fetch_add per match — then a serial
+// compact() squeezes the lane holes out, so callers get a dense match
+// array in unspecified order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crcw::algo {
+
+struct SemijoinOptions {
+  int threads = 0;       ///< OpenMP threads; 0 = ambient setting
+  bool telemetry = false;  ///< attach a ContentionSite (profile passes only)
+};
+
+/// One probe-side hit: which probe row matched, and the (arbitrarily
+/// chosen) build row that witnessed the key.
+struct SemijoinMatch {
+  std::uint64_t probe_index = 0;
+  std::uint64_t build_index = 0;
+
+  friend bool operator==(const SemijoinMatch&, const SemijoinMatch&) = default;
+  friend auto operator<=>(const SemijoinMatch&, const SemijoinMatch&) = default;
+};
+
+/// Matches in unspecified order (slot-allocating CWs promise none). Keys
+/// must avoid the all-ones sentinel (throws std::invalid_argument).
+[[nodiscard]] std::vector<SemijoinMatch> semijoin_caslt(
+    std::span<const std::uint64_t> probe_keys, std::span<const std::uint64_t> build_keys,
+    const SemijoinOptions& opts = {});
+
+/// Serial std::unordered_map baseline; first build occurrence wins (one
+/// valid resolution of the same arbitrary choice), matches in probe order.
+[[nodiscard]] std::vector<SemijoinMatch> semijoin_serial(
+    std::span<const std::uint64_t> probe_keys, std::span<const std::uint64_t> build_keys,
+    const SemijoinOptions& opts = {});
+
+}  // namespace crcw::algo

@@ -1,0 +1,93 @@
+// TaggedBucket — the bucket-claim generalisation of the round-tag.
+//
+// A RoundTag (round_tag.hpp) arbitrates "many writers, one winner" for a
+// target whose identity is fixed at construction. A hash bucket adds one
+// twist: the contended word is the *identity of the target itself* — the
+// key that owns the bucket. The claim protocol is the same CAS-or-observe
+// shape as CAS-LT, with the sentinel kEmptyKey playing the role of the
+// stale round: one compare-exchange from empty to the candidate key admits
+// exactly one winner, and every loser learns wait-free (from the CAS's
+// loaded value, no retry) whether its own key committed — the arbitrary-CW
+// contract of paper §5 applied to the insert race of a concurrent hash
+// table (see src/ds/).
+//
+// The bucket pairs that claim word with a RoundTag so that, once a key
+// owns the bucket, per-round value writes keep using paper-faithful CAS-LT
+// (one winner per key per round; the value itself is barrier-published
+// like ConWriteCell's payload).
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <limits>
+
+#include "core/round_tag.hpp"
+
+namespace crcw {
+
+/// Outcome of a bucket claim, from the claiming thread's point of view.
+enum class BucketClaim {
+  kWon,    ///< this thread installed its key; the bucket is now its target
+  kHeld,   ///< the bucket already holds the caller's key (it lost the per-key
+           ///< race — or won it in an earlier call; either way the key is in)
+  kOther,  ///< a different key owns the bucket: probe on
+};
+
+/// One concurrent-write-arbitrated hash bucket: an atomically claimable key
+/// plus a RoundTag guarding per-round writes of whatever payload the
+/// embedding table stores beside it. Key must be an unsigned integer; the
+/// all-ones value is reserved as the empty sentinel.
+template <typename Key>
+  requires std::unsigned_integral<Key>
+class TaggedBucket {
+ public:
+  static constexpr Key kEmptyKey = std::numeric_limits<Key>::max();
+
+  TaggedBucket() noexcept = default;
+  TaggedBucket(const TaggedBucket&) = delete;
+  TaggedBucket& operator=(const TaggedBucket&) = delete;
+
+  /// One-shot arbitration for bucket ownership: at most one CAS, wait-free.
+  /// kWon means this call transitioned empty → k; the caller owns any
+  /// non-atomic payload initialisation that follows (publish it with the
+  /// step barrier, exactly like a ConWriteCell winner).
+  BucketClaim claim(Key k) noexcept {
+    Key current = key_.load(std::memory_order_acquire);
+    if (current == kEmptyKey) {
+      if (key_.compare_exchange_strong(current, k, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        return BucketClaim::kWon;
+      }
+      // CAS failure reloaded `current` with the winning key: losers observe
+      // the committed claim without retrying.
+    }
+    return current == k ? BucketClaim::kHeld : BucketClaim::kOther;
+  }
+
+  /// The owning key, or kEmptyKey. An acquire load, so a reader that sees
+  /// key k also sees everything the claimer published before the claim —
+  /// but payload written *after* a claim is barrier-published, not
+  /// load-published; read it post-barrier only.
+  [[nodiscard]] Key key() const noexcept { return key_.load(std::memory_order_acquire); }
+
+  [[nodiscard]] bool empty() const noexcept { return key() == kEmptyKey; }
+
+  /// The per-round value arbitration tag (CAS-LT; see RoundTag).
+  [[nodiscard]] RoundTag& tag() noexcept { return tag_; }
+  [[nodiscard]] const RoundTag& tag() const noexcept { return tag_; }
+
+  /// Non-concurrent re-initialisation (table reset between runs; the
+  /// migration target of a resize is freshly constructed instead).
+  void reset() noexcept {
+    key_.store(kEmptyKey, std::memory_order_relaxed);
+    tag_.reset();
+  }
+
+ private:
+  std::atomic<Key> key_{kEmptyKey};
+  RoundTag tag_;
+};
+
+static_assert(sizeof(TaggedBucket<std::uint64_t>) == 2 * sizeof(std::uint64_t));
+
+}  // namespace crcw

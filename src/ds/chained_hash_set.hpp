@@ -1,0 +1,199 @@
+// ChainedHashSet — separate chaining whose node allocation rides the
+// SlotAllocator's chunk grants: one shared fetch_add per util::slot_chunk()
+// nodes instead of one per insert, the exact contention reduction
+// core/slot_alloc.hpp built for the frontier kernels, applied to hash
+// nodes (Bender et al., "Fast Concurrent Primitives Despite Contention":
+// fewer threads touching one line beats micro-tuning the RMW).
+//
+// Insert is a Treiber push onto the bucket's head index with a
+// self-tombstoning dedup pass:
+//
+//   1. scan the chain — if the key appears anywhere, it is present (see
+//      the invariant below) and no node is spent;
+//   2. grant a node from the caller's lane, fill it, CAS it in at head;
+//   3. re-scan *from the new node's next pointer*: if the key appears
+//      deeper, an older insert of the same key committed first — mark our
+//      own node dead and report kFound. Only the deepest same-key node
+//      stays live, so exactly one thread per key returns kInserted: the
+//      arbitrary-CW one-winner contract, without marked pointers or
+//      unlinking.
+//
+// Invariant (why scans may ignore the dead flag): a dead node was
+// tombstoned because a same-key node sat deeper; by induction along the
+// finite chain the deepest same-key node is always live. Hence *any*
+// occurrence of a key — dead or not — proves membership. The flag exists
+// only so for_each() visits each key once.
+//
+// Indices, not pointers, link the chain: nodes live in one arena sized at
+// construction, are never freed or reused (tombstones stay), so there is
+// no ABA window on the head CAS.
+//
+// Threading contract mirrors SlotAllocator's: at most one thread per lane
+// at a time (OpenMP callers pass omp_get_thread_num(); raw threads pass
+// their own dense ids); inserts/lookups run concurrently, for_each and
+// counter readout are serial/post-barrier.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "core/slot_alloc.hpp"
+#include "ds/hash_common.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace crcw::ds {
+
+template <typename Key = std::uint64_t>
+  requires std::unsigned_integral<Key>
+class ChainedHashSet {
+ public:
+  static constexpr std::uint64_t kNil = std::numeric_limits<std::uint64_t>::max();
+
+  /// `capacity` bounds the *nodes spent*, which exceeds distinct keys by
+  /// the tombstoned duplicates plus each lane's unconsumed chunk tail
+  /// (SlotAllocator::slack()); the arena adds that slack on top.
+  ChainedHashSet(std::uint64_t capacity, int lanes, HashConfig cfg = {})
+      : cfg_(std::move(cfg)),
+        telemetry_(cfg_),
+        heads_(bucket_count_for(static_cast<std::uint64_t>(
+            static_cast<double>(capacity < 1 ? 1 : capacity) / cfg_.max_load))),
+        mask_(heads_.size() - 1),
+        alloc_(lanes),
+        arena_(alloc_.capacity_for(capacity)) {}
+
+  [[nodiscard]] std::uint64_t bucket_count() const noexcept { return heads_.size(); }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_.total(); }
+  [[nodiscard]] SlotAllocator& allocator() noexcept { return alloc_; }
+
+  /// Inserts `key` using the caller's lane. Lock-free (the head CAS
+  /// retries only when another insert committed). kFull means the node
+  /// arena is exhausted — unlike the open tables there is no grow
+  /// protocol; size the arena for the workload.
+  SetInsert insert(int lane, Key key) {
+    const std::uint64_t b = mix64(key) & mask_;
+    std::atomic<std::uint64_t>& head = heads_[b].index;
+
+    std::uint64_t top = head.load(std::memory_order_acquire);
+    if (chain_has(top, key)) return SetInsert::kFound;
+
+    const std::uint64_t slot = alloc_.grant(lane);
+    if (slot >= arena_.size()) return SetInsert::kFull;
+    Node& node = arena_[slot];
+    node.key = key;
+
+    for (;;) {
+      node.next.store(top, std::memory_order_relaxed);
+      telemetry_.cas();
+      if (head.compare_exchange_weak(top, slot, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        break;
+      }
+      // `top` reloaded; re-link and retry. A failed CAS means another
+      // insert committed — lock-free, not wait-free.
+    }
+
+    // Dedup: an older same-key node deeper in the chain wins.
+    if (chain_has(node.next.load(std::memory_order_relaxed), key)) {
+      node.dead.store(true, std::memory_order_release);
+      return SetInsert::kFound;
+    }
+    telemetry_.win();
+    size_.add(1);
+    return SetInsert::kInserted;
+  }
+
+  /// Wait-free membership test (bounded by chain length); concurrent
+  /// inserts may or may not be visible.
+  [[nodiscard]] bool contains(Key key) const noexcept {
+    const std::uint64_t b = mix64(key) & mask_;
+    return chain_has(heads_[b].index.load(std::memory_order_acquire), key);
+  }
+
+  /// Serial/post-barrier iteration over live (deduplicated) keys.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Head& h : heads_) {
+      for (std::uint64_t i = h.index.load(std::memory_order_acquire); i != kNil;
+           i = arena_[i].next.load(std::memory_order_acquire)) {
+        if (!arena_[i].dead.load(std::memory_order_acquire)) fn(arena_[i].key);
+      }
+    }
+  }
+
+  /// Mean/max chain length over non-empty buckets (diagnostics; serial).
+  [[nodiscard]] std::pair<double, std::uint64_t> chain_stats() const {
+    std::uint64_t nodes = 0, chains = 0, longest = 0;
+    for (const Head& h : heads_) {
+      std::uint64_t len = 0;
+      for (std::uint64_t i = h.index.load(std::memory_order_acquire); i != kNil;
+           i = arena_[i].next.load(std::memory_order_acquire)) {
+        ++len;
+      }
+      if (len > 0) {
+        ++chains;
+        nodes += len;
+        longest = std::max(longest, len);
+      }
+    }
+    return {chains == 0 ? 0.0 : static_cast<double>(nodes) / static_cast<double>(chains),
+            longest};
+  }
+
+  // -- telemetry ------------------------------------------------------------
+
+  [[nodiscard]] TableTelemetry& telemetry() noexcept { return telemetry_; }
+
+  /// Round boundary hook: folds the allocator's shared-cursor refills into
+  /// the site (counter `refills`) and flushes the round histograms.
+  /// Serial/post-barrier.
+  void flush_round() noexcept {
+    if (telemetry_.enabled()) {
+      const std::uint64_t refills = alloc_.refills();
+      for (std::uint64_t i = folded_refills_; i < refills; ++i) telemetry_.chunk_claim();
+      folded_refills_ = refills;
+    }
+    telemetry_.flush_round();
+  }
+
+ private:
+  struct Node {
+    Key key{};
+    std::atomic<std::uint64_t> next{kNil};
+    std::atomic<bool> dead{false};
+  };
+
+  struct Head {
+    std::atomic<std::uint64_t> index{kNil};
+  };
+
+  /// Whether `key` occurs anywhere in the chain starting at `from`. Dead
+  /// nodes count (see the file-comment invariant).
+  [[nodiscard]] bool chain_has(std::uint64_t from, Key key) const noexcept {
+    std::uint64_t walked = 0;
+    for (std::uint64_t i = from; i != kNil;
+         i = arena_[i].next.load(std::memory_order_acquire)) {
+      ++walked;
+      if (arena_[i].key == key) {
+        telemetry_.probes(walked);
+        return true;
+      }
+    }
+    telemetry_.probes(walked);
+    return false;
+  }
+
+  HashConfig cfg_;
+  mutable TableTelemetry telemetry_;  ///< counters only; recorders are thread-safe
+  util::AlignedBuffer<Head> heads_;
+  std::uint64_t mask_;
+  SlotAllocator alloc_;
+  util::AlignedBuffer<Node> arena_;
+  ShardedCounter size_;
+  std::uint64_t folded_refills_ = 0;  ///< serial: flush_round only
+};
+
+}  // namespace crcw::ds

@@ -1,0 +1,289 @@
+// ConcurrentHashMap — open addressing over TaggedBucket: the key claim
+// arbitrates which key owns a bucket (arbitrary-CW insert race, as in
+// ConcurrentHashSet) and the bucket's RoundTag arbitrates which *value*
+// commits per round (paper-faithful CAS-LT, as in ConWriteCell). The two
+// arbitrations compose: for N threads upserting the same key in round r,
+// exactly one claims the bucket (if it was empty) and exactly one — not
+// necessarily the same thread — wins the round-r value write; everyone
+// else returns kLost wait-free and reads the committed value after the
+// step barrier.
+//
+// Values are plain (non-atomic) payloads published by the step barrier,
+// the exact ConWriteCell contract: find() is valid from serial code or
+// after the barrier that closed the writing round, not mid-round.
+//
+// Growth is the same cooperative chunk-swept protocol as the set (see
+// concurrent_hash_set.hpp); migration additionally carries each bucket's
+// value and its tag's last committed round, so round monotonicity survives
+// the swap.
+#pragma once
+
+#include <omp.h>
+
+#include <atomic>
+#include <cassert>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+#include "core/tagged_bucket.hpp"
+#include "ds/hash_common.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/sanitizer.hpp"
+
+namespace crcw::ds {
+
+/// Outcome of a round-arbitrated upsert.
+enum class MapUpsert {
+  kWon,   ///< this thread's value is the round's committed write
+  kLost,  ///< another thread won this (key, round); read it post-barrier
+  kFull,  ///< probe walk exhausted: grow, then retry
+};
+
+template <typename Key, typename Value>
+  requires std::unsigned_integral<Key> && std::is_nothrow_default_constructible_v<Value>
+class ConcurrentHashMap {
+ public:
+  static constexpr Key kEmptyKey = TaggedBucket<Key>::kEmptyKey;
+
+  explicit ConcurrentHashMap(std::uint64_t capacity, HashConfig cfg = {})
+      : cfg_(std::move(cfg)),
+        telemetry_(cfg_),
+        buckets_(bucket_count_for(required_buckets(capacity, cfg_.max_load))),
+        mask_(buckets_.size() - 1) {}
+
+  [[nodiscard]] std::uint64_t bucket_count() const noexcept { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_.total(); }
+
+  /// First-writer-wins insert (no round): the claim winner stores `v`,
+  /// everyone else observes the key as present. This is the build-phase
+  /// primitive (semijoin's arbitrary pick among duplicate build keys).
+  /// Returns kInserted for the winner, kFound otherwise; value is
+  /// barrier-published.
+  SetInsert insert_first(Key key, const Value& v) {
+    Bucket* bucket = nullptr;
+    const SetInsert r = claim_bucket(key, bucket);
+    if (r == SetInsert::kInserted) {
+      const util::TsanIgnoreWritesScope published_by_barrier;
+      bucket->value = v;
+    }
+    return r;
+  }
+
+  /// Round-arbitrated upsert: claims the bucket if empty, then races the
+  /// bucket's RoundTag with CAS-LT for round `round`. One winner per
+  /// (key, round) stores `v`; rounds must be strictly increasing per the
+  /// RoundTag contract (use one counter per map, advanced between
+  /// barriers).
+  MapUpsert upsert(round_t round, Key key, const Value& v) {
+    Bucket* bucket = nullptr;
+    if (claim_bucket(key, bucket) == SetInsert::kFull) return MapUpsert::kFull;
+    if (!acquire_round(*bucket, round)) return MapUpsert::kLost;
+    const util::TsanIgnoreWritesScope published_by_barrier;
+    bucket->value = v;
+    return MapUpsert::kWon;
+  }
+
+  /// Winner-computes upsert: the factory runs only in the winning thread.
+  template <typename Factory>
+    requires std::is_invocable_r_v<Value, Factory>
+  MapUpsert upsert_with(round_t round, Key key, Factory&& make) {
+    Bucket* bucket = nullptr;
+    if (claim_bucket(key, bucket) == SetInsert::kFull) return MapUpsert::kFull;
+    if (!acquire_round(*bucket, round)) return MapUpsert::kLost;
+    Value made = std::forward<Factory>(make)();
+    const util::TsanIgnoreWritesScope published_by_barrier;
+    bucket->value = std::move(made);
+    return MapUpsert::kWon;
+  }
+
+  /// Pointer to the committed value for `key`, or nullptr. Read from
+  /// serial code or after the barrier that closed the writing round.
+  [[nodiscard]] const Value* find(Key key) const noexcept {
+    const Bucket* bucket = find_bucket(key);
+    return bucket == nullptr ? nullptr : &bucket->value;
+  }
+
+  [[nodiscard]] bool contains(Key key) const noexcept {
+    return find_bucket(key) != nullptr;
+  }
+
+  /// Serial/post-barrier iteration over committed (key, value) pairs.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Bucket& bucket : buckets_) {
+      const Key k = bucket.tagged.key();
+      if (k != kEmptyKey) fn(k, bucket.value);
+    }
+  }
+
+  // -- cooperative grow (same protocol as ConcurrentHashSet) ----------------
+
+  [[nodiscard]] bool needs_grow() const noexcept {
+    return static_cast<double>(size()) >
+           cfg_.max_load * static_cast<double>(buckets_.size());
+  }
+
+  void grow_prepare(std::uint64_t factor = 2) {
+    assert(!growing() && "grow_prepare while a grow is already open");
+    if (factor < 2) factor = 2;
+    auto mig = std::make_unique<Migration>();
+    mig->buckets = util::AlignedBuffer<Bucket>(bucket_count_for(buckets_.size() * factor));
+    mig->mask = mig->buckets.size() - 1;
+    migration_ = std::move(mig);
+  }
+
+  [[nodiscard]] bool growing() const noexcept { return migration_ != nullptr; }
+
+  /// Chunk-swept cooperative migration; see concurrent_hash_set.hpp. Each
+  /// occupied bucket's key, value, and last committed round move together,
+  /// so post-grow CAS-LT writes keep refusing already-committed rounds.
+  void grow_help() {
+    Migration& mig = *migration_;
+    const std::uint64_t end = buckets_.size();
+    for (;;) {
+      const std::uint64_t begin = mig.cursor.fetch_add(cfg_.migrate_chunk,
+                                                       std::memory_order_relaxed);
+      if (begin >= end) return;
+      telemetry_.chunk_claim();
+      const std::uint64_t stop = std::min(begin + cfg_.migrate_chunk, end);
+      for (std::uint64_t i = begin; i < stop; ++i) {
+        Bucket& old = buckets_[i];
+        const Key k = old.tagged.key();
+        if (k != kEmptyKey) migrate_into(mig, k, old);
+      }
+      telemetry_.migrated(stop - begin);
+    }
+  }
+
+  void grow_finish() {
+    assert(growing() && "grow_finish without grow_prepare");
+    assert(migration_->cursor.load(std::memory_order_relaxed) >= buckets_.size() &&
+           "grow_finish before the migration sweep completed");
+    buckets_ = std::move(migration_->buckets);
+    mask_ = migration_->mask;
+    migration_.reset();
+  }
+
+  void grow_parallel(int threads = 0, std::uint64_t factor = 2) {
+    grow_prepare(factor);
+#pragma omp parallel num_threads(threads > 0 ? threads : omp_get_max_threads())
+    grow_help();
+    grow_finish();
+  }
+
+  bool maybe_grow_parallel(int threads = 0, std::uint64_t factor = 2) {
+    if (!needs_grow()) return false;
+    grow_parallel(threads, factor);
+    return true;
+  }
+
+  // -- telemetry ------------------------------------------------------------
+
+  [[nodiscard]] TableTelemetry& telemetry() noexcept { return telemetry_; }
+  void flush_round() noexcept { telemetry_.flush_round(); }
+
+ private:
+  struct Bucket {
+    TaggedBucket<Key> tagged;
+    Value value{};
+  };
+
+  struct Migration {
+    util::AlignedBuffer<Bucket> buckets;
+    std::uint64_t mask = 0;
+    alignas(util::kCacheLineSize) std::atomic<std::uint64_t> cursor{0};
+  };
+
+  [[nodiscard]] static std::uint64_t required_buckets(std::uint64_t capacity,
+                                                      double max_load) {
+    if (max_load <= 0.0 || max_load > 1.0) {
+      throw std::invalid_argument("ConcurrentHashMap: max_load must be in (0, 1]");
+    }
+    return static_cast<std::uint64_t>(static_cast<double>(capacity < 1 ? 1 : capacity) /
+                                      max_load);
+  }
+
+  /// CAS-LT on the bucket's RoundTag with the telemetry mirroring
+  /// InstrumentedTag<CasLtPolicy>: the pre-load skip issues no RMW, so
+  /// `atomics` counts only real compare-exchanges.
+  bool acquire_round(Bucket& bucket, round_t round) {
+    RoundTag& tag = bucket.tagged.tag();
+    if (tag.last_round() >= round) return false;  // skip: no atomic issued
+    telemetry_.cas();
+    return tag.try_acquire(round);
+  }
+
+  /// Probe walk + claim; on kInserted/kFound, `bucket` points at the key's
+  /// bucket. Throws for the reserved sentinel key.
+  SetInsert claim_bucket(Key key, Bucket*& bucket) {
+    if (key == kEmptyKey) {
+      throw std::invalid_argument("ConcurrentHashMap: the all-ones key is reserved");
+    }
+    assert(!growing() && "write during cooperative grow: missing barrier");
+    std::uint64_t b = mix64(key) & mask_;
+    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
+      telemetry_.probes(1);
+      switch (buckets_[b].tagged.claim(key)) {
+        case BucketClaim::kWon:
+          telemetry_.cas();
+          telemetry_.win();
+          size_.add(1);
+          bucket = &buckets_[b];
+          return SetInsert::kInserted;
+        case BucketClaim::kHeld:
+          bucket = &buckets_[b];
+          return SetInsert::kFound;
+        case BucketClaim::kOther:
+          break;
+      }
+      b = (b + 1) & mask_;
+    }
+    return SetInsert::kFull;
+  }
+
+  [[nodiscard]] const Bucket* find_bucket(Key key) const noexcept {
+    if (key == kEmptyKey) return nullptr;
+    std::uint64_t b = mix64(key) & mask_;
+    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
+      const Key current = buckets_[b].tagged.key();
+      if (current == key) return &buckets_[b];
+      if (current == kEmptyKey) return nullptr;
+      b = (b + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  /// Migration insert: the claim always wins eventually (keys unique in
+  /// the old array); the value and committed round travel with it. Old
+  /// buckets are quiescent during the sweep (barrier before grow_help), so
+  /// plain reads of value/tag are safe.
+  void migrate_into(Migration& mig, Key key, const Bucket& old) {
+    std::uint64_t b = mix64(key) & mig.mask;
+    for (;;) {
+      telemetry_.probes(1);
+      const BucketClaim claim = mig.buckets[b].tagged.claim(key);
+      if (claim == BucketClaim::kWon) {
+        telemetry_.cas();
+        mig.buckets[b].value = old.value;
+        mig.buckets[b].tagged.tag().reset(old.tagged.tag().last_round());
+        return;
+      }
+      assert(claim == BucketClaim::kOther && "duplicate key in migration sweep");
+      b = (b + 1) & mig.mask;
+    }
+  }
+
+  HashConfig cfg_;
+  TableTelemetry telemetry_;
+  util::AlignedBuffer<Bucket> buckets_;
+  std::uint64_t mask_;
+  ShardedCounter size_;
+  std::unique_ptr<Migration> migration_;
+};
+
+}  // namespace crcw::ds

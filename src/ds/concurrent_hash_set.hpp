@@ -1,0 +1,251 @@
+// ConcurrentHashSet — open-addressing key membership with arbitrary-CW
+// insert arbitration and a cooperative, lock-free, chunk-swept resize.
+//
+// The insert race *is* a concurrent write: every thread offering key k
+// races one compare-exchange on k's home bucket, exactly one wins, and
+// every loser learns wait-free whether the committed value was its own key
+// (present) or a stranger's (probe on) — TaggedBucket's claim protocol,
+// which is CAS-LT with the empty sentinel in the stale-round role. There
+// are no locks anywhere: inserts are lock-free (bounded by the probe
+// walk), lookups are wait-free reads.
+//
+// Growth is DHash-style cooperative migration, run *between* rounds at the
+// PRAM step boundary instead of behind per-bucket locks: one thread calls
+// grow_prepare(), every thread then sweeps chunks of the old bucket array
+// claimed from a shared cursor (one RMW per `migrate_chunk` buckets — the
+// SlotAllocator trick applied to migration), and after the team's barrier
+// one thread calls grow_finish() to swap the arrays. Inserts and the
+// migration sweep never overlap, so migration needs no flags on the
+// buckets themselves; the protocol's safety hangs on the same barrier the
+// round structure already provides.
+//
+//   serial:   if (set.needs_grow()) set.grow_prepare();
+//   parallel: if (set.growing()) set.grow_help();   // every thread
+//   barrier
+//   serial:   if (set.growing()) set.grow_finish();
+//
+// or, from serial code with an OpenMP team: set.maybe_grow_parallel().
+#pragma once
+
+#include <omp.h>
+
+#include <atomic>
+#include <cassert>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "ds/hash_common.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace crcw::ds {
+
+template <typename Key = std::uint64_t>
+  requires std::unsigned_integral<Key>
+class ConcurrentHashSet {
+ public:
+  static constexpr Key kEmptyKey = std::numeric_limits<Key>::max();
+
+  /// Sizes the bucket array so `capacity` keys stay under cfg.max_load.
+  explicit ConcurrentHashSet(std::uint64_t capacity, HashConfig cfg = {})
+      : cfg_(std::move(cfg)),
+        telemetry_(cfg_),
+        buckets_(bucket_count_for(required_buckets(capacity, cfg_.max_load))),
+        mask_(buckets_.size() - 1) {}
+
+  [[nodiscard]] std::uint64_t bucket_count() const noexcept { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_.total(); }
+  [[nodiscard]] const HashConfig& config() const noexcept { return cfg_; }
+
+  /// Inserts `key`. Safe concurrently with other inserts and lookups; NOT
+  /// concurrently with the grow sweep (the round structure separates them).
+  /// Throws std::invalid_argument for the reserved sentinel key.
+  SetInsert insert(Key key) {
+    check_key(key);
+    assert(!growing() && "insert during cooperative grow: missing barrier");
+    std::uint64_t b = mix64(key) & mask_;
+    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
+      telemetry_.probes(1);
+      Key current = buckets_[b].key.load(std::memory_order_acquire);
+      if (current == kEmptyKey) {
+        telemetry_.cas();
+        if (buckets_[b].key.compare_exchange_strong(current, key,
+                                                    std::memory_order_acq_rel,
+                                                    std::memory_order_acquire)) {
+          telemetry_.win();
+          size_.add(1);
+          return SetInsert::kInserted;
+        }
+        // Lost the claim; `current` holds the winner's key — observe it
+        // wait-free, no reload, no retry on this bucket.
+      }
+      if (current == key) return SetInsert::kFound;
+      b = (b + 1) & mask_;
+    }
+    return SetInsert::kFull;
+  }
+
+  /// Membership test. Wait-free; concurrent inserts may or may not be
+  /// visible (keys never move or vanish outside a grow sweep, so a hit is
+  /// always authoritative).
+  [[nodiscard]] bool contains(Key key) const noexcept {
+    if (key == kEmptyKey) return false;
+    std::uint64_t b = mix64(key) & mask_;
+    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
+      const Key current = buckets_[b].key.load(std::memory_order_acquire);
+      if (current == key) return true;
+      if (current == kEmptyKey) return false;
+      b = (b + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Serial/post-barrier iteration over the committed keys.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Bucket& bucket : buckets_) {
+      const Key k = bucket.key.load(std::memory_order_acquire);
+      if (k != kEmptyKey) fn(k);
+    }
+  }
+
+  // -- cooperative grow (between rounds; see file comment) ------------------
+
+  /// True once occupancy exceeds cfg.max_load. Serial or post-barrier.
+  [[nodiscard]] bool needs_grow() const noexcept {
+    return static_cast<double>(size()) >
+           cfg_.max_load * static_cast<double>(buckets_.size());
+  }
+
+  /// Serial: allocates the next array (factor × buckets) and opens the
+  /// migration window.
+  void grow_prepare(std::uint64_t factor = 2) {
+    assert(!growing() && "grow_prepare while a grow is already open");
+    if (factor < 2) factor = 2;
+    auto mig = std::make_unique<Migration>();
+    mig->buckets = util::AlignedBuffer<Bucket>(bucket_count_for(buckets_.size() * factor));
+    mig->mask = mig->buckets.size() - 1;
+    migration_ = std::move(mig);
+  }
+
+  [[nodiscard]] bool growing() const noexcept { return migration_ != nullptr; }
+
+  /// Any thread, repeatedly until it returns: claims chunks of the old
+  /// bucket array from the shared cursor and re-inserts every occupied
+  /// bucket into the next array. Lock-free: one fetch_add per chunk, one
+  /// claim CAS per occupied bucket, and a stalled helper blocks nobody —
+  /// the chunks it claimed are its own. Returns when the cursor is
+  /// exhausted (which does NOT mean every chunk is migrated — the caller's
+  /// barrier before grow_finish() establishes that).
+  void grow_help() {
+    Migration& mig = *migration_;
+    const std::uint64_t end = buckets_.size();
+    for (;;) {
+      const std::uint64_t begin = mig.cursor.fetch_add(cfg_.migrate_chunk,
+                                                       std::memory_order_relaxed);
+      if (begin >= end) return;
+      telemetry_.chunk_claim();
+      const std::uint64_t stop = std::min(begin + cfg_.migrate_chunk, end);
+      for (std::uint64_t i = begin; i < stop; ++i) {
+        const Key k = buckets_[i].key.load(std::memory_order_acquire);
+        if (k != kEmptyKey) migrate_into(mig, k);
+      }
+      telemetry_.migrated(stop - begin);
+    }
+  }
+
+  /// Serial, after every helper has passed the barrier: installs the next
+  /// array.
+  void grow_finish() {
+    assert(growing() && "grow_finish without grow_prepare");
+    assert(migration_->cursor.load(std::memory_order_relaxed) >= buckets_.size() &&
+           "grow_finish before the migration sweep completed");
+    buckets_ = std::move(migration_->buckets);
+    mask_ = migration_->mask;
+    migration_.reset();
+  }
+
+  /// Serial convenience: the whole protocol over an OpenMP team.
+  /// `threads <= 0` means the ambient OpenMP default.
+  void grow_parallel(int threads = 0, std::uint64_t factor = 2) {
+    grow_prepare(factor);
+#pragma omp parallel num_threads(threads > 0 ? threads : omp_get_max_threads())
+    grow_help();
+    // The implicit barrier at parallel-region end is the protocol barrier.
+    grow_finish();
+  }
+
+  /// Serial: grows iff needed; returns whether it grew.
+  bool maybe_grow_parallel(int threads = 0, std::uint64_t factor = 2) {
+    if (!needs_grow()) return false;
+    grow_parallel(threads, factor);
+    return true;
+  }
+
+  // -- telemetry ------------------------------------------------------------
+
+  [[nodiscard]] TableTelemetry& telemetry() noexcept { return telemetry_; }
+
+  /// Round boundary hook: folds the round's counter deltas into the site's
+  /// per-round histograms. Serial/post-barrier.
+  void flush_round() noexcept { telemetry_.flush_round(); }
+
+ private:
+  struct Bucket {
+    std::atomic<Key> key{kEmptyKey};
+  };
+
+  struct Migration {
+    util::AlignedBuffer<Bucket> buckets;
+    std::uint64_t mask = 0;
+    alignas(util::kCacheLineSize) std::atomic<std::uint64_t> cursor{0};
+  };
+
+  static void check_key(Key key) {
+    if (key == kEmptyKey) {
+      throw std::invalid_argument("ConcurrentHashSet: the all-ones key is reserved");
+    }
+  }
+
+  [[nodiscard]] static std::uint64_t required_buckets(std::uint64_t capacity,
+                                                      double max_load) {
+    if (max_load <= 0.0 || max_load > 1.0) {
+      throw std::invalid_argument("ConcurrentHashSet: max_load must be in (0, 1]");
+    }
+    return static_cast<std::uint64_t>(static_cast<double>(capacity < 1 ? 1 : capacity) /
+                                      max_load);
+  }
+
+  /// Migration insert: helpers never offer the same key twice (keys are
+  /// unique in the old array), so the claim either wins or probes past a
+  /// different key — kHeld cannot happen, and the next array (≥ 2×) cannot
+  /// fill.
+  void migrate_into(Migration& mig, Key key) {
+    std::uint64_t b = mix64(key) & mig.mask;
+    for (;;) {
+      telemetry_.probes(1);
+      Key current = mig.buckets[b].key.load(std::memory_order_acquire);
+      if (current == kEmptyKey) {
+        telemetry_.cas();
+        if (mig.buckets[b].key.compare_exchange_strong(current, key,
+                                                       std::memory_order_acq_rel,
+                                                       std::memory_order_acquire)) {
+          return;
+        }
+      }
+      assert(current != key && "duplicate key in migration sweep");
+      b = (b + 1) & mig.mask;
+    }
+  }
+
+  HashConfig cfg_;
+  TableTelemetry telemetry_;
+  util::AlignedBuffer<Bucket> buckets_;
+  std::uint64_t mask_;
+  ShardedCounter size_;
+  std::unique_ptr<Migration> migration_;
+};
+
+}  // namespace crcw::ds

@@ -1,0 +1,144 @@
+// Shared vocabulary of the ds/ hash tables: the key mixer, probe/capacity
+// arithmetic, sharded size counters, and the telemetry knob.
+//
+// Layering: ds/ sits on core/ (TaggedBucket, RoundTag, SlotAllocator) and
+// util/, and reports into obs/ the same way the arbiters do — through a
+// ContentionSite, so table probes/migrations land in the same
+// MetricsRegistry snapshots and BENCH_*.json counters as the CW kernels.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/cacheline.hpp"
+
+namespace crcw::ds {
+
+/// splitmix64's finalizer (util/rng.hpp uses the same constants inside
+/// SplitMix64::next): a full-avalanche 64-bit mixer, so linear probing over
+/// a power-of-two table sees well-spread home slots even for sequential
+/// keys. test_rng.cpp's avalanche smoke test pins the quality claim.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Seeded variant: used when a table rehashes into a different bucket
+/// permutation (DHash's "change the hash function" move) and by the
+/// avalanche test to decorrelate streams.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x, std::uint64_t seed) noexcept {
+  return mix64(x + 0x9e3779b97f4a7c15ull * seed);
+}
+
+/// Smallest power of two >= max(n, 2) — bucket counts stay pow2 so the
+/// probe sequence can mask instead of mod.
+[[nodiscard]] constexpr std::uint64_t bucket_count_for(std::uint64_t n) noexcept {
+  return std::bit_ceil(n < 2 ? std::uint64_t{2} : n);
+}
+
+/// Outcome of a key insert (set and map build phases share it).
+enum class SetInsert {
+  kInserted,  ///< this thread committed the key (the arbitration winner)
+  kFound,     ///< the key was already present (possibly committed this round
+              ///< by a racing thread — the loser observes it wait-free)
+  kFull,      ///< the probe walk exhausted the table: grow, then retry
+};
+
+/// Construction-time knobs shared by the ds/ tables.
+struct HashConfig {
+  /// Bucket count = bucket_count_for(capacity / max_load) so `capacity`
+  /// keys fit below the load factor that keeps linear probing short.
+  double max_load = 0.5;
+  /// Buckets migrated per shared-cursor claim during cooperative resize
+  /// (the chunked sweep; one RMW per chunk, like SlotAllocator grants).
+  std::uint64_t migrate_chunk = 256;
+  /// Attach a ContentionSite and count probes/CASes/migrations. For
+  /// profile passes only — counting costs sharded RMWs (see
+  /// InstrumentedPolicy's caveat).
+  bool telemetry = false;
+  /// Site name when telemetry is on.
+  std::string site_name = "hash";
+};
+
+/// Table occupancy counter, sharded like obs::ContentionSite so concurrent
+/// inserts never bounce one line. total() is serial/post-barrier exact.
+class ShardedCounter {
+ public:
+  static constexpr std::size_t kShards = 32;
+
+  void add(std::uint64_t k) noexcept {
+    shards_[shard_index()].value.fetch_add(k, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto& s : shards_) t += s.value.load(std::memory_order_relaxed);
+    return t;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(util::kCacheLineSize) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  /// Dense thread index, recycled mod kShards (same contract as
+  /// ContentionSite: collisions degrade to sharing, never to wrong counts).
+  [[nodiscard]] static std::size_t shard_index() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+    return index % kShards;
+  }
+
+  Shard shards_[kShards];
+};
+
+/// The telemetry half every table embeds: a lazily constructed
+/// ContentionSite plus inline no-op-when-off recorders. Counter mapping
+/// (documented in docs/architecture.md "ds layer"):
+///   attempts   bucket probes (so attempts/wins = mean probe length)
+///   atomics    claim/tag CASes issued
+///   wins       inserts that committed a new key
+///   refills    chunk claims (migration sweeps, chained node grants)
+///   reset_tags buckets migrated by resize sweeps
+class TableTelemetry {
+ public:
+  explicit TableTelemetry(const HashConfig& cfg) {
+    if (cfg.telemetry) site_ = std::make_unique<obs::ContentionSite>(cfg.site_name);
+  }
+
+  void probes(std::uint64_t k) noexcept {
+    if (site_) site_->add_attempts(k);
+  }
+  void cas() noexcept {
+    if (site_) site_->count_atomic();
+  }
+  void win() noexcept {
+    if (site_) site_->count_win();
+  }
+  void chunk_claim() noexcept {
+    if (site_) site_->add_refills(1);
+  }
+  void migrated(std::uint64_t buckets) noexcept {
+    if (site_ && buckets > 0) site_->add_reset_tags(buckets);
+  }
+  void flush_round() noexcept {
+    if (site_) site_->flush_round();
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return site_ != nullptr; }
+  [[nodiscard]] obs::ContentionSite* site() noexcept { return site_.get(); }
+
+ private:
+  std::unique_ptr<obs::ContentionSite> site_;
+};
+
+}  // namespace crcw::ds

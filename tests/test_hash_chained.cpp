@@ -1,0 +1,142 @@
+// ChainedHashSet: Treiber push, self-tombstone dedup, SlotAllocator-backed
+// node arena.
+#include "ds/chained_hash_set.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace crcw::ds {
+namespace {
+
+TEST(ChainedHashSet, InsertThenContains) {
+  ChainedHashSet<> set(16, 1);
+  EXPECT_EQ(set.insert(0, 7), SetInsert::kInserted);
+  EXPECT_EQ(set.insert(0, 9), SetInsert::kInserted);
+  EXPECT_EQ(set.insert(0, 7), SetInsert::kFound);
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_TRUE(set.contains(9));
+  EXPECT_FALSE(set.contains(8));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ChainedHashSet, DuplicatesSpendNoNodesWhenVisible) {
+  // A key already in the chain is caught by the pre-scan, so repeats from
+  // the same thread never draw from the arena.
+  ChainedHashSet<> set(8, 1);
+  ASSERT_EQ(set.insert(0, 1), SetInsert::kInserted);
+  const std::uint64_t grants_after_first = set.allocator().grants();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(set.insert(0, 1), SetInsert::kFound);
+  EXPECT_EQ(set.allocator().grants(), grants_after_first);
+}
+
+TEST(ChainedHashSet, ArenaExhaustionReportsKFull) {
+  // One lane at the default chunk: arena = capacity + 1·chunk nodes; spend
+  // them all on distinct keys and the next insert must report kFull
+  // without corrupting existing chains.
+  ChainedHashSet<> set(4, 1);
+  std::uint64_t k = 0;
+  std::vector<std::uint64_t> inserted;
+  for (;; ++k) {
+    const SetInsert r = set.insert(0, k);
+    if (r == SetInsert::kFull) break;
+    ASSERT_EQ(r, SetInsert::kInserted);
+    inserted.push_back(k);
+    ASSERT_LT(k, 10000u) << "arena never filled";
+  }
+  EXPECT_EQ(set.size(), inserted.size());
+  for (const std::uint64_t key : inserted) EXPECT_TRUE(set.contains(key));
+  EXPECT_FALSE(set.contains(k));  // the refused key is absent
+  EXPECT_EQ(set.insert(0, inserted.front()), SetInsert::kFound);  // lookups intact
+}
+
+TEST(ChainedHashSet, ForEachVisitsLiveKeysOnce) {
+  ChainedHashSet<> set(128, 1);
+  for (std::uint64_t k = 0; k < 100; ++k) (void)set.insert(0, k);
+  for (std::uint64_t k = 0; k < 100; ++k) (void)set.insert(0, k);  // dups
+  std::multiset<std::uint64_t> seen;
+  set.for_each([&](std::uint64_t k) { seen.insert(k); });
+  EXPECT_EQ(seen.size(), 100u);
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_EQ(seen.count(k), 1u);
+}
+
+TEST(ChainedHashSet, ChainStatsSeeSpreadKeys) {
+  ChainedHashSet<> set(1024, 1);
+  for (std::uint64_t k = 0; k < 1000; ++k) (void)set.insert(0, k);
+  const auto [mean, longest] = set.chain_stats();
+  EXPECT_GE(mean, 1.0);
+  EXPECT_GE(longest, 1u);
+  // max_load 0.5 and an avalanche mixer: long chains would indicate a
+  // broken hash. Generous bound — this is a smoke check, not a tail proof.
+  EXPECT_LE(longest, 16u);
+}
+
+TEST(ChainedHashSet, ParallelInsertOneWinnerPerKey) {
+  const int threads = std::max(4, omp_get_max_threads());
+  constexpr std::uint64_t kKeys = 1000;
+  // Every thread offers every key: arena must absorb up to threads×kKeys
+  // nodes (losers tombstone, nodes are never reclaimed).
+  ChainedHashSet<> set(kKeys * static_cast<std::uint64_t>(threads), threads);
+  std::vector<int> winners(kKeys, 0);
+#pragma omp parallel num_threads(threads)
+  {
+    const int lane = omp_get_thread_num();
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      if (set.insert(lane, k) == SetInsert::kInserted) {
+#pragma omp atomic
+        ++winners[k];
+      }
+    }
+  }
+  EXPECT_EQ(set.size(), kKeys);
+  std::multiset<std::uint64_t> seen;
+  set.for_each([&](std::uint64_t k) { seen.insert(k); });
+  EXPECT_EQ(seen.size(), kKeys);  // tombstones hid every duplicate
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(winners[k], 1) << "key " << k;
+    EXPECT_TRUE(set.contains(k));
+    EXPECT_EQ(seen.count(k), 1u);
+  }
+}
+
+TEST(ChainedHashSet, FlushRoundFoldsAllocatorRefills) {
+  obs::MetricsRegistry local;
+  {
+    const obs::ScopedRegistry scoped(local);
+    HashConfig cfg;
+    cfg.telemetry = true;
+    cfg.site_name = "unit-chained";
+    ChainedHashSet<> set(2048, 1, cfg);
+    for (std::uint64_t k = 0; k < 600; ++k) (void)set.insert(0, k);
+    set.flush_round();
+    // 600 grants at chunk 256 → 3 shared-cursor refills, surfaced as the
+    // site's refills counter.
+    EXPECT_EQ(local.totals().refills, set.allocator().refills());
+    EXPECT_GE(local.totals().refills, 2u);
+    EXPECT_EQ(local.totals().wins, 600u);
+  }
+}
+
+TEST(ChainedHashSet, RandomizedAgainstStdSet) {
+  util::Xoshiro256 rng(7);
+  ChainedHashSet<> set(4000, 1);
+  std::set<std::uint64_t> reference;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t k = rng.bounded(1500);
+    const bool fresh = reference.insert(k).second;
+    EXPECT_EQ(set.insert(0, k),
+              fresh ? SetInsert::kInserted : SetInsert::kFound);
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  for (const std::uint64_t k : reference) EXPECT_TRUE(set.contains(k));
+}
+
+}  // namespace
+}  // namespace crcw::ds

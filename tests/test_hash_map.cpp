@@ -1,0 +1,171 @@
+// ConcurrentHashMap: claim + round-tag composition, grow with values,
+// round monotonicity across migration.
+#include "ds/concurrent_hash_map.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace crcw::ds {
+namespace {
+
+using Map = ConcurrentHashMap<std::uint64_t, std::uint64_t>;
+
+TEST(HashMap, InsertFirstThenFind) {
+  Map map(16);
+  EXPECT_EQ(map.insert_first(7, 70), SetInsert::kInserted);
+  EXPECT_EQ(map.insert_first(7, 71), SetInsert::kFound);  // loser, value kept
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 70u);
+  EXPECT_EQ(map.find(8), nullptr);
+  EXPECT_TRUE(map.contains(7));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(HashMap, SentinelKeyThrows) {
+  Map map(4);
+  EXPECT_THROW((void)map.insert_first(Map::kEmptyKey, 0), std::invalid_argument);
+  EXPECT_THROW((void)map.upsert(1, Map::kEmptyKey, 0), std::invalid_argument);
+  EXPECT_EQ(map.find(Map::kEmptyKey), nullptr);
+}
+
+TEST(HashMap, UpsertOneWinnerPerRound) {
+  Map map(16);
+  EXPECT_EQ(map.upsert(1, 7, 100), MapUpsert::kWon);
+  EXPECT_EQ(map.upsert(1, 7, 200), MapUpsert::kLost);  // round 1 closed
+  EXPECT_EQ(*map.find(7), 100u);
+  EXPECT_EQ(map.upsert(2, 7, 300), MapUpsert::kWon);  // round 2 reopens
+  EXPECT_EQ(*map.find(7), 300u);
+  EXPECT_EQ(map.size(), 1u);  // still one key
+}
+
+TEST(HashMap, UpsertWithRunsFactoryOnlyForWinner) {
+  Map map(16);
+  int calls = 0;
+  const auto make = [&]() -> std::uint64_t {
+    ++calls;
+    return 5;
+  };
+  EXPECT_EQ(map.upsert_with(1, 9, make), MapUpsert::kWon);
+  EXPECT_EQ(map.upsert_with(1, 9, make), MapUpsert::kLost);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(*map.find(9), 5u);
+}
+
+TEST(HashMap, FullTableReportsKFull) {
+  HashConfig cfg;
+  cfg.max_load = 1.0;
+  Map map(2, cfg);
+  ASSERT_EQ(map.bucket_count(), 2u);
+  EXPECT_EQ(map.upsert(1, 10, 1), MapUpsert::kWon);
+  EXPECT_EQ(map.upsert(1, 11, 2), MapUpsert::kWon);
+  EXPECT_EQ(map.upsert(1, 12, 3), MapUpsert::kFull);
+}
+
+TEST(HashMap, ForEachSeesCommittedPairs) {
+  Map map(64);
+  for (std::uint64_t k = 0; k < 40; ++k) (void)map.insert_first(k, k * 10);
+  std::map<std::uint64_t, std::uint64_t> seen;
+  map.for_each([&](std::uint64_t k, const std::uint64_t& v) { seen[k] = v; });
+  ASSERT_EQ(seen.size(), 40u);
+  for (const auto& [k, v] : seen) EXPECT_EQ(v, k * 10);
+}
+
+TEST(HashMap, GrowCarriesValuesAndCommittedRounds) {
+  Map map(8);
+  ASSERT_EQ(map.upsert(5, 1, 111), MapUpsert::kWon);
+  ASSERT_EQ(map.upsert(5, 2, 222), MapUpsert::kWon);
+  const std::uint64_t before = map.bucket_count();
+
+  map.grow_prepare();
+  map.grow_help();
+  map.grow_finish();
+
+  EXPECT_GT(map.bucket_count(), before);
+  ASSERT_NE(map.find(1), nullptr);
+  EXPECT_EQ(*map.find(1), 111u);
+  EXPECT_EQ(*map.find(2), 222u);
+  // Round monotonicity survived the swap: round 5 is still committed, so a
+  // round-5 (or older) upsert must lose; round 6 must win.
+  EXPECT_EQ(map.upsert(5, 1, 999), MapUpsert::kLost);
+  EXPECT_EQ(map.upsert(4, 2, 999), MapUpsert::kLost);
+  EXPECT_EQ(*map.find(1), 111u);
+  EXPECT_EQ(map.upsert(6, 1, 666), MapUpsert::kWon);
+  EXPECT_EQ(*map.find(1), 666u);
+}
+
+TEST(HashMap, RepeatedGrowsKeepEveryPair) {
+  Map map(4);
+  std::map<std::uint64_t, std::uint64_t> reference;
+  round_t round = 0;
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    ++round;
+    ASSERT_EQ(map.upsert(round, k, k + 7), MapUpsert::kWon);
+    reference[k] = k + 7;
+    map.maybe_grow_parallel(2);
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    ASSERT_NE(map.find(k), nullptr) << "key " << k;
+    EXPECT_EQ(*map.find(k), v);
+  }
+}
+
+TEST(HashMap, ParallelUpsertOneWinnerPerKeyPerRound) {
+  const int threads = std::max(4, omp_get_max_threads());
+  constexpr std::uint64_t kKeys = 64;
+  Map map(kKeys);
+  for (round_t round = 1; round <= 20; ++round) {
+    std::vector<std::atomic<int>> winners(kKeys);
+#pragma omp parallel num_threads(threads)
+    {
+      const auto tid = static_cast<std::uint64_t>(omp_get_thread_num());
+      for (std::uint64_t k = 0; k < kKeys; ++k) {
+        // Winner encodes its thread id so the audit can check the
+        // committed value belongs to the (single) winner.
+        if (map.upsert(round, k, round * 1000 + tid) == MapUpsert::kWon) {
+          winners[k].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    // Post-barrier audit (the omp region's end is the barrier).
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      ASSERT_EQ(winners[k].load(), 1) << "round " << round << " key " << k;
+      const std::uint64_t* v = map.find(k);
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(*v / 1000, round);  // this round's write, not a stale one
+      EXPECT_LT(*v % 1000, static_cast<std::uint64_t>(threads));
+    }
+  }
+  EXPECT_EQ(map.size(), kKeys);
+}
+
+TEST(HashMap, TelemetrySkipsAtomicsForClosedRounds) {
+  obs::MetricsRegistry local;
+  {
+    const obs::ScopedRegistry scoped(local);
+    HashConfig cfg;
+    cfg.telemetry = true;
+    cfg.site_name = "unit-map";
+    Map map(16, cfg);
+    ASSERT_EQ(map.upsert(1, 7, 1), MapUpsert::kWon);  // claim CAS + tag CAS
+    const std::uint64_t after_win = local.totals().atomics;
+    EXPECT_EQ(after_win, 2u);
+    // A closed-round upsert takes the CAS-LT skip: no new atomic counted.
+    ASSERT_EQ(map.upsert(1, 7, 2), MapUpsert::kLost);
+    EXPECT_EQ(local.totals().atomics, after_win);
+    map.flush_round();
+  }
+  EXPECT_EQ(local.totals().wins, 1u);
+}
+
+}  // namespace
+}  // namespace crcw::ds

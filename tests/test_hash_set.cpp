@@ -1,0 +1,188 @@
+// ConcurrentHashSet: claim semantics, probing, cooperative grow, telemetry.
+#include "ds/concurrent_hash_set.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace crcw::ds {
+namespace {
+
+TEST(HashSet, InsertThenContains) {
+  ConcurrentHashSet<> set(16);
+  EXPECT_EQ(set.insert(7), SetInsert::kInserted);
+  EXPECT_EQ(set.insert(9), SetInsert::kInserted);
+  EXPECT_EQ(set.insert(7), SetInsert::kFound);
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_TRUE(set.contains(9));
+  EXPECT_FALSE(set.contains(8));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(HashSet, ZeroIsAValidKey) {
+  ConcurrentHashSet<> set(4);
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_EQ(set.insert(0), SetInsert::kInserted);
+  EXPECT_TRUE(set.contains(0));
+}
+
+TEST(HashSet, SentinelKeyThrows) {
+  ConcurrentHashSet<> set(4);
+  EXPECT_THROW((void)set.insert(ConcurrentHashSet<>::kEmptyKey), std::invalid_argument);
+  EXPECT_FALSE(set.contains(ConcurrentHashSet<>::kEmptyKey));
+}
+
+TEST(HashSet, RejectsBadLoadFactor) {
+  HashConfig cfg;
+  cfg.max_load = 0.0;
+  EXPECT_THROW(ConcurrentHashSet<>(8, cfg), std::invalid_argument);
+  cfg.max_load = 1.5;
+  EXPECT_THROW(ConcurrentHashSet<>(8, cfg), std::invalid_argument);
+}
+
+TEST(HashSet, BucketCountRespectsLoadFactor) {
+  // capacity / max_load keys must fit under the load factor: 100 at 0.5
+  // needs >= 200 buckets, rounded to the next power of two.
+  ConcurrentHashSet<> set(100);
+  EXPECT_EQ(set.bucket_count(), 256u);
+  HashConfig cfg;
+  cfg.max_load = 1.0;
+  ConcurrentHashSet<> tight(100, cfg);
+  EXPECT_EQ(tight.bucket_count(), 128u);
+}
+
+TEST(HashSet, FullTableReportsKFull) {
+  // max_load 1.0 lets the table fill completely: a 2-bucket table holds
+  // two keys, the third probe walk exhausts every bucket.
+  HashConfig cfg;
+  cfg.max_load = 1.0;
+  ConcurrentHashSet<> set(2, cfg);
+  ASSERT_EQ(set.bucket_count(), 2u);
+  EXPECT_EQ(set.insert(1), SetInsert::kInserted);
+  EXPECT_EQ(set.insert(2), SetInsert::kInserted);
+  EXPECT_EQ(set.insert(3), SetInsert::kFull);
+  EXPECT_EQ(set.insert(1), SetInsert::kFound);  // present keys still found
+}
+
+TEST(HashSet, ForEachVisitsEveryKeyOnce) {
+  ConcurrentHashSet<> set(64);
+  for (std::uint64_t k = 100; k < 150; ++k) (void)set.insert(k);
+  std::multiset<std::uint64_t> seen;
+  set.for_each([&](std::uint64_t k) { seen.insert(k); });
+  EXPECT_EQ(seen.size(), 50u);
+  for (std::uint64_t k = 100; k < 150; ++k) EXPECT_EQ(seen.count(k), 1u);
+}
+
+TEST(HashSet, SerialGrowProtocolPreservesKeys) {
+  ConcurrentHashSet<> set(8);
+  for (std::uint64_t k = 1; k <= 8; ++k) (void)set.insert(k);
+  const std::uint64_t before = set.bucket_count();
+  ASSERT_TRUE(set.needs_grow() || set.size() <= 8);  // occupancy may sit at the edge
+
+  set.grow_prepare(4);
+  EXPECT_TRUE(set.growing());
+  set.grow_help();  // single helper sweeps every chunk
+  set.grow_finish();
+  EXPECT_FALSE(set.growing());
+
+  EXPECT_GE(set.bucket_count(), before * 4);
+  EXPECT_EQ(set.size(), 8u);
+  for (std::uint64_t k = 1; k <= 8; ++k) EXPECT_TRUE(set.contains(k));
+  EXPECT_FALSE(set.contains(99));
+  EXPECT_EQ(set.insert(99), SetInsert::kInserted);  // still writable after
+}
+
+TEST(HashSet, MaybeGrowParallelGrowsExactlyWhenNeeded) {
+  ConcurrentHashSet<> set(16);
+  EXPECT_FALSE(set.maybe_grow_parallel());
+  const std::uint64_t before = set.bucket_count();
+  // Push occupancy past max_load (0.5 of 32 buckets = 16).
+  for (std::uint64_t k = 1; k <= 17; ++k) (void)set.insert(k);
+  EXPECT_TRUE(set.needs_grow());
+  EXPECT_TRUE(set.maybe_grow_parallel(2));
+  EXPECT_GT(set.bucket_count(), before);
+  EXPECT_FALSE(set.needs_grow());
+  for (std::uint64_t k = 1; k <= 17; ++k) EXPECT_TRUE(set.contains(k));
+}
+
+TEST(HashSet, RepeatedGrowsKeepEverything) {
+  util::Xoshiro256 rng(2024);
+  std::set<std::uint64_t> reference;
+  ConcurrentHashSet<> set(4);  // tiny start → many grows
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t k = rng.bounded(2000);
+    reference.insert(k);
+    (void)set.insert(k);
+    set.maybe_grow_parallel(2);
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  for (const std::uint64_t k : reference) EXPECT_TRUE(set.contains(k));
+}
+
+TEST(HashSet, ParallelInsertOneWinnerPerKey) {
+  const int threads = std::max(4, omp_get_max_threads());
+  constexpr std::uint64_t kKeys = 1000;
+  ConcurrentHashSet<> set(kKeys);
+  std::vector<int> winners(kKeys, 0);
+  // Every thread offers every key: exactly one kInserted per key.
+#pragma omp parallel num_threads(threads)
+  {
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      if (set.insert(k) == SetInsert::kInserted) {
+#pragma omp atomic
+        ++winners[k];
+      }
+    }
+  }
+  EXPECT_EQ(set.size(), kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(winners[k], 1) << "key " << k;
+    EXPECT_TRUE(set.contains(k));
+  }
+}
+
+TEST(HashSet, TelemetryCountsMapToTableEvents) {
+  obs::MetricsRegistry local;
+  {
+    const obs::ScopedRegistry scoped(local);
+    HashConfig cfg;
+    cfg.telemetry = true;
+    cfg.site_name = "unit-set";
+    cfg.migrate_chunk = 8;
+    ConcurrentHashSet<> set(16, cfg);
+    for (std::uint64_t k = 0; k < 20; ++k) (void)set.insert(k);
+    for (std::uint64_t k = 0; k < 20; ++k) (void)set.insert(k);  // all kFound
+    set.grow_parallel(2);
+    set.flush_round();
+  }
+  const obs::ContentionTotals t = local.totals();
+  EXPECT_EQ(t.wins, 20u);            // one win per distinct key
+  EXPECT_GE(t.atomics, t.wins);      // every win cost a CAS; migration adds more
+  EXPECT_GE(t.attempts, 40u);        // every insert probed at least once
+  EXPECT_GE(t.refills, 1u);          // the grow sweep claimed >= 1 chunk
+  EXPECT_EQ(t.reset_tags, 32u);      // old array had 32 buckets, all swept
+}
+
+TEST(HashSet, TelemetryOffCountsNothing) {
+  obs::MetricsRegistry local;
+  {
+    const obs::ScopedRegistry scoped(local);
+    ConcurrentHashSet<> set(16);  // telemetry defaults off
+    for (std::uint64_t k = 0; k < 20; ++k) (void)set.insert(k);
+    set.flush_round();
+  }
+  const obs::ContentionTotals t = local.totals();
+  EXPECT_EQ(t.attempts, 0u);
+  EXPECT_EQ(t.atomics, 0u);
+}
+
+}  // namespace
+}  // namespace crcw::ds

@@ -153,6 +153,23 @@ TEST(PaperApi, Round32WrapHazardIsTheDocumentedOne) {
   EXPECT_FALSE(canConWriteCASLT(last_round, std::numeric_limits<round32_t>::max()));
 }
 
+TEST(PaperApi, ToRound32RefusesToCrossTheWrapHorizon) {
+  // The first library round the figure shape cannot represent. In debug
+  // builds the checked narrowing trips its assert instead of wrapping; with
+  // NDEBUG it truncates — producing exactly the stale-looking round the
+  // wrap-hazard comment describes (2^32 → 0 < any committed tag).
+  constexpr round_t kWrap = round_t{1} << 32;
+#ifdef NDEBUG
+  EXPECT_EQ(to_round32(kWrap), 0u);
+  EXPECT_EQ(to_round32(kWrap + 7), 7u);
+#else
+  EXPECT_DEATH((void)to_round32(kWrap), "wrap horizon");
+#endif
+  // The last representable round converts exactly; one past it is the
+  // boundary the assert guards.
+  EXPECT_EQ(to_round32(kWrap - 1), std::numeric_limits<round32_t>::max());
+}
+
 TEST(PaperApi, OmpAtomicCaptureExactlyOneWinnerUnderContention) {
   const int threads = std::max(4, omp_get_max_threads());
   for (int round = 0; round < 100; ++round) {

@@ -1,11 +1,14 @@
-// RNG determinism and distribution sanity.
+// RNG determinism, distribution sanity, and mixing (avalanche) quality.
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdint>
 #include <set>
 #include <vector>
+
+#include "ds/hash_common.hpp"
 
 namespace crcw::util {
 namespace {
@@ -32,6 +35,45 @@ TEST(SplitMix64, KnownVector) {
   EXPECT_EQ(g.next(), 0xe220a8397b1dcdafull);
   EXPECT_EQ(g.next(), 0x6e789e6aa1b965f4ull);
   EXPECT_EQ(g.next(), 0x06c45d188009454full);
+}
+
+TEST(SplitMix64, AvalancheSmoke) {
+  // The mixer behind seeding AND the ds/ tables' bucket spread: flipping
+  // any single input bit should flip about half the output bits. A weak
+  // mixer here means clustered home buckets and quadratic probe walks, so
+  // pin the property, not just known vectors. Thresholds are loose (smoke,
+  // not BigCrush): per-flip within [12, 52] of 64, grand mean within ±2 of
+  // 32 over 64 bits × 64 seeds.
+  std::uint64_t total_flips = 0;
+  int trials = 0;
+  SplitMix64 seeds(0xdecafbadULL);
+  for (int s = 0; s < 64; ++s) {
+    const std::uint64_t x = seeds.next();
+    const std::uint64_t base = SplitMix64(x).next();
+    for (int b = 0; b < 64; ++b) {
+      const std::uint64_t flipped = SplitMix64(x ^ (1ull << b)).next();
+      const int flips = std::popcount(base ^ flipped);
+      ASSERT_GE(flips, 12) << "seed " << x << " bit " << b;
+      ASSERT_LE(flips, 52) << "seed " << x << " bit " << b;
+      total_flips += static_cast<std::uint64_t>(flips);
+      ++trials;
+    }
+  }
+  const double mean = static_cast<double>(total_flips) / trials;
+  EXPECT_NEAR(mean, 32.0, 2.0);
+}
+
+TEST(SplitMix64, DsMixerIsTheSameFinalizer) {
+  // ds::mix64 is splitmix64's finalizer; SplitMix64::next() is that
+  // finalizer applied to state + gamma. Pin the relationship so the two
+  // can't drift apart (the avalanche evidence above then covers both).
+  constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ull;
+  SplitMix64 seeds(42);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t x = seeds.next();
+    EXPECT_EQ(ds::mix64(x + kGamma), SplitMix64(x).next());
+    EXPECT_EQ(ds::mix64(x, 1), SplitMix64(x).next());  // seeded form, seed 1
+  }
 }
 
 TEST(Xoshiro256, DeterministicPerSeed) {

@@ -1,0 +1,103 @@
+// semijoin: probe ⋉ build against the serial baseline; the arbitrary pick
+// among duplicate build keys must still be a valid witness.
+#include "algorithms/semijoin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/dispatch.hpp"
+#include "util/rng.hpp"
+
+namespace crcw::algo {
+namespace {
+
+[[nodiscard]] std::vector<std::uint64_t> draws(std::size_t n, std::uint64_t range,
+                                               std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.bounded(range);
+  return keys;
+}
+
+/// The semijoin answer that is method-independent: which probe rows
+/// matched. (The build witness is arbitrary by specification.)
+[[nodiscard]] std::vector<std::uint64_t> matched_probes(
+    std::vector<SemijoinMatch> matches) {
+  std::vector<std::uint64_t> probes;
+  probes.reserve(matches.size());
+  for (const auto& m : matches) probes.push_back(m.probe_index);
+  std::sort(probes.begin(), probes.end());
+  return probes;
+}
+
+TEST(Semijoin, EmptySides) {
+  const std::vector<std::uint64_t> keys = {1, 2, 3};
+  for (const auto& method : semijoin_methods()) {
+    EXPECT_TRUE(run_semijoin(method, {}, keys).empty()) << method;
+    EXPECT_TRUE(run_semijoin(method, keys, {}).empty()) << method;
+  }
+}
+
+TEST(Semijoin, MatchesAgreeWithSerialBaseline) {
+  const auto probe = draws(20000, 5000, 3);
+  const auto build = draws(8000, 5000, 5);
+  const auto expected = matched_probes(semijoin_serial(probe, build));
+  for (const auto& method : semijoin_methods()) {
+    auto matches = run_semijoin(method, probe, build);
+    EXPECT_EQ(matched_probes(matches), expected) << method;
+    // Every reported witness must actually hold the probed key — for any
+    // resolution of the arbitrary choice.
+    for (const auto& m : matches) {
+      ASSERT_LT(m.build_index, build.size()) << method;
+      ASSERT_EQ(build[m.build_index], probe[m.probe_index]) << method;
+    }
+  }
+}
+
+TEST(Semijoin, DuplicateBuildKeysYieldOneMatchPerProbeRow) {
+  // Build side: the same key 1000 times. Every probe hit reports exactly
+  // one witness — some build row holding that key, arbitrarily chosen.
+  const std::vector<std::uint64_t> build(1000, 7);
+  const std::vector<std::uint64_t> probe = {7, 8, 7, 9};
+  for (const auto& method : semijoin_methods()) {
+    auto matches = run_semijoin(method, probe, build);
+    ASSERT_EQ(matches.size(), 2u) << method;
+    for (const auto& m : matches) {
+      EXPECT_TRUE(m.probe_index == 0 || m.probe_index == 2) << method;
+      EXPECT_EQ(build[m.build_index], 7u) << method;
+    }
+  }
+}
+
+TEST(Semijoin, DisjointSidesMatchNothing) {
+  const auto probe = draws(1000, 500, 13);
+  std::vector<std::uint64_t> build = draws(1000, 500, 17);
+  for (auto& k : build) k += 1000;  // shift out of the probe range
+  for (const auto& method : semijoin_methods()) {
+    EXPECT_TRUE(run_semijoin(method, probe, build).empty()) << method;
+  }
+}
+
+TEST(Semijoin, ProfileCountsBuildWins) {
+  const auto probe = draws(2000, 400, 19);
+  const auto build = draws(2000, 400, 29);
+  const auto totals = profile_semijoin("caslt", probe, build);
+  ASSERT_TRUE(totals.has_value());
+  // One win per distinct build key (duplicate rows lose the claim).
+  std::vector<std::uint64_t> distinct = build;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  EXPECT_EQ(totals->wins, distinct.size());
+  EXPECT_GE(totals->attempts, build.size());  // every build row probed >= once
+  EXPECT_FALSE(profile_semijoin("serial", probe, build).has_value());
+}
+
+TEST(Semijoin, UnknownMethodThrows) {
+  EXPECT_THROW((void)run_semijoin("nope", {}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crcw::algo

@@ -1,0 +1,115 @@
+// TaggedBucket: the claim protocol and its pairing with the RoundTag.
+#include "core/tagged_bucket.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+namespace crcw {
+namespace {
+
+TEST(TaggedBucket, FreshBucketIsEmpty) {
+  TaggedBucket<std::uint64_t> b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.key(), TaggedBucket<std::uint64_t>::kEmptyKey);
+  EXPECT_EQ(b.tag().last_round(), kInitialRound);
+}
+
+TEST(TaggedBucket, FirstClaimWinsLaterClaimsClassify) {
+  TaggedBucket<std::uint64_t> b;
+  EXPECT_EQ(b.claim(7), BucketClaim::kWon);
+  EXPECT_EQ(b.key(), 7u);
+  EXPECT_EQ(b.claim(7), BucketClaim::kHeld);   // same key: present
+  EXPECT_EQ(b.claim(9), BucketClaim::kOther);  // different key: probe on
+  EXPECT_EQ(b.key(), 7u);                      // claim never overwrites
+}
+
+TEST(TaggedBucket, ResetReopensTheBucket) {
+  TaggedBucket<std::uint64_t> b;
+  ASSERT_EQ(b.claim(7), BucketClaim::kWon);
+  ASSERT_TRUE(b.tag().try_acquire(3));
+  b.reset();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.tag().last_round(), kInitialRound);
+  EXPECT_EQ(b.claim(9), BucketClaim::kWon);
+}
+
+TEST(TaggedBucket, NarrowKeysUseTheirOwnSentinel) {
+  TaggedBucket<std::uint32_t> b;
+  EXPECT_EQ(TaggedBucket<std::uint32_t>::kEmptyKey, 0xFFFF'FFFFu);
+  EXPECT_EQ(b.claim(0xFFFF'FFFEu), BucketClaim::kWon);  // max-1 is a real key
+}
+
+TEST(TaggedBucket, ClaimThenTagComposeIndependently) {
+  // The two arbitrations are separate: losing the claim does not bar a
+  // thread from winning the round's value write on that bucket.
+  TaggedBucket<std::uint64_t> b;
+  ASSERT_EQ(b.claim(7), BucketClaim::kWon);
+  EXPECT_TRUE(b.tag().try_acquire(1));
+  EXPECT_FALSE(b.tag().try_acquire(1));  // one winner per round
+  EXPECT_TRUE(b.tag().try_acquire(2));   // next round reopens
+}
+
+TEST(TaggedBucket, ExactlyOneWinnerUnderContention) {
+  const int threads = std::max(4, omp_get_max_threads());
+  for (int trial = 0; trial < 200; ++trial) {
+    TaggedBucket<std::uint64_t> b;
+    std::atomic<int> winners{0};
+    std::atomic<int> helds{0};
+    std::atomic<int> others{0};
+#pragma omp parallel num_threads(threads)
+    {
+      // Each thread offers its own key: one claim wins, same-key rivals
+      // (none here) would see kHeld, the rest must observe the winner.
+      const auto key = static_cast<std::uint64_t>(omp_get_thread_num());
+      switch (b.claim(key)) {
+        case BucketClaim::kWon:
+          winners.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case BucketClaim::kHeld:
+          helds.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case BucketClaim::kOther:
+          others.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    }
+    ASSERT_EQ(winners.load(), 1);
+    ASSERT_EQ(helds.load(), 0);  // keys are distinct per thread
+    ASSERT_EQ(others.load(), threads - 1);
+    // The committed key belongs to some thread, and every loser saw it.
+    ASSERT_LT(b.key(), static_cast<std::uint64_t>(threads));
+  }
+}
+
+TEST(TaggedBucket, SameKeyRaceReportsWonOrHeldConsistently) {
+  const int threads = std::max(4, omp_get_max_threads());
+  for (int trial = 0; trial < 200; ++trial) {
+    TaggedBucket<std::uint64_t> b;
+    std::atomic<int> winners{0};
+    std::atomic<int> helds{0};
+#pragma omp parallel num_threads(threads)
+    {
+      switch (b.claim(42)) {
+        case BucketClaim::kWon:
+          winners.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case BucketClaim::kHeld:
+          helds.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case BucketClaim::kOther:
+          ADD_FAILURE() << "same-key race produced kOther";
+          break;
+      }
+    }
+    ASSERT_EQ(winners.load(), 1);
+    ASSERT_EQ(helds.load(), threads - 1);
+    ASSERT_EQ(b.key(), 42u);
+  }
+}
+
+}  // namespace
+}  // namespace crcw

@@ -1,0 +1,87 @@
+// triangle_count: known closed forms on structured graphs, agreement on
+// random graphs, both ds/ tables against the serial baseline.
+#include "algorithms/triangle_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "algorithms/dispatch.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace crcw::algo {
+namespace {
+
+using graph::build_csr;
+
+TEST(TriangleCount, EmptyAndTinyGraphs) {
+  for (const auto& method : triangle_methods()) {
+    EXPECT_EQ(run_triangles(method, graph::Csr{}), 0u) << method;
+    EXPECT_EQ(run_triangles(method, build_csr(2, graph::path(2))), 0u) << method;
+  }
+}
+
+TEST(TriangleCount, KnownClosedForms) {
+  // K_n has C(n,3) triangles; paths and cycles >3 have none; C_3 is one.
+  const struct {
+    graph::Csr g;
+    std::uint64_t expected;
+  } cases[] = {
+      {build_csr(3, graph::complete(3)), 1},
+      {build_csr(4, graph::complete(4)), 4},
+      {build_csr(7, graph::complete(7)), 35},
+      {build_csr(10, graph::path(10)), 0},
+      {build_csr(3, graph::cycle(3)), 1},
+      {build_csr(8, graph::cycle(8)), 0},
+      {build_csr(9, graph::star(9)), 0},
+  };
+  for (const auto& [g, expected] : cases) {
+    for (const auto& method : triangle_methods()) {
+      EXPECT_EQ(run_triangles(method, g), expected)
+          << method << " on n=" << g.num_vertices();
+    }
+  }
+}
+
+TEST(TriangleCount, MethodsAgreeOnRandomGraphs) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const graph::Csr g = build_csr(300, graph::gnm_simple(300, 2000, seed));
+    const std::uint64_t expected = triangle_count_serial(g);
+    for (const auto& method : triangle_methods()) {
+      EXPECT_EQ(run_triangles(method, g), expected) << method << " seed " << seed;
+    }
+  }
+}
+
+TEST(TriangleCount, SingleThreadMatchesParallel) {
+  const graph::Csr g = build_csr(200, graph::gnm_simple(200, 1500, 9));
+  TriangleOptions serial;
+  serial.threads = 1;
+  const std::uint64_t expected = triangle_count_serial(g);
+  for (const auto& method : triangle_methods()) {
+    EXPECT_EQ(run_triangles(method, g, serial), expected) << method;
+  }
+}
+
+TEST(TriangleCount, ProfileReportsEdgeTableWork) {
+  const graph::Csr g = build_csr(100, graph::gnm_simple(100, 800, 5));
+  for (const auto& method : triangle_methods()) {
+    const auto totals = profile_triangles(method, g);
+    if (method == "serial") {
+      EXPECT_FALSE(totals.has_value());
+      continue;
+    }
+    ASSERT_TRUE(totals.has_value()) << method;
+    // One win per undirected edge (the build inserts each exactly once).
+    EXPECT_EQ(totals->wins, g.num_edges() / 2) << method;
+    EXPECT_GE(totals->attempts, totals->wins) << method;
+  }
+}
+
+TEST(TriangleCount, UnknownMethodThrows) {
+  EXPECT_THROW((void)run_triangles("nope", graph::Csr{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crcw::algo
