@@ -310,6 +310,37 @@ void storm_mutex(benchmark::State& state) {
   state.counters["distinct"] = static_cast<double>(distinct);
 }
 
+// Load-factor axis of the storm: same resize-storm dedup at a fixed size,
+// sweeping HashConfig::max_load to locate the probe-length knee — denser
+// tables grow less (fewer migrations) but probe longer; the profile pass's
+// attempts/wins ratio is the mean probe length that exposes the knee.
+// m carries max_load as a percentage (the row key has no float axis).
+void storm_maxload_caslt(benchmark::State& state) {
+  constexpr std::uint64_t kStormKeys = 1 << 18;
+  const auto pct = static_cast<std::uint64_t>(state.range(0));
+  const int threads = default_threads();
+  const auto& keys = cached_keys(kStormKeys);
+  crcw::algo::DedupOptions opts;
+  opts.threads = threads;
+  opts.initial_capacity = 64;
+  opts.max_load = static_cast<double>(pct) / 100.0;
+  RowRecorder rec(state, {.series = "ext_hash/storm-maxload/caslt",
+                          .policy = "caslt",
+                          .baseline = "",
+                          .threads = threads,
+                          .n = kStormKeys,
+                          .m = pct});
+  crcw::algo::DedupResult r;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+    r = crcw::algo::dedup_caslt(keys, opts);
+    rec.record(timer.seconds());
+  }
+  state.counters["distinct"] = static_cast<double>(r.distinct);
+  state.counters["grows"] = static_cast<double>(r.grows);
+  rec.profile([&] { return crcw::algo::profile_dedup("caslt", keys, opts); });
+}
+
 void storm_sort(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   const auto& keys = cached_keys(n);
@@ -349,8 +380,19 @@ BENCHMARK(lookup_caslt)->Apply(size_args);
 BENCHMARK(lookup_chained)->Apply(size_args);
 BENCHMARK(lookup_mutex)->Apply(size_args);
 BENCHMARK(lookup_unordered)->Apply(size_args);
+void maxload_args(benchmark::internal::Benchmark* b) {
+  // Percentages; smoke keeps 30 and 50 so the sparse and default shapes
+  // both stay exercised in CI.
+  for (const std::int64_t pct :
+       crcw::bench::sweep_points<std::int64_t>({30, 50, 70, 85, 95}, 2)) {
+    b->Arg(pct);
+  }
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
 BENCHMARK(storm_caslt)->Apply(size_args);
 BENCHMARK(storm_mutex)->Apply(size_args);
+BENCHMARK(storm_maxload_caslt)->Apply(maxload_args);
 BENCHMARK(storm_sort)->Apply(size_args);
 
 }  // namespace

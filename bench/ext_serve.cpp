@@ -1,0 +1,308 @@
+// Extension benchmark: the src/serve round-batched engine against a
+// mutex-guarded std::unordered_map service and the bare table, three
+// sweeps:
+//
+//   upsert        insert-heavy (≈50% duplicate keys) across client thread
+//                 counts at a fixed batch size — the acceptance sweep:
+//                 batching converts per-op lock contention into one CAS-LT
+//                 race per (key, round), so serve should overtake the mutex
+//                 service as clients grow (EXPERIMENTS.md §E3 records the
+//                 measured curves and the one-core caveat);
+//   upsert-batch  the same workload across batch sizes at fixed threads —
+//                 the admission-policy knob: tiny batches pay pump
+//                 round-trips, huge ones pay queueing delay;
+//   mixed         50/50 upsert/lookup traffic across threads — lookups
+//                 ride the same rounds with committed-read consistency.
+//
+// Every serve row also emits a p99 enqueue→commit latency row
+// (series ext_serve/p99-*/serve, samples = per-repetition p99 from the
+// obs histograms) — the SLO number the ROADMAP's serving-layer item asks
+// for. Client threads are raw std::threads (admission really is MPMC);
+// the bench thread pumps. The mutex baseline spawns the same raw threads
+// so thread-spawn cost cancels out.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ds/concurrent_hash_map.hpp"
+#include "obs/metrics.hpp"
+#include "serve/serve_session.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using crcw::bench::default_threads;
+using crcw::bench::report;
+using crcw::bench::RowRecorder;
+using crcw::bench::RowSpec;
+
+constexpr std::uint64_t kOps = 1 << 18;
+
+/// Random keys with ~50% duplication (n draws over n/2 values, +1 so zero
+/// stays a valid key and the sentinel is unreachable), cached — generation
+/// is never timed.
+const std::vector<std::uint64_t>& cached_keys(std::uint64_t n) {
+  static std::map<std::uint64_t, std::unique_ptr<std::vector<std::uint64_t>>> cache;
+  auto& slot = cache[n];
+  if (!slot) {
+    crcw::util::Xoshiro256 rng(42);
+    slot = std::make_unique<std::vector<std::uint64_t>>(n);
+    for (auto& k : *slot) k = rng.bounded(n / 2 + 1) + 1;
+  }
+  return *slot;
+}
+
+struct ServeRunStats {
+  std::uint64_t committed_keys = 0;
+  std::uint64_t p99_enqueue_commit_ns = 0;
+  std::uint64_t p99_enqueue_admit_ns = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// One full serve run: `threads` raw clients enqueue their slice (mixed
+/// mode alternates upsert/lookup), the calling thread pumps until every op
+/// committed. Futures are preallocated per client; clients do not wait —
+/// completion is the pump's ops_served() watermark, which counts only
+/// published ops.
+ServeRunStats serve_run(const std::vector<std::uint64_t>& keys, int threads,
+                        std::uint64_t batch, bool mixed, bool counters = false) {
+  namespace sv = crcw::serve;
+  sv::BatchConfig cfg;
+  cfg.max_batch = batch;
+  cfg.max_wait_us = 100;
+  // t is the *client* fan-in axis; the service executes rounds at the
+  // ambient OpenMP width (0), its own deployment-time property — forcing
+  // exec_threads = t would measure oversubscription, not admission.
+  cfg.exec_threads = 0;
+  cfg.lanes = threads;
+  // Bounded backlog: a client hitting its watermark helps pump, so rounds
+  // execute on the thread whose records are cache-hot instead of queueing
+  // megabytes for a far-away drain (and p99 stays bounded by ~one batch).
+  cfg.lane_backlog = batch;
+  // Sample every 64th op into the latency histograms — two clock reads
+  // per op would dominate the admission fast path.
+  cfg.latency_sample_shift = 6;
+  cfg.expected_keys = keys.size() / 2 + 2;
+  cfg.counters = counters;
+  sv::ServeSession session(cfg);
+
+  const std::uint64_t total = keys.size();
+  const auto t = static_cast<std::uint64_t>(threads);
+  std::vector<std::vector<sv::OpFuture>> futures(t);
+  for (std::uint64_t c = 0; c < t; ++c) {
+    const std::uint64_t lo = total * c / t, hi = total * (c + 1) / t;
+    futures[c] = std::vector<sv::OpFuture>(hi - lo);
+  }
+
+  std::vector<std::thread> clients;
+  clients.reserve(t);
+  for (std::uint64_t c = 0; c < t; ++c) {
+    clients.emplace_back([&, c] {
+      const std::uint64_t lo = total * c / t, hi = total * (c + 1) / t;
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        const sv::Op op = (mixed && i % 2 != 0) ? sv::Op::lookup(keys[i])
+                                                : sv::Op::upsert(keys[i], i);
+        session.submit(op, futures[c][i - lo]);
+      }
+    });
+  }
+  // The bench thread is only a fallback pump — under backpressure the
+  // clients pump for themselves — so sleep rather than contend for the core.
+  while (session.scheduler().ops_served() < total) {
+    if (!session.poll()) std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  for (std::thread& th : clients) th.join();
+
+  ServeRunStats stats;
+  stats.committed_keys = session.scheduler().table().size();
+  stats.p99_enqueue_commit_ns = session.metrics().p99_enqueue_to_commit_ns();
+  stats.p99_enqueue_admit_ns = session.metrics().p99_enqueue_to_admit_ns();
+  stats.rounds = session.scheduler().round();
+  return stats;
+}
+
+/// The lock-service baseline: the same raw client threads, each op taking
+/// one mutex around a std::unordered_map — per-op arbitration instead of
+/// per-round.
+std::uint64_t mutex_run(const std::vector<std::uint64_t>& keys, int threads,
+                        bool mixed) {
+  std::unordered_map<std::uint64_t, std::uint64_t> map;
+  map.reserve(keys.size() / 2 + 2);
+  std::mutex mu;
+  const std::uint64_t total = keys.size();
+  const auto t = static_cast<std::uint64_t>(threads);
+  std::uint64_t sink = 0;
+  std::vector<std::thread> clients;
+  clients.reserve(t);
+  for (std::uint64_t c = 0; c < t; ++c) {
+    clients.emplace_back([&, c] {
+      const std::uint64_t lo = total * c / t, hi = total * (c + 1) / t;
+      std::uint64_t local = 0;
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (mixed && i % 2 != 0) {
+          const auto it = map.find(keys[i]);
+          if (it != map.end()) local += it->second;
+        } else {
+          map[keys[i]] = i;
+        }
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      sink += local;
+    });
+  }
+  for (std::thread& th : clients) th.join();
+  benchmark::DoNotOptimize(sink);
+  return map.size();
+}
+
+/// The no-service floor: the CW table driven directly by one OpenMP round —
+/// what the serving layer's admission machinery costs on top.
+std::uint64_t direct_run(const std::vector<std::uint64_t>& keys, int threads) {
+  crcw::ds::ConcurrentHashMap<std::uint64_t, std::uint64_t> map(keys.size() / 2 + 2);
+  const auto n = static_cast<std::int64_t>(keys.size());
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    (void)map.upsert(1, keys[static_cast<std::size_t>(i)],
+                     static_cast<std::uint64_t>(i));
+  }
+  return map.size();
+}
+
+RowSpec spec(const char* sweep, const char* method, int threads, std::uint64_t m,
+             const char* baseline = "mutex") {
+  return {.series = std::string("ext_serve/") + sweep + "/" + method,
+          .policy = method,
+          .baseline = baseline,
+          .threads = threads,
+          .n = kOps,
+          .m = m};
+}
+
+/// Timing loop for a serve run; also collects per-repetition p99s and
+/// emits them as extra latency rows (one BenchRow per histogram, samples =
+/// the p99 of each repetition). Rows go through report() directly — a
+/// second RowRecorder would double-call SetIterationTime.
+void bench_serve(benchmark::State& state, const char* sweep, int threads,
+                 std::uint64_t batch, bool mixed) {
+  const auto& keys = cached_keys(kOps);
+  std::vector<double> p99_commit, p99_admit;
+  ServeRunStats stats;
+  {
+    // m carries the batch size on every serve row (the baseline rows use 0).
+    RowRecorder rec(state, spec(sweep, "serve", threads, batch));
+    for (auto _ : state) {
+      crcw::util::Timer timer;
+      stats = serve_run(keys, threads, batch, mixed);
+      rec.record(timer.seconds());
+      p99_commit.push_back(static_cast<double>(stats.p99_enqueue_commit_ns));
+      p99_admit.push_back(static_cast<double>(stats.p99_enqueue_admit_ns));
+    }
+    state.counters["keys"] = static_cast<double>(stats.committed_keys);
+    state.counters["rounds"] = static_cast<double>(stats.rounds);
+    state.counters["p99_us"] = static_cast<double>(stats.p99_enqueue_commit_ns) / 1e3;
+    rec.profile([&] {
+      crcw::obs::MetricsRegistry local;
+      const crcw::obs::ScopedRegistry scoped(local);
+      (void)serve_run(keys, threads, batch, mixed, /*counters=*/true);
+      return std::optional(local.totals());
+    });
+  }
+  report().add_row({std::string("ext_serve/p99-enqueue-commit/") + sweep, "serve", "",
+                    threads, kOps, batch, std::move(p99_commit), {}});
+  report().add_row({std::string("ext_serve/p99-enqueue-admit/") + sweep, "serve", "",
+                    threads, kOps, batch, std::move(p99_admit), {}});
+}
+
+// -- upsert: thread sweep at fixed batch ------------------------------------
+
+void upsert_threads_serve(benchmark::State& s) {
+  bench_serve(s, "upsert", static_cast<int>(s.range(0)), 4096, /*mixed=*/false);
+}
+void upsert_threads_mutex(benchmark::State& s) {
+  const int threads = static_cast<int>(s.range(0));
+  const auto& keys = cached_keys(kOps);
+  RowRecorder rec(s, spec("upsert", "mutex", threads, 0));
+  std::uint64_t size = 0;
+  for (auto _ : s) {
+    crcw::util::Timer timer;
+    size = mutex_run(keys, threads, /*mixed=*/false);
+    rec.record(timer.seconds());
+  }
+  s.counters["keys"] = static_cast<double>(size);
+}
+void upsert_threads_direct(benchmark::State& s) {
+  const int threads = static_cast<int>(s.range(0));
+  const auto& keys = cached_keys(kOps);
+  RowRecorder rec(s, spec("upsert", "direct", threads, 0));
+  std::uint64_t size = 0;
+  for (auto _ : s) {
+    crcw::util::Timer timer;
+    size = direct_run(keys, threads);
+    rec.record(timer.seconds());
+  }
+  s.counters["keys"] = static_cast<double>(size);
+}
+
+// -- upsert: batch-size sweep at fixed threads ------------------------------
+
+void upsert_batch_serve(benchmark::State& s) {
+  bench_serve(s, "upsert-batch", default_threads(),
+              static_cast<std::uint64_t>(s.range(0)), /*mixed=*/false);
+}
+
+// -- mixed 50/50 traffic ----------------------------------------------------
+
+void mixed_threads_serve(benchmark::State& s) {
+  bench_serve(s, "mixed", static_cast<int>(s.range(0)), 4096, /*mixed=*/true);
+}
+void mixed_threads_mutex(benchmark::State& s) {
+  const int threads = static_cast<int>(s.range(0));
+  const auto& keys = cached_keys(kOps);
+  RowRecorder rec(s, spec("mixed", "mutex", threads, 0));
+  std::uint64_t size = 0;
+  for (auto _ : s) {
+    crcw::util::Timer timer;
+    size = mutex_run(keys, threads, /*mixed=*/true);
+    rec.record(timer.seconds());
+  }
+  s.counters["keys"] = static_cast<double>(size);
+}
+
+// -- registration ------------------------------------------------------------
+
+void client_args(benchmark::internal::Benchmark* b) {
+  // Smoke keeps {1, 2, 4}: t = 4 is the acceptance point (serve must beat
+  // mutex there), so the committed smoke baseline has to contain it.
+  for (const int t : crcw::bench::sweep_points({1, 2, 4, 8}, 3)) b->Arg(t);
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+void batch_args(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t m :
+       crcw::bench::sweep_points<std::int64_t>({256, 1024, 4096, 16384, 65536}, 2)) {
+    b->Arg(m);
+  }
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(upsert_threads_serve)->Apply(client_args);
+BENCHMARK(upsert_threads_mutex)->Apply(client_args);
+BENCHMARK(upsert_threads_direct)->Apply(client_args);
+BENCHMARK(upsert_batch_serve)->Apply(batch_args);
+BENCHMARK(mixed_threads_serve)->Apply(client_args);
+BENCHMARK(mixed_threads_mutex)->Apply(client_args);
+
+}  // namespace

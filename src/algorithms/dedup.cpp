@@ -19,6 +19,7 @@ namespace {
 
 [[nodiscard]] ds::HashConfig table_config(const DedupOptions& opts, const char* site) {
   ds::HashConfig cfg;
+  cfg.max_load = opts.max_load;
   cfg.telemetry = opts.telemetry;
   cfg.site_name = site;
   return cfg;
@@ -64,16 +65,16 @@ DedupResult dedup_caslt(std::span<const std::uint64_t> keys, const DedupOptions&
     for (const auto& p : pending) backlog += p.size();
     have_pending = backlog > 0;
     if (set.needs_grow() || have_pending) {
-      // Size the grow to absorb the whole backlog at once: doubling only
-      // once per round leaves retry rounds probing a near-full table for
-      // keys that cannot fit — quadratic when the backlog dwarfs capacity.
-      // The backlog overcounts (cross-thread duplicates), which only makes
-      // the grown table roomier.
-      const double want = static_cast<double>(set.size() + backlog) /
-                          set.config().max_load;
-      std::uint64_t factor = 2;
-      while (static_cast<double>(set.bucket_count() * factor) < want) factor *= 2;
-      set.grow_parallel(threads, factor);
+      // One grow sized to absorb the whole backlog (maybe_grow_for_backlog;
+      // doubling once per round leaves retry rounds probing a near-full
+      // table for keys that cannot fit — quadratic when the backlog dwarfs
+      // capacity). The backlog overcounts (cross-thread duplicates), which
+      // only makes the grown table roomier.
+      if (!set.maybe_grow_for_backlog(backlog, threads)) {
+        // Pending kFull keys but the sizing math says the table fits them:
+        // still grow ×2 so the retry loop always makes progress.
+        set.grow_parallel(threads, 2);
+      }
       ++result.grows;
     }
   }

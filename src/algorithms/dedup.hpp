@@ -30,6 +30,9 @@ struct DedupOptions {
   /// Keys each thread inserts per barrier-separated round (the grow check
   /// runs between rounds).
   std::uint64_t round_chunk = 4096;
+  /// Load factor of the open table — the storm sweep's probe-length knob
+  /// (bench/ext_hash.cpp sweeps it to locate the knee).
+  double max_load = 0.5;
   /// Attach ContentionSites to the tables (profile passes only).
   bool telemetry = false;
 };

@@ -184,6 +184,20 @@ class ConcurrentHashSet {
     return true;
   }
 
+  /// Backlog-sized grow (ROADMAP "resize-storm tail"): one grow sized for
+  /// `backlog` further inserts on top of the current occupancy, instead of
+  /// a cascade of ×2 grows each re-migrating every key. Returns true iff a
+  /// grow ran. Serial/step-boundary only, like every grow entry point.
+  bool maybe_grow_for_backlog(std::uint64_t backlog, int threads = 0) {
+    const std::uint64_t want =
+        bucket_count_for(required_buckets(size() + backlog, cfg_.max_load));
+    if (want <= buckets_.size()) return false;
+    std::uint64_t factor = 2;
+    while (buckets_.size() * factor < want) factor *= 2;
+    grow_parallel(threads, factor);
+    return true;
+  }
+
   // -- telemetry ------------------------------------------------------------
 
   [[nodiscard]] TableTelemetry& telemetry() noexcept { return telemetry_; }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.hpp"
 #include "util/cacheline.hpp"
@@ -39,6 +40,23 @@ namespace crcw::ds {
 /// probe sequence can mask instead of mod.
 [[nodiscard]] constexpr std::uint64_t bucket_count_for(std::uint64_t n) noexcept {
   return std::bit_ceil(n < 2 ? std::uint64_t{2} : n);
+}
+
+/// String-key adapter: hashes a byte string into the tables' uint64 key
+/// space — FNV-1a over the bytes, then the splitmix64 finalizer on top
+/// (FNV alone avalanches poorly in the high bits, and the tables derive
+/// home slots from the high-quality mix64 of the key anyway, so the
+/// finalize keeps distinct short strings from clustering). The all-ones
+/// result is remapped: it is the tables' reserved empty sentinel, and a
+/// valid string must never hash to it.
+[[nodiscard]] constexpr std::uint64_t string_key(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;  // FNV-1a prime
+  }
+  h = mix64(h);
+  return h == ~std::uint64_t{0} ? 0 : h;
 }
 
 /// Outcome of a key insert (set and map build phases share it).

@@ -1,0 +1,378 @@
+// BatchScheduler — maps admitted client traffic onto CRCW rounds.
+//
+// Lifecycle of one batch (the admission→round→commit diagram in
+// docs/architecture.md):
+//
+//   clients ──enqueue──▶ RequestQueue lanes
+//                           │ size trigger (pending ≥ max_batch) or
+//                           │ deadline trigger (oldest wait ≥ max_wait_us)
+//                           ▼
+//                    drain → slice into rounds of ≤ max_batch
+//                           ▼ per slice:
+//          WriteArbiter::next_round (round r opens)
+//          phase A  lookups read state committed in rounds < r
+//          ── barrier ──
+//          phase B  upserts/erases race the per-bucket CAS-LT at round r
+//          ── barrier ──
+//          phase C  every write op reads the value round r committed,
+//                   publishes Result{value, won, r} into its OpFuture
+//
+// The barriers give the committed-read contract for free: a lookup
+// admitted into round r can never observe a round-r write, and every
+// loser of a round-r race observes the winner's value — the paper's
+// wait-free loser guarantee lifted to the request API.
+//
+// Concurrency shape: clients only touch the queue and their futures; the
+// table, arbiter and histograms are touched only between pump_lock_
+// acquire/release, so any number of threads may call poll()/flush()
+// concurrently and exactly one executes. With exec_threads == 1 the
+// three phases run serially with no OpenMP region at all — the mode the
+// raw-thread TSan stress tier drives (OpenMP barriers are invisible to
+// TSan).
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/arbiter.hpp"
+#include "core/policies.hpp"
+#include "ds/concurrent_hash_map.hpp"
+#include "serve/op.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/serve_metrics.hpp"
+
+namespace crcw::serve {
+
+/// Admission-policy and execution knobs for one serving engine.
+struct BatchConfig {
+  /// Size trigger: close a batch once this many ops are pending; also the
+  /// per-round cap (a bigger drain is sliced into several rounds).
+  std::uint64_t max_batch = 4096;
+  /// Deadline trigger: close a non-empty batch once its oldest op has
+  /// waited this long, so a trickle of traffic still commits promptly.
+  std::uint64_t max_wait_us = 250;
+  /// OpenMP team size for round execution; 0 = omp_get_max_threads().
+  /// 1 = strictly serial (no OpenMP region) — required under the
+  /// raw-thread TSan stress tier.
+  int exec_threads = 0;
+  /// Admission lanes; 0 = hardware_concurrency clamped to [1, 16].
+  int lanes = 0;
+  /// Per-lane backpressure watermark; 0 = derived (max_batch, min 64).
+  std::uint64_t lane_backlog = 0;
+  /// Speculative spins before a blocked client/pump yields the core.
+  int backoff_spins = 32;
+  /// Initial table capacity (keys, not buckets).
+  std::uint64_t expected_keys = 1024;
+  /// Latency-histogram sampling: every 2^shift-th op per client gets
+  /// timestamped and recorded (0 = every op). High-throughput deployments
+  /// set 4–8 to keep the two clock reads per op off the hot path; the
+  /// p99s are then estimates over the sampled subset.
+  int latency_sample_shift = 0;
+  /// Attach the `serve` ContentionSite (profile passes only).
+  bool counters = false;
+  /// Forward HashConfig::telemetry to the backing table.
+  bool table_telemetry = false;
+  /// Load factor of the backing table (the ext_hash storm sweep's knob).
+  double max_load = 0.5;
+
+  [[nodiscard]] int resolved_threads() const noexcept {
+    return exec_threads > 0 ? exec_threads : omp_get_max_threads();
+  }
+  [[nodiscard]] int resolved_lanes() const noexcept {
+    if (lanes > 0) return lanes;
+    const unsigned hc = std::thread::hardware_concurrency();
+    return static_cast<int>(hc < 1 ? 1 : (hc > 16 ? 16 : hc));
+  }
+  [[nodiscard]] std::uint64_t resolved_lane_backlog() const noexcept {
+    if (lane_backlog > 0) return lane_backlog;
+    return max_batch < 64 ? 64 : max_batch;
+  }
+  [[nodiscard]] std::uint64_t sample_mask() const noexcept {
+    return latency_sample_shift <= 0
+               ? 0
+               : (std::uint64_t{1} << (latency_sample_shift > 63 ? 63
+                                                                 : latency_sample_shift)) -
+                     1;
+  }
+};
+
+/// Map payload: the committed value plus liveness — erase is a logical
+/// tombstone (an open-addressing table cannot unlink a bucket mid-probe
+/// chain), arbitrated against same-round upserts like any other write.
+/// (Namespace-scope, not nested: the table's nothrow-default-constructible
+/// constraint must see a complete type.)
+struct Slot {
+  std::uint64_t value = 0;
+  bool live = false;
+};
+
+class BatchScheduler {
+ public:
+  using Table = ds::ConcurrentHashMap<std::uint64_t, Slot>;
+
+  BatchScheduler(const BatchConfig& cfg, RequestQueue& queue, ServeMetrics& metrics)
+      : cfg_(cfg),
+        threads_(cfg.resolved_threads()),
+        queue_(queue),
+        metrics_(metrics),
+        map_(cfg.expected_keys < 1 ? 1 : cfg.expected_keys,
+             ds::HashConfig{cfg.max_load, 256, cfg.table_telemetry, "serve-table"}) {}
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Runs one batch if an admission trigger fired (size or deadline).
+  /// Returns true iff this call executed at least one round. Safe to call
+  /// from any number of threads; losers of the pump race return false.
+  bool poll() { return run_batch(false); }
+
+  /// Unconditionally drains and executes everything pending (one call =
+  /// one drain; callers loop while clients are still enqueuing).
+  bool flush() { return run_batch(true); }
+
+  // -- committed state (serial / quiescent-pump reads) ----------------------
+  [[nodiscard]] const Slot* committed(std::uint64_t key) const noexcept {
+    const Slot* s = map_.find(key);
+    return (s != nullptr && s->live) ? s : nullptr;
+  }
+  [[nodiscard]] const Table& table() const noexcept { return map_; }
+  [[nodiscard]] Table& table() noexcept { return map_; }
+
+  // -- stats ----------------------------------------------------------------
+  [[nodiscard]] round_t round() const noexcept { return arbiter_.round(); }
+  [[nodiscard]] std::uint64_t batches() const noexcept {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t deadline_batches() const noexcept {
+    return deadline_batches_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t ops_served() const noexcept {
+    return ops_served_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int exec_threads() const noexcept { return threads_; }
+
+ private:
+  bool run_batch(bool force) {
+    bool by_deadline = false;
+    if (!force && !trigger_fired(by_deadline)) return false;
+    if (pump_lock_.test_and_set(std::memory_order_acquire)) return false;
+    scratch_.clear();
+    const std::uint64_t drained = queue_.drain_into(scratch_);
+    bool executed = false;
+    if (drained > 0) {
+      // A drain larger than max_batch becomes several rounds — batch
+      // boundaries are deterministic in admission order, which is what
+      // tests/test_serve.cpp pins.
+      for (std::size_t begin = 0; begin < scratch_.size(); begin += cfg_.max_batch) {
+        const std::size_t n =
+            std::min<std::size_t>(cfg_.max_batch, scratch_.size() - begin);
+        execute_round(&scratch_[begin], n);
+      }
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      if (by_deadline) deadline_batches_.fetch_add(1, std::memory_order_relaxed);
+      ops_served_.fetch_add(drained, std::memory_order_relaxed);
+      metrics_.batch_closed();
+      executed = true;
+    }
+    pump_lock_.clear(std::memory_order_release);
+    return executed;
+  }
+
+  [[nodiscard]] bool trigger_fired(bool& by_deadline) const noexcept {
+    const std::uint64_t pending = queue_.pending();
+    if (pending == 0) return false;
+    if (pending >= cfg_.max_batch) return true;
+    const std::uint64_t oldest = queue_.oldest_enqueue_ns();
+    by_deadline = oldest != 0 && now_ns() - oldest >= cfg_.max_wait_us * 1000;
+    return by_deadline;
+  }
+
+  /// One CRCW round over records[0..n): partition, reserve, arbitrate,
+  /// commit. Runs entirely under pump_lock_.
+  void execute_round(Record* records, std::size_t n) {
+    admit_ns_ = now_ns();
+    lookups_.clear();
+    writes_.clear();
+    // Admission pass: latency sample, sentinel rejection, and — only for
+    // the parallel path — the index partition the omp loops need. The
+    // serial path sweeps `records` directly and just counts.
+    const bool parallel = threads_ > 1;
+    std::size_t lookup_count = 0;
+    std::size_t write_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (records[i].enqueue_ns != 0) {  // sampled (see BatchConfig)
+        metrics_.record_admit(records[i].enqueue_ns, admit_ns_);
+      }
+      if (records[i].op.key == Table::kEmptyKey) {
+        // The reserved sentinel key can never live in the table; fail the
+        // op here instead of letting the table throw mid-region.
+        publish(records[i], Result{0, false, arbiter_.round() + 1});
+        continue;
+      }
+      if (records[i].op.kind == OpKind::kLookup) {
+        ++lookup_count;
+        if (parallel) lookups_.push_back(i);
+      } else {
+        ++write_count;
+        if (parallel) writes_.push_back(i);
+      }
+    }
+    metrics_.ops_admitted(n);
+
+    // Backlog-sized reservation: one grow big enough for every write in
+    // this round (ROADMAP "resize-storm tail"), so phase B cannot see
+    // kFull — the round has no retry path for a full table.
+    map_.maybe_grow_for_backlog(write_count, threads_);
+
+    const auto scope = arbiter_.next_round(ResetMode::kNone);
+    const round_t r = scope.round();
+    std::atomic<std::uint64_t> full{0};
+    std::uint64_t wins = 0;
+
+    if (!parallel) {
+      if (lookup_count > 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const Record& rec = records[i];
+          if (rec.op.kind != OpKind::kLookup || rec.op.key == Table::kEmptyKey) {
+            continue;
+          }
+          const Slot* s = map_.find(rec.op.key);
+          const bool live = s != nullptr && s->live;
+          publish(rec, Result{live ? s->value : 0, live, r});
+        }
+      }
+      // Serial fold of phases B+C: in admission order the first same-key
+      // write is the (key, round) winner and the committed value never
+      // changes again within the round, so every op can publish the moment
+      // its upsert returns — the separate commit sweep (and its second
+      // probe per op) exists only to cross the parallel barrier.
+      for (std::size_t i = 0; i < n; ++i) {
+        const Record& rec = records[i];
+        if (rec.op.kind == OpKind::kLookup || rec.op.key == Table::kEmptyKey) {
+          continue;
+        }
+        const Slot v = rec.op.kind == OpKind::kErase ? Slot{0, false}
+                                                     : Slot{rec.op.value, true};
+        switch (map_.upsert(r, rec.op.key, v)) {
+          case ds::MapUpsert::kWon:
+            ++wins;
+            publish(rec, Result{v.value, true, r});
+            break;
+          case ds::MapUpsert::kLost: {
+            const Slot* s = map_.find(rec.op.key);
+            const bool live = s != nullptr && s->live;
+            publish(rec, Result{live ? s->value : 0, false, r});
+            break;
+          }
+          case ds::MapUpsert::kFull:
+            full.fetch_add(1, std::memory_order_relaxed);
+            publish(rec, Result{0, false, r});
+            break;
+        }
+      }
+    } else {
+      won_.assign(writes_.size(), 0);
+      const auto n_lookup = static_cast<std::ptrdiff_t>(lookups_.size());
+      const auto n_write = static_cast<std::ptrdiff_t>(writes_.size());
+#pragma omp parallel num_threads(threads_)
+      {
+#pragma omp for schedule(static)
+        for (std::ptrdiff_t i = 0; i < n_lookup; ++i) {
+          do_lookup(records, static_cast<std::size_t>(i), r);
+        }
+        // implicit barrier: phase A's committed reads are closed
+#pragma omp for schedule(static)
+        for (std::ptrdiff_t i = 0; i < n_write; ++i) {
+          do_write(records, static_cast<std::size_t>(i), r, full);
+        }
+        // implicit barrier: round r is committed, losers may read
+#pragma omp for schedule(static)
+        for (std::ptrdiff_t i = 0; i < n_write; ++i) {
+          do_commit(records, static_cast<std::size_t>(i), r);
+        }
+      }
+      for (const unsigned char w : won_) wins += w;
+    }
+    if (full.load(std::memory_order_relaxed) != 0) {
+      throw std::runtime_error("serve: table full despite backlog reservation");
+    }
+
+    metrics_.write_wins(wins);
+    metrics_.flush_round();
+    map_.flush_round();
+  }
+
+  /// Phase A: committed read — everything visible here was committed in
+  /// rounds < r (the round-r writes are behind a barrier).
+  void do_lookup(Record* records, std::size_t i, round_t r) {
+    const Record& rec = records[lookups_[i]];
+    const Slot* s = map_.find(rec.op.key);
+    const bool live = s != nullptr && s->live;
+    publish(rec, Result{live ? s->value : 0, live, r});
+  }
+
+  /// Phase B: the concurrent-write step — same-key ops race one CAS-LT.
+  void do_write(Record* records, std::size_t i, round_t r,
+                std::atomic<std::uint64_t>& full) {
+    const Record& rec = records[writes_[i]];
+    const Slot v =
+        rec.op.kind == OpKind::kErase ? Slot{0, false} : Slot{rec.op.value, true};
+    switch (map_.upsert(r, rec.op.key, v)) {
+      case ds::MapUpsert::kWon:
+        won_[i] = 1;
+        break;
+      case ds::MapUpsert::kLost:
+        break;
+      case ds::MapUpsert::kFull:
+        full.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+
+  /// Phase C: every write op — winner or loser — observes what round r
+  /// committed for its key, and its future completes.
+  void do_commit(Record* records, std::size_t i, round_t r) {
+    const Record& rec = records[writes_[i]];
+    const Slot* s = map_.find(rec.op.key);
+    const bool live = s != nullptr && s->live;
+    publish(rec, Result{live ? s->value : 0, won_[i] != 0, r});
+  }
+
+  void publish(const Record& rec, const Result& result) {
+    if (rec.enqueue_ns != 0) {  // sampled (see BatchConfig)
+      metrics_.record_commit(rec.enqueue_ns, admit_ns_, now_ns());
+    }
+    rec.future->publish(result);
+  }
+
+  BatchConfig cfg_;
+  int threads_;
+  RequestQueue& queue_;
+  ServeMetrics& metrics_;
+  Table map_;
+  // Zero tags: the arbiter is the round authority only — per-key tags live
+  // inside the table's buckets. CAS-LT never needs a reset sweep
+  // (kNeedsRoundReset == false), so next_round(kNone) is one increment.
+  WriteArbiter<CasLtPolicy> arbiter_{0};
+  std::atomic_flag pump_lock_;
+
+  // Pump-private scratch (only touched under pump_lock_).
+  std::vector<Record> scratch_;
+  std::vector<std::size_t> lookups_;
+  std::vector<std::size_t> writes_;
+  std::vector<unsigned char> won_;
+  std::uint64_t admit_ns_ = 0;
+
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> deadline_batches_{0};
+  std::atomic<std::uint64_t> ops_served_{0};
+};
+
+}  // namespace crcw::serve

@@ -1,0 +1,131 @@
+// The request vocabulary of src/serve: client operations, per-op results,
+// and the completion slot a client waits on.
+//
+// The serving layer maps client traffic onto the paper's round structure:
+// every operation admitted into a batch executes inside one CRCW round, so
+// N concurrent upserts of the same key collapse to exactly one committed
+// write (the arbitrary-CW winner) and every loser still observes the
+// committed value wait-free — the idempotent-write semantics a
+// high-fan-in upsert service needs.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "core/round_tag.hpp"
+
+namespace crcw::serve {
+
+/// Monotonic wall clock in nanoseconds — the timestamp base of the
+/// enqueue→admit→commit latency histograms (see serve_metrics.hpp).
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+/// What a client asks the engine to do with one key.
+enum class OpKind : std::uint8_t {
+  kUpsert,  ///< write `value` under `key`; one winner per (key, round)
+  kLookup,  ///< committed read: sees every write of rounds < its own round
+  kErase,   ///< logical tombstone; arbitrates against same-round upserts
+};
+
+/// One client operation. Keys live in the ds/ tables' uint64 key space
+/// (string keys go through ds::string_key); the all-ones key is reserved.
+struct Op {
+  OpKind kind = OpKind::kLookup;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+
+  [[nodiscard]] static constexpr Op upsert(std::uint64_t key, std::uint64_t value) noexcept {
+    return {OpKind::kUpsert, key, value};
+  }
+  [[nodiscard]] static constexpr Op lookup(std::uint64_t key) noexcept {
+    return {OpKind::kLookup, key, 0};
+  }
+  [[nodiscard]] static constexpr Op erase(std::uint64_t key) noexcept {
+    return {OpKind::kErase, key, 0};
+  }
+};
+
+/// Per-op outcome.
+///   * kUpsert/kErase: `won` is true iff this op was the round's arbitration
+///     winner for its key; `value` is the value the round *committed* for
+///     the key (the winner's value — losers observe it, paper §5).
+///   * kLookup: `won` is true iff the key was live before this op's round;
+///     `value` is that committed value (0 on a miss).
+struct Result {
+  std::uint64_t value = 0;
+  bool won = false;
+  round_t round = 0;  ///< the round this op executed in
+};
+
+class BatchScheduler;
+
+/// Completion slot for one in-flight op. The client owns the storage and
+/// must keep it pinned (neither moved nor destroyed) from submit until
+/// ready(); the engine publishes the Result with a release store that the
+/// client's ready() acquires, so reading result() after ready() is
+/// race-free even across raw threads.
+class OpFuture {
+ public:
+  OpFuture() noexcept = default;
+  OpFuture(const OpFuture&) = delete;
+  OpFuture& operator=(const OpFuture&) = delete;
+
+  [[nodiscard]] bool ready() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
+
+  /// Valid only once ready() returned true (or after the publishing pump
+  /// was joined).
+  [[nodiscard]] const Result& result() const noexcept {
+    assert(ready() && "OpFuture::result before completion");
+    return result_;
+  }
+
+  /// Re-arms the slot for reuse. The previous op must have completed.
+  void reset() noexcept { done_.store(false, std::memory_order_relaxed); }
+
+ private:
+  friend class BatchScheduler;
+
+  void publish(const Result& r) noexcept {
+    result_ = r;
+    done_.store(true, std::memory_order_release);
+  }
+
+  Result result_;
+  std::atomic<bool> done_{false};
+};
+
+/// Bounded-spin-then-yield waiter — the admission/backpressure move from
+/// "Lightweight Contention Management for Efficient Compare-and-Swap
+/// Operations" (PAPERS.md) applied at the serving edge: a blocked client
+/// burns a few speculative spins (cheap when the queue drains fast), then
+/// yields the core so the pump can actually run — essential when clients
+/// oversubscribe the machine.
+class BackoffState {
+ public:
+  explicit BackoffState(int spins) noexcept : spins_(spins) {}
+
+  void pause() noexcept {
+    if (count_ < spins_) {
+      ++count_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  int spins_;
+  int count_ = 0;
+};
+
+}  // namespace crcw::serve

@@ -1,0 +1,160 @@
+// ServeSession — the embeddable front door of src/serve.
+//
+// Owns the whole engine (queue → scheduler → table) and gives clients
+// three ways to drive it:
+//   * submit(op, future) + wait(future): raw async, for callers running
+//     their own pump (poll()/flush()) or the background pump;
+//   * call(op): synchronous convenience — submits, then self-pumps until
+//     the result lands, so a single-threaded caller never deadlocks
+//     waiting for a pump that does not exist;
+//   * start_pump()/stop_pump(): a background thread that polls on the
+//     deadline cadence — the "service" deployment shape.
+//
+// Ownership contract: OpFuture storage belongs to the client and must
+// stay pinned from submit until ready() (the engine holds a raw pointer
+// across the round). The destructor stops the pump and flushes, so no
+// submitted op is ever left unpublished.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+
+#include "serve/batch_scheduler.hpp"
+#include "serve/op.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/serve_metrics.hpp"
+
+namespace crcw::serve {
+
+class ServeSession {
+ public:
+  explicit ServeSession(const BatchConfig& cfg = {})
+      : cfg_(cfg),
+        metrics_(cfg.counters),
+        queue_(cfg.resolved_lanes(), cfg.resolved_lane_backlog(), cfg.backoff_spins,
+               cfg.sample_mask()),
+        scheduler_(cfg_, queue_, metrics_) {}
+
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
+
+  ~ServeSession() {
+    stop_pump();
+    flush();
+  }
+
+  // -- async client API -----------------------------------------------------
+
+  /// Re-arms `future` and admits `op`. A full lane blocks but never
+  /// deadlocks: the submitter helps pump (force-closing a batch) until
+  /// its lane has room, so even a pump-less session stays live under
+  /// arbitrary backlog.
+  void submit(const Op& op, OpFuture& future) {
+    future.reset();
+    BackoffState backoff(cfg_.backoff_spins);
+    while (!queue_.try_enqueue(op, future)) {
+      if (scheduler_.flush()) {
+        backoff.reset();
+      } else {
+        backoff.pause();  // another pump holds the lock; wait for its drain
+      }
+    }
+  }
+
+  /// Blocks until `future` completes. Requires a live pump (background
+  /// pump, or another thread calling poll()/flush()) — a lone thread
+  /// should use call() instead.
+  const Result& wait(const OpFuture& future) const {
+    BackoffState backoff(cfg_.backoff_spins);
+    while (!future.ready()) backoff.pause();
+    return future.result();
+  }
+
+  /// Synchronous round trip: submit, then pump until the result lands.
+  /// Works with or without other pumps; the deadline trigger bounds how
+  /// long a lone op waits for a round (≤ max_wait_us per poll pass).
+  Result call(const Op& op) {
+    OpFuture future;
+    submit(op, future);
+    BackoffState backoff(cfg_.backoff_spins);
+    while (!future.ready()) {
+      if (scheduler_.poll()) {
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+    return future.result();
+  }
+
+  // -- pump -----------------------------------------------------------------
+
+  /// One admission check; true iff a batch ran (any thread may call).
+  bool poll() { return scheduler_.poll(); }
+
+  /// Drains until the queue is empty (loops: clients may still be adding).
+  /// Backs off while another pump holds the lock instead of spinning hot.
+  void flush() {
+    BackoffState backoff(cfg_.backoff_spins);
+    for (;;) {
+      if (scheduler_.flush()) {
+        backoff.reset();
+        continue;
+      }
+      if (queue_.pending() == 0) return;
+      backoff.pause();
+    }
+  }
+
+  /// Starts the background pump: polls on the deadline cadence so batches
+  /// close by max_wait_us even with no client-side pumping. Idempotent.
+  void start_pump() {
+    if (pump_.joinable()) return;
+    pump_stop_.store(false, std::memory_order_relaxed);
+    pump_ = std::thread([this] {
+      const auto idle_sleep =
+          std::chrono::microseconds(cfg_.max_wait_us > 4 ? cfg_.max_wait_us / 4 : 1);
+      while (!pump_stop_.load(std::memory_order_relaxed)) {
+        if (!scheduler_.poll()) std::this_thread::sleep_for(idle_sleep);
+      }
+    });
+  }
+
+  /// Stops the background pump and flushes the residue. Idempotent.
+  void stop_pump() {
+    if (!pump_.joinable()) return;
+    pump_stop_.store(true, std::memory_order_relaxed);
+    pump_.join();
+    flush();
+  }
+
+  [[nodiscard]] bool pump_running() const noexcept { return pump_.joinable(); }
+
+  // -- committed state & introspection (serial / quiescent-pump) ------------
+
+  /// The committed value for `key` after the rounds so far (post-flush).
+  [[nodiscard]] std::optional<std::uint64_t> committed(std::uint64_t key) const {
+    const Slot* s = scheduler_.committed(key);
+    return s == nullptr ? std::nullopt : std::optional<std::uint64_t>(s->value);
+  }
+
+  [[nodiscard]] std::uint64_t pending() const noexcept { return queue_.pending(); }
+  [[nodiscard]] const BatchConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] ServeMetrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const ServeMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] BatchScheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] const BatchScheduler& scheduler() const noexcept { return scheduler_; }
+
+ private:
+  BatchConfig cfg_;
+  ServeMetrics metrics_;
+  RequestQueue queue_;
+  BatchScheduler scheduler_;
+  std::thread pump_;
+  std::atomic<bool> pump_stop_{false};
+};
+
+}  // namespace crcw::serve

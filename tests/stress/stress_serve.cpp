@@ -1,0 +1,181 @@
+// Raw-thread schedules for src/serve (label: serve-stress). Everything
+// here runs with BatchConfig::exec_threads == 1: the pump executes rounds
+// strictly serially, no OpenMP region anywhere, so TSan checks the
+// claimed synchronisation chain end to end — client enqueue (lane-lock
+// release) → pump drain (lane-lock acquire) → round execution under the
+// pump flag → OpFuture::publish (release) → client ready() (acquire).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "serve/serve_session.hpp"
+#include "stress_common.hpp"
+
+namespace crcw::serve {
+namespace {
+
+[[nodiscard]] BatchConfig serial_config() {
+  BatchConfig cfg;
+  cfg.exec_threads = 1;  // no OpenMP under TSan
+  cfg.max_batch = 64;
+  cfg.max_wait_us = 100;
+  return cfg;
+}
+
+// Dedicated pump thread vs. submitting clients: the basic service shape.
+// Each client round-trips distinct keys; the audit checks every committed
+// value is exactly the single value ever offered for its key.
+TEST(StressServe, DedicatedPumpDistinctKeys) {
+  const int threads = stress::thread_count();
+  const int clients = threads - 1;
+  const std::uint64_t per_client =
+      static_cast<std::uint64_t>(stress::scaled(400, 60));
+  ServeSession session(serial_config());
+  std::atomic<std::uint64_t> completed{0};
+  const std::uint64_t expected = static_cast<std::uint64_t>(clients) * per_client;
+
+  stress::run_threads(threads, [&](int tid) {
+    if (tid == 0) {
+      while (completed.load(std::memory_order_acquire) < expected) {
+        if (!session.poll()) session.flush();
+      }
+      return;
+    }
+    const auto client = static_cast<std::uint64_t>(tid);  // 1-based
+    OpFuture f;
+    for (std::uint64_t i = 0; i < per_client; ++i) {
+      const std::uint64_t key = client * per_client + i + 1;
+      session.submit(Op::upsert(key, key * 10), f);
+      const Result& r = session.wait(f);
+      if (!r.won || r.value != key * 10) {
+        ADD_FAILURE() << "client " << client << " op " << i << " saw value "
+                      << r.value;
+      }
+      completed.fetch_add(1, std::memory_order_release);
+    }
+  });
+
+  EXPECT_EQ(session.scheduler().ops_served(), expected);
+  for (std::uint64_t c = 1; c <= static_cast<std::uint64_t>(clients); ++c) {
+    for (std::uint64_t i = 0; i < per_client; ++i) {
+      const std::uint64_t key = c * per_client + i + 1;
+      ASSERT_EQ(session.committed(key), key * 10) << "key " << key;
+    }
+  }
+}
+
+// All threads contend on ONE key through the self-pumping call() path —
+// the pump lock race and the same-key round arbitration at once. The
+// loser guarantee pins every observed value to the offer format; the
+// post-join audit pins the final committed value to some client's last
+// write.
+TEST(StressServe, CallersContendOnOneKey) {
+  const int threads = stress::thread_count();
+  const std::uint64_t iterations =
+      static_cast<std::uint64_t>(stress::scaled(300, 50));
+  ServeSession session(serial_config());
+  constexpr std::uint64_t kKey = 7;
+
+  stress::run_threads(threads, [&](int tid) {
+    const auto client = static_cast<std::uint64_t>(tid);
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+      const Result r = session.call(Op::upsert(kKey, client * 1'000'000 + i));
+      // Winner or loser, the observed value is some client's live offer.
+      if (r.value / 1'000'000 >= static_cast<std::uint64_t>(threads) ||
+          r.value % 1'000'000 >= iterations) {
+        ADD_FAILURE() << "torn/stale committed value " << r.value;
+      }
+    }
+  });
+
+  // The final committed value is the last round's winner — any client's
+  // live offer (not necessarily a final-iteration one: the last round may
+  // mix a straggler's final op with faster clients' earlier ones).
+  ASSERT_TRUE(session.committed(kKey).has_value());
+  EXPECT_LT(*session.committed(kKey) / 1'000'000, static_cast<std::uint64_t>(threads));
+  EXPECT_LT(*session.committed(kKey) % 1'000'000, iterations);
+  EXPECT_EQ(session.scheduler().ops_served(),
+            static_cast<std::uint64_t>(threads) * iterations);
+}
+
+// Mixed traffic with erases: clients interleave upsert/lookup/erase on a
+// small shared key set while one thread pumps. Lookups must only ever see
+// live committed values in the offer format — never a torn slot.
+TEST(StressServe, MixedOpsOnSharedKeys) {
+  const int threads = stress::thread_count();
+  const int clients = threads - 1;
+  const std::uint64_t per_client =
+      static_cast<std::uint64_t>(stress::scaled(300, 50));
+  constexpr std::uint64_t kKeys = 8;
+  ServeSession session(serial_config());
+  std::atomic<std::uint64_t> completed{0};
+  const std::uint64_t expected = static_cast<std::uint64_t>(clients) * per_client;
+
+  stress::run_threads(threads, [&](int tid) {
+    if (tid == 0) {
+      while (completed.load(std::memory_order_acquire) < expected) {
+        if (!session.poll()) session.flush();
+      }
+      return;
+    }
+    const auto client = static_cast<std::uint64_t>(tid);
+    OpFuture f;
+    for (std::uint64_t i = 0; i < per_client; ++i) {
+      const std::uint64_t key = 1 + (client + i) % kKeys;
+      switch (i % 3) {
+        case 0:
+          session.submit(Op::upsert(key, key * 100 + client), f);
+          break;
+        case 1:
+          session.submit(Op::lookup(key), f);
+          break;
+        default:
+          session.submit(Op::erase(key), f);
+          break;
+      }
+      const Result& r = session.wait(f);
+      // Live values always look like key*100 + some client id.
+      if (r.won && i % 3 == 1 &&
+          (r.value / 100 != key || r.value % 100 > static_cast<std::uint64_t>(clients))) {
+        ADD_FAILURE() << "lookup of key " << key << " saw torn value " << r.value;
+      }
+      completed.fetch_add(1, std::memory_order_release);
+    }
+  });
+
+  EXPECT_EQ(session.scheduler().ops_served(), expected);
+}
+
+// The destructor path under pressure: clients are still waiting when the
+// session is told to flush-and-die. Every submitted op must complete —
+// no stranded futures.
+TEST(StressServe, ShutdownPublishesEverything) {
+  const int clients = stress::thread_count();
+  const std::uint64_t per_client =
+      static_cast<std::uint64_t>(stress::scaled(100, 20));
+  std::vector<std::vector<OpFuture>> futures(static_cast<std::size_t>(clients));
+  for (auto& v : futures) v = std::vector<OpFuture>(per_client);
+
+  {
+    ServeSession session(serial_config());
+    stress::run_threads(clients, [&](int tid) {
+      auto& mine = futures[static_cast<std::size_t>(tid)];
+      const auto client = static_cast<std::uint64_t>(tid + 1);
+      for (std::uint64_t i = 0; i < per_client; ++i) {
+        session.submit(Op::upsert(client * per_client + i, i), mine[i]);
+      }
+    });
+    // Session destructor flushes here.
+  }
+  for (const auto& v : futures) {
+    for (const OpFuture& f : v) {
+      ASSERT_TRUE(f.ready());
+      EXPECT_TRUE(f.result().won);  // distinct keys: every write wins
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crcw::serve

@@ -148,6 +148,24 @@ TEST(HashMap, ParallelUpsertOneWinnerPerKeyPerRound) {
   EXPECT_EQ(map.size(), kKeys);
 }
 
+TEST(HashMap, BacklogSizedGrowIsOneGrowNotACascade) {
+  Map map(4);
+  ASSERT_EQ(map.bucket_count(), 8u);  // 4 keys at max_load 0.5
+  // Sizing for a 1000-key backlog must land in one grow, big enough that
+  // 1000 inserts then proceed without any further grow.
+  EXPECT_TRUE(map.maybe_grow_for_backlog(1000, 2));
+  const std::uint64_t grown = map.bucket_count();
+  EXPECT_GE(grown, 2048u);  // 1000 / 0.5 rounded to pow2
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_EQ(map.upsert(k, k, k), MapUpsert::kWon);
+  }
+  EXPECT_FALSE(map.needs_grow());
+  EXPECT_EQ(map.bucket_count(), grown);
+  // A backlog that already fits is a no-op.
+  EXPECT_FALSE(map.maybe_grow_for_backlog(1, 2));
+  EXPECT_EQ(map.bucket_count(), grown);
+}
+
 TEST(HashMap, TelemetrySkipsAtomicsForClosedRounds) {
   obs::MetricsRegistry local;
   {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <set>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -169,6 +170,44 @@ TEST(HashSet, TelemetryCountsMapToTableEvents) {
   EXPECT_GE(t.attempts, 40u);        // every insert probed at least once
   EXPECT_GE(t.refills, 1u);          // the grow sweep claimed >= 1 chunk
   EXPECT_EQ(t.reset_tags, 32u);      // old array had 32 buckets, all swept
+}
+
+TEST(HashSet, BacklogSizedGrowAbsorbsTheWholeBacklog) {
+  ConcurrentHashSet<> set(4);
+  const std::uint64_t before = set.bucket_count();
+  EXPECT_TRUE(set.maybe_grow_for_backlog(500, 2));
+  const std::uint64_t grown = set.bucket_count();
+  EXPECT_GE(grown, 1024u);  // 500 keys at max_load 0.5, pow2
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    ASSERT_EQ(set.insert(k), SetInsert::kInserted);
+  }
+  EXPECT_FALSE(set.needs_grow());
+  EXPECT_EQ(set.bucket_count(), grown);  // one grow, no cascade
+  EXPECT_GT(grown, before);
+  EXPECT_FALSE(set.maybe_grow_for_backlog(1, 2));  // already fits
+}
+
+TEST(HashSet, StringKeyAdapterFeedsTheUint64Space) {
+  // Distinct strings map to distinct keys (collision would need ~2^32
+  // strings; these few must differ), the empty string is valid, and no
+  // string can produce the reserved all-ones sentinel.
+  const std::uint64_t a = string_key("alpha");
+  const std::uint64_t b = string_key("beta");
+  const std::uint64_t c = string_key("alphb");  // one char off
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, ConcurrentHashSet<>::kEmptyKey);
+  EXPECT_NE(string_key(""), ConcurrentHashSet<>::kEmptyKey);
+  // Deterministic: same bytes, same key (constexpr-evaluable too).
+  static_assert(string_key("alpha") == string_key("alpha"));
+  EXPECT_EQ(a, string_key(std::string_view("alpha")));
+
+  ConcurrentHashSet<> set(8);
+  EXPECT_EQ(set.insert(a), SetInsert::kInserted);
+  EXPECT_EQ(set.insert(string_key("alpha")), SetInsert::kFound);
+  EXPECT_TRUE(set.contains(a));
+  EXPECT_FALSE(set.contains(b));
 }
 
 TEST(HashSet, TelemetryOffCountsNothing) {

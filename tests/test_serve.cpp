@@ -1,0 +1,299 @@
+// src/serve: admission batching onto CRCW rounds — batch boundaries,
+// same-key collapse to one winner per round, committed-read visibility,
+// deadline-triggered flush, tombstone erase, and the metrics surface.
+#include "serve/serve_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ds/hash_common.hpp"
+
+namespace crcw::serve {
+namespace {
+
+TEST(Serve, CallUpsertLookupErase) {
+  ServeSession session;
+  const Result up = session.call(Op::upsert(7, 70));
+  EXPECT_TRUE(up.won);  // uncontended write always wins its round
+  EXPECT_EQ(up.value, 70u);
+
+  const Result hit = session.call(Op::lookup(7));
+  EXPECT_TRUE(hit.won);
+  EXPECT_EQ(hit.value, 70u);
+  EXPECT_GT(hit.round, up.round);  // later batch, later round
+
+  const Result miss = session.call(Op::lookup(8));
+  EXPECT_FALSE(miss.won);
+  EXPECT_EQ(miss.value, 0u);
+
+  const Result erased = session.call(Op::erase(7));
+  EXPECT_TRUE(erased.won);
+  EXPECT_FALSE(session.committed(7).has_value());
+  const Result gone = session.call(Op::lookup(7));
+  EXPECT_FALSE(gone.won);
+}
+
+TEST(Serve, BatchBoundariesSliceBigDrainsIntoRounds) {
+  BatchConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 1'000'000;  // no deadline interference
+  ServeSession session(cfg);
+
+  std::vector<OpFuture> futures(20);
+  for (std::uint64_t i = 0; i < futures.size(); ++i) {
+    session.submit(Op::upsert(100 + i, i), futures[i]);
+  }
+  session.flush();
+
+  // One drain of 20 ops with max_batch 8 slices into rounds of 8/8/4, in
+  // admission order.
+  EXPECT_EQ(session.scheduler().round(), 3u);
+  EXPECT_EQ(session.scheduler().batches(), 1u);
+  EXPECT_EQ(session.scheduler().ops_served(), 20u);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_TRUE(futures[i].ready()) << "op " << i;
+    EXPECT_TRUE(futures[i].result().won);
+    EXPECT_EQ(futures[i].result().round, i / 8 + 1);
+  }
+}
+
+TEST(Serve, SameKeyCollapsesToOneWinnerPerRound) {
+  BatchConfig cfg;
+  cfg.max_batch = 1024;
+  ServeSession session(cfg);
+
+  constexpr std::size_t kContenders = 32;
+  std::vector<OpFuture> futures(kContenders);
+  for (std::size_t i = 0; i < kContenders; ++i) {
+    session.submit(Op::upsert(42, 1000 + i), futures[i]);
+  }
+  session.flush();
+
+  std::size_t winners = 0;
+  std::uint64_t winner_value = 0;
+  for (const OpFuture& f : futures) {
+    ASSERT_TRUE(f.ready());
+    EXPECT_EQ(f.result().round, 1u);  // one batch, one round
+    if (f.result().won) {
+      ++winners;
+      winner_value = f.result().value;
+    }
+  }
+  EXPECT_EQ(winners, 1u);
+  // The wait-free loser guarantee: every loser observed the winner's
+  // committed value, not its own offer.
+  for (const OpFuture& f : futures) EXPECT_EQ(f.result().value, winner_value);
+  EXPECT_EQ(session.committed(42), winner_value);
+}
+
+TEST(Serve, CommittedReadsExcludeOwnRound) {
+  ServeSession session;
+
+  // A lookup admitted into the same round as the first write of its key
+  // must miss: lookups see rounds < r only.
+  OpFuture look, write;
+  session.submit(Op::lookup(5), look);
+  session.submit(Op::upsert(5, 55), write);
+  session.flush();
+  ASSERT_TRUE(look.ready());
+  ASSERT_TRUE(write.ready());
+  EXPECT_EQ(look.result().round, write.result().round);
+  EXPECT_FALSE(look.result().won);
+  EXPECT_EQ(look.result().value, 0u);
+
+  // The next batch's lookup runs in a later round and must hit.
+  const Result later = session.call(Op::lookup(5));
+  EXPECT_TRUE(later.won);
+  EXPECT_EQ(later.value, 55u);
+  EXPECT_GT(later.round, write.result().round);
+}
+
+TEST(Serve, SizeTriggerClosesBatch) {
+  BatchConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 1'000'000;  // deadline effectively off
+  ServeSession session(cfg);
+
+  std::vector<OpFuture> futures(4);
+  session.submit(Op::upsert(1, 1), futures[0]);
+  session.submit(Op::upsert(2, 2), futures[1]);
+  EXPECT_FALSE(session.poll());  // 2 < max_batch and deadline far away
+  session.submit(Op::upsert(3, 3), futures[2]);
+  session.submit(Op::upsert(4, 4), futures[3]);
+  EXPECT_TRUE(session.poll());  // size trigger
+  EXPECT_EQ(session.scheduler().deadline_batches(), 0u);
+  for (const OpFuture& f : futures) EXPECT_TRUE(f.ready());
+}
+
+TEST(Serve, DeadlineTriggerClosesTrickleBatch) {
+  BatchConfig cfg;
+  cfg.max_batch = 1 << 20;  // size trigger unreachable
+  cfg.max_wait_us = 1000;
+  ServeSession session(cfg);
+
+  OpFuture f;
+  session.submit(Op::upsert(9, 90), f);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(session.poll());  // the op aged past max_wait_us
+  EXPECT_TRUE(f.ready());
+  EXPECT_TRUE(f.result().won);
+  EXPECT_EQ(session.scheduler().deadline_batches(), 1u);
+}
+
+TEST(Serve, EraseArbitratesAndTombstones) {
+  ServeSession session;
+  ASSERT_TRUE(session.call(Op::upsert(3, 30)).won);
+
+  // Erase and upsert racing in one round: exactly one wins the (key,
+  // round) arbitration and its effect is what the round commits.
+  OpFuture erase_f, upsert_f;
+  session.submit(Op::erase(3), erase_f);
+  session.submit(Op::upsert(3, 31), upsert_f);
+  session.flush();
+  ASSERT_TRUE(erase_f.ready());
+  ASSERT_TRUE(upsert_f.ready());
+  EXPECT_NE(erase_f.result().won, upsert_f.result().won);
+  if (erase_f.result().won) {
+    EXPECT_FALSE(session.committed(3).has_value());
+    EXPECT_EQ(upsert_f.result().value, 0u);  // loser observed the tombstone
+  } else {
+    EXPECT_EQ(session.committed(3), 31u);
+    EXPECT_EQ(erase_f.result().value, 31u);  // loser observed the upsert
+  }
+
+  // A tombstoned key revives on the next round's upsert.
+  ASSERT_TRUE(session.call(Op::erase(3)).won);
+  ASSERT_TRUE(session.call(Op::upsert(3, 32)).won);
+  EXPECT_EQ(session.committed(3), 32u);
+}
+
+TEST(Serve, SentinelKeyFailsWithoutPoisoningTheRound) {
+  ServeSession session;
+  const Result bad = session.call(Op::upsert(~std::uint64_t{0}, 1));
+  EXPECT_FALSE(bad.won);
+  EXPECT_EQ(bad.value, 0u);
+  EXPECT_TRUE(session.call(Op::upsert(1, 10)).won);  // engine still serves
+}
+
+TEST(Serve, BacklogGrowAbsorbsOneBigBatch) {
+  BatchConfig cfg;
+  cfg.expected_keys = 2;  // force the reservation path
+  cfg.max_batch = 4096;
+  ServeSession session(cfg);
+  const std::uint64_t before = session.scheduler().table().bucket_count();
+
+  constexpr std::uint64_t kKeys = 2000;
+  std::vector<OpFuture> futures(kKeys);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    session.submit(Op::upsert(i + 1, i), futures[i]);
+  }
+  session.flush();
+
+  EXPECT_GT(session.scheduler().table().bucket_count(), before);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(futures[i].ready());
+    EXPECT_TRUE(futures[i].result().won);
+    ASSERT_EQ(session.committed(i + 1), i) << "key " << i + 1;
+  }
+}
+
+TEST(Serve, StringKeysRideTheUint64Space) {
+  ServeSession session;
+  const std::uint64_t alice = ds::string_key("user:alice");
+  const std::uint64_t bob = ds::string_key("user:bob");
+  ASSERT_NE(alice, bob);
+  ASSERT_TRUE(session.call(Op::upsert(alice, 1)).won);
+  ASSERT_TRUE(session.call(Op::upsert(bob, 2)).won);
+  EXPECT_EQ(session.call(Op::lookup(alice)).value, 1u);
+  EXPECT_EQ(session.call(Op::lookup(bob)).value, 2u);
+}
+
+TEST(Serve, BackgroundPumpServesConcurrentClients) {
+  BatchConfig cfg;
+  cfg.max_batch = 64;
+  cfg.max_wait_us = 200;
+  ServeSession session(cfg);
+  session.start_pump();
+
+  constexpr int kClients = 4;
+  constexpr std::uint64_t kOpsPerClient = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      OpFuture f;
+      for (std::uint64_t i = 0; i < kOpsPerClient; ++i) {
+        const std::uint64_t key = i + 1;  // all clients contend on all keys
+        session.submit(Op::upsert(key, static_cast<std::uint64_t>(c) * 1000 + i), f);
+        const Result& r = session.wait(f);
+        // Every client observes *some* round-committed value for the key.
+        if (r.value % 1000 != i) failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  session.stop_pump();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(session.scheduler().ops_served(), kClients * kOpsPerClient);
+  for (std::uint64_t key = 1; key <= kOpsPerClient; ++key) {
+    ASSERT_TRUE(session.committed(key).has_value()) << "key " << key;
+  }
+}
+
+TEST(Serve, MetricsHistogramsAndCountersFlow) {
+  obs::MetricsRegistry local;
+  {
+    const obs::ScopedRegistry scoped(local);
+    BatchConfig cfg;
+    cfg.counters = true;
+    ServeSession session(cfg);
+
+    constexpr std::size_t kOps = 16;
+    std::vector<OpFuture> futures(kOps);
+    for (std::size_t i = 0; i < kOps; ++i) {
+      // Half contend on key 1, half are lookups.
+      session.submit(i % 2 == 0 ? Op::upsert(1, i) : Op::lookup(1), futures[i]);
+    }
+    session.flush();
+
+    ServeMetrics& m = session.metrics();
+    EXPECT_EQ(m.enqueue_to_admit().count(), kOps);
+    EXPECT_EQ(m.enqueue_to_commit().count(), kOps);
+    EXPECT_GT(m.p99_enqueue_to_commit_ns(), 0u);
+    ASSERT_TRUE(m.counters_enabled());
+  }
+  // The serve site folded into the scoped registry on destruction:
+  // attempts = ops admitted, wins = write winners (one per (key, round)),
+  // refills = batches closed.
+  bool found = false;
+  for (const auto& [name, totals] : local.snapshot()) {
+    if (name != "serve") continue;
+    found = true;
+    EXPECT_EQ(totals.attempts, 16u);
+    EXPECT_EQ(totals.wins, 1u);
+    EXPECT_EQ(totals.refills, 1u);
+    EXPECT_EQ(totals.rounds, 1u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Serve, DestructorFlushesSubmittedOps) {
+  OpFuture f;
+  {
+    ServeSession session;
+    session.submit(Op::upsert(2, 20), f);
+    // No poll, no flush: the destructor must publish before tearing down.
+  }
+  ASSERT_TRUE(f.ready());
+  EXPECT_TRUE(f.result().won);
+}
+
+}  // namespace
+}  // namespace crcw::serve
