@@ -1,0 +1,194 @@
+// Extension benchmark: long-lived churn on the CW-arbitrated map — the
+// workload the erase/reclaim lifecycle exists for. Each cycle upserts a
+// fresh transient working set in one round, erases it the next, then runs
+// the step-boundary lifecycle (backlog-sized grow before the batch,
+// watermark-gated reclaim after), on top of a permanent core that must
+// survive every rebuild.
+//
+// Two claims are enforced, not just measured:
+//   * bucket_count() stays inside one hysteresis band for the whole run —
+//     any cycle pushing past it throws, so a regression to grow-only
+//     behaviour fails the bench (and the committed smoke baseline) rather
+//     than silently inflating a number;
+//   * erase is one CAS-LT per (key, round): the profile pass checks the
+//     tombstones counter equals exactly cycles x churn (every erase win is
+//     one committed tombstone write, no retries, no amplification).
+//
+// Baseline "mutex" is std::unordered_map behind one lock, whose erase()
+// really deallocates — the honest competitor for bounded-footprint churn.
+// Rows land in BENCH_ext_churn.json; m carries the max bucket_count the
+// sweep observed, so the boundedness claim is visible in the committed
+// baseline, and bench_compare.py gates the caslt-vs-mutex timing.
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "bench_common.hpp"
+#include "ds/concurrent_hash_map.hpp"
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using crcw::bench::RowRecorder;
+using crcw::bench::RowSpec;
+
+constexpr std::uint64_t kCore = 1 << 10;   ///< permanent keys (live forever)
+constexpr std::uint64_t kChurn = 1 << 12;  ///< transient keys per cycle
+constexpr int kCycles = 128;               ///< insert/erase cycles per run
+
+struct ChurnOutcome {
+  std::uint64_t final_buckets = 0;
+  std::uint64_t max_buckets = 0;
+};
+
+/// The full churn run on the CAS-LT map. Every cycle uses a fresh key
+/// range — the worst case for tombstone accumulation — bracketed by the
+/// same step-boundary calls the serve layer makes.
+ChurnOutcome churn_caslt(int threads, bool telemetry = false) {
+  crcw::ds::HashConfig cfg;
+  cfg.telemetry = telemetry;
+  cfg.site_name = "ext-churn";
+  crcw::ds::ConcurrentHashMap<std::uint64_t, std::uint64_t> map(kCore + kChurn,
+                                                                cfg);
+  // One hysteresis band of headroom over the sized-for-one-cycle table:
+  // reclaim_ratio (0.25) vs max_load (0.5) bounds the oscillation to one
+  // backlog grow above the post-reclaim floor; x4 covers it exactly.
+  const std::uint64_t band = map.bucket_count() * 4;
+
+  crcw::round_t r = 1;
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(kCore); ++i) {
+    (void)map.upsert(r, static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(i));
+  }
+
+  ChurnOutcome out;
+  out.max_buckets = map.bucket_count();
+  for (int c = 0; c < kCycles; ++c) {
+    (void)map.maybe_grow_for_backlog(kChurn, threads);
+    const std::uint64_t base = kCore + static_cast<std::uint64_t>(c) * kChurn;
+    ++r;
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(kChurn); ++i) {
+      (void)map.upsert(r, base + static_cast<std::uint64_t>(i),
+                       static_cast<std::uint64_t>(i));
+    }
+    ++r;
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(kChurn); ++i) {
+      (void)map.erase(r, base + static_cast<std::uint64_t>(i));
+    }
+    (void)map.maybe_reclaim_parallel(threads);
+
+    out.max_buckets = std::max(out.max_buckets, map.bucket_count());
+    if (out.max_buckets > band) {
+      throw std::runtime_error(
+          "ext_churn: bucket_count " + std::to_string(out.max_buckets) +
+          " escaped the hysteresis band " + std::to_string(band) +
+          " at cycle " + std::to_string(c) + " — reclaim is not shrinking");
+    }
+  }
+  map.flush_round();
+  out.final_buckets = map.bucket_count();
+  return out;
+}
+
+/// Locked-std baseline: erase() frees for real, so boundedness is free and
+/// the comparison isolates the arbitration + reclaim overhead.
+ChurnOutcome churn_mutex(int threads) {
+  std::unordered_map<std::uint64_t, std::uint64_t> map;
+  map.reserve(kCore + kChurn);
+  std::mutex mu;
+  for (std::uint64_t i = 0; i < kCore; ++i) map.emplace(i, i);
+
+  ChurnOutcome out;
+  out.max_buckets = map.bucket_count();
+  for (int c = 0; c < kCycles; ++c) {
+    const std::uint64_t base = kCore + static_cast<std::uint64_t>(c) * kChurn;
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(kChurn); ++i) {
+      const std::lock_guard<std::mutex> lock(mu);
+      map.insert_or_assign(base + static_cast<std::uint64_t>(i),
+                           static_cast<std::uint64_t>(i));
+    }
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(kChurn); ++i) {
+      const std::lock_guard<std::mutex> lock(mu);
+      map.erase(base + static_cast<std::uint64_t>(i));
+    }
+    out.max_buckets = std::max(
+        out.max_buckets, static_cast<std::uint64_t>(map.bucket_count()));
+  }
+  out.final_buckets = map.bucket_count();
+  return out;
+}
+
+template <typename Run>
+void bench_churn(benchmark::State& state, const char* method, Run&& run) {
+  const int threads = static_cast<int>(state.range(0));
+  // Untimed shakedown: learns the sweep's max bucket_count for the row key
+  // (RowSpec::m) and trips the band check before anything is recorded.
+  const ChurnOutcome shape = run(threads);
+  RowRecorder rec(state, {.series = std::string("ext_churn/cycles/") + method,
+                          .policy = method,
+                          .baseline = "mutex",
+                          .threads = threads,
+                          .n = static_cast<std::uint64_t>(kCycles) * kChurn,
+                          .m = shape.max_buckets});
+  ChurnOutcome out;
+  for (auto _ : state) {
+    crcw::util::Timer timer;
+    out = run(threads);
+    rec.record(timer.seconds());
+  }
+  state.counters["max_buckets"] = static_cast<double>(out.max_buckets);
+  state.counters["final_buckets"] = static_cast<double>(out.final_buckets);
+
+  if (std::string_view(method) == "caslt") {
+    rec.profile([&]() -> std::optional<crcw::obs::ContentionTotals> {
+      crcw::obs::MetricsRegistry local;
+      const crcw::obs::ScopedRegistry scoped(local);
+      (void)churn_caslt(threads, /*telemetry=*/true);
+      const crcw::obs::ContentionTotals totals = local.totals();
+      // The erase-cost claim: one committed CAS-LT tombstone per (key,
+      // round). Fresh disjoint keys → every erase wins exactly once.
+      const std::uint64_t expected = static_cast<std::uint64_t>(kCycles) * kChurn;
+      if (totals.tombstones != expected) {
+        throw std::runtime_error(
+            "ext_churn: tombstone writes " + std::to_string(totals.tombstones) +
+            " != erased (key, round) pairs " + std::to_string(expected));
+      }
+      return totals;
+    });
+  }
+}
+
+void churn_threads_caslt(benchmark::State& state) {
+  bench_churn(state, "caslt", [](int t) { return churn_caslt(t); });
+}
+
+void churn_threads_mutex(benchmark::State& state) {
+  bench_churn(state, "mutex", [](int t) { return churn_mutex(t); });
+}
+
+void churn_thread_args(benchmark::internal::Benchmark* b) {
+  // The paper's thread sweep; smoke keeps {1, 2} so the contended path
+  // still runs in CI.
+  for (const int t : crcw::bench::sweep_points({1, 2, 4, 8, 16, 32}, 2)) {
+    b->Arg(t);
+  }
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(churn_threads_caslt)->Apply(churn_thread_args);
+BENCHMARK(churn_threads_mutex)->Apply(churn_thread_args);
+
+}  // namespace

@@ -39,9 +39,9 @@ from pathlib import Path
 
 SCHEMA_PATH = Path(__file__).resolve().parent / "bench_schema.json"
 
-# refills / reset_tags are additive within schema_version 1: baselines
-# emitted before they existed simply lack them, so each counter is compared
-# only when both sides carry it.
+# refills / reset_tags / tombstones / reclaimed are additive within
+# schema_version 1: baselines emitted before they existed simply lack them,
+# so each counter is compared only when both sides carry it.
 COUNTER_FIELDS = (
     "attempts",
     "atomics",
@@ -50,6 +50,8 @@ COUNTER_FIELDS = (
     "rounds",
     "refills",
     "reset_tags",
+    "tombstones",
+    "reclaimed",
 )
 
 

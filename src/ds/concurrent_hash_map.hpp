@@ -1,21 +1,27 @@
 // ConcurrentHashMap — open addressing over TaggedBucket: the key claim
 // arbitrates which key owns a bucket (arbitrary-CW insert race, as in
-// ConcurrentHashSet) and the bucket's RoundTag arbitrates which *value*
-// commits per round (paper-faithful CAS-LT, as in ConWriteCell). The two
-// arbitrations compose: for N threads upserting the same key in round r,
-// exactly one claims the bucket (if it was empty) and exactly one — not
-// necessarily the same thread — wins the round-r value write; everyone
-// else returns kLost wait-free and reads the committed value after the
-// step barrier.
+// ConcurrentHashSet) and the bucket's LiveTag arbitrates which *write* —
+// upsert or erase — commits per round (paper-faithful CAS-LT, as in
+// ConWriteCell). The two arbitrations compose: for N threads upserting
+// and erasing the same key in round r, exactly one claims the bucket (if
+// it was empty) and exactly one — not necessarily the same thread — wins
+// the round-r write; everyone else returns kLost wait-free and reads the
+// committed outcome after the step barrier.
 //
 // Values are plain (non-atomic) payloads published by the step barrier,
 // the exact ConWriteCell contract: find() is valid from serial code or
 // after the barrier that closed the writing round, not mid-round.
 //
-// Growth is the same cooperative chunk-swept protocol as the set (see
-// concurrent_hash_set.hpp); migration additionally carries each bucket's
-// value and its tag's last committed round, so round monotonicity survives
-// the swap.
+// Lifecycle: an erase commits a *tombstone* — the key keeps its bucket
+// (probe chains must keep walking through it) but the LiveTag's liveness
+// bit goes dead, so find()/size() no longer see it while a later round's
+// upsert can revive it in place. Tombstones are reclaimed by the same
+// cooperative chunk-swept migration that grows the table, run toward a
+// target sized from the live count: dead buckets are simply not migrated.
+// Dropping them is sound because migrations happen between rounds and
+// rounds are strictly increasing, so a dropped bucket's committed round
+// can never be raced again. needs_reclaim() watches the tombstone-ratio
+// watermark (HashConfig::reclaim_ratio) for the step-boundary trigger.
 #pragma once
 
 #include <omp.h>
@@ -37,9 +43,9 @@
 
 namespace crcw::ds {
 
-/// Outcome of a round-arbitrated upsert.
+/// Outcome of a round-arbitrated upsert or erase.
 enum class MapUpsert {
-  kWon,   ///< this thread's value is the round's committed write
+  kWon,   ///< this thread's write is the round's committed one
   kLost,  ///< another thread won this (key, round); read it post-barrier
   kFull,  ///< probe walk exhausted: grow, then retry
 };
@@ -57,9 +63,20 @@ class ConcurrentHashMap {
         mask_(buckets_.size() - 1) {}
 
   [[nodiscard]] std::uint64_t bucket_count() const noexcept { return buckets_.size(); }
-  [[nodiscard]] std::uint64_t size() const noexcept { return size_.total(); }
 
-  /// First-writer-wins insert (no round): the claim winner stores `v`,
+  /// Live keys only: claimed buckets minus tombstones. Exact from serial
+  /// code or post-barrier.
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return occupied_.total() - dead_.total();
+  }
+  /// Claimed buckets, live or dead — what probe-chain length (and thus
+  /// needs_grow) actually depends on.
+  [[nodiscard]] std::uint64_t occupied() const noexcept { return occupied_.total(); }
+  /// Current tombstones (erased keys still holding their buckets).
+  [[nodiscard]] std::uint64_t tombstones() const noexcept { return dead_.total(); }
+
+  /// First-writer-wins insert (no round): the claim winner — or, for a
+  /// tombstoned key, the winner of the idempotent revive — stores `v`;
   /// everyone else observes the key as present. This is the build-phase
   /// primitive (semijoin's arbitrary pick among duplicate build keys).
   /// Returns kInserted for the winner, kFound otherwise; value is
@@ -68,21 +85,35 @@ class ConcurrentHashMap {
     Bucket* bucket = nullptr;
     const SetInsert r = claim_bucket(key, bucket);
     if (r == SetInsert::kInserted) {
+      // Fresh claims are born live (LiveTag's polarity): the build-phase
+      // fast path is one CAS plus the barrier-published store, no tag RMW.
       const util::TsanIgnoreWritesScope published_by_barrier;
       bucket->value = v;
+      return r;
+    }
+    if (r == SetInsert::kFound && !bucket->tagged.tag().live()) {
+      telemetry_.cas();
+      if (bucket->tagged.tag().mark_live()) {  // revive: first flipper wins
+        dead_.sub(1);
+        const util::TsanIgnoreWritesScope published_by_barrier;
+        bucket->value = v;
+        return SetInsert::kInserted;
+      }
     }
     return r;
   }
 
   /// Round-arbitrated upsert: claims the bucket if empty, then races the
-  /// bucket's RoundTag with CAS-LT for round `round`. One winner per
-  /// (key, round) stores `v`; rounds must be strictly increasing per the
-  /// RoundTag contract (use one counter per map, advanced between
-  /// barriers).
+  /// bucket's LiveTag with CAS-LT for round `round`. One winner per
+  /// (key, round) — among upserts AND erases — stores `v`; rounds must be
+  /// strictly increasing per the LiveTag contract (use one counter per
+  /// map, advanced between barriers).
   MapUpsert upsert(round_t round, Key key, const Value& v) {
     Bucket* bucket = nullptr;
     if (claim_bucket(key, bucket) == SetInsert::kFull) return MapUpsert::kFull;
-    if (!acquire_round(*bucket, round)) return MapUpsert::kLost;
+    bool was_live = false;
+    if (!acquire_round(*bucket, round, /*live=*/true, was_live)) return MapUpsert::kLost;
+    if (!was_live) dead_.sub(1);  // tombstone revive
     const util::TsanIgnoreWritesScope published_by_barrier;
     bucket->value = v;
     return MapUpsert::kWon;
@@ -94,54 +125,94 @@ class ConcurrentHashMap {
   MapUpsert upsert_with(round_t round, Key key, Factory&& make) {
     Bucket* bucket = nullptr;
     if (claim_bucket(key, bucket) == SetInsert::kFull) return MapUpsert::kFull;
-    if (!acquire_round(*bucket, round)) return MapUpsert::kLost;
+    bool was_live = false;
+    if (!acquire_round(*bucket, round, /*live=*/true, was_live)) return MapUpsert::kLost;
+    if (!was_live) dead_.sub(1);
     Value made = std::forward<Factory>(make)();
     const util::TsanIgnoreWritesScope published_by_barrier;
     bucket->value = std::move(made);
     return MapUpsert::kWon;
   }
 
-  /// Pointer to the committed value for `key`, or nullptr. Read from
-  /// serial code or after the barrier that closed the writing round.
+  /// Round-arbitrated erase: the same CAS-LT race as upsert, committing a
+  /// tombstone instead of a value. One winner per (key, round) across both
+  /// op kinds — a same-round erase/upsert pair on one key resolves to
+  /// whichever CAS landed, exactly the paper's arbitrary-CW pick. Erasing
+  /// an absent key claims (and immediately tombstones) a bucket so the
+  /// arbitration stays symmetric — a same-round upsert loser must observe
+  /// the erase's commit on the key's tag; the wasted bucket is recycled by
+  /// the next reclaim sweep.
+  MapUpsert erase(round_t round, Key key) {
+    Bucket* bucket = nullptr;
+    if (claim_bucket(key, bucket) == SetInsert::kFull) return MapUpsert::kFull;
+    bool was_live = false;
+    if (!acquire_round(*bucket, round, /*live=*/false, was_live)) return MapUpsert::kLost;
+    if (was_live) dead_.add(1);
+    telemetry_.tombstone();
+    return MapUpsert::kWon;
+  }
+
+  /// Pointer to the committed value for `key`, or nullptr (absent or
+  /// erased). Read from serial code or after the barrier that closed the
+  /// writing round.
   [[nodiscard]] const Value* find(Key key) const noexcept {
     const Bucket* bucket = find_bucket(key);
-    return bucket == nullptr ? nullptr : &bucket->value;
+    if (bucket == nullptr || !bucket->tagged.tag().live()) return nullptr;
+    return &bucket->value;
   }
 
-  [[nodiscard]] bool contains(Key key) const noexcept {
-    return find_bucket(key) != nullptr;
-  }
+  [[nodiscard]] bool contains(Key key) const noexcept { return find(key) != nullptr; }
 
-  /// Serial/post-barrier iteration over committed (key, value) pairs.
+  /// Serial/post-barrier iteration over committed live (key, value) pairs.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (const Bucket& bucket : buckets_) {
       const Key k = bucket.tagged.key();
-      if (k != kEmptyKey) fn(k, bucket.value);
+      if (k != kEmptyKey && bucket.tagged.tag().live()) fn(k, bucket.value);
     }
   }
 
-  // -- cooperative grow (same protocol as ConcurrentHashSet) ----------------
+  // -- cooperative migration: grow and tombstone reclaim --------------------
+  // One protocol, two directions. grow_prepare sizes the target up from
+  // the current array; reclaim_prepare sizes it from the live count so a
+  // churned table shrinks back. Either way the sweep (grow_help) skips
+  // dead buckets, so every migration is also a reclaim.
 
   [[nodiscard]] bool needs_grow() const noexcept {
-    return static_cast<double>(size()) >
+    return static_cast<double>(occupied()) >
            cfg_.max_load * static_cast<double>(buckets_.size());
   }
 
+  /// Tombstone-ratio watermark (HashConfig::reclaim_ratio), checked at
+  /// step boundaries like needs_grow. The band between the two thresholds
+  /// is the hysteresis that keeps churny workloads from alternating
+  /// grow/shrink every step.
+  [[nodiscard]] bool needs_reclaim() const noexcept {
+    const std::uint64_t dead = tombstones();
+    return dead > 0 && static_cast<double>(dead) >=
+                           cfg_.reclaim_ratio * static_cast<double>(buckets_.size());
+  }
+
   void grow_prepare(std::uint64_t factor = 2) {
-    assert(!growing() && "grow_prepare while a grow is already open");
     if (factor < 2) factor = 2;
-    auto mig = std::make_unique<Migration>();
-    mig->buckets = util::AlignedBuffer<Bucket>(bucket_count_for(buckets_.size() * factor));
-    mig->mask = mig->buckets.size() - 1;
-    migration_ = std::move(mig);
+    migration_prepare(bucket_count_for(buckets_.size() * factor));
+  }
+
+  /// Open a migration sized for the live keys: tombstones are dropped by
+  /// the sweep and the array shrinks back toward size()/max_load. The
+  /// target keeps max_load headroom, so the rebuilt table is never
+  /// immediately grow-worthy.
+  void reclaim_prepare() {
+    migration_prepare(bucket_count_for(required_buckets(size(), cfg_.max_load)));
   }
 
   [[nodiscard]] bool growing() const noexcept { return migration_ != nullptr; }
 
   /// Chunk-swept cooperative migration; see concurrent_hash_set.hpp. Each
-  /// occupied bucket's key, value, and last committed round move together,
-  /// so post-grow CAS-LT writes keep refusing already-committed rounds.
+  /// live bucket's key, value, and packed (round, live) tag move together,
+  /// so post-migration CAS-LT writes keep refusing already-committed
+  /// rounds. Dead buckets are dropped — their committed rounds are behind
+  /// every future round, so nothing can race them after the swap.
   void grow_help() {
     Migration& mig = *migration_;
     const std::uint64_t end = buckets_.size();
@@ -151,11 +222,21 @@ class ConcurrentHashMap {
       if (begin >= end) return;
       telemetry_.chunk_claim();
       const std::uint64_t stop = std::min(begin + cfg_.migrate_chunk, end);
+      std::uint64_t moved = 0;
+      std::uint64_t dropped = 0;
       for (std::uint64_t i = begin; i < stop; ++i) {
         Bucket& old = buckets_[i];
         const Key k = old.tagged.key();
-        if (k != kEmptyKey) migrate_into(mig, k, old);
+        if (k == kEmptyKey) continue;
+        if (!old.tagged.tag().live()) {
+          ++dropped;
+          continue;
+        }
+        migrate_into(mig, k, old);
+        ++moved;
       }
+      if (moved > 0) mig.live_moved.fetch_add(moved, std::memory_order_relaxed);
+      if (dropped > 0) mig.dropped.fetch_add(dropped, std::memory_order_relaxed);
       telemetry_.migrated(stop - begin);
     }
   }
@@ -166,6 +247,12 @@ class ConcurrentHashMap {
            "grow_finish before the migration sweep completed");
     buckets_ = std::move(migration_->buckets);
     mask_ = migration_->mask;
+    // The rebuilt array holds exactly the migrated live keys: reset the
+    // sharded counters to that truth (serial here, like the swap itself).
+    occupied_.reset();
+    occupied_.add(migration_->live_moved.load(std::memory_order_relaxed));
+    dead_.reset();
+    telemetry_.reclaimed(migration_->dropped.load(std::memory_order_relaxed));
     migration_.reset();
   }
 
@@ -182,17 +269,41 @@ class ConcurrentHashMap {
     return true;
   }
 
+  /// Cooperative rebuild toward the live count: drops every tombstone and
+  /// shrinks the array if churn left it oversized.
+  void reclaim_parallel(int threads = 0) {
+    reclaim_prepare();
+#pragma omp parallel num_threads(threads > 0 ? threads : omp_get_max_threads())
+    grow_help();
+    grow_finish();
+  }
+
+  /// Watermark-gated reclaim for step boundaries. Returns true iff a
+  /// rebuild ran.
+  bool maybe_reclaim_parallel(int threads = 0) {
+    if (!needs_reclaim()) return false;
+    reclaim_parallel(threads);
+    return true;
+  }
+
   /// Backlog-sized grow (ROADMAP "resize-storm tail"): one grow sized for
   /// `backlog` further inserts on top of the current occupancy, instead of
   /// a cascade of ×2 grows each re-migrating every key. Returns true iff a
   /// grow ran. Serial/step-boundary only, like every grow entry point.
+  /// Sizes from occupied(), not size(): tombstones hold buckets (and
+  /// lengthen probes) until a reclaim drops them.
   bool maybe_grow_for_backlog(std::uint64_t backlog, int threads = 0) {
-    const std::uint64_t want =
-        bucket_count_for(required_buckets(size() + backlog, cfg_.max_load));
+    const std::uint64_t occ = occupied();
+    const std::uint64_t demand =
+        backlog > std::numeric_limits<std::uint64_t>::max() - occ
+            ? std::numeric_limits<std::uint64_t>::max()
+            : occ + backlog;
+    const std::uint64_t want = bucket_count_for(required_buckets(demand, cfg_.max_load));
     if (want <= buckets_.size()) return false;
-    std::uint64_t factor = 2;
-    while (buckets_.size() * factor < want) factor *= 2;
-    grow_parallel(threads, factor);
+    // Both sides are powers of two, so the division is exact — the old
+    // `size * factor < want` doubling loop could wrap to 0 for huge
+    // backlogs and never terminate.
+    grow_parallel(threads, want / buckets_.size());
     return true;
   }
 
@@ -211,34 +322,40 @@ class ConcurrentHashMap {
     util::AlignedBuffer<Bucket> buckets;
     std::uint64_t mask = 0;
     alignas(util::kCacheLineSize) std::atomic<std::uint64_t> cursor{0};
+    std::atomic<std::uint64_t> live_moved{0};
+    std::atomic<std::uint64_t> dropped{0};
   };
 
-  [[nodiscard]] static std::uint64_t required_buckets(std::uint64_t capacity,
-                                                      double max_load) {
-    if (max_load <= 0.0 || max_load > 1.0) {
-      throw std::invalid_argument("ConcurrentHashMap: max_load must be in (0, 1]");
-    }
-    return static_cast<std::uint64_t>(static_cast<double>(capacity < 1 ? 1 : capacity) /
-                                      max_load);
+  void migration_prepare(std::uint64_t target_buckets) {
+    assert(!growing() && "migration_prepare while a migration is already open");
+    auto mig = std::make_unique<Migration>();
+    mig->buckets = util::AlignedBuffer<Bucket>(target_buckets);
+    mig->mask = mig->buckets.size() - 1;
+    migration_ = std::move(mig);
   }
 
-  /// CAS-LT on the bucket's RoundTag with the telemetry mirroring
+  /// CAS-LT on the bucket's LiveTag with the telemetry mirroring
   /// InstrumentedTag<CasLtPolicy>: the pre-load skip issues no RMW, so
   /// `atomics` counts only real compare-exchanges.
-  bool acquire_round(Bucket& bucket, round_t round) {
-    RoundTag& tag = bucket.tagged.tag();
+  bool acquire_round(Bucket& bucket, round_t round, bool live, bool& was_live) {
+    LiveTag& tag = bucket.tagged.tag();
     if (tag.last_round() >= round) return false;  // skip: no atomic issued
     telemetry_.cas();
-    return tag.try_acquire(round);
+    return tag.try_acquire(round, live, was_live);
   }
 
   /// Probe walk + claim; on kInserted/kFound, `bucket` points at the key's
-  /// bucket. Throws for the reserved sentinel key.
+  /// bucket (live or tombstoned — liveness is the caller's concern).
+  /// Throws for the reserved sentinel key. A fresh claim is born live (its
+  /// LiveTag starts that way), so only occupied_ moves here; dead_ moves
+  /// exactly when a LiveTag RMW flips the bit, with the winner deriving
+  /// the transition from its own CAS's observed word — no second pass, no
+  /// double counting.
   SetInsert claim_bucket(Key key, Bucket*& bucket) {
     if (key == kEmptyKey) {
       throw std::invalid_argument("ConcurrentHashMap: the all-ones key is reserved");
     }
-    assert(!growing() && "write during cooperative grow: missing barrier");
+    assert(!growing() && "write during cooperative migration: missing barrier");
     std::uint64_t b = mix64(key) & mask_;
     for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
       telemetry_.probes(1);
@@ -246,7 +363,7 @@ class ConcurrentHashMap {
         case BucketClaim::kWon:
           telemetry_.cas();
           telemetry_.win();
-          size_.add(1);
+          occupied_.add(1);
           bucket = &buckets_[b];
           return SetInsert::kInserted;
         case BucketClaim::kHeld:
@@ -273,9 +390,10 @@ class ConcurrentHashMap {
   }
 
   /// Migration insert: the claim always wins eventually (keys unique in
-  /// the old array); the value and committed round travel with it. Old
-  /// buckets are quiescent during the sweep (barrier before grow_help), so
-  /// plain reads of value/tag are safe.
+  /// the old array, and the target is sized for every live key); the value
+  /// and the packed (round, live) word travel together. Old buckets are
+  /// quiescent during the sweep (barrier before grow_help), so plain reads
+  /// of value/tag are safe.
   void migrate_into(Migration& mig, Key key, const Bucket& old) {
     std::uint64_t b = mix64(key) & mig.mask;
     for (;;) {
@@ -284,7 +402,7 @@ class ConcurrentHashMap {
       if (claim == BucketClaim::kWon) {
         telemetry_.cas();
         mig.buckets[b].value = old.value;
-        mig.buckets[b].tagged.tag().reset(old.tagged.tag().last_round());
+        mig.buckets[b].tagged.tag().restore(old.tagged.tag().packed());
         return;
       }
       assert(claim == BucketClaim::kOther && "duplicate key in migration sweep");
@@ -296,7 +414,8 @@ class ConcurrentHashMap {
   TableTelemetry telemetry_;
   util::AlignedBuffer<Bucket> buckets_;
   std::uint64_t mask_;
-  ShardedCounter size_;
+  ShardedCounter occupied_;
+  ShardedCounter dead_;
   std::unique_ptr<Migration> migration_;
 };
 

@@ -9,6 +9,17 @@
 // are no locks anywhere: inserts are lock-free (bounded by the probe
 // walk), lookups are wait-free reads.
 //
+// Erase is membership split from bucket ownership: a claimed bucket holds
+// its key forever (probe chains walk through it), while a side
+// AtomicBitset marks *tombstoned* buckets. The polarity is deliberate —
+// a freshly claimed bucket is live with the bit at rest, so the
+// insert-only fast path (the dedup/semijoin build phases measured by the
+// benches) is exactly one CAS with zero bitset traffic; only erase (first
+// bit-setter wins) and revive (first bit-clearer wins) pay an extra RMW,
+// each an arbitrary concurrent write of a boolean. Tombstones are dropped
+// by reclaim sweeps, which rebuild the array from the live buckets and
+// shrink it back toward the live count.
+//
 // Growth is DHash-style cooperative migration, run *between* rounds at the
 // PRAM step boundary instead of behind per-bucket locks: one thread calls
 // grow_prepare(), every thread then sweeps chunks of the old bucket array
@@ -36,9 +47,11 @@
 #include <limits>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "ds/hash_common.hpp"
 #include "util/aligned_buffer.hpp"
+#include "util/atomic_bitset.hpp"
 
 namespace crcw::ds {
 
@@ -53,15 +66,27 @@ class ConcurrentHashSet {
       : cfg_(std::move(cfg)),
         telemetry_(cfg_),
         buckets_(bucket_count_for(required_buckets(capacity, cfg_.max_load))),
+        dead_(buckets_.size()),
         mask_(buckets_.size() - 1) {}
 
   [[nodiscard]] std::uint64_t bucket_count() const noexcept { return buckets_.size(); }
-  [[nodiscard]] std::uint64_t size() const noexcept { return size_.total(); }
+
+  /// Live keys only (claimed minus tombstoned). Serial or post-barrier.
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return occupied_.total() - dead_.count();
+  }
+  /// Claimed buckets, live or dead — the probe-chain-length driver.
+  [[nodiscard]] std::uint64_t occupied() const noexcept { return occupied_.total(); }
+  /// Current tombstones (erased keys still holding their buckets).
+  [[nodiscard]] std::uint64_t tombstones() const noexcept { return dead_.count(); }
   [[nodiscard]] const HashConfig& config() const noexcept { return cfg_; }
 
-  /// Inserts `key`. Safe concurrently with other inserts and lookups; NOT
-  /// concurrently with the grow sweep (the round structure separates them).
-  /// Throws std::invalid_argument for the reserved sentinel key.
+  /// Inserts `key`, reviving it if it was erased. Safe concurrently with
+  /// other inserts, erases and lookups; NOT concurrently with the grow
+  /// sweep (the round structure separates them). kInserted goes to the
+  /// thread whose RMW made the key live: the claim winner on a fresh
+  /// bucket, the tombstone-bit clearer on an erased one. Throws
+  /// std::invalid_argument for the reserved sentinel key.
   SetInsert insert(Key key) {
     check_key(key);
     assert(!growing() && "insert during cooperative grow: missing barrier");
@@ -75,70 +100,121 @@ class ConcurrentHashSet {
                                                     std::memory_order_acq_rel,
                                                     std::memory_order_acquire)) {
           telemetry_.win();
-          size_.add(1);
-          return SetInsert::kInserted;
+          occupied_.add(1);
+          return SetInsert::kInserted;  // fresh claim is born live
         }
         // Lost the claim; `current` holds the winner's key — observe it
         // wait-free, no reload, no retry on this bucket.
       }
-      if (current == key) return SetInsert::kFound;
+      if (current == key) {
+        if (!dead_.test(b)) return SetInsert::kFound;  // live: no RMW
+        telemetry_.cas();
+        if (dead_.test_and_reset(b)) {  // revive race: first clearer wins
+          telemetry_.win();
+          return SetInsert::kInserted;
+        }
+        return SetInsert::kFound;
+      }
       b = (b + 1) & mask_;
     }
     return SetInsert::kFull;
   }
 
-  /// Membership test. Wait-free; concurrent inserts may or may not be
-  /// visible (keys never move or vanish outside a grow sweep, so a hit is
-  /// always authoritative).
+  /// Erases `key`: marks its bucket tombstoned. First setter wins —
+  /// returns true iff this call transitioned the key live → dead (false
+  /// if the key was absent or already erased). The bucket stays claimed
+  /// until a reclaim sweep drops it.
+  bool erase(Key key) {
+    check_key(key);
+    assert(!growing() && "erase during cooperative grow: missing barrier");
+    std::uint64_t b = mix64(key) & mask_;
+    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
+      telemetry_.probes(1);
+      const Key current = buckets_[b].key.load(std::memory_order_acquire);
+      if (current == kEmptyKey) return false;
+      if (current == key) {
+        if (dead_.test(b)) return false;  // already tombstoned: no RMW
+        telemetry_.cas();
+        if (dead_.test_and_set(b)) {
+          telemetry_.tombstone();
+          return true;
+        }
+        return false;  // a racing eraser set the bit first
+      }
+      b = (b + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Membership test for live keys. Wait-free; concurrent inserts/erases
+  /// may or may not be visible (keys never move outside a grow sweep, so
+  /// a live hit is always authoritative).
   [[nodiscard]] bool contains(Key key) const noexcept {
     if (key == kEmptyKey) return false;
     std::uint64_t b = mix64(key) & mask_;
     for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
       const Key current = buckets_[b].key.load(std::memory_order_acquire);
-      if (current == key) return true;
+      if (current == key) return !dead_.test(b);
       if (current == kEmptyKey) return false;
       b = (b + 1) & mask_;
     }
     return false;
   }
 
-  /// Serial/post-barrier iteration over the committed keys.
+  /// Serial/post-barrier iteration over the committed live keys.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const Bucket& bucket : buckets_) {
-      const Key k = bucket.key.load(std::memory_order_acquire);
-      if (k != kEmptyKey) fn(k);
+    for (std::uint64_t i = 0; i < buckets_.size(); ++i) {
+      const Key k = buckets_[i].key.load(std::memory_order_acquire);
+      if (k != kEmptyKey && !dead_.test(i)) fn(k);
     }
   }
 
-  // -- cooperative grow (between rounds; see file comment) ------------------
+  // -- cooperative migration: grow and tombstone reclaim --------------------
+  // One protocol, two directions (see concurrent_hash_map.hpp): the sweep
+  // skips dead buckets, so every migration is also a reclaim, and
+  // reclaim_prepare points it at a target sized from the live count.
 
-  /// True once occupancy exceeds cfg.max_load. Serial or post-barrier.
+  /// True once claimed buckets exceed cfg.max_load — tombstones count,
+  /// because they lengthen probe chains exactly like live keys. Serial or
+  /// post-barrier.
   [[nodiscard]] bool needs_grow() const noexcept {
-    return static_cast<double>(size()) >
+    return static_cast<double>(occupied()) >
            cfg_.max_load * static_cast<double>(buckets_.size());
+  }
+
+  /// Tombstone-ratio watermark (HashConfig::reclaim_ratio); the gap below
+  /// max_load is the grow/shrink hysteresis band.
+  [[nodiscard]] bool needs_reclaim() const noexcept {
+    const std::uint64_t dead = tombstones();
+    return dead > 0 && static_cast<double>(dead) >=
+                           cfg_.reclaim_ratio * static_cast<double>(buckets_.size());
   }
 
   /// Serial: allocates the next array (factor × buckets) and opens the
   /// migration window.
   void grow_prepare(std::uint64_t factor = 2) {
-    assert(!growing() && "grow_prepare while a grow is already open");
     if (factor < 2) factor = 2;
-    auto mig = std::make_unique<Migration>();
-    mig->buckets = util::AlignedBuffer<Bucket>(bucket_count_for(buckets_.size() * factor));
-    mig->mask = mig->buckets.size() - 1;
-    migration_ = std::move(mig);
+    migration_prepare(bucket_count_for(buckets_.size() * factor));
+  }
+
+  /// Serial: opens a migration sized for the live keys, so the sweep drops
+  /// every tombstone and the array shrinks back toward size()/max_load.
+  void reclaim_prepare() {
+    migration_prepare(bucket_count_for(required_buckets(size(), cfg_.max_load)));
   }
 
   [[nodiscard]] bool growing() const noexcept { return migration_ != nullptr; }
 
   /// Any thread, repeatedly until it returns: claims chunks of the old
-  /// bucket array from the shared cursor and re-inserts every occupied
-  /// bucket into the next array. Lock-free: one fetch_add per chunk, one
-  /// claim CAS per occupied bucket, and a stalled helper blocks nobody —
-  /// the chunks it claimed are its own. Returns when the cursor is
-  /// exhausted (which does NOT mean every chunk is migrated — the caller's
-  /// barrier before grow_finish() establishes that).
+  /// bucket array from the shared cursor and re-inserts every live bucket
+  /// into the next array (tombstoned ones are dropped — nothing can
+  /// revive them mid-sweep, since writes never overlap migrations).
+  /// Lock-free: one fetch_add per chunk, one claim CAS per live bucket,
+  /// and a stalled helper blocks nobody — the chunks it claimed are its
+  /// own. Returns when the cursor is exhausted (which does NOT mean every
+  /// chunk is migrated — the caller's barrier before grow_finish()
+  /// establishes that).
   void grow_help() {
     Migration& mig = *migration_;
     const std::uint64_t end = buckets_.size();
@@ -148,22 +224,37 @@ class ConcurrentHashSet {
       if (begin >= end) return;
       telemetry_.chunk_claim();
       const std::uint64_t stop = std::min(begin + cfg_.migrate_chunk, end);
+      std::uint64_t moved = 0;
+      std::uint64_t dropped = 0;
       for (std::uint64_t i = begin; i < stop; ++i) {
         const Key k = buckets_[i].key.load(std::memory_order_acquire);
-        if (k != kEmptyKey) migrate_into(mig, k);
+        if (k == kEmptyKey) continue;
+        if (dead_.test(i)) {
+          ++dropped;
+          continue;
+        }
+        migrate_into(mig, k);
+        ++moved;
       }
+      if (moved > 0) mig.live_moved.fetch_add(moved, std::memory_order_relaxed);
+      if (dropped > 0) mig.dropped.fetch_add(dropped, std::memory_order_relaxed);
       telemetry_.migrated(stop - begin);
     }
   }
 
   /// Serial, after every helper has passed the barrier: installs the next
-  /// array.
+  /// array (and its all-clear tombstone bits — migrated keys are live by
+  /// construction).
   void grow_finish() {
     assert(growing() && "grow_finish without grow_prepare");
     assert(migration_->cursor.load(std::memory_order_relaxed) >= buckets_.size() &&
            "grow_finish before the migration sweep completed");
     buckets_ = std::move(migration_->buckets);
+    dead_ = std::move(migration_->dead);
     mask_ = migration_->mask;
+    occupied_.reset();
+    occupied_.add(migration_->live_moved.load(std::memory_order_relaxed));
+    telemetry_.reclaimed(migration_->dropped.load(std::memory_order_relaxed));
     migration_.reset();
   }
 
@@ -184,17 +275,39 @@ class ConcurrentHashSet {
     return true;
   }
 
+  /// Cooperative rebuild toward the live count: drops every tombstone and
+  /// shrinks the array if churn left it oversized.
+  void reclaim_parallel(int threads = 0) {
+    reclaim_prepare();
+#pragma omp parallel num_threads(threads > 0 ? threads : omp_get_max_threads())
+    grow_help();
+    grow_finish();
+  }
+
+  /// Watermark-gated reclaim for step boundaries. Returns true iff a
+  /// rebuild ran.
+  bool maybe_reclaim_parallel(int threads = 0) {
+    if (!needs_reclaim()) return false;
+    reclaim_parallel(threads);
+    return true;
+  }
+
   /// Backlog-sized grow (ROADMAP "resize-storm tail"): one grow sized for
   /// `backlog` further inserts on top of the current occupancy, instead of
   /// a cascade of ×2 grows each re-migrating every key. Returns true iff a
   /// grow ran. Serial/step-boundary only, like every grow entry point.
   bool maybe_grow_for_backlog(std::uint64_t backlog, int threads = 0) {
-    const std::uint64_t want =
-        bucket_count_for(required_buckets(size() + backlog, cfg_.max_load));
+    const std::uint64_t occ = occupied();
+    const std::uint64_t demand =
+        backlog > std::numeric_limits<std::uint64_t>::max() - occ
+            ? std::numeric_limits<std::uint64_t>::max()
+            : occ + backlog;
+    const std::uint64_t want = bucket_count_for(required_buckets(demand, cfg_.max_load));
     if (want <= buckets_.size()) return false;
-    std::uint64_t factor = 2;
-    while (buckets_.size() * factor < want) factor *= 2;
-    grow_parallel(threads, factor);
+    // Both sides are powers of two, so the division is exact — the old
+    // `size * factor < want` doubling loop could wrap to 0 for huge
+    // backlogs and never terminate.
+    grow_parallel(threads, want / buckets_.size());
     return true;
   }
 
@@ -213,8 +326,11 @@ class ConcurrentHashSet {
 
   struct Migration {
     util::AlignedBuffer<Bucket> buckets;
+    util::AtomicBitset dead;
     std::uint64_t mask = 0;
     alignas(util::kCacheLineSize) std::atomic<std::uint64_t> cursor{0};
+    std::atomic<std::uint64_t> live_moved{0};
+    std::atomic<std::uint64_t> dropped{0};
   };
 
   static void check_key(Key key) {
@@ -223,19 +339,19 @@ class ConcurrentHashSet {
     }
   }
 
-  [[nodiscard]] static std::uint64_t required_buckets(std::uint64_t capacity,
-                                                      double max_load) {
-    if (max_load <= 0.0 || max_load > 1.0) {
-      throw std::invalid_argument("ConcurrentHashSet: max_load must be in (0, 1]");
-    }
-    return static_cast<std::uint64_t>(static_cast<double>(capacity < 1 ? 1 : capacity) /
-                                      max_load);
+  void migration_prepare(std::uint64_t target_buckets) {
+    assert(!growing() && "migration_prepare while a migration is already open");
+    auto mig = std::make_unique<Migration>();
+    mig->buckets = util::AlignedBuffer<Bucket>(target_buckets);
+    mig->dead = util::AtomicBitset(target_buckets);
+    mig->mask = mig->buckets.size() - 1;
+    migration_ = std::move(mig);
   }
 
   /// Migration insert: helpers never offer the same key twice (keys are
   /// unique in the old array), so the claim either wins or probes past a
-  /// different key — kHeld cannot happen, and the next array (≥ 2×) cannot
-  /// fill.
+  /// different key — kHeld cannot happen, and the target (sized for every
+  /// live key at max_load ≤ 1) cannot fill.
   void migrate_into(Migration& mig, Key key) {
     std::uint64_t b = mix64(key) & mig.mask;
     for (;;) {
@@ -257,8 +373,9 @@ class ConcurrentHashSet {
   HashConfig cfg_;
   TableTelemetry telemetry_;
   util::AlignedBuffer<Bucket> buckets_;
+  util::AtomicBitset dead_;
   std::uint64_t mask_;
-  ShardedCounter size_;
+  ShardedCounter occupied_;
   std::unique_ptr<Migration> migration_;
 };
 

@@ -11,6 +11,7 @@
 #include <bit>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -37,9 +38,34 @@ namespace crcw::ds {
 }
 
 /// Smallest power of two >= max(n, 2) — bucket counts stay pow2 so the
-/// probe sequence can mask instead of mod.
+/// probe sequence can mask instead of mod. Requests beyond 2^63 clamp to
+/// 2^63 (the largest representable power of two) instead of hitting
+/// std::bit_ceil's not-representable undefined behaviour; a table that big
+/// cannot be allocated anyway, so the clamp only keeps sizing arithmetic
+/// on huge backlogs well-defined.
 [[nodiscard]] constexpr std::uint64_t bucket_count_for(std::uint64_t n) noexcept {
+  constexpr std::uint64_t kMaxBuckets = std::uint64_t{1} << 63;
+  if (n >= kMaxBuckets) return kMaxBuckets;
   return std::bit_ceil(n < 2 ? std::uint64_t{2} : n);
+}
+
+/// Buckets needed so `capacity` keys sit at or below `max_load` — a
+/// *ceiling* division. The truncating `capacity / max_load` this replaces
+/// could hand back a power of two one notch too small (e.g. 5 keys at
+/// max_load 0.6 → trunc(8.33) = 8 buckets = load 0.625), so a freshly
+/// constructed table already violated its load factor and needs_grow()
+/// fired before the first insert. The post-ceil correction loop absorbs
+/// the double-rounding edge where ceil() lands exactly on a value whose
+/// product with max_load still reads below capacity.
+[[nodiscard]] inline std::uint64_t required_buckets(std::uint64_t capacity,
+                                                    double max_load) {
+  if (max_load <= 0.0 || max_load > 1.0) {
+    throw std::invalid_argument("ds: max_load must be in (0, 1]");
+  }
+  if (capacity < 1) capacity = 1;
+  auto need = static_cast<std::uint64_t>(static_cast<double>(capacity) / max_load);
+  while (static_cast<double>(capacity) > max_load * static_cast<double>(need)) ++need;
+  return need;
 }
 
 /// String-key adapter: hashes a byte string into the tables' uint64 key
@@ -75,6 +101,11 @@ struct HashConfig {
   /// Buckets migrated per shared-cursor claim during cooperative resize
   /// (the chunked sweep; one RMW per chunk, like SlotAllocator grants).
   std::uint64_t migrate_chunk = 256;
+  /// Tombstone-ratio watermark: needs_reclaim() fires once dead buckets
+  /// make up this fraction of the table. Checked at step boundaries only
+  /// (like needs_grow); 0.25 leaves a hysteresis band below max_load so a
+  /// reclaim sweep is never immediately followed by a backlog grow.
+  double reclaim_ratio = 0.25;
   /// Attach a ContentionSite and count probes/CASes/migrations. For
   /// profile passes only — counting costs sharded RMWs (see
   /// InstrumentedPolicy's caveat).
@@ -91,6 +122,14 @@ class ShardedCounter {
 
   void add(std::uint64_t k) noexcept {
     shards_[shard_index()].value.fetch_add(k, std::memory_order_relaxed);
+  }
+
+  /// Decrement by k. Shards are unsigned and may individually wrap (a
+  /// thread can erase keys another shard counted) — only total()'s sum is
+  /// meaningful, and modular arithmetic makes the sum exact regardless of
+  /// which shard absorbed the subtraction.
+  void sub(std::uint64_t k) noexcept {
+    shards_[shard_index()].value.fetch_sub(k, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t total() const noexcept {
@@ -127,6 +166,9 @@ class ShardedCounter {
 ///   wins       inserts that committed a new key
 ///   refills    chunk claims (migration sweeps, chained node grants)
 ///   reset_tags buckets migrated by resize sweeps
+///   tombstones erase commits (one CAS each; the churn benches divide by
+///              erase count to pin the one-CAS-per-(key,round) claim)
+///   reclaimed  dead buckets/nodes dropped by reclaim sweeps
 class TableTelemetry {
  public:
   explicit TableTelemetry(const HashConfig& cfg) {
@@ -147,6 +189,12 @@ class TableTelemetry {
   }
   void migrated(std::uint64_t buckets) noexcept {
     if (site_ && buckets > 0) site_->add_reset_tags(buckets);
+  }
+  void tombstone() noexcept {
+    if (site_) site_->add_tombstones(1);
+  }
+  void reclaimed(std::uint64_t entries) noexcept {
+    if (site_ && entries > 0) site_->add_reclaimed(entries);
   }
   void flush_round() noexcept {
     if (site_) site_->flush_round();

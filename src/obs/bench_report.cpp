@@ -24,6 +24,8 @@ json::Value counters_json(const ContentionTotals& t) {
   c.add("rounds", t.rounds);
   c.add("refills", t.refills);
   c.add("reset_tags", t.reset_tags);
+  c.add("tombstones", t.tombstones);
+  c.add("reclaimed", t.reclaimed);
   return c;
 }
 

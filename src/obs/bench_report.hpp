@@ -22,10 +22,12 @@
 //       "speedup_vs_baseline": number|null  baseline_median / median
 //       "counters":            object|null  {"attempts","atomics","failures",
 //                                            "wins","rounds","refills",
-//                                            "reset_tags"} from an
+//                                            "reset_tags","tombstones",
+//                                            "reclaimed"} from an
 //                                            instrumented (untimed) run.
-//                                            refills/reset_tags are additive
-//                                            in schema_version 1 (older
+//                                            refills/reset_tags/tombstones/
+//                                            reclaimed are additive in
+//                                            schema_version 1 (older
 //                                            baselines may lack them; the
 //                                            gate compares a counter only
 //                                            when both sides carry it)

@@ -62,6 +62,8 @@ ContentionTotals ContentionSite::totals() const noexcept {
     t.wins += s.wins.load(std::memory_order_relaxed);
     t.refills += s.refills.load(std::memory_order_relaxed);
     t.reset_tags += s.reset_tags.load(std::memory_order_relaxed);
+    t.tombstones += s.tombstones.load(std::memory_order_relaxed);
+    t.reclaimed += s.reclaimed.load(std::memory_order_relaxed);
   }
   t.rounds = rounds_.load(std::memory_order_relaxed);
   return t;
@@ -82,6 +84,8 @@ void ContentionSite::reset() noexcept {
     s.wins.store(0, std::memory_order_relaxed);
     s.refills.store(0, std::memory_order_relaxed);
     s.reset_tags.store(0, std::memory_order_relaxed);
+    s.tombstones.store(0, std::memory_order_relaxed);
+    s.reclaimed.store(0, std::memory_order_relaxed);
   }
   rounds_.store(0, std::memory_order_relaxed);
   last_flush_ = {};

@@ -48,6 +48,11 @@ struct ContentionTotals {
   /// Tags re-initialised by round-reset sweeps — Θ(N)·rounds for the full
   /// gatekeeper sweep, Σ(#writes-last-round) for the sparse one (§6 cost).
   std::uint64_t reset_tags = 0;
+  /// Erase commits (ds tables): each is one CAS-LT tombstone write, so
+  /// tombstones == erase wins and tombstones ≤ atomics for a table site.
+  std::uint64_t tombstones = 0;
+  /// Dead entries dropped by reclaim/shrink sweeps (ds tables).
+  std::uint64_t reclaimed = 0;
 
   /// Atomic RMWs that did not admit a write — the paper's "failed races"
   /// and the gatekeeper's serialised losers. Saturates at 0: sites whose
@@ -64,6 +69,8 @@ struct ContentionTotals {
     rounds += o.rounds;
     refills += o.refills;
     reset_tags += o.reset_tags;
+    tombstones += o.tombstones;
+    reclaimed += o.reclaimed;
     return *this;
   }
   friend bool operator==(const ContentionTotals&, const ContentionTotals&) = default;
@@ -153,6 +160,12 @@ class ContentionSite {
   void add_reset_tags(std::uint64_t k) noexcept {
     shard().reset_tags.fetch_add(k, std::memory_order_relaxed);
   }
+  void add_tombstones(std::uint64_t k) noexcept {
+    shard().tombstones.fetch_add(k, std::memory_order_relaxed);
+  }
+  void add_reclaimed(std::uint64_t k) noexcept {
+    shard().reclaimed.fetch_add(k, std::memory_order_relaxed);
+  }
 
   // -- round boundary (serial code between parallel regions) ---------------
   /// Sums the deltas since the previous flush into the per-round
@@ -180,6 +193,8 @@ class ContentionSite {
     std::atomic<std::uint64_t> wins{0};
     std::atomic<std::uint64_t> refills{0};
     std::atomic<std::uint64_t> reset_tags{0};
+    std::atomic<std::uint64_t> tombstones{0};
+    std::atomic<std::uint64_t> reclaimed{0};
   };
   static_assert(sizeof(Shard) == util::kCacheLineSize);
 

@@ -81,6 +81,10 @@ struct BatchConfig {
   bool table_telemetry = false;
   /// Load factor of the backing table (the ext_hash storm sweep's knob).
   double max_load = 0.5;
+  /// Forwarded to HashConfig::reclaim_ratio: once tombstones reach this
+  /// fraction of the table, the pump rebuilds it (dropping tombstones and
+  /// shrinking toward the live count) at the next batch boundary.
+  double reclaim_ratio = 0.25;
 
   [[nodiscard]] int resolved_threads() const noexcept {
     return exec_threads > 0 ? exec_threads : omp_get_max_threads();
@@ -103,19 +107,13 @@ struct BatchConfig {
   }
 };
 
-/// Map payload: the committed value plus liveness — erase is a logical
-/// tombstone (an open-addressing table cannot unlink a bucket mid-probe
-/// chain), arbitrated against same-round upserts like any other write.
-/// (Namespace-scope, not nested: the table's nothrow-default-constructible
-/// constraint must see a complete type.)
-struct Slot {
-  std::uint64_t value = 0;
-  bool live = false;
-};
-
 class BatchScheduler {
  public:
-  using Table = ds::ConcurrentHashMap<std::uint64_t, Slot>;
+  /// Payload is the bare value: liveness lives in the table itself (the
+  /// bucket's LiveTag), so a phase-B erase is a real table erase racing
+  /// same-round upserts on one CAS — not a value write carrying a
+  /// side-channel `live` flag that find() callers must re-check.
+  using Table = ds::ConcurrentHashMap<std::uint64_t, std::uint64_t>;
 
   BatchScheduler(const BatchConfig& cfg, RequestQueue& queue, ServeMetrics& metrics)
       : cfg_(cfg),
@@ -123,7 +121,10 @@ class BatchScheduler {
         queue_(queue),
         metrics_(metrics),
         map_(cfg.expected_keys < 1 ? 1 : cfg.expected_keys,
-             ds::HashConfig{cfg.max_load, 256, cfg.table_telemetry, "serve-table"}) {}
+             ds::HashConfig{.max_load = cfg.max_load,
+                            .reclaim_ratio = cfg.reclaim_ratio,
+                            .telemetry = cfg.table_telemetry,
+                            .site_name = "serve-table"}) {}
 
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
@@ -138,9 +139,10 @@ class BatchScheduler {
   bool flush() { return run_batch(true); }
 
   // -- committed state (serial / quiescent-pump reads) ----------------------
-  [[nodiscard]] const Slot* committed(std::uint64_t key) const noexcept {
-    const Slot* s = map_.find(key);
-    return (s != nullptr && s->live) ? s : nullptr;
+  /// The committed value for `key`, or nullptr if absent or erased —
+  /// find() is already live-qualified, erased keys are simply not found.
+  [[nodiscard]] const std::uint64_t* committed(std::uint64_t key) const noexcept {
+    return map_.find(key);
   }
   [[nodiscard]] const Table& table() const noexcept { return map_; }
   [[nodiscard]] Table& table() noexcept { return map_; }
@@ -179,6 +181,11 @@ class BatchScheduler {
       if (by_deadline) deadline_batches_.fetch_add(1, std::memory_order_relaxed);
       ops_served_.fetch_add(drained, std::memory_order_relaxed);
       metrics_.batch_closed();
+      // Batch boundary = step boundary: if churn tombstoned enough of the
+      // table (reclaim_ratio watermark), rebuild it now — no round is in
+      // flight, the pump lock is held, and the next batch starts against a
+      // table sized for its live keys.
+      map_.maybe_reclaim_parallel(threads_);
       executed = true;
     }
     pump_lock_.clear(std::memory_order_release);
@@ -243,32 +250,32 @@ class BatchScheduler {
           if (rec.op.kind != OpKind::kLookup || rec.op.key == Table::kEmptyKey) {
             continue;
           }
-          const Slot* s = map_.find(rec.op.key);
-          const bool live = s != nullptr && s->live;
-          publish(rec, Result{live ? s->value : 0, live, r});
+          const std::uint64_t* v = map_.find(rec.op.key);
+          publish(rec, Result{v != nullptr ? *v : 0, v != nullptr, r});
         }
       }
       // Serial fold of phases B+C: in admission order the first same-key
-      // write is the (key, round) winner and the committed value never
+      // write is the (key, round) winner and the committed outcome never
       // changes again within the round, so every op can publish the moment
-      // its upsert returns — the separate commit sweep (and its second
+      // its write returns — the separate commit sweep (and its second
       // probe per op) exists only to cross the parallel barrier.
       for (std::size_t i = 0; i < n; ++i) {
         const Record& rec = records[i];
         if (rec.op.kind == OpKind::kLookup || rec.op.key == Table::kEmptyKey) {
           continue;
         }
-        const Slot v = rec.op.kind == OpKind::kErase ? Slot{0, false}
-                                                     : Slot{rec.op.value, true};
-        switch (map_.upsert(r, rec.op.key, v)) {
+        const bool is_erase = rec.op.kind == OpKind::kErase;
+        const ds::MapUpsert outcome = is_erase
+                                          ? map_.erase(r, rec.op.key)
+                                          : map_.upsert(r, rec.op.key, rec.op.value);
+        switch (outcome) {
           case ds::MapUpsert::kWon:
             ++wins;
-            publish(rec, Result{v.value, true, r});
+            publish(rec, Result{is_erase ? 0 : rec.op.value, true, r});
             break;
           case ds::MapUpsert::kLost: {
-            const Slot* s = map_.find(rec.op.key);
-            const bool live = s != nullptr && s->live;
-            publish(rec, Result{live ? s->value : 0, false, r});
+            const std::uint64_t* v = map_.find(rec.op.key);
+            publish(rec, Result{v != nullptr ? *v : 0, false, r});
             break;
           }
           case ds::MapUpsert::kFull:
@@ -313,18 +320,20 @@ class BatchScheduler {
   /// rounds < r (the round-r writes are behind a barrier).
   void do_lookup(Record* records, std::size_t i, round_t r) {
     const Record& rec = records[lookups_[i]];
-    const Slot* s = map_.find(rec.op.key);
-    const bool live = s != nullptr && s->live;
-    publish(rec, Result{live ? s->value : 0, live, r});
+    const std::uint64_t* v = map_.find(rec.op.key);
+    publish(rec, Result{v != nullptr ? *v : 0, v != nullptr, r});
   }
 
-  /// Phase B: the concurrent-write step — same-key ops race one CAS-LT.
+  /// Phase B: the concurrent-write step — same-key upserts AND erases race
+  /// the bucket's one CAS-LT, so an erase/upsert pair on one key resolves
+  /// to exactly one committed outcome (the paper's arbitrary-CW pick).
   void do_write(Record* records, std::size_t i, round_t r,
                 std::atomic<std::uint64_t>& full) {
     const Record& rec = records[writes_[i]];
-    const Slot v =
-        rec.op.kind == OpKind::kErase ? Slot{0, false} : Slot{rec.op.value, true};
-    switch (map_.upsert(r, rec.op.key, v)) {
+    const ds::MapUpsert outcome = rec.op.kind == OpKind::kErase
+                                      ? map_.erase(r, rec.op.key)
+                                      : map_.upsert(r, rec.op.key, rec.op.value);
+    switch (outcome) {
       case ds::MapUpsert::kWon:
         won_[i] = 1;
         break;
@@ -337,12 +346,12 @@ class BatchScheduler {
   }
 
   /// Phase C: every write op — winner or loser — observes what round r
-  /// committed for its key, and its future completes.
+  /// committed for its key, and its future completes. An erased key is
+  /// simply absent (find() is live-qualified).
   void do_commit(Record* records, std::size_t i, round_t r) {
     const Record& rec = records[writes_[i]];
-    const Slot* s = map_.find(rec.op.key);
-    const bool live = s != nullptr && s->live;
-    publish(rec, Result{live ? s->value : 0, won_[i] != 0, r});
+    const std::uint64_t* v = map_.find(rec.op.key);
+    publish(rec, Result{v != nullptr ? *v : 0, won_[i] != 0, r});
   }
 
   void publish(const Record& rec, const Result& result) {

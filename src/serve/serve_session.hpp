@@ -135,10 +135,11 @@ class ServeSession {
 
   // -- committed state & introspection (serial / quiescent-pump) ------------
 
-  /// The committed value for `key` after the rounds so far (post-flush).
+  /// The committed value for `key` after the rounds so far (post-flush);
+  /// nullopt if the key is absent or erased.
   [[nodiscard]] std::optional<std::uint64_t> committed(std::uint64_t key) const {
-    const Slot* s = scheduler_.committed(key);
-    return s == nullptr ? std::nullopt : std::optional<std::uint64_t>(s->value);
+    const std::uint64_t* v = scheduler_.committed(key);
+    return v == nullptr ? std::nullopt : std::optional<std::uint64_t>(*v);
   }
 
   [[nodiscard]] std::uint64_t pending() const noexcept { return queue_.pending(); }

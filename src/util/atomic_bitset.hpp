@@ -44,6 +44,14 @@ class AtomicBitset {
     words_[i / kBitsPerWord].fetch_and(~mask(i), std::memory_order_relaxed);
   }
 
+  /// Atomically clears bit i; returns true iff this call changed it (first
+  /// clearer wins — the erase-side dual of test_and_set).
+  bool test_and_reset(std::size_t i) noexcept {
+    const std::uint64_t prev =
+        words_[i / kBitsPerWord].fetch_and(~mask(i), std::memory_order_acq_rel);
+    return (prev & mask(i)) != 0;
+  }
+
   /// Non-atomic whole-set clear; callers must quiesce writers first.
   void clear() noexcept {
     for (auto& w : words_) w.store(0, std::memory_order_relaxed);

@@ -42,6 +42,36 @@ TEST(AtomicBitset, TestAndSetReportsFirstSetter) {
   EXPECT_TRUE(bits.test(5));
 }
 
+TEST(AtomicBitset, TestAndResetReportsFirstClearer) {
+  AtomicBitset bits(10);
+  EXPECT_FALSE(bits.test_and_reset(5));  // already clear: no transition
+  bits.set(5);
+  EXPECT_TRUE(bits.test_and_reset(5));   // this call cleared it
+  EXPECT_FALSE(bits.test_and_reset(5));  // idempotent afterwards
+  EXPECT_FALSE(bits.test(5));
+}
+
+TEST(AtomicBitsetStress, ExactlyOneFirstClearerPerBit) {
+  // The revive race in ConcurrentHashSet::insert: many threads clearing
+  // the same tombstone bit, exactly one observes the 1 → 0 transition.
+  constexpr std::size_t kBits = 512;
+  AtomicBitset bits(kBits);
+  for (std::size_t i = 0; i < kBits; ++i) bits.set(i);
+  std::atomic<int> first_clearers{0};
+
+#pragma omp parallel num_threads(8)
+  {
+    for (std::size_t i = 0; i < kBits; ++i) {
+      if (bits.test_and_reset(i)) {
+        first_clearers.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  EXPECT_EQ(first_clearers.load(), static_cast<int>(kBits));
+  EXPECT_EQ(bits.count(), 0u);
+}
+
 TEST(AtomicBitset, Clear) {
   AtomicBitset bits(200);
   for (std::size_t i = 0; i < 200; i += 3) bits.set(i);

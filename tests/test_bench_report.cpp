@@ -78,7 +78,8 @@ TEST(BenchReport, GoldenSchemaFieldOrder) {
   // The counters object's own schema.
   EXPECT_EQ(member_names(*rows[1].find("counters")),
             (std::vector<std::string>{"attempts", "atomics", "failures", "wins",
-                                      "rounds", "refills", "reset_tags"}));
+                                      "rounds", "refills", "reset_tags",
+                                      "tombstones", "reclaimed"}));
 }
 
 TEST(BenchReport, TimingFieldListMatchesSchema) {

@@ -70,12 +70,89 @@ TEST(ChainedHashSet, ForEachVisitsLiveKeysOnce) {
 TEST(ChainedHashSet, ChainStatsSeeSpreadKeys) {
   ChainedHashSet<> set(1024, 1);
   for (std::uint64_t k = 0; k < 1000; ++k) (void)set.insert(0, k);
-  const auto [mean, longest] = set.chain_stats();
-  EXPECT_GE(mean, 1.0);
-  EXPECT_GE(longest, 1u);
+  const ChainStats stats = set.chain_stats();
+  EXPECT_GE(stats.mean_live, 1.0);
+  EXPECT_GE(stats.longest_live, 1u);
   // max_load 0.5 and an avalanche mixer: long chains would indicate a
   // broken hash. Generous bound — this is a smoke check, not a tail proof.
-  EXPECT_LE(longest, 16u);
+  EXPECT_LE(stats.longest_live, 16u);
+  EXPECT_EQ(stats.live_nodes, 1000u);
+  EXPECT_EQ(stats.dead_nodes, 0u);  // no duplicates, no erases
+}
+
+TEST(ChainedHashSet, ChainStatsSplitLiveFromDead) {
+  // Tombstoned nodes (here: erased keys) must not inflate the occupancy
+  // diagnostics — the old pair-returning chain_stats counted them as chain
+  // length, overstating what a lookup pays.
+  ChainedHashSet<> set(64, 1);
+  for (std::uint64_t k = 0; k < 32; ++k) ASSERT_EQ(set.insert(0, k), SetInsert::kInserted);
+  for (std::uint64_t k = 0; k < 16; ++k) ASSERT_TRUE(set.erase(k));
+  const ChainStats stats = set.chain_stats();
+  EXPECT_EQ(stats.live_nodes, 16u);
+  EXPECT_EQ(stats.dead_nodes, 16u);
+  EXPECT_EQ(set.size(), 16u);
+  EXPECT_EQ(set.tombstones(), 16u);
+}
+
+TEST(ChainedHashSet, EraseHidesThenReinsertRevives) {
+  ChainedHashSet<> set(16, 1);
+  ASSERT_EQ(set.insert(0, 5), SetInsert::kInserted);
+  EXPECT_TRUE(set.erase(5));
+  EXPECT_FALSE(set.contains(5));
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.erase(5));   // second erase: already dead
+  EXPECT_FALSE(set.erase(99));  // absent key
+  // Re-insert pushes a fresh node; the dead twin deeper in the chain must
+  // not make the insert think the key is present.
+  EXPECT_EQ(set.insert(0, 5), SetInsert::kInserted);
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(ChainedHashSet, ReclaimRecyclesNodesIntoTheAllocator) {
+  // Churn one phase, reclaim, churn again: the second phase's grants must
+  // come from the recycled pool, so the arena never runs out even though
+  // total inserts far exceed its capacity.
+  ChainedHashSet<> set(64, 1);
+  EXPECT_EQ(set.allocator().recycled_grants(), 0u);
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (std::uint64_t k = 0; k < 32; ++k) {
+      ASSERT_EQ(set.insert(0, 1000 * static_cast<std::uint64_t>(cycle) + k),
+                SetInsert::kInserted);
+    }
+    for (std::uint64_t k = 0; k < 32; ++k) {
+      ASSERT_TRUE(set.erase(1000 * static_cast<std::uint64_t>(cycle) + k));
+    }
+    EXPECT_EQ(set.tombstones(), 32u);
+    EXPECT_EQ(set.reclaim(), 32u);
+    EXPECT_EQ(set.tombstones(), 0u);
+    EXPECT_EQ(set.size(), 0u);
+  }
+  // Cycle 1 drew one fresh chunk from the arena; every later cycle was
+  // served entirely from the recycled pool, so the arena cursor never
+  // advanced again — bounded node consumption under unbounded churn.
+  EXPECT_EQ(set.allocator().high_water(), set.allocator().chunk());
+  EXPECT_EQ(set.allocator().recycled_grants(), 7 * 32u);
+  EXPECT_EQ(set.allocator().grants(), 8 * 32u);
+}
+
+TEST(ChainedHashSet, MaybeReclaimHonorsWatermark) {
+  // Watermark is against the arena (capacity + one lane's chunk slack):
+  // a few tombstones stay put, mass churn crosses it.
+  HashConfig cfg;
+  cfg.reclaim_ratio = 0.25;
+  ChainedHashSet<> set(100, 1, cfg);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    ASSERT_EQ(set.insert(0, k), SetInsert::kInserted);
+  }
+  for (std::uint64_t k = 0; k < 4; ++k) ASSERT_TRUE(set.erase(k));
+  EXPECT_FALSE(set.needs_reclaim());  // 4 dead << 25% of the arena
+  EXPECT_EQ(set.maybe_reclaim(), 0u);
+  EXPECT_EQ(set.tombstones(), 4u);  // the skipped reclaim dropped nothing
+  for (std::uint64_t k = 4; k < 100; ++k) ASSERT_TRUE(set.erase(k));
+  ASSERT_TRUE(set.needs_reclaim());  // 100 dead ≥ 0.25 × (100 + chunk)
+  EXPECT_EQ(set.maybe_reclaim(), 100u);
+  EXPECT_EQ(set.tombstones(), 0u);
 }
 
 TEST(ChainedHashSet, ParallelInsertOneWinnerPerKey) {

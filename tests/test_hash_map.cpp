@@ -166,6 +166,170 @@ TEST(HashMap, BacklogSizedGrowIsOneGrowNotACascade) {
   EXPECT_EQ(map.bucket_count(), grown);
 }
 
+TEST(HashMap, EraseArbitratesAgainstSameRoundUpserts) {
+  Map map(16);
+  ASSERT_EQ(map.upsert(1, 7, 70), MapUpsert::kWon);
+
+  // Round 2: the erase wins the (key, round) CAS; a same-round upsert
+  // must lose and observe the tombstone (find() returns nullptr).
+  EXPECT_EQ(map.erase(2, 7), MapUpsert::kWon);
+  EXPECT_EQ(map.upsert(2, 7, 71), MapUpsert::kLost);
+  EXPECT_EQ(map.find(7), nullptr);
+  EXPECT_FALSE(map.contains(7));
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.occupied(), 1u);  // the bucket stays claimed
+  EXPECT_EQ(map.tombstones(), 1u);
+
+  // Round 3, reversed: the upsert wins first, the erase loses.
+  EXPECT_EQ(map.upsert(3, 7, 72), MapUpsert::kWon);
+  EXPECT_EQ(map.erase(3, 7), MapUpsert::kLost);
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 72u);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.tombstones(), 0u);  // the revive cleared the tombstone
+}
+
+TEST(HashMap, EraseOfAbsentKeyStillArbitrates) {
+  // Erasing a key that was never inserted claims and tombstones a bucket,
+  // so a same-round upsert loser observes the erase's commit — the
+  // arbitration is symmetric whether or not the key existed.
+  Map map(16);
+  EXPECT_EQ(map.erase(1, 5), MapUpsert::kWon);
+  EXPECT_EQ(map.upsert(1, 5, 50), MapUpsert::kLost);
+  EXPECT_EQ(map.find(5), nullptr);
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.occupied(), 1u);
+  EXPECT_EQ(map.tombstones(), 1u);
+  // Double erase in a later round wins the round but moves no counter.
+  EXPECT_EQ(map.erase(2, 5), MapUpsert::kWon);
+  EXPECT_EQ(map.tombstones(), 1u);
+}
+
+TEST(HashMap, InsertFirstRevivesTombstonedKeys) {
+  Map map(16);
+  ASSERT_EQ(map.upsert(1, 3, 30), MapUpsert::kWon);
+  ASSERT_EQ(map.erase(2, 3), MapUpsert::kWon);
+  // Build-phase revive: first-writer-wins on the liveness bit.
+  EXPECT_EQ(map.insert_first(3, 31), SetInsert::kInserted);
+  EXPECT_EQ(map.insert_first(3, 32), SetInsert::kFound);
+  ASSERT_NE(map.find(3), nullptr);
+  EXPECT_EQ(*map.find(3), 31u);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.tombstones(), 0u);
+}
+
+TEST(HashMap, ReclaimDropsTombstonesAndShrinks) {
+  Map map(500);
+  const std::uint64_t grown = map.bucket_count();
+  EXPECT_GE(grown, 1024u);
+  round_t r = 1;
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    ASSERT_EQ(map.upsert(r, k, k * 10), MapUpsert::kWon);
+  }
+  ++r;
+  for (std::uint64_t k = 8; k < 500; ++k) {
+    ASSERT_EQ(map.erase(r, k), MapUpsert::kWon);
+  }
+  EXPECT_TRUE(map.needs_reclaim());
+  map.reclaim_parallel(2);
+  EXPECT_EQ(map.bucket_count(), 16u);  // 8 live keys at 0.5 → 16 buckets
+  EXPECT_EQ(map.size(), 8u);
+  EXPECT_EQ(map.occupied(), 8u);
+  EXPECT_EQ(map.tombstones(), 0u);
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    ASSERT_NE(map.find(k), nullptr);
+    EXPECT_EQ(*map.find(k), k * 10);
+  }
+  for (std::uint64_t k = 8; k < 500; ++k) ASSERT_EQ(map.find(k), nullptr);
+  // Round monotonicity survives the rebuild: round r is still closed for
+  // surviving keys, and the erased keys' rounds were dropped with them.
+  ++r;
+  EXPECT_EQ(map.upsert(r, 0, 999), MapUpsert::kWon);
+  EXPECT_EQ(map.upsert(r, 0, 998), MapUpsert::kLost);
+}
+
+TEST(HashMap, GrowCarriesTombstonesAway) {
+  // Either migration direction reclaims: a grow after churn drops dead
+  // buckets instead of copying them.
+  Map map(8);
+  round_t r = 1;
+  for (std::uint64_t k = 0; k < 8; ++k) ASSERT_EQ(map.upsert(r, k, k), MapUpsert::kWon);
+  ++r;
+  for (std::uint64_t k = 0; k < 4; ++k) ASSERT_EQ(map.erase(r, k), MapUpsert::kWon);
+  map.grow_parallel(2);
+  EXPECT_EQ(map.size(), 4u);
+  EXPECT_EQ(map.occupied(), 4u);
+  EXPECT_EQ(map.tombstones(), 0u);
+  for (std::uint64_t k = 4; k < 8; ++k) EXPECT_TRUE(map.contains(k));
+}
+
+TEST(HashMap, ParallelMixedEraseUpsertOneWinnerPerKeyPerRound) {
+  // The tentpole's contract at table level: threads erase AND upsert the
+  // same keys in the same round; per (key, round) exactly one op commits,
+  // and post-barrier liveness matches the winning op's kind.
+  const int threads = std::max(4, omp_get_max_threads());
+  constexpr std::uint64_t kKeys = 256;
+  Map map(kKeys * 2);
+  round_t r = 1;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_EQ(map.upsert(r, k, 1), MapUpsert::kWon);
+  }
+  for (int round = 2; round <= 6; ++round) {
+    r = static_cast<round_t>(round);
+    std::vector<int> winners(kKeys, 0);
+    std::vector<unsigned char> erase_won(kKeys, 0);
+#pragma omp parallel num_threads(threads)
+    {
+      const int tid = omp_get_thread_num();
+      for (std::uint64_t k = 0; k < kKeys; ++k) {
+        // Even threads erase, odd threads upsert — every key contested.
+        const MapUpsert out = tid % 2 == 0 ? map.erase(r, k)
+                                           : map.upsert(r, k, r * 1000 + k);
+        if (out == MapUpsert::kWon) {
+#pragma omp atomic
+          ++winners[k];
+          if (tid % 2 == 0) erase_won[k] = 1;
+        }
+      }
+    }
+    std::uint64_t live = 0;
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      ASSERT_EQ(winners[k], 1) << "key " << k << " round " << round;
+      const std::uint64_t* v = map.find(k);
+      if (erase_won[k] != 0) {
+        ASSERT_EQ(v, nullptr) << "key " << k;
+      } else {
+        ASSERT_NE(v, nullptr) << "key " << k;
+        ASSERT_EQ(*v, r * 1000 + k);
+        ++live;
+      }
+    }
+    ASSERT_EQ(map.size(), live);  // counters track exactly the live keys
+  }
+}
+
+TEST(HashMap, TelemetryCountsTombstonesAndReclaims) {
+  obs::MetricsRegistry local;
+  {
+    const obs::ScopedRegistry scoped(local);
+    HashConfig cfg;
+    cfg.telemetry = true;
+    cfg.site_name = "unit-map-churn";
+    Map map(64, cfg);
+    round_t r = 1;
+    for (std::uint64_t k = 0; k < 32; ++k) (void)map.upsert(r, k, k);
+    ++r;
+    for (std::uint64_t k = 0; k < 32; ++k) (void)map.erase(r, k);
+    map.reclaim_parallel(1);
+    map.flush_round();
+  }
+  const obs::ContentionTotals t = local.totals();
+  // One committed erase per key — the one-CAS-per-(key, round) pin the
+  // churn bench divides out — and every tombstone dropped by the rebuild.
+  EXPECT_EQ(t.tombstones, 32u);
+  EXPECT_EQ(t.reclaimed, 32u);
+}
+
 TEST(HashMap, TelemetrySkipsAtomicsForClosedRounds) {
   obs::MetricsRegistry local;
   {

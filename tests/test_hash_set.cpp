@@ -210,6 +210,111 @@ TEST(HashSet, StringKeyAdapterFeedsTheUint64Space) {
   EXPECT_FALSE(set.contains(b));
 }
 
+TEST(HashSet, EraseHidesReviveRestores) {
+  ConcurrentHashSet<> set(16);
+  ASSERT_EQ(set.insert(7), SetInsert::kInserted);
+  EXPECT_TRUE(set.erase(7));
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.occupied(), 1u);  // the bucket stays claimed
+  EXPECT_EQ(set.tombstones(), 1u);
+  EXPECT_FALSE(set.erase(7));   // already dead
+  EXPECT_FALSE(set.erase(42));  // absent
+  // Revive in place: the re-insert wins kInserted (its RMW made it live).
+  EXPECT_EQ(set.insert(7), SetInsert::kInserted);
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.tombstones(), 0u);
+  EXPECT_EQ(set.insert(7), SetInsert::kFound);
+}
+
+TEST(HashSet, ForEachSkipsTombstones) {
+  ConcurrentHashSet<> set(64);
+  for (std::uint64_t k = 0; k < 20; ++k) (void)set.insert(k);
+  for (std::uint64_t k = 0; k < 20; k += 2) ASSERT_TRUE(set.erase(k));
+  std::multiset<std::uint64_t> seen;
+  set.for_each([&](std::uint64_t k) { seen.insert(k); });
+  EXPECT_EQ(seen.size(), 10u);
+  for (std::uint64_t k = 1; k < 20; k += 2) EXPECT_EQ(seen.count(k), 1u);
+}
+
+TEST(HashSet, ReclaimDropsTombstonesAndShrinks) {
+  // Fill a big table, erase almost everything, reclaim: the array must
+  // shrink back to the live count's sizing and the tombstoned buckets must
+  // be genuinely gone (their keys re-insertable as fresh).
+  ConcurrentHashSet<> set(500);
+  const std::uint64_t grown = set.bucket_count();
+  EXPECT_GE(grown, 1024u);  // 500 keys at max_load 0.5
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    ASSERT_EQ(set.insert(k), SetInsert::kInserted);
+  }
+
+  for (std::uint64_t k = 8; k < 500; ++k) ASSERT_TRUE(set.erase(k));
+  EXPECT_TRUE(set.needs_reclaim());
+  set.reclaim_parallel(2);
+  EXPECT_EQ(set.bucket_count(), 16u);  // 8 live keys at 0.5 → 16 buckets
+  EXPECT_EQ(set.size(), 8u);
+  EXPECT_EQ(set.occupied(), 8u);  // tombstones dropped, not carried
+  EXPECT_EQ(set.tombstones(), 0u);
+  for (std::uint64_t k = 0; k < 8; ++k) EXPECT_TRUE(set.contains(k));
+  for (std::uint64_t k = 8; k < 500; ++k) ASSERT_FALSE(set.contains(k));
+  // Erased keys come back as fresh claims in the rebuilt array.
+  EXPECT_EQ(set.insert(100), SetInsert::kInserted);
+}
+
+TEST(HashSet, GrowSweepAlsoReclaims) {
+  // Migrations drop tombstones in either direction: a grow after churn
+  // carries only the live keys.
+  ConcurrentHashSet<> set(8);
+  for (std::uint64_t k = 0; k < 8; ++k) (void)set.insert(k);
+  for (std::uint64_t k = 0; k < 4; ++k) ASSERT_TRUE(set.erase(k));
+  set.grow_parallel(2);
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_EQ(set.occupied(), 4u);
+  EXPECT_EQ(set.tombstones(), 0u);
+  for (std::uint64_t k = 4; k < 8; ++k) EXPECT_TRUE(set.contains(k));
+}
+
+TEST(HashSet, ParallelEraseOneWinnerPerKey) {
+  const int threads = std::max(4, omp_get_max_threads());
+  constexpr std::uint64_t kKeys = 1000;
+  ConcurrentHashSet<> set(kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) ASSERT_EQ(set.insert(k), SetInsert::kInserted);
+  std::vector<int> winners(kKeys, 0);
+  // Every thread erases every key: the bit CAS admits exactly one winner.
+#pragma omp parallel num_threads(threads)
+  {
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      if (set.erase(k)) {
+#pragma omp atomic
+        ++winners[k];
+      }
+    }
+  }
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.tombstones(), kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(winners[k], 1) << "key " << k;
+    EXPECT_FALSE(set.contains(k));
+  }
+}
+
+TEST(HashSet, RequiredBucketsCeilsAtTheEdge) {
+  // The regression the ceiling division fixes: 5 keys at max_load 0.6
+  // truncated to 8 buckets (load 0.625 > 0.6); the ceil lands on 9, which
+  // rounds to 16 — a table that respects its own load factor from birth.
+  HashConfig cfg;
+  cfg.max_load = 0.6;
+  ConcurrentHashSet<> set(5, cfg);
+  EXPECT_EQ(set.bucket_count(), 16u);
+  for (std::uint64_t k = 0; k < 5; ++k) ASSERT_EQ(set.insert(k), SetInsert::kInserted);
+  EXPECT_FALSE(set.needs_grow());  // the fresh table honors max_load
+  EXPECT_EQ(required_buckets(5, 0.6), 9u);
+  EXPECT_EQ(required_buckets(6, 0.6), 10u);  // exact-quotient edge: 6/0.6
+  EXPECT_EQ(required_buckets(1, 1.0), 1u);
+  EXPECT_EQ(required_buckets(0, 0.5), 2u);  // clamps to capacity 1
+}
+
 TEST(HashSet, TelemetryOffCountsNothing) {
   obs::MetricsRegistry local;
   {
