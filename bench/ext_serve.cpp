@@ -1,5 +1,5 @@
 // Extension benchmark: the src/serve round-batched engine against a
-// mutex-guarded std::unordered_map service and the bare table, three
+// mutex-guarded std::unordered_map service and the bare table, five
 // sweeps:
 //
 //   upsert        insert-heavy (≈50% duplicate keys) across client thread
@@ -11,8 +11,19 @@
 //   upsert-batch  the same workload across batch sizes at fixed threads —
 //                 the admission-policy knob: tiny batches pay pump
 //                 round-trips, huge ones pay queueing delay;
-//   mixed         50/50 upsert/lookup traffic across threads — lookups
-//                 ride the same rounds with committed-read consistency.
+//   mixed         50/50 upsert/lookup traffic across threads, submitted in
+//                 windows with a read-your-writes audit: every lookup of a
+//                 completed window must execute in a strictly later round
+//                 than the client's writes from earlier windows (throws on
+//                 violation — consistency is part of what's measured);
+//   shards        the sharded backend across shard counts at fixed
+//                 threads/batch (m = shard count) — shard-local batching:
+//                 the hit_rate counter must stay 1.0 for routed submits;
+//   wire          the full deployment: a sharded server in this process, a
+//                 REAL external client process (examples/wire_loadgen,
+//                 fork/exec) pipelining mixed traffic over loopback TCP —
+//                 rows time the external run; p99s come from the server's
+//                 own enqueue→commit histograms.
 //
 // Every serve row also emits a p99 enqueue→commit latency row
 // (series ext_serve/p99-*/serve, samples = per-repetition p99 from the
@@ -22,21 +33,30 @@
 // so thread-spawn cost cancels out.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#ifdef CRCW_WIRE_LOADGEN_PATH
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 #include "bench_common.hpp"
 #include "ds/concurrent_hash_map.hpp"
 #include "obs/metrics.hpp"
+#include "serve/serve_server.hpp"
 #include "serve/serve_session.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -49,6 +69,7 @@ using crcw::bench::RowRecorder;
 using crcw::bench::RowSpec;
 
 constexpr std::uint64_t kOps = 1 << 18;
+constexpr std::uint64_t kWireOps = 1 << 16;
 
 /// Random keys with ~50% duplication (n draws over n/2 values, +1 so zero
 /// stays a valid key and the sentinel is unreachable), cached — generation
@@ -69,34 +90,46 @@ struct ServeRunStats {
   std::uint64_t p99_enqueue_commit_ns = 0;
   std::uint64_t p99_enqueue_admit_ns = 0;
   std::uint64_t rounds = 0;
+  double hit_rate = 1.0;
 };
 
-/// One full serve run: `threads` raw clients enqueue their slice (mixed
-/// mode alternates upsert/lookup), the calling thread pumps until every op
-/// committed. Futures are preallocated per client; clients do not wait —
-/// completion is the pump's ops_served() watermark, which counts only
-/// published ops.
-ServeRunStats serve_run(const std::vector<std::uint64_t>& keys, int threads,
-                        std::uint64_t batch, bool mixed, bool counters = false) {
-  namespace sv = crcw::serve;
-  sv::BatchConfig cfg;
-  cfg.max_batch = batch;
-  cfg.max_wait_us = 100;
+[[nodiscard]] crcw::serve::ServeConfig serve_config(int threads, std::uint64_t batch,
+                                                    std::uint64_t n_keys, int shards) {
+  crcw::serve::ServeConfig cfg;
+  cfg.batch.max_batch = batch;
+  cfg.batch.max_wait_us = 100;
   // t is the *client* fan-in axis; the service executes rounds at the
   // ambient OpenMP width (0), its own deployment-time property — forcing
   // exec_threads = t would measure oversubscription, not admission.
-  cfg.exec_threads = 0;
-  cfg.lanes = threads;
+  cfg.batch.exec_threads = 0;
+  cfg.batch.lanes = threads;
   // Bounded backlog: a client hitting its watermark helps pump, so rounds
   // execute on the thread whose records are cache-hot instead of queueing
   // megabytes for a far-away drain (and p99 stays bounded by ~one batch).
-  cfg.lane_backlog = batch;
+  cfg.batch.lane_backlog = batch;
   // Sample every 64th op into the latency histograms — two clock reads
   // per op would dominate the admission fast path.
-  cfg.latency_sample_shift = 6;
-  cfg.expected_keys = keys.size() / 2 + 2;
-  cfg.counters = counters;
-  sv::ServeSession session(cfg);
+  cfg.batch.latency_sample_shift = 6;
+  cfg.table.expected_keys = n_keys / 2 + 2;
+  cfg.shards.count = shards;
+  return cfg;
+}
+
+/// One full serve run over any session shape. Upsert-only mode: clients
+/// enqueue their whole slice without waiting; completion is the pump's
+/// ops_served() watermark. Mixed mode: clients submit in windows and wait
+/// each window out, auditing read-your-writes per shard — a lookup of
+/// window w must carry a strictly later round than every write the client
+/// committed in windows < w (the cross-shard logical round makes that a
+/// single per-shard comparison). Audit violations throw.
+template <typename Session>
+ServeRunStats serve_run(const std::vector<std::uint64_t>& keys, int threads,
+                        std::uint64_t batch, bool mixed, int shards,
+                        bool counters = false) {
+  namespace sv = crcw::serve;
+  sv::ServeConfig cfg = serve_config(threads, batch, keys.size(), shards);
+  cfg.batch.counters = counters;
+  Session session(cfg);
 
   const std::uint64_t total = keys.size();
   const auto t = static_cast<std::uint64_t>(threads);
@@ -105,31 +138,73 @@ ServeRunStats serve_run(const std::vector<std::uint64_t>& keys, int threads,
     const std::uint64_t lo = total * c / t, hi = total * (c + 1) / t;
     futures[c] = std::vector<sv::OpFuture>(hi - lo);
   }
+  constexpr std::uint64_t kWindow = 256;  // mixed-mode RYW window
 
   std::vector<std::thread> clients;
   clients.reserve(t);
+  std::atomic<std::uint64_t> audit_violations{0};
   for (std::uint64_t c = 0; c < t; ++c) {
     clients.emplace_back([&, c] {
       const std::uint64_t lo = total * c / t, hi = total * (c + 1) / t;
-      for (std::uint64_t i = lo; i < hi; ++i) {
-        const sv::Op op = (mixed && i % 2 != 0) ? sv::Op::lookup(keys[i])
-                                                : sv::Op::upsert(keys[i], i);
-        session.submit(op, futures[c][i - lo]);
+      if (!mixed) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          session.submit(sv::Op::upsert(keys[i], i), futures[c][i - lo]);
+        }
+        return;
+      }
+      // Windowed mixed traffic with the per-shard RYW audit.
+      std::vector<crcw::round_t> last_write(
+          static_cast<std::size_t>(session.backend().shard_count()), 0);
+      sv::BackoffState backoff(cfg.batch.backoff_spins);
+      for (std::uint64_t w = lo; w < hi; w += kWindow) {
+        const std::uint64_t end = std::min(hi, w + kWindow);
+        for (std::uint64_t i = w; i < end; ++i) {
+          const sv::Op op = (i % 2 != 0) ? sv::Op::lookup(keys[i])
+                                         : sv::Op::upsert(keys[i], i);
+          session.submit(op, futures[c][i - lo]);
+        }
+        for (std::uint64_t i = w; i < end; ++i) {
+          while (!futures[c][i - lo].ready()) backoff.pause();
+        }
+        // Audit lookups against the tracker as of the PREVIOUS windows,
+        // then fold this window's write rounds in.
+        for (std::uint64_t i = w; i < end; ++i) {
+          if (i % 2 == 0) continue;
+          const auto shard =
+              static_cast<std::size_t>(session.backend().shard_of(keys[i]));
+          if (futures[c][i - lo].result().round <= last_write[shard]) {
+            audit_violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        for (std::uint64_t i = w; i < end; ++i) {
+          if (i % 2 != 0) continue;
+          const auto shard =
+              static_cast<std::size_t>(session.backend().shard_of(keys[i]));
+          const crcw::round_t r = futures[c][i - lo].result().round;
+          if (r > last_write[shard]) last_write[shard] = r;
+        }
       }
     });
   }
   // The bench thread is only a fallback pump — under backpressure the
   // clients pump for themselves — so sleep rather than contend for the core.
-  while (session.scheduler().ops_served() < total) {
+  while (session.backend().ops_served() < total) {
     if (!session.poll()) std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
   for (std::thread& th : clients) th.join();
+  if (audit_violations.load() != 0) {
+    throw std::runtime_error("ext_serve: read-your-writes audit failed (" +
+                             std::to_string(audit_violations.load()) +
+                             " stale lookups)");
+  }
 
+  const crcw::serve::BackendStats bstats = session.stats();
   ServeRunStats stats;
-  stats.committed_keys = session.scheduler().table().size();
+  stats.committed_keys = bstats.keys;
   stats.p99_enqueue_commit_ns = session.metrics().p99_enqueue_to_commit_ns();
   stats.p99_enqueue_admit_ns = session.metrics().p99_enqueue_to_admit_ns();
-  stats.rounds = session.scheduler().round();
+  stats.rounds = bstats.rounds;
+  stats.hit_rate = bstats.routing_hit_rate();
   return stats;
 }
 
@@ -195,17 +270,17 @@ RowSpec spec(const char* sweep, const char* method, int threads, std::uint64_t m
 /// emits them as extra latency rows (one BenchRow per histogram, samples =
 /// the p99 of each repetition). Rows go through report() directly — a
 /// second RowRecorder would double-call SetIterationTime.
+template <typename Session>
 void bench_serve(benchmark::State& state, const char* sweep, int threads,
-                 std::uint64_t batch, bool mixed) {
+                 std::uint64_t batch, bool mixed, int shards, std::uint64_t m) {
   const auto& keys = cached_keys(kOps);
   std::vector<double> p99_commit, p99_admit;
   ServeRunStats stats;
   {
-    // m carries the batch size on every serve row (the baseline rows use 0).
-    RowRecorder rec(state, spec(sweep, "serve", threads, batch));
+    RowRecorder rec(state, spec(sweep, "serve", threads, m));
     for (auto _ : state) {
       crcw::util::Timer timer;
-      stats = serve_run(keys, threads, batch, mixed);
+      stats = serve_run<Session>(keys, threads, batch, mixed, shards);
       rec.record(timer.seconds());
       p99_commit.push_back(static_cast<double>(stats.p99_enqueue_commit_ns));
       p99_admit.push_back(static_cast<double>(stats.p99_enqueue_admit_ns));
@@ -213,23 +288,26 @@ void bench_serve(benchmark::State& state, const char* sweep, int threads,
     state.counters["keys"] = static_cast<double>(stats.committed_keys);
     state.counters["rounds"] = static_cast<double>(stats.rounds);
     state.counters["p99_us"] = static_cast<double>(stats.p99_enqueue_commit_ns) / 1e3;
+    state.counters["hit_rate"] = stats.hit_rate;
     rec.profile([&] {
       crcw::obs::MetricsRegistry local;
       const crcw::obs::ScopedRegistry scoped(local);
-      (void)serve_run(keys, threads, batch, mixed, /*counters=*/true);
+      (void)serve_run<Session>(keys, threads, batch, mixed, shards, /*counters=*/true);
       return std::optional(local.totals());
     });
   }
   report().add_row({std::string("ext_serve/p99-enqueue-commit/") + sweep, "serve", "",
-                    threads, kOps, batch, std::move(p99_commit), {}});
+                    threads, kOps, m, std::move(p99_commit), {}});
   report().add_row({std::string("ext_serve/p99-enqueue-admit/") + sweep, "serve", "",
-                    threads, kOps, batch, std::move(p99_admit), {}});
+                    threads, kOps, m, std::move(p99_admit), {}});
 }
 
 // -- upsert: thread sweep at fixed batch ------------------------------------
 
 void upsert_threads_serve(benchmark::State& s) {
-  bench_serve(s, "upsert", static_cast<int>(s.range(0)), 4096, /*mixed=*/false);
+  // m carries the batch size on flat serve rows (the baseline rows use 0).
+  bench_serve<crcw::serve::ServeSession>(s, "upsert", static_cast<int>(s.range(0)),
+                                         4096, /*mixed=*/false, /*shards=*/1, 4096);
 }
 void upsert_threads_mutex(benchmark::State& s) {
   const int threads = static_cast<int>(s.range(0));
@@ -259,14 +337,16 @@ void upsert_threads_direct(benchmark::State& s) {
 // -- upsert: batch-size sweep at fixed threads ------------------------------
 
 void upsert_batch_serve(benchmark::State& s) {
-  bench_serve(s, "upsert-batch", default_threads(),
-              static_cast<std::uint64_t>(s.range(0)), /*mixed=*/false);
+  const auto batch = static_cast<std::uint64_t>(s.range(0));
+  bench_serve<crcw::serve::ServeSession>(s, "upsert-batch", default_threads(),
+                                         batch, /*mixed=*/false, /*shards=*/1, batch);
 }
 
-// -- mixed 50/50 traffic ----------------------------------------------------
+// -- mixed 50/50 traffic (windowed, read-your-writes audited) ---------------
 
 void mixed_threads_serve(benchmark::State& s) {
-  bench_serve(s, "mixed", static_cast<int>(s.range(0)), 4096, /*mixed=*/true);
+  bench_serve<crcw::serve::ServeSession>(s, "mixed", static_cast<int>(s.range(0)),
+                                         4096, /*mixed=*/true, /*shards=*/1, 4096);
 }
 void mixed_threads_mutex(benchmark::State& s) {
   const int threads = static_cast<int>(s.range(0));
@@ -279,6 +359,88 @@ void mixed_threads_mutex(benchmark::State& s) {
     rec.record(timer.seconds());
   }
   s.counters["keys"] = static_cast<double>(size);
+}
+
+// -- shards: shard-count sweep on the sharded backend (m = shards) ----------
+
+void shards_serve(benchmark::State& s) {
+  const int shards = static_cast<int>(s.range(0));
+  bench_serve<crcw::serve::ShardedServeSession>(
+      s, "shards", default_threads(), 4096, /*mixed=*/false, shards,
+      static_cast<std::uint64_t>(shards));
+}
+
+// -- wire: external client process over loopback TCP ------------------------
+
+#ifdef CRCW_WIRE_LOADGEN_PATH
+/// fork/exec the load generator against `port`; true iff it exits 0 (it
+/// self-audits op completion and read-your-writes).
+bool spawn_loadgen(std::uint16_t port, std::uint64_t ops, int threads,
+                   std::uint64_t window) {
+  const std::string port_s = std::to_string(port);
+  const std::string ops_s = std::to_string(ops);
+  const std::string threads_s = std::to_string(threads);
+  const std::string window_s = std::to_string(window);
+  const pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    // The child's summary line would interleave with the bench table;
+    // its exit code carries the verdict, stderr stays for diagnostics.
+    if (FILE* devnull = std::fopen("/dev/null", "w")) {
+      dup2(fileno(devnull), STDOUT_FILENO);
+    }
+    const char* argv[] = {CRCW_WIRE_LOADGEN_PATH, "--port", port_s.c_str(),
+                          "--ops", ops_s.c_str(), "--threads", threads_s.c_str(),
+                          "--window", window_s.c_str(), "--mixed", nullptr};
+    execv(CRCW_WIRE_LOADGEN_PATH, const_cast<char* const*>(argv));
+    _exit(127);  // exec failed
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return false;
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+#endif
+
+void wire_serve(benchmark::State& s) {
+#ifndef CRCW_WIRE_LOADGEN_PATH
+  s.SkipWithError("examples not built: no wire_loadgen to spawn");
+#else
+  namespace sv = crcw::serve;
+  const int clients = static_cast<int>(s.range(0));
+  const std::uint64_t ops = crcw::bench::smoke_mode() ? kWireOps / 8 : kWireOps;
+  std::vector<double> p99_commit;
+  std::uint64_t rounds = 0;
+  double hit_rate = 1.0;
+  {
+    RowRecorder rec(s, spec("wire", "serve", clients, 4, /*baseline=*/""));
+    for (auto _ : s) {
+      sv::ServeConfig cfg = serve_config(clients, 4096, ops, /*shards=*/4);
+      sv::ShardedServeSession session(cfg);
+      sv::WireServer server(session, cfg.wire);  // port 0 → ephemeral
+      server.start();
+      crcw::util::Timer timer;
+      const bool ok = spawn_loadgen(server.port(), ops, clients, /*window=*/64);
+      const double secs = timer.seconds();
+      server.stop();
+      session.stop_pump();
+      if (!ok) {
+        s.SkipWithError("wire_loadgen failed (completion or RYW audit)");
+        return;
+      }
+      rec.record(secs);
+      p99_commit.push_back(static_cast<double>(session.metrics().p99_enqueue_to_commit_ns()));
+      rounds = session.backend().round();
+      hit_rate = session.metrics().routing_hit_rate();
+    }
+    s.counters["rounds"] = static_cast<double>(rounds);
+    s.counters["hit_rate"] = hit_rate;
+    if (!p99_commit.empty()) {
+      s.counters["p99_us"] = p99_commit.back() / 1e3;
+    }
+  }
+  report().add_row({"ext_serve/p99-enqueue-commit/wire", "serve", "", clients,
+                    static_cast<std::uint64_t>(ops), 4, std::move(p99_commit), {}});
+#endif
 }
 
 // -- registration ------------------------------------------------------------
@@ -298,11 +460,27 @@ void batch_args(benchmark::internal::Benchmark* b) {
   b->UseManualTime()->Unit(benchmark::kMillisecond);
 }
 
+void shard_args(benchmark::internal::Benchmark* b) {
+  // Smoke keeps {1, 2}: the sharded path and its flat degenerate case.
+  for (const std::int64_t m : crcw::bench::sweep_points<std::int64_t>({1, 2, 4, 8}, 2)) {
+    b->Arg(m);
+  }
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+void wire_args(benchmark::internal::Benchmark* b) {
+  // The axis is external client threads over one TCP connection each.
+  for (const int t : crcw::bench::sweep_points({1, 2, 4}, 2)) b->Arg(t);
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
 BENCHMARK(upsert_threads_serve)->Apply(client_args);
 BENCHMARK(upsert_threads_mutex)->Apply(client_args);
 BENCHMARK(upsert_threads_direct)->Apply(client_args);
 BENCHMARK(upsert_batch_serve)->Apply(batch_args);
 BENCHMARK(mixed_threads_serve)->Apply(client_args);
 BENCHMARK(mixed_threads_mutex)->Apply(client_args);
+BENCHMARK(shards_serve)->Apply(shard_args);
+BENCHMARK(wire_serve)->Apply(wire_args);
 
 }  // namespace

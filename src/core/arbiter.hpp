@@ -14,9 +14,9 @@
 //     for (...) if (scope.acquire(target)) ...;   // concurrent writes
 //   }                                             // scope end flushes metrics
 //
-// next_round takes a ResetMode describing who runs the gatekeeper sweep;
-// the previous three entry points (begin_round, advance_round_no_reset and
-// the explicit-round try_acquire) survive as [[deprecated]] shims.
+// next_round takes a ResetMode describing who runs the gatekeeper sweep.
+// Explicit-round kernels (the serve tables) pair next_round(kNone) with
+// acquire_at(i, round) instead of the scope's acquire.
 #pragma once
 
 #include <omp.h>
@@ -284,27 +284,6 @@ class WriteArbiter {
     requires(kInstrumentedPolicy)
   {
     return *site_;
-  }
-
-  // -- deprecated pre-RoundScope entry points -------------------------------
-
-  [[deprecated("use next_round(ResetMode::kPolicy) and the returned RoundScope")]]
-  round_t begin_round() {
-    ++round_;
-    if constexpr (Policy::kNeedsRoundReset) {
-      for (std::size_t i = 0; i < tags_.size(); ++i) Policy::reset(tag(i));
-    }
-    return round_;
-  }
-
-  [[deprecated("use next_round(ResetMode::kCaller) and reset_tags_parallel()")]]
-  round_t advance_round_no_reset() noexcept {
-    return ++round_;
-  }
-
-  [[deprecated("use acquire_at(i, round)")]]
-  bool try_acquire(std::size_t i, round_t explicit_round) {
-    return acquire_at(i, explicit_round);
   }
 
  private:

@@ -24,88 +24,34 @@
 //
 // Concurrency shape: clients only touch the queue and their futures; the
 // table, arbiter and histograms are touched only between pump_lock_
-// acquire/release, so any number of threads may call poll()/flush()
-// concurrently and exactly one executes. With exec_threads == 1 the
-// three phases run serially with no OpenMP region at all — the mode the
-// raw-thread TSan stress tier drives (OpenMP barriers are invisible to
-// TSan).
+// acquire/release, so any number of threads may call submit_batch()/
+// flush() concurrently and exactly one executes. With exec_threads == 1
+// the three phases run serially with no OpenMP region at all — the mode
+// the raw-thread TSan stress tier drives (OpenMP barriers are invisible
+// to TSan).
+//
+// BatchScheduler is the single-table ServiceBackend; the key-sharded
+// sibling is ShardedScheduler (sharded_scheduler.hpp). BasicServeSession
+// templates over either through the concept in service_backend.hpp.
 #pragma once
-
-#include <omp.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "core/arbiter.hpp"
 #include "core/policies.hpp"
 #include "ds/concurrent_hash_map.hpp"
+#include "serve/config.hpp"
 #include "serve/op.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/serve_metrics.hpp"
+#include "serve/service_backend.hpp"
 
 namespace crcw::serve {
-
-/// Admission-policy and execution knobs for one serving engine.
-struct BatchConfig {
-  /// Size trigger: close a batch once this many ops are pending; also the
-  /// per-round cap (a bigger drain is sliced into several rounds).
-  std::uint64_t max_batch = 4096;
-  /// Deadline trigger: close a non-empty batch once its oldest op has
-  /// waited this long, so a trickle of traffic still commits promptly.
-  std::uint64_t max_wait_us = 250;
-  /// OpenMP team size for round execution; 0 = omp_get_max_threads().
-  /// 1 = strictly serial (no OpenMP region) — required under the
-  /// raw-thread TSan stress tier.
-  int exec_threads = 0;
-  /// Admission lanes; 0 = hardware_concurrency clamped to [1, 16].
-  int lanes = 0;
-  /// Per-lane backpressure watermark; 0 = derived (max_batch, min 64).
-  std::uint64_t lane_backlog = 0;
-  /// Speculative spins before a blocked client/pump yields the core.
-  int backoff_spins = 32;
-  /// Initial table capacity (keys, not buckets).
-  std::uint64_t expected_keys = 1024;
-  /// Latency-histogram sampling: every 2^shift-th op per client gets
-  /// timestamped and recorded (0 = every op). High-throughput deployments
-  /// set 4–8 to keep the two clock reads per op off the hot path; the
-  /// p99s are then estimates over the sampled subset.
-  int latency_sample_shift = 0;
-  /// Attach the `serve` ContentionSite (profile passes only).
-  bool counters = false;
-  /// Forward HashConfig::telemetry to the backing table.
-  bool table_telemetry = false;
-  /// Load factor of the backing table (the ext_hash storm sweep's knob).
-  double max_load = 0.5;
-  /// Forwarded to HashConfig::reclaim_ratio: once tombstones reach this
-  /// fraction of the table, the pump rebuilds it (dropping tombstones and
-  /// shrinking toward the live count) at the next batch boundary.
-  double reclaim_ratio = 0.25;
-
-  [[nodiscard]] int resolved_threads() const noexcept {
-    return exec_threads > 0 ? exec_threads : omp_get_max_threads();
-  }
-  [[nodiscard]] int resolved_lanes() const noexcept {
-    if (lanes > 0) return lanes;
-    const unsigned hc = std::thread::hardware_concurrency();
-    return static_cast<int>(hc < 1 ? 1 : (hc > 16 ? 16 : hc));
-  }
-  [[nodiscard]] std::uint64_t resolved_lane_backlog() const noexcept {
-    if (lane_backlog > 0) return lane_backlog;
-    return max_batch < 64 ? 64 : max_batch;
-  }
-  [[nodiscard]] std::uint64_t sample_mask() const noexcept {
-    return latency_sample_shift <= 0
-               ? 0
-               : (std::uint64_t{1} << (latency_sample_shift > 63 ? 63
-                                                                 : latency_sample_shift)) -
-                     1;
-  }
-};
 
 class BatchScheduler {
  public:
@@ -115,24 +61,26 @@ class BatchScheduler {
   /// side-channel `live` flag that find() callers must re-check.
   using Table = ds::ConcurrentHashMap<std::uint64_t, std::uint64_t>;
 
-  BatchScheduler(const BatchConfig& cfg, RequestQueue& queue, ServeMetrics& metrics)
-      : cfg_(cfg),
-        threads_(cfg.resolved_threads()),
+  BatchScheduler(const ServeConfig& cfg, RequestQueue& queue, ServeMetrics& metrics)
+      : cfg_(cfg.batch),
+        threads_(cfg.batch.resolved_threads()),
         queue_(queue),
         metrics_(metrics),
-        map_(cfg.expected_keys < 1 ? 1 : cfg.expected_keys,
-             ds::HashConfig{.max_load = cfg.max_load,
-                            .reclaim_ratio = cfg.reclaim_ratio,
-                            .telemetry = cfg.table_telemetry,
-                            .site_name = "serve-table"}) {}
+        map_(cfg.table.expected_keys, cfg.table.hash_config("serve-table")) {}
 
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
+  /// How many queue lanes this backend wants for `cfg` (the session sizes
+  /// the RequestQueue before constructing the backend).
+  [[nodiscard]] static int queue_lanes(const ServeConfig& cfg) noexcept {
+    return cfg.batch.resolved_lanes();
+  }
+
   /// Runs one batch if an admission trigger fired (size or deadline).
   /// Returns true iff this call executed at least one round. Safe to call
   /// from any number of threads; losers of the pump race return false.
-  bool poll() { return run_batch(false); }
+  bool submit_batch() { return run_batch(false); }
 
   /// Unconditionally drains and executes everything pending (one call =
   /// one drain; callers loop while clients are still enqueuing).
@@ -141,11 +89,18 @@ class BatchScheduler {
   // -- committed state (serial / quiescent-pump reads) ----------------------
   /// The committed value for `key`, or nullptr if absent or erased —
   /// find() is already live-qualified, erased keys are simply not found.
-  [[nodiscard]] const std::uint64_t* committed(std::uint64_t key) const noexcept {
+  [[nodiscard]] const std::uint64_t* committed_read(std::uint64_t key) const noexcept {
     return map_.find(key);
   }
   [[nodiscard]] const Table& table() const noexcept { return map_; }
   [[nodiscard]] Table& table() noexcept { return map_; }
+
+  // -- routing (trivial: one shard, no lane preference) ---------------------
+  [[nodiscard]] int shard_count() const noexcept { return 1; }
+  [[nodiscard]] int shard_of(std::uint64_t) const noexcept { return 0; }
+  [[nodiscard]] std::size_t route(std::uint64_t) const noexcept {
+    return RequestQueue::kAnyLane;
+  }
 
   // -- stats ----------------------------------------------------------------
   [[nodiscard]] round_t round() const noexcept { return arbiter_.round(); }
@@ -159,6 +114,17 @@ class BatchScheduler {
     return ops_served_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] int exec_threads() const noexcept { return threads_; }
+
+  [[nodiscard]] BackendStats stats() const noexcept {
+    BackendStats s;
+    s.rounds = round();
+    s.batches = batches();
+    s.deadline_batches = deadline_batches();
+    s.ops_served = ops_served();
+    s.keys = map_.size();
+    s.shards = 1;
+    return s;
+  }
 
  private:
   bool run_batch(bool force) {

@@ -65,6 +65,7 @@ struct Result {
 };
 
 class BatchScheduler;
+class ShardedScheduler;
 
 /// Completion slot for one in-flight op. The client owns the storage and
 /// must keep it pinned (neither moved nor destroyed) from submit until
@@ -92,7 +93,9 @@ class OpFuture {
   void reset() noexcept { done_.store(false, std::memory_order_relaxed); }
 
  private:
+  // Only round executors may publish (the engine side of the contract).
   friend class BatchScheduler;
+  friend class ShardedScheduler;
 
   void publish(const Result& r) noexcept {
     result_ = r;

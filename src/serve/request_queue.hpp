@@ -39,6 +39,11 @@ struct Record {
 
 class RequestQueue {
  public:
+  /// Lane sentinel for try_enqueue: "no routing preference" — the record
+  /// goes to the caller's own (dense thread-local) lane. Routed backends
+  /// pass a real lane index instead (lane→shard affinity).
+  static constexpr std::size_t kAnyLane = ~std::size_t{0};
+
   /// `lanes` ≥ 1 sub-queues; `lane_backlog` is the per-lane watermark
   /// (0 = unbounded); `backoff_spins` parameterises the blocked-client
   /// waiter; `sample_mask` thins latency timestamping (2^k − 1 = stamp
@@ -53,13 +58,17 @@ class RequestQueue {
 
   [[nodiscard]] std::size_t lanes() const noexcept { return lanes_.size(); }
 
-  /// Non-blocking admission: refuses (returns false) when the caller's
+  /// Non-blocking admission: refuses (returns false) when the target
   /// lane is at its watermark. The caller decides how to relieve the
-  /// pressure — back off, or help drain (ServeSession::submit does the
-  /// latter, so a pump-less session can never deadlock on its own
-  /// backlog). The future must stay pinned until it completes.
-  [[nodiscard]] bool try_enqueue(const Op& op, OpFuture& future) {
-    Lane& lane = lanes_[lane_index()];
+  /// pressure — back off, or help drain (BasicServeSession::submit does
+  /// the latter, so a pump-less session can never deadlock on its own
+  /// backlog). `lane` picks the sub-queue (kAnyLane = the caller's own;
+  /// out-of-range wraps — routed callers size the queue to match). The
+  /// future must stay pinned until it completes.
+  [[nodiscard]] bool try_enqueue(const Op& op, OpFuture& future,
+                                 std::size_t lane_hint = kAnyLane) {
+    Lane& lane =
+        lanes_[lane_hint == kAnyLane ? lane_index() : lane_hint % lanes_.size()];
     if (lane_backlog_ != 0 &&
         lane.count.load(std::memory_order_relaxed) >= lane_backlog_) {
       return false;  // admission backpressure
@@ -94,16 +103,30 @@ class RequestQueue {
   /// the scheduler's pump lock; clients may enqueue concurrently.
   std::uint64_t drain_into(std::vector<Record>& out) {
     std::uint64_t drained = 0;
-    for (Lane& lane : lanes_) {
-      BackoffState backoff(backoff_spins_);
-      while (lane.lock.test_and_set(std::memory_order_acquire)) backoff.pause();
-      drained += lane.records.size();
-      out.insert(out.end(), lane.records.begin(), lane.records.end());
-      lane.records.clear();
-      lane.count.store(0, std::memory_order_relaxed);
-      lane.oldest_ns.store(0, std::memory_order_relaxed);
-      lane.lock.clear(std::memory_order_release);
-    }
+    for (std::size_t l = 0; l < lanes_.size(); ++l) drained += drain_lane_into(l, out);
+    return drained;
+  }
+
+  /// Drains one lane (appending, admission order) — the sharded backend's
+  /// shape: lane l belongs to one shard, so draining it lane-by-lane keeps
+  /// the batch shard-local without a re-sort. Same serialisation contract
+  /// as drain_into.
+  std::uint64_t drain_lane_into(std::size_t l, std::vector<Record>& out) {
+    Lane& lane = lanes_[l % lanes_.size()];
+    BackoffState backoff(backoff_spins_);
+    while (lane.lock.test_and_set(std::memory_order_acquire)) backoff.pause();
+    const std::uint64_t drained = lane.records.size();
+    out.insert(out.end(), lane.records.begin(), lane.records.end());
+    lane.records.clear();
+    // Advisory-reset order matters for the lock-free readers: clear the
+    // timestamp BEFORE the count, so a reader that still sees a non-zero
+    // count reads either the old (valid-at-the-time) timestamp or the
+    // cleared one — never a stale timestamp for a lane it knows is empty.
+    // (oldest_enqueue_ns additionally gates on count, closing the other
+    // interleaving; see the regression test OldestNsClearsWhenLaneDrains.)
+    lane.oldest_ns.store(0, std::memory_order_relaxed);
+    lane.count.store(0, std::memory_order_relaxed);
+    lane.lock.clear(std::memory_order_release);
     return drained;
   }
 
@@ -114,13 +137,19 @@ class RequestQueue {
     return total;
   }
 
-  /// Earliest enqueue timestamp across non-empty lanes (0 = empty) — the
-  /// deadline trigger's input.
+  /// Earliest enqueue timestamp across non-empty lanes (0 = none pending)
+  /// — the deadline trigger's input. A lane that drained to empty between
+  /// advisory samples reports nothing: its count gates the timestamp, so
+  /// the trigger can never fire off a timestamp whose op already left the
+  /// queue (the stale-oldest_ns bug this guards against would otherwise
+  /// surface as spurious deadline batches).
   [[nodiscard]] std::uint64_t oldest_enqueue_ns() const noexcept {
     std::uint64_t oldest = 0;
     for (const Lane& lane : lanes_) {
       const std::uint64_t ts = lane.oldest_ns.load(std::memory_order_relaxed);
-      if (ts != 0 && (oldest == 0 || ts < oldest)) oldest = ts;
+      if (ts == 0) continue;
+      if (lane.count.load(std::memory_order_relaxed) == 0) continue;  // drained
+      if (oldest == 0 || ts < oldest) oldest = ts;
     }
     return oldest;
   }

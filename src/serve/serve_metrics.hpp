@@ -14,8 +14,15 @@
 //     `atomics` is not counted at serve granularity — the table's own
 //     telemetry (HashConfig::telemetry) counts the real CASes; a profile
 //     pass merges both through one ScopedRegistry.
+//
+// The sharded backend adds a routing surface: relaxed local/foreign op
+// counters (did a drained op land in a lane of its key's own shard?) and
+// an ops-per-(shard, round) histogram, so shard-local batch placement is
+// measurable without per-op cost — one bulk update per drain, one record
+// per shard per round, all from under the pump lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -51,6 +58,32 @@ class ServeMetrics {
   }
   void flush_round() noexcept {
     if (site_) site_->flush_round();
+  }
+
+  // -- routing (sharded backends; bulk updates from under the pump lock) ----
+  void routed(std::uint64_t local, std::uint64_t foreign) noexcept {
+    if (local != 0) route_local_.fetch_add(local, std::memory_order_relaxed);
+    if (foreign != 0) route_foreign_.fetch_add(foreign, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t route_local() const noexcept {
+    return route_local_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t route_foreign() const noexcept {
+    return route_foreign_.load(std::memory_order_relaxed);
+  }
+  /// Fraction of routed ops that drained shard-local (1.0 before any
+  /// routing — a single-table engine never routes).
+  [[nodiscard]] double routing_hit_rate() const noexcept {
+    const std::uint64_t l = route_local();
+    const std::uint64_t f = route_foreign();
+    return l + f == 0 ? 1.0 : static_cast<double>(l) / static_cast<double>(l + f);
+  }
+  /// One sample per (shard, round) that executed ops: how many it ran —
+  /// the shard-balance histogram (a skewed key space shows up as a wide
+  /// spread here while the hit rate stays at 1.0).
+  void record_shard_round_ops(std::uint64_t ops) noexcept { ops_per_shard_round_.record(ops); }
+  [[nodiscard]] const obs::Histogram& ops_per_shard_round() const noexcept {
+    return ops_per_shard_round_;
   }
 
   // -- reporting ------------------------------------------------------------
@@ -91,6 +124,9 @@ class ServeMetrics {
   obs::Histogram enqueue_to_admit_;
   obs::Histogram admit_to_commit_;
   obs::Histogram enqueue_to_commit_;
+  obs::Histogram ops_per_shard_round_;
+  std::atomic<std::uint64_t> route_local_{0};
+  std::atomic<std::uint64_t> route_foreign_{0};
   std::unique_ptr<obs::ContentionSite> site_;
 };
 

@@ -1,7 +1,8 @@
-// ServeSession — the embeddable front door of src/serve.
+// BasicServeSession — the embeddable front door of src/serve, templated
+// over any ServiceBackend (service_backend.hpp).
 //
-// Owns the whole engine (queue → scheduler → table) and gives clients
-// three ways to drive it:
+// Owns the whole engine (queue → backend → table shards) and gives
+// clients three ways to drive it:
 //   * submit(op, future) + wait(future): raw async, for callers running
 //     their own pump (poll()/flush()) or the background pump;
 //   * call(op): synchronous convenience — submits, then self-pumps until
@@ -9,6 +10,11 @@
 //     waiting for a pump that does not exist;
 //   * start_pump()/stop_pump(): a background thread that polls on the
 //     deadline cadence — the "service" deployment shape.
+//
+// The session routes every submit through backend.route(key), which is
+// where lane→shard affinity happens: on the sharded backend an op lands
+// in a lane owned by its key's shard, so the drained batch is shard-local
+// without any re-sort.
 //
 // Ownership contract: OpFuture storage belongs to the client and must
 // stay pinned from submit until ready() (the engine holds a raw pointer
@@ -21,42 +27,48 @@
 #include <cstdint>
 #include <optional>
 #include <thread>
+#include <vector>
 
 #include "serve/batch_scheduler.hpp"
+#include "serve/config.hpp"
 #include "serve/op.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/serve_metrics.hpp"
+#include "serve/service_backend.hpp"
+#include "serve/sharded_scheduler.hpp"
 
 namespace crcw::serve {
 
-class ServeSession {
+template <ServiceBackend Backend>
+class BasicServeSession {
  public:
-  explicit ServeSession(const BatchConfig& cfg = {})
-      : cfg_(cfg),
-        metrics_(cfg.counters),
-        queue_(cfg.resolved_lanes(), cfg.resolved_lane_backlog(), cfg.backoff_spins,
-               cfg.sample_mask()),
-        scheduler_(cfg_, queue_, metrics_) {}
+  explicit BasicServeSession(const ServeConfig& cfg = {})
+      : cfg_(cfg.validated()),
+        metrics_(cfg_.batch.counters),
+        queue_(Backend::queue_lanes(cfg_), cfg_.batch.resolved_lane_backlog(),
+               cfg_.batch.backoff_spins, cfg_.batch.sample_mask()),
+        backend_(cfg_, queue_, metrics_) {}
 
-  ServeSession(const ServeSession&) = delete;
-  ServeSession& operator=(const ServeSession&) = delete;
+  BasicServeSession(const BasicServeSession&) = delete;
+  BasicServeSession& operator=(const BasicServeSession&) = delete;
 
-  ~ServeSession() {
+  ~BasicServeSession() {
     stop_pump();
     flush();
   }
 
   // -- async client API -----------------------------------------------------
 
-  /// Re-arms `future` and admits `op`. A full lane blocks but never
-  /// deadlocks: the submitter helps pump (force-closing a batch) until
-  /// its lane has room, so even a pump-less session stays live under
-  /// arbitrary backlog.
+  /// Re-arms `future` and admits `op` into its routed lane. A full lane
+  /// blocks but never deadlocks: the submitter helps pump (force-closing
+  /// a batch) until its lane has room, so even a pump-less session stays
+  /// live under arbitrary backlog.
   void submit(const Op& op, OpFuture& future) {
     future.reset();
-    BackoffState backoff(cfg_.backoff_spins);
-    while (!queue_.try_enqueue(op, future)) {
-      if (scheduler_.flush()) {
+    const std::size_t lane = backend_.route(op.key);
+    BackoffState backoff(cfg_.batch.backoff_spins);
+    while (!queue_.try_enqueue(op, future, lane)) {
+      if (backend_.flush()) {
         backoff.reset();
       } else {
         backoff.pause();  // another pump holds the lock; wait for its drain
@@ -68,7 +80,7 @@ class ServeSession {
   /// pump, or another thread calling poll()/flush()) — a lone thread
   /// should use call() instead.
   const Result& wait(const OpFuture& future) const {
-    BackoffState backoff(cfg_.backoff_spins);
+    BackoffState backoff(cfg_.batch.backoff_spins);
     while (!future.ready()) backoff.pause();
     return future.result();
   }
@@ -79,9 +91,9 @@ class ServeSession {
   Result call(const Op& op) {
     OpFuture future;
     submit(op, future);
-    BackoffState backoff(cfg_.backoff_spins);
+    BackoffState backoff(cfg_.batch.backoff_spins);
     while (!future.ready()) {
-      if (scheduler_.poll()) {
+      if (backend_.submit_batch()) {
         backoff.reset();
       } else {
         backoff.pause();
@@ -93,14 +105,14 @@ class ServeSession {
   // -- pump -----------------------------------------------------------------
 
   /// One admission check; true iff a batch ran (any thread may call).
-  bool poll() { return scheduler_.poll(); }
+  bool poll() { return backend_.submit_batch(); }
 
   /// Drains until the queue is empty (loops: clients may still be adding).
   /// Backs off while another pump holds the lock instead of spinning hot.
   void flush() {
-    BackoffState backoff(cfg_.backoff_spins);
+    BackoffState backoff(cfg_.batch.backoff_spins);
     for (;;) {
-      if (scheduler_.flush()) {
+      if (backend_.flush()) {
         backoff.reset();
         continue;
       }
@@ -115,10 +127,10 @@ class ServeSession {
     if (pump_.joinable()) return;
     pump_stop_.store(false, std::memory_order_relaxed);
     pump_ = std::thread([this] {
-      const auto idle_sleep =
-          std::chrono::microseconds(cfg_.max_wait_us > 4 ? cfg_.max_wait_us / 4 : 1);
+      const auto idle_sleep = std::chrono::microseconds(
+          cfg_.batch.max_wait_us > 4 ? cfg_.batch.max_wait_us / 4 : 1);
       while (!pump_stop_.load(std::memory_order_relaxed)) {
-        if (!scheduler_.poll()) std::this_thread::sleep_for(idle_sleep);
+        if (!backend_.submit_batch()) std::this_thread::sleep_for(idle_sleep);
       }
     });
   }
@@ -138,24 +150,92 @@ class ServeSession {
   /// The committed value for `key` after the rounds so far (post-flush);
   /// nullopt if the key is absent or erased.
   [[nodiscard]] std::optional<std::uint64_t> committed(std::uint64_t key) const {
-    const std::uint64_t* v = scheduler_.committed(key);
+    const std::uint64_t* v = backend_.committed_read(key);
     return v == nullptr ? std::nullopt : std::optional<std::uint64_t>(*v);
   }
 
   [[nodiscard]] std::uint64_t pending() const noexcept { return queue_.pending(); }
-  [[nodiscard]] const BatchConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const ServeConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] ServeMetrics& metrics() noexcept { return metrics_; }
   [[nodiscard]] const ServeMetrics& metrics() const noexcept { return metrics_; }
-  [[nodiscard]] BatchScheduler& scheduler() noexcept { return scheduler_; }
-  [[nodiscard]] const BatchScheduler& scheduler() const noexcept { return scheduler_; }
+  [[nodiscard]] Backend& backend() noexcept { return backend_; }
+  [[nodiscard]] const Backend& backend() const noexcept { return backend_; }
+  [[nodiscard]] BackendStats stats() const noexcept { return backend_.stats(); }
 
  private:
-  BatchConfig cfg_;
+  ServeConfig cfg_;
   ServeMetrics metrics_;
   RequestQueue queue_;
-  BatchScheduler scheduler_;
+  Backend backend_;
   std::thread pump_;
   std::atomic<bool> pump_stop_{false};
+};
+
+/// The single-table shape every pre-sharding call site used.
+using ServeSession = BasicServeSession<BatchScheduler>;
+/// The key-sharded shape (ShardConfig::count shards, lane→shard affinity).
+using ShardedServeSession = BasicServeSession<ShardedScheduler>;
+
+/// ClientSession — a per-client read-your-writes view over any session.
+//
+// Tracks the client's last committed WRITE round per shard (from the
+// Results it observes) and guarantees that every lookup it returns
+// executed in a strictly later round on that key's shard — i.e. the
+// lookup saw this client's own preceding writes. The sync call() path
+// already gets this ordering from the batch lifecycle (a lookup submitted
+// after a write completed can only drain into a later round); the tracked
+// round makes the guarantee *checked*, and for pipelined wire clients
+// (wire_client.hpp reimplements the same protocol from Response frames)
+// the retry is load-bearing: a lookup racing its own write into one round
+// gets re-submitted until it lands later.
+//
+// One ClientSession per client thread (it is plain mutable state); many
+// may share one session.
+template <typename Session>
+class ClientSession {
+ public:
+  explicit ClientSession(Session& session)
+      : session_(session),
+        last_write_round_(
+            static_cast<std::size_t>(session.backend().shard_count()), 0) {}
+
+  /// Synchronous round trip with read-your-writes: writes record their
+  /// committed round; lookups retry (stale_retries() counts) until their
+  /// round is strictly later than this client's last write on the shard.
+  Result call(const Op& op) {
+    const auto shard = static_cast<std::size_t>(session_.backend().shard_of(op.key));
+    if (op.kind == OpKind::kLookup) {
+      for (;;) {
+        const Result r = session_.call(op);
+        if (r.round > last_write_round_[shard]) return r;
+        ++stale_retries_;
+      }
+    }
+    const Result r = session_.call(op);
+    if (r.round > last_write_round_[shard]) last_write_round_[shard] = r.round;
+    return r;
+  }
+
+  /// Folds an asynchronously-completed write Result into the tracker (for
+  /// clients that pipeline through submit/wait and only need the tracked
+  /// rounds, not the retry loop).
+  void observe_write(std::uint64_t key, const Result& r) {
+    const auto shard = static_cast<std::size_t>(session_.backend().shard_of(key));
+    if (r.round > last_write_round_[shard]) last_write_round_[shard] = r.round;
+  }
+
+  /// The last committed write round this client observed on `shard`.
+  [[nodiscard]] round_t last_write_round(int shard) const {
+    return last_write_round_[static_cast<std::size_t>(shard)];
+  }
+  /// Lookups that had to retry because they landed in a round at or
+  /// before this client's last write (0 on the sync path by design).
+  [[nodiscard]] std::uint64_t stale_retries() const noexcept { return stale_retries_; }
+
+ private:
+  Session& session_;
+  std::vector<round_t> last_write_round_;
+  std::uint64_t stale_retries_ = 0;
 };
 
 }  // namespace crcw::serve

@@ -1,0 +1,186 @@
+// WireClient — a blocking TCP client for the serve wire protocol, with
+// the same read-your-writes contract ClientSession gives in-process
+// callers, reconstructed from Response frames.
+//
+// Two driving modes:
+//   * call(op): one request, one reply. Lookups that land in a round at
+//     or before this client's last write on the key's shard are re-issued
+//     (stale_retries() counts them) — so call() is RYW-safe even when the
+//     server batches this client's ops with thousands of others.
+//   * pipeline(ops, window): keeps up to `window` requests in flight,
+//     matching replies by correlation id. Writes update the per-shard
+//     round tracker; stale lookups are re-queued at the BACK of the
+//     pending work (they get a fresh id), so a pipelined mixed workload
+//     converges without head-of-line blocking.
+//
+// One WireClient per thread; it owns one connection and is not
+// thread-safe (open several clients for concurrent load).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/op.hpp"
+#include "serve/serve_server.hpp"
+#include "serve/wire.hpp"
+
+namespace crcw::serve {
+
+class WireClient {
+ public:
+  WireClient(const std::string& host, std::uint16_t port,
+             std::uint32_t max_frame_bytes = 64 * 1024)
+      : fd_(net::tcp_connect(host.c_str(), port)), decoder_(max_frame_bytes) {
+    if (fd_ < 0) throw std::runtime_error("serve: wire connect failed");
+  }
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  ~WireClient() { close(); }
+
+  void close() {
+    if (fd_ >= 0) {
+      net::shutdown_fd(fd_);
+      net::close_fd(fd_);
+      fd_ = -1;
+    }
+  }
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  // -- synchronous -----------------------------------------------------------
+
+  /// One RYW-safe round trip. Throws on connection loss or protocol error.
+  wire::Response call(const Op& op) {
+    for (;;) {
+      const wire::Response r = call_raw(op);
+      if (op.kind == OpKind::kLookup) {
+        if (r.round <= last_write_round(r.shard)) {
+          ++stale_retries_;
+          continue;  // raced our own write into its round — re-issue
+        }
+        return r;
+      }
+      note_write(r.shard, r.round);
+      return r;
+    }
+  }
+
+  /// One round trip with no RYW tracking (what the session returned, raw).
+  wire::Response call_raw(const Op& op) {
+    send_request(op);
+    wire::Response resp;
+    recv_response(resp);
+    return resp;
+  }
+
+  // -- pipelined -------------------------------------------------------------
+
+  /// Runs `ops` with up to `window` in flight; returns one Response per op,
+  /// in op order. RYW holds per shard: stale lookups are transparently
+  /// re-issued (appended to the in-flight window with a fresh id).
+  std::vector<wire::Response> pipeline(const std::vector<Op>& ops,
+                                       std::size_t window) {
+    if (window == 0) window = 1;
+    std::vector<wire::Response> results(ops.size());
+    // id → index into ops/results; re-issues get a fresh id, same index.
+    std::unordered_map<std::uint64_t, std::size_t> in_flight;
+    in_flight.reserve(window * 2);
+    std::size_t sent = 0;
+    std::size_t done = 0;
+
+    while (done < ops.size()) {
+      while (sent < ops.size() && in_flight.size() < window) {
+        const std::uint64_t id = next_id_++;
+        in_flight.emplace(id, sent);
+        send_request_id(id, ops[sent]);
+        ++sent;
+      }
+      wire::Response resp;
+      recv_response_raw(resp);
+      const auto it = in_flight.find(resp.id);
+      if (it == in_flight.end()) {
+        throw std::runtime_error("serve: wire response with unknown id");
+      }
+      const std::size_t idx = it->second;
+      in_flight.erase(it);
+      const Op& op = ops[idx];
+      if (op.kind == OpKind::kLookup && resp.round <= last_write_round(resp.shard)) {
+        ++stale_retries_;
+        const std::uint64_t id = next_id_++;  // re-issue, stay in the window
+        in_flight.emplace(id, idx);
+        send_request_id(id, op);
+        continue;
+      }
+      if (op.kind != OpKind::kLookup) note_write(resp.shard, resp.round);
+      results[idx] = resp;
+      ++done;
+    }
+    return results;
+  }
+
+  // -- read-your-writes state ------------------------------------------------
+
+  [[nodiscard]] round_t last_write_round(std::uint32_t shard) const noexcept {
+    return shard < last_write_round_.size() ? last_write_round_[shard] : 0;
+  }
+  /// Lookups re-issued because they executed at or before this client's
+  /// last write on their shard.
+  [[nodiscard]] std::uint64_t stale_retries() const noexcept { return stale_retries_; }
+
+ private:
+  void send_request(const Op& op) { send_request_id(next_id_++, op); }
+
+  void send_request_id(std::uint64_t id, const Op& op) {
+    out_.clear();
+    wire::encode_request({id, op}, out_);
+    if (!net::write_all(fd_, out_.data(), out_.size())) {
+      throw std::runtime_error("serve: wire send failed");
+    }
+  }
+
+  /// Next response, id-checked against nothing (pipeline matches ids).
+  void recv_response_raw(wire::Response& resp) {
+    for (;;) {
+      switch (decoder_.next(resp)) {
+        case wire::DecodeStatus::kFrame:
+          return;
+        case wire::DecodeStatus::kError:
+          throw std::runtime_error("serve: wire protocol error from server");
+        case wire::DecodeStatus::kNeedMore: {
+          const std::ptrdiff_t n = net::read_some(fd_, chunk_, sizeof(chunk_));
+          if (n <= 0) throw std::runtime_error("serve: wire connection closed");
+          decoder_.feed(chunk_, static_cast<std::size_t>(n));
+          break;
+        }
+      }
+    }
+  }
+
+  void recv_response(wire::Response& resp) {
+    recv_response_raw(resp);
+    if (resp.id != next_id_ - 1) {
+      throw std::runtime_error("serve: wire response id mismatch");
+    }
+  }
+
+  void note_write(std::uint32_t shard, round_t round) {
+    if (shard >= last_write_round_.size()) last_write_round_.resize(shard + 1, 0);
+    if (round > last_write_round_[shard]) last_write_round_[shard] = round;
+  }
+
+  int fd_ = -1;
+  wire::ResponseDecoder decoder_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t stale_retries_ = 0;
+  std::vector<round_t> last_write_round_;
+  std::vector<std::uint8_t> out_;
+  std::uint8_t chunk_[16 * 1024];
+};
+
+}  // namespace crcw::serve

@@ -1,5 +1,5 @@
 // Raw-thread schedules for src/serve (label: serve-stress). Everything
-// here runs with BatchConfig::exec_threads == 1: the pump executes rounds
+// here runs with ServeConfig::batch.exec_threads == 1: the pump executes rounds
 // strictly serially, no OpenMP region anywhere, so TSan checks the
 // claimed synchronisation chain end to end — client enqueue (lane-lock
 // release) → pump drain (lane-lock acquire) → round execution under the
@@ -16,11 +16,11 @@
 namespace crcw::serve {
 namespace {
 
-[[nodiscard]] BatchConfig serial_config() {
-  BatchConfig cfg;
-  cfg.exec_threads = 1;  // no OpenMP under TSan
-  cfg.max_batch = 64;
-  cfg.max_wait_us = 100;
+[[nodiscard]] ServeConfig serial_config() {
+  ServeConfig cfg;
+  cfg.batch.exec_threads = 1;  // no OpenMP under TSan
+  cfg.batch.max_batch = 64;
+  cfg.batch.max_wait_us = 100;
   return cfg;
 }
 
@@ -57,7 +57,7 @@ TEST(StressServe, DedicatedPumpDistinctKeys) {
     }
   });
 
-  EXPECT_EQ(session.scheduler().ops_served(), expected);
+  EXPECT_EQ(session.backend().ops_served(), expected);
   for (std::uint64_t c = 1; c <= static_cast<std::uint64_t>(clients); ++c) {
     for (std::uint64_t i = 0; i < per_client; ++i) {
       const std::uint64_t key = c * per_client + i + 1;
@@ -96,7 +96,7 @@ TEST(StressServe, CallersContendOnOneKey) {
   ASSERT_TRUE(session.committed(kKey).has_value());
   EXPECT_LT(*session.committed(kKey) / 1'000'000, static_cast<std::uint64_t>(threads));
   EXPECT_LT(*session.committed(kKey) % 1'000'000, iterations);
-  EXPECT_EQ(session.scheduler().ops_served(),
+  EXPECT_EQ(session.backend().ops_served(),
             static_cast<std::uint64_t>(threads) * iterations);
 }
 
@@ -145,7 +145,7 @@ TEST(StressServe, MixedOpsOnSharedKeys) {
     }
   });
 
-  EXPECT_EQ(session.scheduler().ops_served(), expected);
+  EXPECT_EQ(session.backend().ops_served(), expected);
 }
 
 // The destructor path under pressure: clients are still waiting when the

@@ -106,25 +106,6 @@ TEST(WriteArbiter, ResetAllRestoresFreshState) {
   EXPECT_TRUE(scope.acquire(0));
 }
 
-TEST(WriteArbiter, DeprecatedShimsStillWork) {
-  // The pre-RoundScope entry points must keep their exact semantics until
-  // removal; external users migrate on their own schedule.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  WriteArbiter<GatekeeperPolicy> arb(3);
-  EXPECT_EQ(arb.begin_round(), 1u);
-  for (std::size_t i = 0; i < 3; ++i) ASSERT_TRUE(arb.try_acquire(i));
-  EXPECT_EQ(arb.advance_round_no_reset(), 2u);
-  for (std::size_t i = 0; i < 3; ++i) EXPECT_FALSE(arb.try_acquire(i));  // no sweep ran
-  arb.begin_round();  // sweep re-opens
-  for (std::size_t i = 0; i < 3; ++i) EXPECT_TRUE(arb.try_acquire(i));
-
-  WriteArbiter<CasLtPolicy> caslt(1);
-  EXPECT_TRUE(caslt.try_acquire(0, 5));
-  EXPECT_FALSE(caslt.try_acquire(0, 5));
-#pragma GCC diagnostic pop
-}
-
 TEST(WriteArbiter, PaddedLayoutSpacing) {
   WriteArbiter<CasLtPolicy, TagLayout::kPadded> arb(4);
   auto scope = arb.next_round();

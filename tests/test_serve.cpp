@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -39,9 +40,9 @@ TEST(Serve, CallUpsertLookupErase) {
 }
 
 TEST(Serve, BatchBoundariesSliceBigDrainsIntoRounds) {
-  BatchConfig cfg;
-  cfg.max_batch = 8;
-  cfg.max_wait_us = 1'000'000;  // no deadline interference
+  ServeConfig cfg;
+  cfg.batch.max_batch = 8;
+  cfg.batch.max_wait_us = 1'000'000;  // no deadline interference
   ServeSession session(cfg);
 
   std::vector<OpFuture> futures(20);
@@ -52,9 +53,9 @@ TEST(Serve, BatchBoundariesSliceBigDrainsIntoRounds) {
 
   // One drain of 20 ops with max_batch 8 slices into rounds of 8/8/4, in
   // admission order.
-  EXPECT_EQ(session.scheduler().round(), 3u);
-  EXPECT_EQ(session.scheduler().batches(), 1u);
-  EXPECT_EQ(session.scheduler().ops_served(), 20u);
+  EXPECT_EQ(session.backend().round(), 3u);
+  EXPECT_EQ(session.backend().batches(), 1u);
+  EXPECT_EQ(session.backend().ops_served(), 20u);
   for (std::size_t i = 0; i < futures.size(); ++i) {
     ASSERT_TRUE(futures[i].ready()) << "op " << i;
     EXPECT_TRUE(futures[i].result().won);
@@ -63,8 +64,8 @@ TEST(Serve, BatchBoundariesSliceBigDrainsIntoRounds) {
 }
 
 TEST(Serve, SameKeyCollapsesToOneWinnerPerRound) {
-  BatchConfig cfg;
-  cfg.max_batch = 1024;
+  ServeConfig cfg;
+  cfg.batch.max_batch = 1024;
   ServeSession session(cfg);
 
   constexpr std::size_t kContenders = 32;
@@ -114,9 +115,9 @@ TEST(Serve, CommittedReadsExcludeOwnRound) {
 }
 
 TEST(Serve, SizeTriggerClosesBatch) {
-  BatchConfig cfg;
-  cfg.max_batch = 4;
-  cfg.max_wait_us = 1'000'000;  // deadline effectively off
+  ServeConfig cfg;
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_wait_us = 1'000'000;  // deadline effectively off
   ServeSession session(cfg);
 
   std::vector<OpFuture> futures(4);
@@ -126,14 +127,14 @@ TEST(Serve, SizeTriggerClosesBatch) {
   session.submit(Op::upsert(3, 3), futures[2]);
   session.submit(Op::upsert(4, 4), futures[3]);
   EXPECT_TRUE(session.poll());  // size trigger
-  EXPECT_EQ(session.scheduler().deadline_batches(), 0u);
+  EXPECT_EQ(session.backend().deadline_batches(), 0u);
   for (const OpFuture& f : futures) EXPECT_TRUE(f.ready());
 }
 
 TEST(Serve, DeadlineTriggerClosesTrickleBatch) {
-  BatchConfig cfg;
-  cfg.max_batch = 1 << 20;  // size trigger unreachable
-  cfg.max_wait_us = 1000;
+  ServeConfig cfg;
+  cfg.batch.max_batch = 1 << 20;  // size trigger unreachable
+  cfg.batch.max_wait_us = 1000;
   ServeSession session(cfg);
 
   OpFuture f;
@@ -142,7 +143,7 @@ TEST(Serve, DeadlineTriggerClosesTrickleBatch) {
   EXPECT_TRUE(session.poll());  // the op aged past max_wait_us
   EXPECT_TRUE(f.ready());
   EXPECT_TRUE(f.result().won);
-  EXPECT_EQ(session.scheduler().deadline_batches(), 1u);
+  EXPECT_EQ(session.backend().deadline_batches(), 1u);
 }
 
 TEST(Serve, EraseArbitratesAndTombstones) {
@@ -181,11 +182,11 @@ TEST(Serve, SentinelKeyFailsWithoutPoisoningTheRound) {
 }
 
 TEST(Serve, BacklogGrowAbsorbsOneBigBatch) {
-  BatchConfig cfg;
-  cfg.expected_keys = 2;  // force the reservation path
-  cfg.max_batch = 4096;
+  ServeConfig cfg;
+  cfg.table.expected_keys = 2;  // force the reservation path
+  cfg.batch.max_batch = 4096;
   ServeSession session(cfg);
-  const std::uint64_t before = session.scheduler().table().bucket_count();
+  const std::uint64_t before = session.backend().table().bucket_count();
 
   constexpr std::uint64_t kKeys = 2000;
   std::vector<OpFuture> futures(kKeys);
@@ -194,7 +195,7 @@ TEST(Serve, BacklogGrowAbsorbsOneBigBatch) {
   }
   session.flush();
 
-  EXPECT_GT(session.scheduler().table().bucket_count(), before);
+  EXPECT_GT(session.backend().table().bucket_count(), before);
   for (std::uint64_t i = 0; i < kKeys; ++i) {
     ASSERT_TRUE(futures[i].ready());
     EXPECT_TRUE(futures[i].result().won);
@@ -214,9 +215,9 @@ TEST(Serve, StringKeysRideTheUint64Space) {
 }
 
 TEST(Serve, BackgroundPumpServesConcurrentClients) {
-  BatchConfig cfg;
-  cfg.max_batch = 64;
-  cfg.max_wait_us = 200;
+  ServeConfig cfg;
+  cfg.batch.max_batch = 64;
+  cfg.batch.max_wait_us = 200;
   ServeSession session(cfg);
   session.start_pump();
 
@@ -241,7 +242,7 @@ TEST(Serve, BackgroundPumpServesConcurrentClients) {
   session.stop_pump();
 
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_EQ(session.scheduler().ops_served(), kClients * kOpsPerClient);
+  EXPECT_EQ(session.backend().ops_served(), kClients * kOpsPerClient);
   for (std::uint64_t key = 1; key <= kOpsPerClient; ++key) {
     ASSERT_TRUE(session.committed(key).has_value()) << "key " << key;
   }
@@ -251,8 +252,8 @@ TEST(Serve, MetricsHistogramsAndCountersFlow) {
   obs::MetricsRegistry local;
   {
     const obs::ScopedRegistry scoped(local);
-    BatchConfig cfg;
-    cfg.counters = true;
+    ServeConfig cfg;
+    cfg.batch.counters = true;
     ServeSession session(cfg);
 
     constexpr std::size_t kOps = 16;
@@ -282,6 +283,41 @@ TEST(Serve, MetricsHistogramsAndCountersFlow) {
     EXPECT_EQ(totals.rounds, 1u);
   }
   EXPECT_TRUE(found);
+}
+
+TEST(Serve, OldestNsClearsWhenLaneDrains) {
+  // Regression: the advisory oldest_ns must read "nothing pending" once a
+  // lane drains to empty. Before the fix, a drained lane kept reporting
+  // its last op's timestamp until the next enqueue overwrote it, so the
+  // deadline trigger could fire forever on an op that was already served.
+  RequestQueue queue(/*lanes=*/2, /*lane_backlog=*/64, /*backoff_spins=*/8);
+  OpFuture f;
+  ASSERT_TRUE(queue.try_enqueue(Op::upsert(1, 1), f, /*lane_hint=*/0));
+  EXPECT_NE(queue.oldest_enqueue_ns(), 0u);
+
+  std::vector<Record> drained;
+  EXPECT_EQ(queue.drain_lane_into(0, drained), 1u);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(queue.oldest_enqueue_ns(), 0u);  // lane empty ⇒ no advisory age
+
+  // A fresh enqueue (any lane) re-arms the advisory timestamp.
+  OpFuture g;
+  ASSERT_TRUE(queue.try_enqueue(Op::upsert(2, 2), g, /*lane_hint=*/1));
+  EXPECT_NE(queue.oldest_enqueue_ns(), 0u);
+}
+
+TEST(Serve, ConfigValidationRejectsBadKnobs) {
+  EXPECT_THROW((void)ServeConfig{}.with_max_batch(0).validated(),
+               std::invalid_argument);
+  EXPECT_THROW((void)ServeConfig{}.with_shards(-1).validated(),
+               std::invalid_argument);
+  ServeConfig bad_load;
+  bad_load.table.max_load = 1.5;
+  EXPECT_THROW((void)bad_load.validated(), std::invalid_argument);
+
+  // Non-power-of-two shard counts round up rather than reject.
+  const ServeConfig cfg = ServeConfig{}.with_shards(3).validated();
+  EXPECT_EQ(cfg.shards.count, 4);
 }
 
 TEST(Serve, DestructorFlushesSubmittedOps) {
