@@ -39,9 +39,13 @@ from pathlib import Path
 
 SCHEMA_PATH = Path(__file__).resolve().parent / "bench_schema.json"
 
-# refills / reset_tags / tombstones / reclaimed are additive within
-# schema_version 1: baselines emitted before they existed simply lack them,
-# so each counter is compared only when both sides carry it.
+# refills / reset_tags / tombstones / reclaimed / group_loads /
+# fingerprint_false_positives are additive within schema_version 1:
+# baselines emitted before they existed simply lack them, so each counter
+# is compared only when both sides carry it. probe_p50/probe_p99 are
+# deliberately NOT gated: they are upper bounds of power-of-two histogram
+# buckets, so a one-bucket shift doubles the value — far too coarse for a
+# relative-tolerance comparison.
 COUNTER_FIELDS = (
     "attempts",
     "atomics",
@@ -52,6 +56,8 @@ COUNTER_FIELDS = (
     "reset_tags",
     "tombstones",
     "reclaimed",
+    "group_loads",
+    "fingerprint_false_positives",
 )
 
 

@@ -72,7 +72,12 @@ class SlotAllocator {
   /// first drains its private recycled stash, then claims another chunk of
   /// the recycled pool, and only when the pool is dry — remembered per
   /// generation, so a dry pool costs each lane exactly one wasted RMW —
-  /// falls through to the arena cursor.
+  /// falls through to the arena cursor. Note there is no retry loop here
+  /// to back off (util/backoff.hpp): the dry-pool probe is one-shot per
+  /// generation and every fetch_add succeeds unconditionally, so backoff
+  /// would only delay a grant that cannot fail. The backoff discipline
+  /// applies to loops that RE-CONTEND the same word — the chained set's
+  /// head CAS and the request queue's lane spinlocks.
   [[nodiscard]] std::uint64_t grant(int lane) noexcept {
     Lane& l = lanes_[static_cast<std::size_t>(lane)];
     ++l.grants;

@@ -58,6 +58,7 @@
 #include "core/slot_alloc.hpp"
 #include "ds/hash_common.hpp"
 #include "util/aligned_buffer.hpp"
+#include "util/backoff.hpp"
 
 namespace crcw::ds {
 
@@ -115,6 +116,7 @@ class ChainedHashSet {
     node.key = key;
     node.dead.store(false, std::memory_order_relaxed);
 
+    util::Backoff backoff;
     for (;;) {
       node.next.store(top, std::memory_order_relaxed);
       telemetry_.cas();
@@ -123,7 +125,10 @@ class ChainedHashSet {
         break;
       }
       // `top` reloaded; re-link and retry. A failed CAS means another
-      // insert committed — lock-free, not wait-free.
+      // insert committed — lock-free, not wait-free — so this is a true
+      // retry loop and gets bounded exponential backoff (util/backoff.hpp);
+      // hot chains otherwise convoy every pusher on one head line.
+      backoff.pause();
     }
 
     // Dedup: an older live same-key node deeper in the chain wins.

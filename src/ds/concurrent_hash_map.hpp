@@ -22,11 +22,22 @@
 // rounds are strictly increasing, so a dropped bucket's committed round
 // can never be raced again. needs_reclaim() watches the tombstone-ratio
 // watermark (HashConfig::reclaim_ratio) for the step-boundary trigger.
+//
+// Probing shares the set's control-byte sidecar (hash_common.hpp): one
+// byte per bucket — kCtrlEmpty, kCtrlTombstone while the bucket's LiveTag
+// is dead, or the owning key's H2 fingerprint while it is live — scanned
+// 16 lanes per util::Group snapshot. The byte is published with a release
+// store only by the thread whose RMW made the liveness transition (the
+// claim winner, the revive winner, the erase's round winner), and it is
+// only ever a filter: every fingerprint hit re-runs the authoritative
+// claim/tag protocol, and empty/tombstone lanes stay candidates, so stale
+// bytes cost extra verifies, never wrong answers.
 #pragma once
 
 #include <omp.h>
 
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <concepts>
 #include <cstdint>
@@ -40,6 +51,7 @@
 #include "ds/hash_common.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/sanitizer.hpp"
+#include "util/simd.hpp"
 
 namespace crcw::ds {
 
@@ -60,6 +72,7 @@ class ConcurrentHashMap {
       : cfg_(std::move(cfg)),
         telemetry_(cfg_),
         buckets_(bucket_count_for(required_buckets(capacity, cfg_.max_load))),
+        ctrl_(buckets_.size()),  // value-initialised atomics = all kCtrlEmpty
         mask_(buckets_.size() - 1) {}
 
   [[nodiscard]] std::uint64_t bucket_count() const noexcept { return buckets_.size(); }
@@ -83,7 +96,8 @@ class ConcurrentHashMap {
   /// barrier-published.
   SetInsert insert_first(Key key, const Value& v) {
     Bucket* bucket = nullptr;
-    const SetInsert r = claim_bucket(key, bucket);
+    std::uint64_t b = 0;
+    const SetInsert r = claim_bucket(key, bucket, b);
     if (r == SetInsert::kInserted) {
       // Fresh claims are born live (LiveTag's polarity): the build-phase
       // fast path is one CAS plus the barrier-published store, no tag RMW.
@@ -95,6 +109,7 @@ class ConcurrentHashMap {
       telemetry_.cas();
       if (bucket->tagged.tag().mark_live()) {  // revive: first flipper wins
         dead_.sub(1);
+        ctrl_[b].store(ctrl_h2(mix64(key)), std::memory_order_release);
         const util::TsanIgnoreWritesScope published_by_barrier;
         bucket->value = v;
         return SetInsert::kInserted;
@@ -110,10 +125,14 @@ class ConcurrentHashMap {
   /// map, advanced between barriers).
   MapUpsert upsert(round_t round, Key key, const Value& v) {
     Bucket* bucket = nullptr;
-    if (claim_bucket(key, bucket) == SetInsert::kFull) return MapUpsert::kFull;
+    std::uint64_t b = 0;
+    if (claim_bucket(key, bucket, b) == SetInsert::kFull) return MapUpsert::kFull;
     bool was_live = false;
     if (!acquire_round(*bucket, round, /*live=*/true, was_live)) return MapUpsert::kLost;
-    if (!was_live) dead_.sub(1);  // tombstone revive
+    if (!was_live) {  // tombstone revive: the round winner republishes the fp
+      dead_.sub(1);
+      ctrl_[b].store(ctrl_h2(mix64(key)), std::memory_order_release);
+    }
     const util::TsanIgnoreWritesScope published_by_barrier;
     bucket->value = v;
     return MapUpsert::kWon;
@@ -124,10 +143,14 @@ class ConcurrentHashMap {
     requires std::is_invocable_r_v<Value, Factory>
   MapUpsert upsert_with(round_t round, Key key, Factory&& make) {
     Bucket* bucket = nullptr;
-    if (claim_bucket(key, bucket) == SetInsert::kFull) return MapUpsert::kFull;
+    std::uint64_t b = 0;
+    if (claim_bucket(key, bucket, b) == SetInsert::kFull) return MapUpsert::kFull;
     bool was_live = false;
     if (!acquire_round(*bucket, round, /*live=*/true, was_live)) return MapUpsert::kLost;
-    if (!was_live) dead_.sub(1);
+    if (!was_live) {
+      dead_.sub(1);
+      ctrl_[b].store(ctrl_h2(mix64(key)), std::memory_order_release);
+    }
     Value made = std::forward<Factory>(make)();
     const util::TsanIgnoreWritesScope published_by_barrier;
     bucket->value = std::move(made);
@@ -144,10 +167,14 @@ class ConcurrentHashMap {
   /// the next reclaim sweep.
   MapUpsert erase(round_t round, Key key) {
     Bucket* bucket = nullptr;
-    if (claim_bucket(key, bucket) == SetInsert::kFull) return MapUpsert::kFull;
+    std::uint64_t b = 0;
+    if (claim_bucket(key, bucket, b) == SetInsert::kFull) return MapUpsert::kFull;
     bool was_live = false;
     if (!acquire_round(*bucket, round, /*live=*/false, was_live)) return MapUpsert::kLost;
-    if (was_live) dead_.add(1);
+    if (was_live) {  // live → dead: the round winner publishes the tombstone byte
+      dead_.add(1);
+      ctrl_[b].store(kCtrlTombstone, std::memory_order_release);
+    }
     telemetry_.tombstone();
     return MapUpsert::kWon;
   }
@@ -224,6 +251,7 @@ class ConcurrentHashMap {
       const std::uint64_t stop = std::min(begin + cfg_.migrate_chunk, end);
       std::uint64_t moved = 0;
       std::uint64_t dropped = 0;
+      std::uint64_t probes = 0;
       for (std::uint64_t i = begin; i < stop; ++i) {
         Bucket& old = buckets_[i];
         const Key k = old.tagged.key();
@@ -232,11 +260,12 @@ class ConcurrentHashMap {
           ++dropped;
           continue;
         }
-        migrate_into(mig, k, old);
+        migrate_into(mig, k, old, probes);
         ++moved;
       }
       if (moved > 0) mig.live_moved.fetch_add(moved, std::memory_order_relaxed);
       if (dropped > 0) mig.dropped.fetch_add(dropped, std::memory_order_relaxed);
+      if (probes > 0) telemetry_.probes(probes);  // one flush per chunk
       telemetry_.migrated(stop - begin);
     }
   }
@@ -246,6 +275,7 @@ class ConcurrentHashMap {
     assert(migration_->cursor.load(std::memory_order_relaxed) >= buckets_.size() &&
            "grow_finish before the migration sweep completed");
     buckets_ = std::move(migration_->buckets);
+    ctrl_ = std::move(migration_->ctrl);
     mask_ = migration_->mask;
     // The rebuilt array holds exactly the migrated live keys: reset the
     // sharded counters to that truth (serial here, like the swap itself).
@@ -312,6 +342,28 @@ class ConcurrentHashMap {
   [[nodiscard]] TableTelemetry& telemetry() noexcept { return telemetry_; }
   void flush_round() noexcept { telemetry_.flush_round(); }
 
+  // -- test/debug introspection (serial or post-barrier only) ---------------
+
+  /// Raw control byte for bucket `i` — lets tests assert the sidecar
+  /// invariants (empty / tombstone / fingerprint) across upsert, erase,
+  /// revive and reclaim without poking at internals.
+  [[nodiscard]] std::uint8_t debug_ctrl(std::uint64_t i) const noexcept {
+    return ctrl_[i].load(std::memory_order_acquire);
+  }
+
+  /// Index of the bucket claimed by `key` (live or tombstoned), or ~0 if
+  /// unclaimed. Always a scalar walk, so it double-checks the group path.
+  [[nodiscard]] std::uint64_t debug_bucket_of(Key key) const noexcept {
+    std::uint64_t b = mix64(key) & mask_;
+    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
+      const Key current = buckets_[b].tagged.key();
+      if (current == key) return b;
+      if (current == kEmptyKey) return ~std::uint64_t{0};
+      b = (b + 1) & mask_;
+    }
+    return ~std::uint64_t{0};
+  }
+
  private:
   struct Bucket {
     TaggedBucket<Key> tagged;
@@ -320,6 +372,7 @@ class ConcurrentHashMap {
 
   struct Migration {
     util::AlignedBuffer<Bucket> buckets;
+    util::AlignedBuffer<std::atomic<std::uint8_t>> ctrl;
     std::uint64_t mask = 0;
     alignas(util::kCacheLineSize) std::atomic<std::uint64_t> cursor{0};
     std::atomic<std::uint64_t> live_moved{0};
@@ -330,6 +383,7 @@ class ConcurrentHashMap {
     assert(!growing() && "migration_prepare while a migration is already open");
     auto mig = std::make_unique<Migration>();
     mig->buckets = util::AlignedBuffer<Bucket>(target_buckets);
+    mig->ctrl = util::AlignedBuffer<std::atomic<std::uint8_t>>(target_buckets);
     mig->mask = mig->buckets.size() - 1;
     migration_ = std::move(mig);
   }
@@ -344,43 +398,161 @@ class ConcurrentHashMap {
     return tag.try_acquire(round, live, was_live);
   }
 
-  /// Probe walk + claim; on kInserted/kFound, `bucket` points at the key's
-  /// bucket (live or tombstoned — liveness is the caller's concern).
-  /// Throws for the reserved sentinel key. A fresh claim is born live (its
-  /// LiveTag starts that way), so only occupied_ moves here; dead_ moves
-  /// exactly when a LiveTag RMW flips the bit, with the winner deriving
-  /// the transition from its own CAS's observed word — no second pass, no
-  /// double counting.
-  SetInsert claim_bucket(Key key, Bucket*& bucket) {
-    if (key == kEmptyKey) {
-      throw std::invalid_argument("ConcurrentHashMap: the all-ones key is reserved");
+  [[nodiscard]] bool group_probing() const noexcept {
+    return cfg_.group_probe && buckets_.size() >= util::kGroupWidth;
+  }
+
+  /// Shared claim tail: the winner seeds the fingerprint byte (fresh
+  /// claims are born live) before anyone can observe the key as present
+  /// through the sidecar — though observing it through a stale empty byte
+  /// first is fine too, since empty lanes are always verified.
+  SetInsert resolve_claim(BucketClaim claim, std::uint64_t b, std::uint8_t fp,
+                          Bucket*& bucket, std::uint64_t& index) {
+    switch (claim) {
+      case BucketClaim::kWon:
+        ctrl_[b].store(fp, std::memory_order_release);
+        telemetry_.cas();
+        telemetry_.win();
+        occupied_.add(1);
+        bucket = &buckets_[b];
+        index = b;
+        return SetInsert::kInserted;
+      case BucketClaim::kHeld:
+        bucket = &buckets_[b];
+        index = b;
+        return SetInsert::kFound;
+      case BucketClaim::kOther:
+        break;
     }
-    assert(!growing() && "write during cooperative migration: missing barrier");
-    std::uint64_t b = mix64(key) & mask_;
+    return SetInsert::kFull;  // sentinel for "probe on" — never escapes
+  }
+
+  [[gnu::noinline]] SetInsert claim_scalar(Key key, Bucket*& bucket, std::uint64_t& index,
+                                           ProbeStats& stats) {
+    const std::uint64_t mixed = mix64(key);
+    const std::uint8_t fp = ctrl_h2(mixed);
+    std::uint64_t b = mixed & mask_;
     for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
-      telemetry_.probes(1);
-      switch (buckets_[b].tagged.claim(key)) {
-        case BucketClaim::kWon:
-          telemetry_.cas();
-          telemetry_.win();
-          occupied_.add(1);
-          bucket = &buckets_[b];
-          return SetInsert::kInserted;
-        case BucketClaim::kHeld:
-          bucket = &buckets_[b];
-          return SetInsert::kFound;
-        case BucketClaim::kOther:
-          break;
-      }
+      ++stats.probes;
+      const BucketClaim claim = buckets_[b].tagged.claim(key);
+      if (claim != BucketClaim::kOther) return resolve_claim(claim, b, fp, bucket, index);
       b = (b + 1) & mask_;
     }
     return SetInsert::kFull;
   }
 
+  /// Group walk over the sidecar; candidate lanes (fingerprint match,
+  /// tombstone, empty) re-run the one-shot claim protocol verbatim, so the
+  /// arbitration outcome is bit-for-bit the scalar walk's. A lane whose
+  /// byte matched the fingerprint but whose claim says kOther is a
+  /// verified H2 false positive.
+  [[gnu::noinline]] SetInsert claim_group(Key key, Bucket*& bucket, std::uint64_t& index,
+                                          ProbeStats& stats) {
+    const std::uint64_t mixed = mix64(key);
+    const std::uint8_t fp = ctrl_h2(mixed);
+    GroupWalk walk(mixed & mask_, buckets_.size());
+    for (std::uint32_t lanes = walk.first(); !walk.done(); lanes = walk.next()) {
+      const util::Group grp = util::Group::load(&ctrl_[walk.base()]);
+      ++stats.group_loads;
+      const std::uint32_t h2m = grp.match(fp) & lanes;
+      std::uint32_t cand = (h2m | grp.match_special()) & lanes;
+      while (cand != 0) {
+        const auto lane = static_cast<unsigned>(std::countr_zero(cand));
+        cand &= cand - 1;
+        const std::uint64_t b = walk.base() + lane;
+        ++stats.probes;
+        const BucketClaim claim = buckets_[b].tagged.claim(key);
+        if (claim != BucketClaim::kOther) return resolve_claim(claim, b, fp, bucket, index);
+        if (((h2m >> lane) & 1u) != 0) ++stats.fps;
+      }
+    }
+    return SetInsert::kFull;
+  }
+
+  /// Probe walk + claim; on kInserted/kFound, `bucket` points at the key's
+  /// bucket (live or tombstoned — liveness is the caller's concern) and
+  /// `index` is its slot, so callers can publish sidecar bytes on the
+  /// liveness transitions they win. Throws for the reserved sentinel key.
+  /// A fresh claim is born live (its LiveTag starts that way), so only
+  /// occupied_ moves here; dead_ moves exactly when a LiveTag RMW flips
+  /// the bit, with the winner deriving the transition from its own CAS's
+  /// observed word — no second pass, no double counting.
+  SetInsert claim_bucket(Key key, Bucket*& bucket, std::uint64_t& index) {
+    if (key == kEmptyKey) {
+      throw std::invalid_argument("ConcurrentHashMap: the all-ones key is reserved");
+    }
+    assert(!growing() && "write during cooperative migration: missing barrier");
+    ProbeStats stats;
+    // Home-lane fast path, mirrored from the walks' probe 0. Home is lane
+    // zero of both walks and a claim must land on the earliest free lane,
+    // so running the one-shot claim protocol on it first changes no
+    // arbitration outcome — the common claim resolves in one step without
+    // a group snapshot, and only a stranger at home pays for the outlined
+    // walk (which re-checks home once, a benign extra probe).
+    const std::uint64_t mixed = mix64(key);
+    const std::uint64_t home = mixed & mask_;
+    ++stats.probes;
+    const BucketClaim claim = buckets_[home].tagged.claim(key);
+    const SetInsert r =
+        claim != BucketClaim::kOther
+            ? resolve_claim(claim, home, ctrl_h2(mixed), bucket, index)
+            : group_probing() ? claim_group(key, bucket, index, stats)
+                              : claim_scalar(key, bucket, index, stats);
+    telemetry_.walk(stats);
+    return r;
+  }
+
   [[nodiscard]] const Bucket* find_bucket(Key key) const noexcept {
     if (key == kEmptyKey) return nullptr;
-    std::uint64_t b = mix64(key) & mask_;
-    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
+    // Home-bucket fast path against the authoritative word — exactly the
+    // scalar walk's first step, shared by both probe modes so the common
+    // case inlines small at every call site. A match is a hit; an empty
+    // home is a sound miss (a displaced key implies its home was claimed
+    // at insert time, and buckets never unclaim outside barrier-separated
+    // migrations, so key-elsewhere ⇒ home non-empty). Only a stranger at
+    // home pays for the outlined walk.
+    const std::uint64_t mixed = mix64(key);
+    const std::uint64_t home = mixed & mask_;
+    const Key at_home = buckets_[home].tagged.key();
+    if (at_home == key) return &buckets_[home];
+    if (at_home == kEmptyKey) return nullptr;
+    return find_bucket_slow(key, mixed, home);
+  }
+
+  /// Displaced-chain tail of find_bucket(), outlined (noinline) so the
+  /// inlined fast path stays a handful of instructions at every call site.
+  /// `home` has already been verified to hold a different key.
+  [[nodiscard, gnu::noinline]] const Bucket* find_bucket_slow(
+      Key key, std::uint64_t mixed, std::uint64_t home) const noexcept {
+    if (group_probing()) {
+      const std::uint8_t fp = ctrl_h2(mixed);
+      GroupWalk walk(home, buckets_.size());
+      for (std::uint32_t lanes = walk.first(); !walk.done(); lanes = walk.next()) {
+        const util::Group grp = util::Group::load(&ctrl_[walk.base()]);
+        // Read-only walk: fingerprint candidates first (a full byte means
+        // a permanently claimed bucket, so a key match is authoritative
+        // wherever it sits), then the sentinel lanes in order — only they
+        // can terminate the chain, and each one is verified against the
+        // bucket word so a stale empty hiding this key is still caught.
+        std::uint32_t fpm = grp.match(fp) & lanes;
+        while (fpm != 0) {
+          const std::uint64_t b = walk.base() + std::countr_zero(fpm);
+          fpm &= fpm - 1;
+          if (buckets_[b].tagged.key() == key) return &buckets_[b];
+        }
+        std::uint32_t spec = grp.match_special() & lanes;
+        while (spec != 0) {
+          const std::uint64_t b = walk.base() + std::countr_zero(spec);
+          spec &= spec - 1;
+          const Key current = buckets_[b].tagged.key();
+          if (current == key) return &buckets_[b];
+          if (current == kEmptyKey) return nullptr;
+        }
+      }
+      return nullptr;
+    }
+    std::uint64_t b = (home + 1) & mask_;
+    for (std::uint64_t probe = 1; probe <= mask_; ++probe) {
       const Key current = buckets_[b].tagged.key();
       if (current == key) return &buckets_[b];
       if (current == kEmptyKey) return nullptr;
@@ -391,16 +563,21 @@ class ConcurrentHashMap {
 
   /// Migration insert: the claim always wins eventually (keys unique in
   /// the old array, and the target is sized for every live key); the value
-  /// and the packed (round, live) word travel together. Old buckets are
-  /// quiescent during the sweep (barrier before grow_help), so plain reads
-  /// of value/tag are safe.
-  void migrate_into(Migration& mig, Key key, const Bucket& old) {
-    std::uint64_t b = mix64(key) & mig.mask;
+  /// and the packed (round, live) word travel together, and the target's
+  /// sidecar byte is seeded so the first post-swap walk finds it populated
+  /// (relaxed — grow_finish's barrier publishes the whole array). Old
+  /// buckets are quiescent during the sweep (barrier before grow_help), so
+  /// plain reads of value/tag are safe. Probe counts accumulate in
+  /// `probes` and flush once per chunk from grow_help.
+  void migrate_into(Migration& mig, Key key, const Bucket& old, std::uint64_t& probes) {
+    const std::uint64_t mixed = mix64(key);
+    std::uint64_t b = mixed & mig.mask;
     for (;;) {
-      telemetry_.probes(1);
+      ++probes;
       const BucketClaim claim = mig.buckets[b].tagged.claim(key);
       if (claim == BucketClaim::kWon) {
         telemetry_.cas();
+        mig.ctrl[b].store(ctrl_h2(mixed), std::memory_order_relaxed);
         mig.buckets[b].value = old.value;
         mig.buckets[b].tagged.tag().restore(old.tagged.tag().packed());
         return;
@@ -413,6 +590,9 @@ class ConcurrentHashMap {
   HashConfig cfg_;
   TableTelemetry telemetry_;
   util::AlignedBuffer<Bucket> buckets_;
+  // Control-byte sidecar, one byte per bucket (filter only — see the header
+  // comment). Declared after buckets_ to match the ctor init order.
+  util::AlignedBuffer<std::atomic<std::uint8_t>> ctrl_;
   std::uint64_t mask_;
   ShardedCounter occupied_;
   ShardedCounter dead_;

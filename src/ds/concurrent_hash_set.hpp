@@ -20,6 +20,19 @@
 // by reclaim sweeps, which rebuild the array from the live buckets and
 // shrink it back toward the live count.
 //
+// Probing is Swiss-table-style group scanning over a control-byte sidecar
+// (one byte per bucket: kCtrlEmpty, kCtrlTombstone, or the key's H2
+// fingerprint — see hash_common.hpp): a walk snapshots 16 bytes per step
+// (util::Group) and verifies only the lanes whose byte could be the probed
+// key, so buckets claimed by fingerprint-mismatched keys cost no bucket-
+// line traffic at all. The sidecar is strictly a FILTER: bytes are
+// published with release stores *after* the authoritative RMW commits
+// (claim CAS, tombstone bit set, revive bit clear), every fingerprint hit
+// is re-verified against the atomic key word, and empty/tombstone lanes
+// are always candidates — so a stale byte can only cost an extra verify or
+// an extra group step, never a wrong answer. HashConfig::group_probe turns
+// the scan off for A/B runs; the sidecar is maintained either way.
+//
 // Growth is DHash-style cooperative migration, run *between* rounds at the
 // PRAM step boundary instead of behind per-bucket locks: one thread calls
 // grow_prepare(), every thread then sweeps chunks of the old bucket array
@@ -41,6 +54,7 @@
 #include <omp.h>
 
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <concepts>
 #include <cstdint>
@@ -52,6 +66,7 @@
 #include "ds/hash_common.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/atomic_bitset.hpp"
+#include "util/simd.hpp"
 
 namespace crcw::ds {
 
@@ -67,6 +82,7 @@ class ConcurrentHashSet {
         telemetry_(cfg_),
         buckets_(bucket_count_for(required_buckets(capacity, cfg_.max_load))),
         dead_(buckets_.size()),
+        ctrl_(buckets_.size()),  // value-initialised atomics = all kCtrlEmpty
         mask_(buckets_.size() - 1) {}
 
   [[nodiscard]] std::uint64_t bucket_count() const noexcept { return buckets_.size(); }
@@ -90,34 +106,39 @@ class ConcurrentHashSet {
   SetInsert insert(Key key) {
     check_key(key);
     assert(!growing() && "insert during cooperative grow: missing barrier");
-    std::uint64_t b = mix64(key) & mask_;
-    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
-      telemetry_.probes(1);
-      Key current = buckets_[b].key.load(std::memory_order_acquire);
-      if (current == kEmptyKey) {
-        telemetry_.cas();
-        if (buckets_[b].key.compare_exchange_strong(current, key,
-                                                    std::memory_order_acq_rel,
-                                                    std::memory_order_acquire)) {
-          telemetry_.win();
-          occupied_.add(1);
-          return SetInsert::kInserted;  // fresh claim is born live
-        }
-        // Lost the claim; `current` holds the winner's key — observe it
-        // wait-free, no reload, no retry on this bucket.
+    ProbeStats stats;
+    // Home-lane fast path, mirrored from the walks' probe 0. Home is lane
+    // zero of both walks and a claim must land on the earliest free lane,
+    // so attempting it before any group machinery changes no arbitration
+    // outcome — the common insert at moderate fill claims an empty home
+    // with one load and one CAS, never paying for a group snapshot. Only
+    // a stranger at home (or a lost claim to one) takes the outlined walk,
+    // which re-checks home once — a benign extra probe in the rare path.
+    const std::uint64_t mixed = mix64(key);
+    const std::uint64_t home = mixed & mask_;
+    ++stats.probes;
+    Key current = buckets_[home].key.load(std::memory_order_acquire);
+    SetInsert r;
+    if (current == kEmptyKey) {
+      telemetry_.cas();
+      if (buckets_[home].key.compare_exchange_strong(current, key,
+                                                     std::memory_order_acq_rel,
+                                                     std::memory_order_acquire)) {
+        ctrl_[home].store(ctrl_h2(mixed), std::memory_order_release);
+        telemetry_.win();
+        occupied_.add(1);
+        telemetry_.walk(stats);
+        return SetInsert::kInserted;
       }
-      if (current == key) {
-        if (!dead_.test(b)) return SetInsert::kFound;  // live: no RMW
-        telemetry_.cas();
-        if (dead_.test_and_reset(b)) {  // revive race: first clearer wins
-          telemetry_.win();
-          return SetInsert::kInserted;
-        }
-        return SetInsert::kFound;
-      }
-      b = (b + 1) & mask_;
+      // Lost the claim; `current` holds the winner's key.
     }
-    return SetInsert::kFull;
+    if (current == key) {
+      r = revive_or_found(home, ctrl_h2(mixed));
+    } else {
+      r = group_probing() ? insert_group(key, stats) : insert_scalar(key, stats);
+    }
+    telemetry_.walk(stats);
+    return r;
   }
 
   /// Erases `key`: marks its bucket tombstoned. First setter wins —
@@ -127,23 +148,23 @@ class ConcurrentHashSet {
   bool erase(Key key) {
     check_key(key);
     assert(!growing() && "erase during cooperative grow: missing barrier");
-    std::uint64_t b = mix64(key) & mask_;
-    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
-      telemetry_.probes(1);
-      const Key current = buckets_[b].key.load(std::memory_order_acquire);
-      if (current == kEmptyKey) return false;
-      if (current == key) {
-        if (dead_.test(b)) return false;  // already tombstoned: no RMW
-        telemetry_.cas();
-        if (dead_.test_and_set(b)) {
-          telemetry_.tombstone();
-          return true;
-        }
-        return false;  // a racing eraser set the bit first
-      }
-      b = (b + 1) & mask_;
+    ProbeStats stats;
+    // Same home-lane fast path as insert(): a key match commits the
+    // tombstone directly, an empty home is a sound miss (see contains()),
+    // and only a stranger at home pays for the outlined walk.
+    ++stats.probes;
+    const std::uint64_t home = mix64(key) & mask_;
+    const Key at_home = buckets_[home].key.load(std::memory_order_acquire);
+    bool r;
+    if (at_home == key) {
+      r = commit_tombstone(home);
+    } else if (at_home == kEmptyKey) {
+      r = false;
+    } else {
+      r = group_probing() ? erase_group(key, stats) : erase_scalar(key, stats);
     }
-    return false;
+    telemetry_.walk(stats);
+    return r;
   }
 
   /// Membership test for live keys. Wait-free; concurrent inserts/erases
@@ -151,14 +172,19 @@ class ConcurrentHashSet {
   /// a live hit is always authoritative).
   [[nodiscard]] bool contains(Key key) const noexcept {
     if (key == kEmptyKey) return false;
-    std::uint64_t b = mix64(key) & mask_;
-    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
-      const Key current = buckets_[b].key.load(std::memory_order_acquire);
-      if (current == key) return !dead_.test(b);
-      if (current == kEmptyKey) return false;
-      b = (b + 1) & mask_;
-    }
-    return false;
+    // Home-bucket fast path against the authoritative word — exactly the
+    // scalar walk's first step, shared by both probe modes so the common
+    // case inlines small at every call site. A match is a hit; an empty
+    // home is a sound miss (a displaced key implies its home was claimed
+    // at insert time, and buckets never unclaim outside barrier-separated
+    // migrations, so key-elsewhere ⇒ home non-empty). Only a stranger at
+    // home pays for the outlined walk.
+    const std::uint64_t mixed = mix64(key);
+    const std::uint64_t home = mixed & mask_;
+    const Key at_home = buckets_[home].key.load(std::memory_order_acquire);
+    if (at_home == key) return !dead_.test(home);
+    if (at_home == kEmptyKey) return false;
+    return contains_slow(key, mixed, home);
   }
 
   /// Serial/post-barrier iteration over the committed live keys.
@@ -226,6 +252,7 @@ class ConcurrentHashSet {
       const std::uint64_t stop = std::min(begin + cfg_.migrate_chunk, end);
       std::uint64_t moved = 0;
       std::uint64_t dropped = 0;
+      std::uint64_t probes = 0;
       for (std::uint64_t i = begin; i < stop; ++i) {
         const Key k = buckets_[i].key.load(std::memory_order_acquire);
         if (k == kEmptyKey) continue;
@@ -233,11 +260,12 @@ class ConcurrentHashSet {
           ++dropped;
           continue;
         }
-        migrate_into(mig, k);
+        migrate_into(mig, k, probes);
         ++moved;
       }
       if (moved > 0) mig.live_moved.fetch_add(moved, std::memory_order_relaxed);
       if (dropped > 0) mig.dropped.fetch_add(dropped, std::memory_order_relaxed);
+      if (probes > 0) telemetry_.probes(probes);  // one flush per chunk
       telemetry_.migrated(stop - begin);
     }
   }
@@ -251,6 +279,7 @@ class ConcurrentHashSet {
            "grow_finish before the migration sweep completed");
     buckets_ = std::move(migration_->buckets);
     dead_ = std::move(migration_->dead);
+    ctrl_ = std::move(migration_->ctrl);
     mask_ = migration_->mask;
     occupied_.reset();
     occupied_.add(migration_->live_moved.load(std::memory_order_relaxed));
@@ -319,6 +348,28 @@ class ConcurrentHashSet {
   /// per-round histograms. Serial/post-barrier.
   void flush_round() noexcept { telemetry_.flush_round(); }
 
+  // -- test/debug introspection (serial or post-barrier only) ---------------
+
+  /// Raw control byte for bucket `i` — lets tests assert the sidecar
+  /// invariants (empty / tombstone / fingerprint) across erase, revive
+  /// and reclaim without poking at internals.
+  [[nodiscard]] std::uint8_t debug_ctrl(std::uint64_t i) const noexcept {
+    return ctrl_[i].load(std::memory_order_acquire);
+  }
+
+  /// Index of the bucket claimed by `key` (live or tombstoned), or ~0 if
+  /// unclaimed. Always a scalar walk, so it double-checks the group path.
+  [[nodiscard]] std::uint64_t debug_bucket_of(Key key) const noexcept {
+    std::uint64_t b = mix64(key) & mask_;
+    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
+      const Key current = buckets_[b].key.load(std::memory_order_acquire);
+      if (current == key) return b;
+      if (current == kEmptyKey) return ~std::uint64_t{0};
+      b = (b + 1) & mask_;
+    }
+    return ~std::uint64_t{0};
+  }
+
  private:
   struct Bucket {
     std::atomic<Key> key{kEmptyKey};
@@ -327,6 +378,7 @@ class ConcurrentHashSet {
   struct Migration {
     util::AlignedBuffer<Bucket> buckets;
     util::AtomicBitset dead;
+    util::AlignedBuffer<std::atomic<std::uint8_t>> ctrl;
     std::uint64_t mask = 0;
     alignas(util::kCacheLineSize) std::atomic<std::uint64_t> cursor{0};
     std::atomic<std::uint64_t> live_moved{0};
@@ -339,11 +391,192 @@ class ConcurrentHashSet {
     }
   }
 
+  [[nodiscard]] bool group_probing() const noexcept {
+    return cfg_.group_probe && buckets_.size() >= util::kGroupWidth;
+  }
+
+  /// Displaced-chain tail of contains(), outlined (noinline) so the inlined
+  /// fast path stays a handful of instructions at every call site. `home`
+  /// has already been verified to hold a different live-or-dead key.
+  [[nodiscard, gnu::noinline]] bool contains_slow(Key key, std::uint64_t mixed,
+                                                  std::uint64_t home) const noexcept {
+    if (group_probing()) {
+      const std::uint8_t fp = ctrl_h2(mixed);
+      GroupWalk walk(home, buckets_.size());
+      for (std::uint32_t lanes = walk.first(); !walk.done(); lanes = walk.next()) {
+        const util::Group grp = util::Group::load(&ctrl_[walk.base()]);
+        // Read-only walk: fingerprint candidates first (a full byte means
+        // a permanently claimed bucket, so a key match is authoritative
+        // wherever it sits), then the sentinel lanes in order — only they
+        // can terminate the chain, and each one is verified against the
+        // bucket word so a stale empty hiding this key is still caught.
+        std::uint32_t fpm = grp.match(fp) & lanes;
+        while (fpm != 0) {
+          const std::uint64_t b = walk.base() + std::countr_zero(fpm);
+          fpm &= fpm - 1;
+          if (buckets_[b].key.load(std::memory_order_acquire) == key) {
+            return !dead_.test(b);
+          }
+        }
+        std::uint32_t spec = grp.match_special() & lanes;
+        while (spec != 0) {
+          const std::uint64_t b = walk.base() + std::countr_zero(spec);
+          spec &= spec - 1;
+          const Key current = buckets_[b].key.load(std::memory_order_acquire);
+          if (current == key) return !dead_.test(b);
+          if (current == kEmptyKey) return false;
+        }
+      }
+      return false;
+    }
+    std::uint64_t b = (home + 1) & mask_;
+    for (std::uint64_t probe = 1; probe <= mask_; ++probe) {
+      const Key current = buckets_[b].key.load(std::memory_order_acquire);
+      if (current == key) return !dead_.test(b);
+      if (current == kEmptyKey) return false;
+      b = (b + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Scalar walk (sub-group tables and the group_probe=OFF A/B lever).
+  /// Identical arbitration to the group walk; probe telemetry accumulates
+  /// in `stats` instead of paying one sharded RMW per bucket.
+  [[gnu::noinline]] SetInsert insert_scalar(Key key, ProbeStats& stats) {
+    const std::uint64_t mixed = mix64(key);
+    const std::uint8_t fp = ctrl_h2(mixed);
+    std::uint64_t b = mixed & mask_;
+    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
+      ++stats.probes;
+      Key current = buckets_[b].key.load(std::memory_order_acquire);
+      if (current == kEmptyKey) {
+        telemetry_.cas();
+        if (buckets_[b].key.compare_exchange_strong(current, key,
+                                                    std::memory_order_acq_rel,
+                                                    std::memory_order_acquire)) {
+          ctrl_[b].store(fp, std::memory_order_release);
+          telemetry_.win();
+          occupied_.add(1);
+          return SetInsert::kInserted;  // fresh claim is born live
+        }
+        // Lost the claim; `current` holds the winner's key — observe it
+        // wait-free, no reload, no retry on this bucket.
+      }
+      if (current == key) return revive_or_found(b, fp);
+      b = (b + 1) & mask_;
+    }
+    return SetInsert::kFull;
+  }
+
+  /// Shared insert tail for a bucket already holding the key: live is a
+  /// plain kFound with no RMW; tombstoned races the revive — the first
+  /// bit clearer wins and republishes the fingerprint byte.
+  SetInsert revive_or_found(std::uint64_t b, std::uint8_t fp) {
+    if (!dead_.test(b)) return SetInsert::kFound;  // live: no RMW
+    telemetry_.cas();
+    if (dead_.test_and_reset(b)) {  // revive race: first clearer wins
+      ctrl_[b].store(fp, std::memory_order_release);
+      telemetry_.win();
+      return SetInsert::kInserted;
+    }
+    return SetInsert::kFound;
+  }
+
+  /// Group walk: verify only the lanes whose control byte is the key's
+  /// fingerprint, a tombstone, or empty. A fingerprint hit that fails
+  /// verification (a different key behind the byte) just moves to the
+  /// next candidate — filter-with-verify, the claim word stays the only
+  /// truth. Claim attempts still land on every empty-flagged lane, so the
+  /// one-winner-per-key CAS race is bit-for-bit the scalar one.
+  [[gnu::noinline]] SetInsert insert_group(Key key, ProbeStats& stats) {
+    const std::uint64_t mixed = mix64(key);
+    const std::uint8_t fp = ctrl_h2(mixed);
+    GroupWalk walk(mixed & mask_, buckets_.size());
+    for (std::uint32_t lanes = walk.first(); !walk.done(); lanes = walk.next()) {
+      const util::Group grp = util::Group::load(&ctrl_[walk.base()]);
+      ++stats.group_loads;
+      const std::uint32_t h2m = grp.match(fp) & lanes;
+      std::uint32_t cand = (h2m | grp.match_special()) & lanes;
+      while (cand != 0) {
+        const auto lane = static_cast<unsigned>(std::countr_zero(cand));
+        cand &= cand - 1;
+        const std::uint64_t b = walk.base() + lane;
+        ++stats.probes;
+        Key current = buckets_[b].key.load(std::memory_order_acquire);
+        if (current == kEmptyKey) {
+          telemetry_.cas();
+          if (buckets_[b].key.compare_exchange_strong(current, key,
+                                                      std::memory_order_acq_rel,
+                                                      std::memory_order_acquire)) {
+            ctrl_[b].store(fp, std::memory_order_release);
+            telemetry_.win();
+            occupied_.add(1);
+            return SetInsert::kInserted;
+          }
+        }
+        if (current == key) return revive_or_found(b, fp);
+        if (((h2m >> lane) & 1u) != 0) ++stats.fps;
+      }
+    }
+    return SetInsert::kFull;
+  }
+
+  [[gnu::noinline]] bool erase_scalar(Key key, ProbeStats& stats) {
+    std::uint64_t b = mix64(key) & mask_;
+    for (std::uint64_t probe = 0; probe <= mask_; ++probe) {
+      ++stats.probes;
+      const Key current = buckets_[b].key.load(std::memory_order_acquire);
+      if (current == kEmptyKey) return false;
+      if (current == key) return commit_tombstone(b);
+      b = (b + 1) & mask_;
+    }
+    return false;
+  }
+
+  [[gnu::noinline]] bool erase_group(Key key, ProbeStats& stats) {
+    const std::uint64_t mixed = mix64(key);
+    const std::uint8_t fp = ctrl_h2(mixed);
+    GroupWalk walk(mixed & mask_, buckets_.size());
+    for (std::uint32_t lanes = walk.first(); !walk.done(); lanes = walk.next()) {
+      const util::Group grp = util::Group::load(&ctrl_[walk.base()]);
+      ++stats.group_loads;
+      const std::uint32_t h2m = grp.match(fp) & lanes;
+      std::uint32_t cand = (h2m | grp.match_special()) & lanes;
+      while (cand != 0) {
+        const auto lane = static_cast<unsigned>(std::countr_zero(cand));
+        cand &= cand - 1;
+        const std::uint64_t b = walk.base() + lane;
+        ++stats.probes;
+        const Key current = buckets_[b].key.load(std::memory_order_acquire);
+        if (current == kEmptyKey) return false;
+        if (current == key) return commit_tombstone(b);
+        if (((h2m >> lane) & 1u) != 0) ++stats.fps;
+      }
+    }
+    return false;
+  }
+
+  /// Shared erase tail: first bit-setter wins, and only the winner
+  /// publishes the tombstone byte — losers and already-dead hits leave the
+  /// sidecar alone (a late byte store racing a revive is benign: tombstone
+  /// lanes stay probe candidates forever).
+  bool commit_tombstone(std::uint64_t b) {
+    if (dead_.test(b)) return false;  // already tombstoned: no RMW
+    telemetry_.cas();
+    if (dead_.test_and_set(b)) {
+      ctrl_[b].store(kCtrlTombstone, std::memory_order_release);
+      telemetry_.tombstone();
+      return true;
+    }
+    return false;  // a racing eraser set the bit first
+  }
+
   void migration_prepare(std::uint64_t target_buckets) {
     assert(!growing() && "migration_prepare while a migration is already open");
     auto mig = std::make_unique<Migration>();
     mig->buckets = util::AlignedBuffer<Bucket>(target_buckets);
     mig->dead = util::AtomicBitset(target_buckets);
+    mig->ctrl = util::AlignedBuffer<std::atomic<std::uint8_t>>(target_buckets);
     mig->mask = mig->buckets.size() - 1;
     migration_ = std::move(mig);
   }
@@ -351,17 +584,25 @@ class ConcurrentHashSet {
   /// Migration insert: helpers never offer the same key twice (keys are
   /// unique in the old array), so the claim either wins or probes past a
   /// different key — kHeld cannot happen, and the target (sized for every
-  /// live key at max_load ≤ 1) cannot fill.
-  void migrate_into(Migration& mig, Key key) {
-    std::uint64_t b = mix64(key) & mig.mask;
+  /// live key at max_load ≤ 1) cannot fill. The sweep probes scalar (keys
+  /// arrive pre-deduplicated and the target is sparse, so group filtering
+  /// buys little) but still seeds the next array's control bytes, so the
+  /// first post-swap walk finds a fully populated sidecar. Probe counts
+  /// accumulate in `probes` and flush once per chunk from grow_help.
+  void migrate_into(Migration& mig, Key key, std::uint64_t& probes) {
+    const std::uint64_t mixed = mix64(key);
+    std::uint64_t b = mixed & mig.mask;
     for (;;) {
-      telemetry_.probes(1);
+      ++probes;
       Key current = mig.buckets[b].key.load(std::memory_order_acquire);
       if (current == kEmptyKey) {
         telemetry_.cas();
         if (mig.buckets[b].key.compare_exchange_strong(current, key,
                                                        std::memory_order_acq_rel,
                                                        std::memory_order_acquire)) {
+          // Relaxed is enough: grow_finish's barrier publishes the whole
+          // next array before any probe can see these bytes.
+          mig.ctrl[b].store(ctrl_h2(mixed), std::memory_order_relaxed);
           return;
         }
       }
@@ -374,6 +615,9 @@ class ConcurrentHashSet {
   TableTelemetry telemetry_;
   util::AlignedBuffer<Bucket> buckets_;
   util::AtomicBitset dead_;
+  // Control-byte sidecar, one byte per bucket (filter only — see the header
+  // comment). Declared after dead_ to match the ctor init order.
+  util::AlignedBuffer<std::atomic<std::uint8_t>> ctrl_;
   std::uint64_t mask_;
   ShardedCounter occupied_;
   std::unique_ptr<Migration> migration_;

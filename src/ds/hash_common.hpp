@@ -17,6 +17,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/cacheline.hpp"
+#include "util/simd.hpp"
 
 namespace crcw::ds {
 
@@ -85,6 +86,84 @@ namespace crcw::ds {
   return h == ~std::uint64_t{0} ? 0 : h;
 }
 
+// -- control-byte sidecar vocabulary ----------------------------------------
+// The open tables keep one byte per bucket beside the bucket array: a
+// 7-bit H2 fingerprint of the owning key (high bit set), or one of two
+// reserved control values. Probe walks scan these bytes 16 at a time
+// (util::Group) and only touch the bucket line for lanes whose byte could
+// be the probed key — a filter, never a source of truth: every hit is
+// re-verified against the atomic claim word (docs/architecture.md, "SIMD
+// group probing").
+
+/// Control byte of an unclaimed bucket. Zero on purpose: freshly
+/// value-initialised sidecars (AlignedBuffer, migration targets) are
+/// all-empty with no initialisation sweep.
+inline constexpr std::uint8_t kCtrlEmpty = 0x00;
+/// Control byte of a claimed-but-erased bucket. Probe walks must keep
+/// verifying these lanes (the key still owns the bucket; an insert may
+/// revive it), which the candidate masks include explicitly.
+inline constexpr std::uint8_t kCtrlTombstone = 0x01;
+
+/// Bit offset of the H2 fingerprint slice inside mix64(key). Chosen so the
+/// fingerprint shares no bits with either consumer of the same mixed word:
+/// bucket homes use the LOW bits (mix64 & mask — up to bit 38 even for an
+/// absurd 2^38-bucket table) and the serve layer's shard router uses bits
+/// [32, 39) (ShardedScheduler::shard_of: mix64 >> 32 over ≤ 2^7 shards).
+/// Slicing [39, 46) keeps H2 independent of both, so the keys that collide
+/// into one probe chain still fan out across fingerprint values —
+/// tests/test_hash_probe.cpp pins the independence claim.
+inline constexpr unsigned kH2Shift = 39;
+
+/// The 7-bit fingerprint with the high bit set: full bytes can never
+/// collide with kCtrlEmpty/kCtrlTombstone.
+[[nodiscard]] constexpr std::uint8_t ctrl_h2(std::uint64_t mixed) noexcept {
+  return static_cast<std::uint8_t>(0x80u | ((mixed >> kH2Shift) & 0x7Fu));
+}
+
+/// Per-operation probe tallies, accumulated in registers during the walk
+/// and flushed through TableTelemetry::walk() once at the end — the probe
+/// loop itself issues no counter RMWs (the per-bucket probes(1) this
+/// replaces was one sharded fetch_add per bucket visited).
+struct ProbeStats {
+  std::uint64_t probes = 0;       ///< buckets verified or claimed
+  std::uint64_t group_loads = 0;  ///< 16-byte control groups snapshot
+  std::uint64_t fps = 0;          ///< fingerprint hits that verified false
+};
+
+/// Cursor over the aligned 16-lane control groups of one probe walk: the
+/// first group masks off the lanes before the home bucket (they belong to
+/// earlier probe chains), then whole groups follow in wrapping order. The
+/// walk revisits the starting group once at the end so the masked-off
+/// lanes are still covered — groups()+1 steps visit every lane at least
+/// once, which is what makes a kFull verdict sound.
+class GroupWalk {
+ public:
+  GroupWalk(std::uint64_t home, std::uint64_t buckets) noexcept
+      : groups_(buckets / util::kGroupWidth),
+        group_(home / util::kGroupWidth),
+        first_lanes_(~std::uint32_t{0} << (home % util::kGroupWidth)) {}
+
+  /// Lane mask of the current group (call once, before any next()).
+  [[nodiscard]] std::uint32_t first() const noexcept { return first_lanes_; }
+  /// Advances to the next group (wrapping past the last) and returns its
+  /// lane mask (all lanes — only the first group is partial).
+  [[nodiscard]] std::uint32_t next() noexcept {
+    ++steps_;
+    group_ = group_ + 1 == groups_ ? 0 : group_ + 1;
+    return ~std::uint32_t{0};
+  }
+  /// True once every group (plus the wrap revisit) has been offered.
+  [[nodiscard]] bool done() const noexcept { return steps_ > groups_; }
+  /// Bucket index of the current group's lane 0.
+  [[nodiscard]] std::uint64_t base() const noexcept { return group_ * util::kGroupWidth; }
+
+ private:
+  std::uint64_t groups_;
+  std::uint64_t group_;
+  std::uint64_t steps_ = 0;
+  std::uint32_t first_lanes_;
+};
+
 /// Outcome of a key insert (set and map build phases share it).
 enum class SetInsert {
   kInserted,  ///< this thread committed the key (the arbitration winner)
@@ -106,6 +185,13 @@ struct HashConfig {
   /// (like needs_grow); 0.25 leaves a hysteresis band below max_load so a
   /// reclaim sweep is never immediately followed by a backlog grow.
   double reclaim_ratio = 0.25;
+  /// Probe via the control-byte sidecar, 16 buckets per group load (the
+  /// tentpole path). OFF forces the scalar bucket-at-a-time walk — the
+  /// A/B lever bench/micro_probe.cpp and the equivalence tests use; the
+  /// sidecar is maintained either way, so flipping the knob between runs
+  /// of the same workload is safe. Tables smaller than one group always
+  /// walk scalar regardless.
+  bool group_probe = true;
   /// Attach a ContentionSite and count probes/CASes/migrations. For
   /// profile passes only — counting costs sharded RMWs (see
   /// InstrumentedPolicy's caveat).
@@ -161,7 +247,11 @@ class ShardedCounter {
 /// The telemetry half every table embeds: a lazily constructed
 /// ContentionSite plus inline no-op-when-off recorders. Counter mapping
 /// (documented in docs/architecture.md "ds layer"):
-///   attempts   bucket probes (so attempts/wins = mean probe length)
+///   attempts   buckets verified/claimed by probe walks (group probing
+///              skips fingerprint-mismatched buckets entirely, so at equal
+///              workload a lower attempts count at unchanged CAS/win
+///              counts is the SIMD saving; attempts/wins = mean verified
+///              probe length)
 ///   atomics    claim/tag CASes issued
 ///   wins       inserts that committed a new key
 ///   refills    chunk claims (migration sweeps, chained node grants)
@@ -169,6 +259,8 @@ class ShardedCounter {
 ///   tombstones erase commits (one CAS each; the churn benches divide by
 ///              erase count to pin the one-CAS-per-(key,round) claim)
 ///   reclaimed  dead buckets/nodes dropped by reclaim sweeps
+///   group_loads / fingerprint_fps
+///              sidecar group snapshots and H2 false positives (walk())
 class TableTelemetry {
  public:
   explicit TableTelemetry(const HashConfig& cfg) {
@@ -177,6 +269,13 @@ class TableTelemetry {
 
   void probes(std::uint64_t k) noexcept {
     if (site_) site_->add_attempts(k);
+  }
+  /// One probe walk's locally accumulated tallies, flushed in a single
+  /// visit (≤ 3 shard RMWs + 1 histogram bump per OPERATION, not per
+  /// bucket). Also feeds the probe-length histogram behind the
+  /// probe_p50/p99 accessors.
+  void walk(const ProbeStats& s) noexcept {
+    if (site_) site_->record_walk(s.probes, s.group_loads, s.fps);
   }
   void cas() noexcept {
     if (site_) site_->count_atomic();
@@ -202,6 +301,16 @@ class TableTelemetry {
 
   [[nodiscard]] bool enabled() const noexcept { return site_ != nullptr; }
   [[nodiscard]] obs::ContentionSite* site() noexcept { return site_.get(); }
+
+  /// Probe-length quantiles (buckets verified per operation; upper bounds
+  /// of power-of-two histogram buckets). 0 when telemetry is off or no
+  /// walk has flushed yet.
+  [[nodiscard]] std::uint64_t probe_p50() const noexcept {
+    return site_ ? site_->probe_lengths().quantile_upper_bound(0.5) : 0;
+  }
+  [[nodiscard]] std::uint64_t probe_p99() const noexcept {
+    return site_ ? site_->probe_lengths().quantile_upper_bound(0.99) : 0;
+  }
 
  private:
   std::unique_ptr<obs::ContentionSite> site_;

@@ -26,6 +26,10 @@ json::Value counters_json(const ContentionTotals& t) {
   c.add("reset_tags", t.reset_tags);
   c.add("tombstones", t.tombstones);
   c.add("reclaimed", t.reclaimed);
+  c.add("group_loads", t.group_loads);
+  c.add("fingerprint_false_positives", t.fingerprint_fps);
+  c.add("probe_p50", t.probe_p50);
+  c.add("probe_p99", t.probe_p99);
   return c;
 }
 

@@ -23,14 +23,19 @@
 //       "counters":            object|null  {"attempts","atomics","failures",
 //                                            "wins","rounds","refills",
 //                                            "reset_tags","tombstones",
-//                                            "reclaimed"} from an
+//                                            "reclaimed","group_loads",
+//                                            "fingerprint_false_positives",
+//                                            "probe_p50","probe_p99"} from an
 //                                            instrumented (untimed) run.
-//                                            refills/reset_tags/tombstones/
-//                                            reclaimed are additive in
-//                                            schema_version 1 (older
-//                                            baselines may lack them; the
-//                                            gate compares a counter only
-//                                            when both sides carry it)
+//                                            Everything after failures is
+//                                            additive in schema_version 1
+//                                            (older baselines may lack them;
+//                                            the gate compares a counter only
+//                                            when both sides carry it).
+//                                            probe_p50/p99 are pow2-bucket
+//                                            upper bounds of the probe-length
+//                                            histogram — diagnostic, not
+//                                            gated.
 //     }]
 //   }
 //

@@ -64,8 +64,12 @@ ContentionTotals ContentionSite::totals() const noexcept {
     t.reset_tags += s.reset_tags.load(std::memory_order_relaxed);
     t.tombstones += s.tombstones.load(std::memory_order_relaxed);
     t.reclaimed += s.reclaimed.load(std::memory_order_relaxed);
+    t.group_loads += s.group_loads.load(std::memory_order_relaxed);
+    t.fingerprint_fps += s.fingerprint_fps.load(std::memory_order_relaxed);
   }
   t.rounds = rounds_.load(std::memory_order_relaxed);
+  t.probe_p50 = probe_lengths_.quantile_upper_bound(0.5);
+  t.probe_p99 = probe_lengths_.quantile_upper_bound(0.99);
   return t;
 }
 
@@ -86,11 +90,14 @@ void ContentionSite::reset() noexcept {
     s.reset_tags.store(0, std::memory_order_relaxed);
     s.tombstones.store(0, std::memory_order_relaxed);
     s.reclaimed.store(0, std::memory_order_relaxed);
+    s.group_loads.store(0, std::memory_order_relaxed);
+    s.fingerprint_fps.store(0, std::memory_order_relaxed);
   }
   rounds_.store(0, std::memory_order_relaxed);
   last_flush_ = {};
   attempts_per_round_.reset();
   atomics_per_round_.reset();
+  probe_lengths_.reset();
 }
 
 MetricsRegistry& MetricsRegistry::global() {

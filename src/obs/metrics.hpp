@@ -53,6 +53,19 @@ struct ContentionTotals {
   std::uint64_t tombstones = 0;
   /// Dead entries dropped by reclaim/shrink sweeps (ds tables).
   std::uint64_t reclaimed = 0;
+  /// Control-byte groups scanned by SIMD probe walks (ds tables): one per
+  /// 16-bucket step, so group_loads·16 bounds the buckets *filtered* while
+  /// attempts counts the buckets actually *verified* — their ratio is the
+  /// probe-bandwidth saving the sidecar buys.
+  std::uint64_t group_loads = 0;
+  /// H2 fingerprint hits whose bucket verification found a different key —
+  /// the filter's false positives (expected ≈ occupancy/128 per group).
+  std::uint64_t fingerprint_fps = 0;
+  /// Probe-length quantile upper bounds (buckets verified per table
+  /// operation; power-of-two bucketed). NOT additive: operator+= keeps the
+  /// max, so a registry merge reports the worst site's distribution tail.
+  std::uint64_t probe_p50 = 0;
+  std::uint64_t probe_p99 = 0;
 
   /// Atomic RMWs that did not admit a write — the paper's "failed races"
   /// and the gatekeeper's serialised losers. Saturates at 0: sites whose
@@ -71,6 +84,10 @@ struct ContentionTotals {
     reset_tags += o.reset_tags;
     tombstones += o.tombstones;
     reclaimed += o.reclaimed;
+    group_loads += o.group_loads;
+    fingerprint_fps += o.fingerprint_fps;
+    probe_p50 = probe_p50 > o.probe_p50 ? probe_p50 : o.probe_p50;
+    probe_p99 = probe_p99 > o.probe_p99 ? probe_p99 : o.probe_p99;
     return *this;
   }
   friend bool operator==(const ContentionTotals&, const ContentionTotals&) = default;
@@ -166,6 +183,40 @@ class ContentionSite {
   void add_reclaimed(std::uint64_t k) noexcept {
     shard().reclaimed.fetch_add(k, std::memory_order_relaxed);
   }
+  void add_group_loads(std::uint64_t k) noexcept {
+    shard().group_loads.fetch_add(k, std::memory_order_relaxed);
+  }
+  void add_fingerprint_fps(std::uint64_t k) noexcept {
+    shard().fingerprint_fps.fetch_add(k, std::memory_order_relaxed);
+  }
+  /// One table operation's probe length (buckets verified) — feeds the
+  /// probe_lengths() histogram and the p50/p99 fields of totals().
+  void record_probe_length(std::uint64_t probes) noexcept { probe_lengths_.record(probes); }
+
+  /// Probe-length sampling stride for record_walk(): the histogram sees
+  /// one op in 64, which keeps its (shared, unsharded) buckets off the
+  /// table hot path entirely in the steady state.
+  static constexpr std::uint64_t kProbeSampleEvery = 64;
+
+  /// Batched flush of one table operation's probe walk: a single RMW on
+  /// the caller's shard covers the attempt count, and its returned
+  /// pre-value decides 1-in-64 probe-length sampling — the decision
+  /// depends only on *prior* attempts, never on this walk's own length,
+  /// so ops are sampled uniformly (no length bias) and the histogram's
+  /// quantiles stay unbiased; quantiles are scale-invariant, so no
+  /// count rescaling is needed anywhere. A site's first op always
+  /// samples (prior == 0), keeping small serial workloads visible.
+  /// Zero-valued group/fingerprint tallies skip their RMWs.
+  void record_walk(std::uint64_t probes, std::uint64_t group_loads,
+                   std::uint64_t fingerprint_fps) noexcept {
+    Shard& sh = shard();
+    const std::uint64_t prior = sh.attempts.fetch_add(probes, std::memory_order_relaxed);
+    if (group_loads > 0) sh.group_loads.fetch_add(group_loads, std::memory_order_relaxed);
+    if (fingerprint_fps > 0) {
+      sh.fingerprint_fps.fetch_add(fingerprint_fps, std::memory_order_relaxed);
+    }
+    if ((prior & (kProbeSampleEvery - 1)) == 0) probe_lengths_.record(probes);
+  }
 
   // -- round boundary (serial code between parallel regions) ---------------
   /// Sums the deltas since the previous flush into the per-round
@@ -181,6 +232,7 @@ class ContentionSite {
   [[nodiscard]] const Histogram& atomics_per_round() const noexcept {
     return atomics_per_round_;
   }
+  [[nodiscard]] const Histogram& probe_lengths() const noexcept { return probe_lengths_; }
 
   /// Zeroes counters, histograms and the flush cursor. Not safe
   /// concurrently with the hot path.
@@ -195,8 +247,13 @@ class ContentionSite {
     std::atomic<std::uint64_t> reset_tags{0};
     std::atomic<std::uint64_t> tombstones{0};
     std::atomic<std::uint64_t> reclaimed{0};
+    std::atomic<std::uint64_t> group_loads{0};
+    std::atomic<std::uint64_t> fingerprint_fps{0};
   };
-  static_assert(sizeof(Shard) == util::kCacheLineSize);
+  // Nine counters outgrew one line; what matters is that shards never
+  // SHARE a line, which alignas keeps true at any padded multiple.
+  static_assert(sizeof(Shard) % util::kCacheLineSize == 0);
+  static_assert(alignof(Shard) == util::kCacheLineSize);
 
   [[nodiscard]] Shard& shard() noexcept;
 
@@ -205,6 +262,7 @@ class ContentionSite {
   ContentionTotals last_flush_;  // serial: only flush_round/reset touch it
   Histogram attempts_per_round_;
   Histogram atomics_per_round_;
+  Histogram probe_lengths_;
   std::string name_;
   MetricsRegistry* registry_;
 };

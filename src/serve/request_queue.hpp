@@ -25,6 +25,7 @@
 
 #include "serve/op.hpp"
 #include "util/aligned_buffer.hpp"
+#include "util/backoff.hpp"
 #include "util/cacheline.hpp"
 
 namespace crcw::serve {
@@ -77,7 +78,11 @@ class RequestQueue {
     // under a sampling mask most ops skip it (enqueue_ns 0 = unsampled).
     thread_local std::uint64_t tick = 0;
     const std::uint64_t stamp = (tick++ & sample_mask_) == 0 ? now_ns() : 0;
-    BackoffState backoff(backoff_spins_);
+    // Exponential backoff (util/backoff.hpp), not the linear BackoffState:
+    // the lock is held for a few instructions, so doubling PAUSE runs
+    // de-syncs the spinners far faster than a fixed spin budget, and the
+    // critical section owner stops eating test_and_set line invalidations.
+    util::Backoff backoff;
     while (lane.lock.test_and_set(std::memory_order_acquire)) backoff.pause();
     lane.records.push_back(Record{op, &future, stamp});
     if (lane.records.size() == 1) {
@@ -113,7 +118,7 @@ class RequestQueue {
   /// as drain_into.
   std::uint64_t drain_lane_into(std::size_t l, std::vector<Record>& out) {
     Lane& lane = lanes_[l % lanes_.size()];
-    BackoffState backoff(backoff_spins_);
+    util::Backoff backoff;  // spinlock acquire: exponential, like try_enqueue
     while (lane.lock.test_and_set(std::memory_order_acquire)) backoff.pause();
     const std::uint64_t drained = lane.records.size();
     out.insert(out.end(), lane.records.begin(), lane.records.end());

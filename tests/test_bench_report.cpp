@@ -79,7 +79,9 @@ TEST(BenchReport, GoldenSchemaFieldOrder) {
   EXPECT_EQ(member_names(*rows[1].find("counters")),
             (std::vector<std::string>{"attempts", "atomics", "failures", "wins",
                                       "rounds", "refills", "reset_tags",
-                                      "tombstones", "reclaimed"}));
+                                      "tombstones", "reclaimed", "group_loads",
+                                      "fingerprint_false_positives", "probe_p50",
+                                      "probe_p99"}));
 }
 
 TEST(BenchReport, TimingFieldListMatchesSchema) {

@@ -60,6 +60,34 @@ TEST(ContentionSite, CountsAndTotals) {
   EXPECT_EQ(t.rounds, 0u);
 }
 
+TEST(ContentionSite, RecordWalkSamplesProbeLengthsOneIn64) {
+  obs::MetricsRegistry registry;
+  const obs::ScopedRegistry scoped(registry);
+  obs::ContentionSite site("walks");
+  // 128 single-probe walks from one thread: the attempt counter is exact,
+  // but the histogram triggers only when the pre-add value is a multiple
+  // of the stride — here at attempts 0 and 64.
+  for (int i = 0; i < 128; ++i) site.record_walk(1, 0, 0);
+  const obs::ContentionTotals t = site.totals();
+  EXPECT_EQ(t.attempts, 128u);
+  EXPECT_EQ(t.group_loads, 0u);
+  EXPECT_EQ(site.probe_lengths().count(), 2u);
+  EXPECT_EQ(t.probe_p50, 1u);
+  EXPECT_EQ(t.probe_p99, 1u);
+
+  // The first op after construction always samples (prior == 0), so tiny
+  // serial workloads still land in the histogram; group/fp tallies flush
+  // exactly, sampled or not.
+  obs::ContentionSite fresh("fresh");
+  fresh.record_walk(5, 2, 1);
+  EXPECT_EQ(fresh.probe_lengths().count(), 1u);
+  const obs::ContentionTotals f = fresh.totals();
+  EXPECT_EQ(f.attempts, 5u);
+  EXPECT_EQ(f.group_loads, 2u);
+  EXPECT_EQ(f.fingerprint_fps, 1u);
+  EXPECT_EQ(f.probe_p50, 7u);  // 5 lands in the [4, 7] power-of-two bucket
+}
+
 TEST(ContentionSite, CountingFromParallelRegionLosesNothing) {
   obs::MetricsRegistry registry;
   const obs::ScopedRegistry scoped(registry);
