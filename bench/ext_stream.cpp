@@ -1,0 +1,315 @@
+// Extension benchmark: the src/stream streaming dynamic-graph subsystem
+// end to end — batched edge updates and incremental connectivity behind
+// the serve layer — four sweeps:
+//
+//   burst    the HEADLINE: open-loop replay of a bursty Zipf edge/query
+//            trace (stream::generate_trace) across burst-rate multipliers
+//            at fixed clients. The p99 rows are the claim: query latency
+//            UNDER the burst (EventEngine submits on the trace clock, so
+//            bursts really queue) and the server's enqueue→commit p99.
+//            max_lag_ns is the coordinated-omission check — rows where the
+//            driver fell behind are not honest and the counter says so;
+//   clients  the same trace across submitting client counts — admission
+//            fan-in at fixed arrival rate;
+//   churn    erase-heavy traffic (every other op kills a live edge): the
+//            footprint story streamed — reclaim sweeps at batch close
+//            (`reclaims` counter) plus deletion rebuilds (`rebuilds`), with
+//            hook-CAS contention counters in the profile pass (the
+//            stream-cc-hook ContentionSite);
+//   wire     the full deployment: this process hosts the stream server, a
+//            REAL external client process (examples/stream_loadgen,
+//            fork/exec) audits connectivity over loopback TCP — rows time
+//            the external run, exit-0 is the contract.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#ifdef CRCW_STREAM_LOADGEN_PATH
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "serve/serve_server.hpp"
+#include "serve/serve_session.hpp"
+#include "stream/event_engine.hpp"
+#include "stream/stream_scheduler.hpp"
+#include "stream/workload.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using crcw::bench::default_threads;
+using crcw::bench::report;
+using crcw::bench::RowRecorder;
+using crcw::bench::RowSpec;
+using crcw::stream::Event;
+using StreamSession = crcw::serve::BasicServeSession<crcw::stream::StreamScheduler>;
+
+constexpr std::uint32_t kVertices = 1 << 14;
+constexpr std::uint64_t kEvents = 1 << 16;
+constexpr std::uint64_t kWireOps = 1 << 15;
+
+[[nodiscard]] std::uint64_t event_count() {
+  return crcw::bench::smoke_mode() ? kEvents / 8 : kEvents;
+}
+
+/// Cached traces: generation (CDF + reservoir bookkeeping) is never timed.
+const std::vector<Event>& cached_trace(double burst_mult, double erase_frac) {
+  static std::map<std::pair<std::uint64_t, std::uint64_t>,
+                  std::unique_ptr<std::vector<Event>>>
+      cache;
+  auto& slot = cache[{static_cast<std::uint64_t>(burst_mult * 100),
+                      static_cast<std::uint64_t>(erase_frac * 100)}];
+  if (!slot) {
+    crcw::stream::WorkloadConfig cfg;
+    cfg.vertices = kVertices;
+    cfg.base_rate = 200e3;
+    cfg.burst_rate = cfg.base_rate * burst_mult;
+    cfg.insert_frac = 0.7 - erase_frac;
+    cfg.erase_frac = erase_frac;
+    cfg.same_component_frac = 0.2;
+    cfg.seed = 42;
+    slot = std::make_unique<std::vector<Event>>(
+        crcw::stream::generate_trace(cfg, event_count()));
+  }
+  return *slot;
+}
+
+[[nodiscard]] crcw::serve::ServeConfig stream_config(int clients, bool counters) {
+  crcw::serve::ServeConfig cfg;
+  cfg.stream.vertices = kVertices;
+  cfg.table.expected_keys = event_count() / 4 + 2;
+  // A long-lived edge service reclaims eagerly: a 5% tombstone watermark
+  // makes the churn sweep's reclaim counter actually move at bench scale
+  // (the default 25% needs hours of churn against a table this size).
+  cfg.table.reclaim_ratio = 0.05;
+  cfg.batch.max_batch = 4096;
+  cfg.batch.max_wait_us = 100;
+  cfg.batch.exec_threads = 0;  // rounds run at ambient OpenMP width
+  cfg.batch.lanes = clients;
+  cfg.batch.lane_backlog = 4096;
+  cfg.batch.latency_sample_shift = 6;
+  cfg.batch.counters = counters;
+  return cfg;
+}
+
+struct StreamRunStats {
+  crcw::stream::ReplayStats replay;
+  std::uint64_t p99_commit_ns = 0;
+  std::uint64_t reclaims = 0;
+  std::uint64_t rebuilds = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t components = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// One full replay through a fresh session (pump running), harvesting the
+/// latency and maintenance counters the sweeps report.
+StreamRunStats stream_run(const std::vector<Event>& trace, int clients,
+                          bool counters = false) {
+  StreamSession session(stream_config(clients, counters));
+  session.start_pump();
+  StreamRunStats out;
+  out.replay = crcw::stream::EventEngine::replay(
+      session, std::span<const Event>(trace), clients);
+  session.flush();
+  session.stop_pump();
+  out.p99_commit_ns = session.metrics().p99_enqueue_to_commit_ns();
+  out.reclaims = session.backend().reclaims();
+  out.rebuilds = session.backend().cc().rebuilds();
+  out.edges = session.backend().graph().edges();
+  out.components = session.backend().cc().components();
+  out.rounds = session.backend().round();
+  return out;
+}
+
+RowSpec spec(const char* sweep, int threads, std::uint64_t m) {
+  return {.series = std::string("ext_stream/") + sweep + "/stream",
+          .policy = "stream",
+          .baseline = "",
+          .threads = threads,
+          .n = kEvents,
+          .m = m};
+}
+
+/// Timing loop shared by the replay sweeps; emits the headline p99 rows
+/// (query-under-burst and enqueue→commit, samples = per-repetition p99s).
+void bench_replay(benchmark::State& state, const char* sweep,
+                  const std::vector<Event>& trace, int clients, std::uint64_t m) {
+  std::vector<double> p99_query, p99_commit;
+  StreamRunStats stats;
+  {
+    RowRecorder rec(state, spec(sweep, clients, m));
+    for (auto _ : state) {
+      crcw::util::Timer timer;
+      stats = stream_run(trace, clients);
+      rec.record(timer.seconds());
+      p99_query.push_back(static_cast<double>(stats.replay.query_p99_ns));
+      p99_commit.push_back(static_cast<double>(stats.p99_commit_ns));
+    }
+    state.counters["events_per_sec"] = stats.replay.events_per_sec();
+    state.counters["edges_per_sec"] =
+        static_cast<double>(stats.replay.inserts + stats.replay.erases) * 1e9 /
+        static_cast<double>(stats.replay.duration_ns ? stats.replay.duration_ns : 1);
+    state.counters["p99_query_us"] = static_cast<double>(stats.replay.query_p99_ns) / 1e3;
+    state.counters["p99_commit_us"] = static_cast<double>(stats.p99_commit_ns) / 1e3;
+    state.counters["max_lag_us"] = static_cast<double>(stats.replay.max_lag_ns) / 1e3;
+    state.counters["reclaims"] = static_cast<double>(stats.reclaims);
+    state.counters["rebuilds"] = static_cast<double>(stats.rebuilds);
+    state.counters["rounds"] = static_cast<double>(stats.rounds);
+    state.counters["edges"] = static_cast<double>(stats.edges);
+    // The hook-CAS counters ride the profile pass: batch.counters=true
+    // attaches the stream-cc-hook and table sites, and the registry totals
+    // land in this row's `counters` object.
+    rec.profile([&] {
+      crcw::obs::MetricsRegistry local;
+      const crcw::obs::ScopedRegistry scoped(local);
+      (void)stream_run(trace, clients, /*counters=*/true);
+      return std::optional(local.totals());
+    });
+  }
+  report().add_row({std::string("ext_stream/p99-query/") + sweep, "stream", "",
+                    clients, kEvents, m, std::move(p99_query), {}});
+  report().add_row({std::string("ext_stream/p99-enqueue-commit/") + sweep, "stream",
+                    "", clients, kEvents, m, std::move(p99_commit), {}});
+}
+
+// -- burst: burst-rate multiplier sweep at fixed clients (the headline) ------
+
+void burst_stream(benchmark::State& s) {
+  const auto mult = static_cast<double>(s.range(0));
+  bench_replay(s, "burst", cached_trace(mult, 0.2), default_threads(),
+               static_cast<std::uint64_t>(mult));
+}
+
+// -- clients: submitting-thread sweep at fixed burst -------------------------
+
+void clients_stream(benchmark::State& s) {
+  const int clients = static_cast<int>(s.range(0));
+  bench_replay(s, "clients", cached_trace(4.0, 0.2), clients, 4);
+}
+
+// -- churn: erase-heavy traffic (reclaim + rebuild pressure) -----------------
+
+void churn_stream(benchmark::State& s) {
+  // insert_frac 0.35 / erase_frac 0.35: half the writes kill live edges,
+  // so tombstones and deletion rebuilds dominate the maintenance path.
+  bench_replay(s, "churn", cached_trace(4.0, 0.35), default_threads(), 35);
+}
+
+// -- wire: external client process over loopback TCP -------------------------
+
+#ifdef CRCW_STREAM_LOADGEN_PATH
+/// fork/exec the stream load generator against `port`; true iff it exits 0
+/// (it self-audits completion and per-block connectivity).
+bool spawn_stream_loadgen(std::uint16_t port, std::uint64_t ops, int threads) {
+  const std::string port_s = std::to_string(port);
+  const std::string ops_s = std::to_string(ops);
+  const std::string threads_s = std::to_string(threads);
+  const std::string vertices_s = std::to_string(kVertices);
+  const pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    // The child's summary line would interleave with the bench table; its
+    // exit code carries the verdict, stderr stays for diagnostics.
+    if (FILE* devnull = std::fopen("/dev/null", "w")) {
+      dup2(fileno(devnull), STDOUT_FILENO);
+    }
+    const char* argv[] = {CRCW_STREAM_LOADGEN_PATH, "--port", port_s.c_str(),
+                          "--ops", ops_s.c_str(), "--threads", threads_s.c_str(),
+                          "--vertices", vertices_s.c_str(), nullptr};
+    execv(CRCW_STREAM_LOADGEN_PATH, const_cast<char* const*>(argv));
+    _exit(127);  // exec failed
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return false;
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+#endif
+
+void wire_stream(benchmark::State& s) {
+#ifndef CRCW_STREAM_LOADGEN_PATH
+  s.SkipWithError("examples not built: no stream_loadgen to spawn");
+#else
+  const int clients = static_cast<int>(s.range(0));
+  const std::uint64_t ops = crcw::bench::smoke_mode() ? kWireOps / 8 : kWireOps;
+  std::vector<double> p99_commit;
+  std::uint64_t rounds = 0, rebuilds = 0;
+  {
+    RowRecorder rec(s, spec("wire", clients, static_cast<std::uint64_t>(clients)));
+    for (auto _ : s) {
+      StreamSession session(stream_config(clients, false));
+      session.start_pump();
+      crcw::serve::BasicWireServer<crcw::stream::StreamScheduler> server(
+          session, crcw::serve::WireConfig{});  // port 0 → ephemeral
+      server.start();
+      crcw::util::Timer timer;
+      const bool ok = spawn_stream_loadgen(server.port(), ops, clients);
+      const double secs = timer.seconds();
+      server.stop();
+      session.stop_pump();
+      if (!ok) {
+        s.SkipWithError("stream_loadgen failed (completion or connectivity audit)");
+        return;
+      }
+      rec.record(secs);
+      p99_commit.push_back(
+          static_cast<double>(session.metrics().p99_enqueue_to_commit_ns()));
+      rounds = session.backend().round();
+      rebuilds = session.backend().cc().rebuilds();
+    }
+    s.counters["rounds"] = static_cast<double>(rounds);
+    s.counters["rebuilds"] = static_cast<double>(rebuilds);
+    if (!p99_commit.empty()) {
+      s.counters["p99_commit_us"] = p99_commit.back() / 1e3;
+    }
+  }
+  report().add_row({"ext_stream/p99-enqueue-commit/wire", "stream", "", clients,
+                    ops, static_cast<std::uint64_t>(clients), std::move(p99_commit),
+                    {}});
+#endif
+}
+
+// -- registration ------------------------------------------------------------
+
+void burst_args(benchmark::internal::Benchmark* b) {
+  // Smoke keeps {1, 4}: the no-burst floor and one real burst so the
+  // committed baseline has a burst point to regress against.
+  for (const std::int64_t m : crcw::bench::sweep_points<std::int64_t>({1, 4, 16}, 2)) {
+    b->Arg(m);
+  }
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+void client_args(benchmark::internal::Benchmark* b) {
+  for (const int t : crcw::bench::sweep_points({1, 2, 4, 8}, 2)) b->Arg(t);
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+void churn_args(benchmark::internal::Benchmark* b) {
+  b->Arg(0)->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+void wire_args(benchmark::internal::Benchmark* b) {
+  for (const int t : crcw::bench::sweep_points({1, 2, 4}, 2)) b->Arg(t);
+  b->UseManualTime()->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(burst_stream)->Apply(burst_args);
+BENCHMARK(clients_stream)->Apply(client_args);
+BENCHMARK(churn_stream)->Apply(churn_args);
+BENCHMARK(wire_stream)->Apply(wire_args);
+
+}  // namespace

@@ -1,0 +1,221 @@
+// stream_loadgen — drive a streaming wire server (edge updates +
+// connectivity queries) over real TCP.
+//
+// Two modes:
+//
+//   client (default)   connect to a running BasicWireServer<StreamScheduler>
+//                      and pump edge ops through WireClients — the external
+//                      process bench/ext_stream.cpp spawns for its wire
+//                      sweep:
+//                        stream_loadgen --port 9000 --ops 32768
+//                                       --threads 2 --vertices 16384
+//                      Prints one summary line and exits 0 iff every op
+//                      completed and the connectivity audit held.
+//
+//   --self-host        bring up a stream session + wire server on an
+//                      ephemeral loopback port in-process, then run the
+//                      client path against it — the ctest
+//                      example_stream_loadgen smoke entry.
+//
+// The workload: each client thread owns a disjoint vertex block, so its
+// connectivity expectations are exact despite other clients' traffic.
+// Cycles of: build a path (pipelined) → query both ends connected and the
+// component size (RYW via the wire round protocol) → erase the middle
+// edge → query the split → tear down. Between cycles a pipelined burst of
+// Zipf-skewed same_component probes models the read-heavy hot tail.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "serve/serve_server.hpp"
+#include "serve/serve_session.hpp"
+#include "serve/wire_client.hpp"
+#include "stream/stream_scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using StreamSession = crcw::serve::BasicServeSession<crcw::stream::StreamScheduler>;
+using StreamWireServer = crcw::serve::BasicWireServer<crcw::stream::StreamScheduler>;
+
+struct ClientStats {
+  std::uint64_t ops = 0;
+  std::uint64_t won = 0;
+  std::uint64_t stale_retries = 0;
+  std::uint64_t audit_failures = 0;
+};
+
+/// One client thread: audit cycles over its own vertex block until `ops`
+/// operations have been issued.
+ClientStats run_client(const std::string& host, std::uint16_t port, int tid,
+                       int threads, std::uint64_t ops, std::uint32_t vertices,
+                       std::uint64_t window) {
+  namespace sv = crcw::serve;
+  sv::WireClient client(host, port);
+  ClientStats stats;
+
+  // Disjoint block: [base, base + block); single writer → exact audits.
+  const std::uint32_t span = vertices / static_cast<std::uint32_t>(threads);
+  const std::uint32_t base = static_cast<std::uint32_t>(tid) * span;
+  const std::uint32_t block = std::min<std::uint32_t>(span, 32);
+  if (block < 4) return stats;  // audit needs a real path
+
+  crcw::graph::ZipfSampler zipf(block, 0.9,
+                                0x5eedULL + static_cast<std::uint64_t>(tid));
+  const auto one = [&](const sv::Op& op) {
+    const sv::wire::Response r = client.call(op);
+    ++stats.ops;
+    if (r.won) ++stats.won;
+    return r;
+  };
+  const auto audit = [&](bool ok, const char* what) {
+    if (!ok) {
+      ++stats.audit_failures;
+      std::fprintf(stderr, "stream_loadgen: audit failed (%s), client %d\n", what,
+                   tid);
+    }
+  };
+
+  while (stats.ops < ops) {
+    // Build the path base..base+block-1 as one pipelined window.
+    std::vector<sv::Op> path;
+    for (std::uint32_t v = 1; v < block; ++v) {
+      path.push_back(sv::Op::edge_insert(base + v - 1, base + v, v));
+    }
+    const auto built = client.pipeline(path, window);
+    stats.ops += built.size();
+    for (const auto& r : built) {
+      if (r.won) ++stats.won;
+    }
+    audit(built.size() == path.size(), "pipeline completion");
+
+    // RYW connectivity: the wire protocol re-issues stale reads, so these
+    // must observe every committed insert above.
+    audit(one(sv::Op::same_component(base, base + block - 1)).value == 1,
+          "path ends connected");
+    audit(one(sv::Op::component_size(base)).value == block, "component size");
+
+    // Split at the middle edge, check both sides.
+    const std::uint32_t mid = base + block / 2;
+    audit(one(sv::Op::edge_erase(mid - 1, mid)).won, "erase won");
+    audit(one(sv::Op::same_component(base, base + block - 1)).value == 0,
+          "split observed");
+    audit(one(sv::Op::component_size(base)).value == block / 2, "half size");
+
+    // Zipf-skewed read burst over the block (hot vertices probed most).
+    std::vector<sv::Op> probes;
+    for (std::uint64_t i = 0; i < window; ++i) {
+      const auto u = static_cast<std::uint32_t>(zipf.next());
+      const auto v = static_cast<std::uint32_t>(zipf.next());
+      probes.push_back(sv::Op::same_component(base + u, base + v));
+    }
+    const auto probed = client.pipeline(probes, window);
+    stats.ops += probed.size();
+    for (const auto& r : probed) {
+      if (r.won) ++stats.won;
+    }
+    audit(probed.size() == probes.size(), "probe completion");
+
+    // Tear down so the next cycle starts clean (edge-table churn).
+    std::vector<sv::Op> down;
+    for (std::uint32_t v = 1; v < block; ++v) {
+      if (v != block / 2) down.push_back(sv::Op::edge_erase(base + v - 1, base + v));
+    }
+    const auto torn = client.pipeline(down, window);
+    stats.ops += torn.size();
+    for (const auto& r : torn) {
+      if (r.won) ++stats.won;
+    }
+    audit(one(sv::Op::component_size(base)).value == 1, "teardown isolated");
+  }
+  stats.stale_retries = client.stale_retries();
+  return stats;
+}
+
+int run(const crcw::util::Cli& cli) {
+  const std::string host = cli.get_string("host", "127.0.0.1");
+  auto port = static_cast<std::uint16_t>(cli.get_uint("port", 0));
+  const std::uint64_t ops = cli.get_uint("ops", 1 << 14);
+  const int threads = static_cast<int>(cli.get_uint("threads", 2));
+  const std::uint64_t window = cli.get_uint("window", 64);
+  const auto vertices = static_cast<std::uint32_t>(cli.get_uint("vertices", 1 << 14));
+  const bool self_host = cli.get_bool("self-host", false);
+
+  StreamSession* session = nullptr;
+  StreamWireServer* server = nullptr;
+  if (self_host) {
+    const auto cfg = crcw::serve::ServeConfig{}
+                         .with_vertices(vertices)
+                         .with_expected_keys(1 << 12)
+                         .with_max_wait_us(100);
+    session = new StreamSession(cfg);
+    session->start_pump();
+    server = new StreamWireServer(*session, cfg.wire);
+    server->start();
+    port = server->port();
+  } else if (port == 0) {
+    std::fprintf(stderr, "stream_loadgen: --port is required (or --self-host)\n");
+    return 2;
+  }
+
+  crcw::util::Timer timer;
+  std::vector<ClientStats> stats(static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  const std::uint64_t per_thread = ops / static_cast<std::uint64_t>(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      stats[static_cast<std::size_t>(t)] =
+          run_client(host, port, t, threads, per_thread, vertices, window);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double secs = timer.seconds();
+
+  ClientStats total;
+  for (const ClientStats& s : stats) {
+    total.ops += s.ops;
+    total.won += s.won;
+    total.stale_retries += s.stale_retries;
+    total.audit_failures += s.audit_failures;
+  }
+  std::printf("stream_loadgen: ops=%" PRIu64 " won=%" PRIu64 " stale_retries=%" PRIu64
+              " audit_failures=%" PRIu64 " secs=%.3f ops_per_sec=%.0f\n",
+              total.ops, total.won, total.stale_retries, total.audit_failures, secs,
+              static_cast<double>(total.ops) / (secs > 0 ? secs : 1e-9));
+
+  int rc = 0;
+  if (total.ops < per_thread * static_cast<std::uint64_t>(threads)) rc = 1;
+  if (total.audit_failures != 0) rc = 1;
+
+  if (server != nullptr) {
+    server->stop();
+    session->stop_pump();
+    const auto st = session->stats();
+    std::printf("stream_loadgen: server rounds=%" PRIu64 " served=%" PRIu64
+                " edges=%" PRIu64 " components=%" PRIu64 " rebuilds=%" PRIu64
+                " p99_commit_us=%.1f\n",
+                st.rounds, st.ops_served, session->backend().graph().edges(),
+                session->backend().cc().components(),
+                session->backend().cc().rebuilds(),
+                static_cast<double>(session->metrics().p99_enqueue_to_commit_ns()) /
+                    1e3);
+    if (st.ops_served < total.ops) rc = 1;
+    delete server;
+    delete session;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crcw::util::Cli cli(argc, argv);
+  return run(cli);
+}

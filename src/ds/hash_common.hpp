@@ -86,6 +86,32 @@ namespace crcw::ds {
   return h == ~std::uint64_t{0} ? 0 : h;
 }
 
+// -- edge-key adapter --------------------------------------------------------
+// The streaming subsystem (src/stream) stores undirected edges in the
+// uint64 key space of these tables: canonical order (min, max) packed as
+// hi<<32|lo, so {u,v} and {v,u} collide onto one key and the one-CAS
+// arbitration per (key, round) is per *edge*. mix64 on top spreads the
+// packed keys across buckets/shards like any other key. The all-ones key
+// would be the self-loop at vertex 0xffffffff — callers reject self-loops
+// (and vertex ids are bounded well below 2^32), so the tables' reserved
+// sentinel stays unreachable.
+
+/// Packs an undirected edge {u, v} into one canonical uint64 key.
+[[nodiscard]] constexpr std::uint64_t pack_edge(std::uint32_t u, std::uint32_t v) noexcept {
+  const std::uint32_t lo = u < v ? u : v;
+  const std::uint32_t hi = u < v ? v : u;
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+/// Unpacks a canonical edge key into (lo, hi) endpoints.
+struct EdgeKey {
+  std::uint32_t u;  ///< the smaller endpoint
+  std::uint32_t v;  ///< the larger endpoint
+};
+[[nodiscard]] constexpr EdgeKey unpack_edge(std::uint64_t key) noexcept {
+  return {static_cast<std::uint32_t>(key), static_cast<std::uint32_t>(key >> 32)};
+}
+
 // -- control-byte sidecar vocabulary ----------------------------------------
 // The open tables keep one byte per bucket beside the bucket array: a
 // 7-bit H2 fingerprint of the owning key (high bit set), or one of two
@@ -172,6 +198,19 @@ enum class SetInsert {
   kFull,      ///< the probe walk exhausted the table: grow, then retry
 };
 
+/// A telemetry snapshot feeding the signal-driven reclaim trigger (the
+/// ROADMAP probe-path follow-on): instead of waiting for the static
+/// tombstone-ratio watermark, a step boundary can hand the table what the
+/// probe path actually observed — the probe-length p99 and the H2
+/// false-positive tally — and reclaim as soon as walks demonstrably
+/// degrade. Tables with telemetry off produce a zero signal, which never
+/// fires; the static watermark then decides alone.
+struct ReclaimSignal {
+  std::uint64_t probe_p99 = 0;        ///< buckets verified per op, p99
+  std::uint64_t fingerprint_fps = 0;  ///< cumulative H2 false positives
+  std::uint64_t group_loads = 0;      ///< cumulative sidecar group snapshots
+};
+
 /// Construction-time knobs shared by the ds/ tables.
 struct HashConfig {
   /// Bucket count = bucket_count_for(capacity / max_load) so `capacity`
@@ -185,6 +224,20 @@ struct HashConfig {
   /// (like needs_grow); 0.25 leaves a hysteresis band below max_load so a
   /// reclaim sweep is never immediately followed by a backlog grow.
   double reclaim_ratio = 0.25;
+  /// Telemetry-driven reclaim trigger (0 = off): needs_reclaim(signal)
+  /// additionally fires when the observed probe-length p99 reaches this
+  /// many buckets per operation. Gated on a minimum tombstone floor
+  /// (1/64 of the buckets) because the probe histogram is cumulative — a
+  /// long-probe past would re-fire every step after the sweep already
+  /// dropped the tombstones that caused it, and a reclaim can only help
+  /// while there are tombstones to drop.
+  std::uint64_t reclaim_probe_p99 = 0;
+  /// Telemetry-driven reclaim trigger (0.0 = off): fires when the observed
+  /// H2 false positives exceed this fraction of the sidecar group loads
+  /// (tombstone lanes stay verify candidates forever, so a churned table's
+  /// false-positive rate climbs until a sweep resets the sidecar). Same
+  /// tombstone floor as reclaim_probe_p99.
+  double reclaim_fp_rate = 0.0;
   /// Probe via the control-byte sidecar, 16 buckets per group load (the
   /// tentpole path). OFF forces the scalar bucket-at-a-time walk — the
   /// A/B lever bench/micro_probe.cpp and the equivalence tests use; the
@@ -310,6 +363,19 @@ class TableTelemetry {
   }
   [[nodiscard]] std::uint64_t probe_p99() const noexcept {
     return site_ ? site_->probe_lengths().quantile_upper_bound(0.99) : 0;
+  }
+
+  /// Snapshot for the signal-driven reclaim trigger (ReclaimSignal docs);
+  /// all-zero when telemetry is off, which never fires a trigger.
+  [[nodiscard]] ReclaimSignal signal() const noexcept {
+    ReclaimSignal sig;
+    if (site_) {
+      const obs::ContentionTotals t = site_->totals();
+      sig.probe_p99 = probe_p99();
+      sig.fingerprint_fps = t.fingerprint_fps;
+      sig.group_loads = t.group_loads;
+    }
+    return sig;
   }
 
  private:

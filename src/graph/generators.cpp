@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -173,6 +174,35 @@ EdgeList planted_components(std::uint64_t k, std::uint64_t per_component,
 
 Csr random_graph(std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
   return build_csr(n, gnm(n, m, seed), {.symmetrize = true, .sort_neighbors = true});
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s, std::uint64_t seed)
+    : s_(s), rng_(seed) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n == 0");
+  if (!(s >= 0.0) || !std::isfinite(s)) {
+    throw std::invalid_argument("ZipfSampler: skew must be finite and >= 0");
+  }
+  cdf_.resize(n);
+  double cum = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    cum += std::pow(static_cast<double>(k + 1), -s);
+    cdf_[k] = cum;
+  }
+  for (double& c : cdf_) c /= cum;
+  cdf_.back() = 1.0;  // guard against rounding shaving the last bucket
+}
+
+std::uint64_t ZipfSampler::next() noexcept {
+  const double u = rng_.uniform01();
+  // First rank whose cdf exceeds u — upper_bound keeps rank 0's full mass.
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<std::uint64_t>(it - cdf_.begin());
+  return rank < cdf_.size() ? rank : cdf_.size() - 1;
+}
+
+double ZipfSampler::probability(std::uint64_t rank) const {
+  if (rank >= cdf_.size()) throw std::invalid_argument("ZipfSampler: rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
 }
 
 }  // namespace crcw::graph

@@ -10,11 +10,40 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/builder.hpp"
 #include "graph/csr.hpp"
+#include "util/rng.hpp"
 
 namespace crcw::graph {
+
+/// Deterministic Zipf(s) rank sampler over [0, n): P(k) ∝ 1/(k+1)^s — the
+/// skewed-key shape of the streaming/traffic replays (rank 0 is the
+/// hottest vertex). Sampling is a binary search over the precomputed CDF
+/// (O(log n) per draw after O(n) setup), driven by an owned xoshiro
+/// stream, so a (n, s, seed) triple always replays the same rank sequence.
+/// s = 0 degenerates to uniform. Throws std::invalid_argument for n == 0
+/// or a non-finite/negative s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s, std::uint64_t seed);
+
+  /// Next rank in [0, n).
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Exact probability of `rank` — the analytic pmf the chi-square smoke
+  /// test checks the empirical counts against.
+  [[nodiscard]] double probability(std::uint64_t rank) const;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double skew() const noexcept { return s_; }
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k), cdf_.back() == 1
+  double s_;
+  util::Xoshiro256 rng_;
+};
 
 /// G(n, m): m edges sampled uniformly from all unordered pairs, excluding
 /// self-loops; duplicates allowed (multigraph), matching the cheap sampling

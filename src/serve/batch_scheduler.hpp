@@ -148,10 +148,11 @@ class BatchScheduler {
       ops_served_.fetch_add(drained, std::memory_order_relaxed);
       metrics_.batch_closed();
       // Batch boundary = step boundary: if churn tombstoned enough of the
-      // table (reclaim_ratio watermark), rebuild it now — no round is in
-      // flight, the pump lock is held, and the next batch starts against a
-      // table sized for its live keys.
-      map_.maybe_reclaim_parallel(threads_);
+      // table (reclaim_ratio watermark) — or its own probe telemetry says
+      // walks degraded past the signal thresholds — rebuild it now: no
+      // round is in flight, the pump lock is held, and the next batch
+      // starts against a table sized for its live keys.
+      map_.maybe_reclaim_parallel(threads_, map_.telemetry_signal());
       executed = true;
     }
     pump_lock_.clear(std::memory_order_release);
@@ -183,9 +184,10 @@ class BatchScheduler {
       if (records[i].enqueue_ns != 0) {  // sampled (see BatchConfig)
         metrics_.record_admit(records[i].enqueue_ns, admit_ns_);
       }
-      if (records[i].op.key == Table::kEmptyKey) {
-        // The reserved sentinel key can never live in the table; fail the
-        // op here instead of letting the table throw mid-region.
+      if (records[i].op.key == Table::kEmptyKey || is_stream_op(records[i].op.kind)) {
+        // The reserved sentinel key can never live in the table, and the
+        // stream vocabulary belongs to the streaming backend — fail both
+        // here instead of letting the table throw mid-region.
         publish(records[i], Result{0, false, arbiter_.round() + 1});
         continue;
       }
@@ -227,9 +229,8 @@ class BatchScheduler {
       // probe per op) exists only to cross the parallel barrier.
       for (std::size_t i = 0; i < n; ++i) {
         const Record& rec = records[i];
-        if (rec.op.kind == OpKind::kLookup || rec.op.key == Table::kEmptyKey) {
-          continue;
-        }
+        if (rec.op.kind != OpKind::kUpsert && rec.op.kind != OpKind::kErase) continue;
+        if (rec.op.key == Table::kEmptyKey) continue;
         const bool is_erase = rec.op.kind == OpKind::kErase;
         const ds::MapUpsert outcome = is_erase
                                           ? map_.erase(r, rec.op.key)

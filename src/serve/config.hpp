@@ -93,6 +93,14 @@ struct TableConfig {
   /// tombstones and shrinking toward its live count) at the next batch
   /// boundary — with shards > 1 each shard decides independently.
   double reclaim_ratio = 0.25;
+  /// Forwarded to HashConfig::reclaim_probe_p99: telemetry-driven reclaim
+  /// trigger — the pump also rebuilds a shard once its observed
+  /// probe-length p99 reaches this many buckets (0 = off; needs
+  /// `telemetry`, since the signal comes from the table's own site).
+  std::uint64_t reclaim_probe_p99 = 0;
+  /// Forwarded to HashConfig::reclaim_fp_rate: reclaim once H2 false
+  /// positives exceed this fraction of group loads (0.0 = off).
+  double reclaim_fp_rate = 0.0;
   /// Forward HashConfig::telemetry to the backing table(s).
   bool telemetry = false;
 
@@ -101,6 +109,8 @@ struct TableConfig {
   [[nodiscard]] ds::HashConfig hash_config(std::string site_name) const {
     return ds::HashConfig{.max_load = max_load,
                           .reclaim_ratio = reclaim_ratio,
+                          .reclaim_probe_p99 = reclaim_probe_p99,
+                          .reclaim_fp_rate = reclaim_fp_rate,
                           .telemetry = telemetry,
                           .site_name = std::move(site_name)};
   }
@@ -135,11 +145,25 @@ struct WireConfig {
   int io_batch = 256;
 };
 
+/// The streaming backend (src/stream): the vertex universe of the dynamic
+/// graph and the sizing of its edge table. Only stream::StreamScheduler
+/// reads these; KV backends ignore them.
+struct StreamConfig {
+  /// Vertex-id universe [0, vertices); edge ops and connectivity queries
+  /// naming vertices outside it (or self-loops) are rejected at admission
+  /// the same wait-free way the KV backends reject the sentinel key.
+  std::uint32_t vertices = 1 << 16;
+  /// Expected live edges — initial capacity of the shared edge table
+  /// (0 = fall back to TableConfig::expected_keys).
+  std::uint64_t expected_edges = 0;
+};
+
 struct ServeConfig {
   BatchConfig batch;
   TableConfig table;
   ShardConfig shards;
   WireConfig wire;
+  StreamConfig stream;
 
   /// Normalises (shard count → next power of two) and bounds-checks every
   /// field; throws std::invalid_argument naming the offender. Engine
@@ -162,6 +186,14 @@ struct ServeConfig {
     if (v.table.reclaim_ratio < 0.0 || v.table.reclaim_ratio >= v.table.max_load) {
       throw std::invalid_argument("serve: reclaim_ratio outside [0, max_load)");
     }
+    if (v.table.reclaim_fp_rate < 0.0 || v.table.reclaim_fp_rate > 1.0) {
+      throw std::invalid_argument("serve: reclaim_fp_rate outside [0, 1]");
+    }
+    if ((v.table.reclaim_probe_p99 != 0 || v.table.reclaim_fp_rate > 0.0) &&
+        !v.table.telemetry) {
+      throw std::invalid_argument("serve: signal-driven reclaim needs table.telemetry");
+    }
+    if (v.stream.vertices < 2) throw std::invalid_argument("serve: stream.vertices < 2");
     if (v.shards.count < 1) throw std::invalid_argument("serve: shards.count < 1");
     if (v.shards.count > (1 << 16)) throw std::invalid_argument("serve: shards.count > 65536");
     int pow2 = 1;
@@ -207,6 +239,16 @@ struct ServeConfig {
   [[nodiscard]] ServeConfig with_wire_port(std::uint16_t port) const {
     ServeConfig c = *this;
     c.wire.port = port;
+    return c;
+  }
+  [[nodiscard]] ServeConfig with_vertices(std::uint32_t n) const {
+    ServeConfig c = *this;
+    c.stream.vertices = n;
+    return c;
+  }
+  [[nodiscard]] ServeConfig with_expected_edges(std::uint64_t m) const {
+    ServeConfig c = *this;
+    c.stream.expected_edges = m;
     return c;
   }
 };

@@ -16,6 +16,11 @@
 #include <thread>
 
 #include "core/round_tag.hpp"
+#include "ds/hash_common.hpp"
+
+namespace crcw::stream {
+class StreamScheduler;
+}  // namespace crcw::stream
 
 namespace crcw::serve {
 
@@ -28,11 +33,35 @@ namespace crcw::serve {
 }
 
 /// What a client asks the engine to do with one key.
+///
+/// The first three are the KV vocabulary every backend serves. The stream
+/// kinds (kEdgeInsert and later) are served only by the streaming backend
+/// (stream::StreamScheduler) — KV backends reject them at admission, the
+/// same wait-free way they reject the sentinel key. Stream ops reuse the
+/// same 25-byte wire frame: edge ops carry the canonical packed edge
+/// (ds::pack_edge) in `key`; kSameComponent carries the two vertices in
+/// `key`/`value`; kComponentSize carries its vertex in `key`.
 enum class OpKind : std::uint8_t {
   kUpsert,  ///< write `value` under `key`; one winner per (key, round)
   kLookup,  ///< committed read: sees every write of rounds < its own round
   kErase,   ///< logical tombstone; arbitrates against same-round upserts
+  kEdgeInsert,     ///< stream: insert edge pack_edge(u,v) with weight `value`
+  kEdgeErase,      ///< stream: erase edge pack_edge(u,v)
+  kSameComponent,  ///< stream query: are vertices `key` and `value` connected?
+  kComponentSize,  ///< stream query: |component of vertex `key`|
 };
+
+/// Stream-vocabulary ops — the kinds only stream::StreamScheduler executes.
+[[nodiscard]] constexpr bool is_stream_op(OpKind k) noexcept {
+  return k >= OpKind::kEdgeInsert;
+}
+
+/// Read-only kinds: executed in a round's phase A, before any same-round
+/// write — the kinds read-your-writes clients re-issue when stale.
+[[nodiscard]] constexpr bool is_read_op(OpKind k) noexcept {
+  return k == OpKind::kLookup || k == OpKind::kSameComponent ||
+         k == OpKind::kComponentSize;
+}
 
 /// One client operation. Keys live in the ds/ tables' uint64 key space
 /// (string keys go through ds::string_key); the all-ones key is reserved.
@@ -49,6 +78,19 @@ struct Op {
   }
   [[nodiscard]] static constexpr Op erase(std::uint64_t key) noexcept {
     return {OpKind::kErase, key, 0};
+  }
+  [[nodiscard]] static constexpr Op edge_insert(std::uint32_t u, std::uint32_t v,
+                                                std::uint64_t weight = 1) noexcept {
+    return {OpKind::kEdgeInsert, ds::pack_edge(u, v), weight};
+  }
+  [[nodiscard]] static constexpr Op edge_erase(std::uint32_t u, std::uint32_t v) noexcept {
+    return {OpKind::kEdgeErase, ds::pack_edge(u, v), 0};
+  }
+  [[nodiscard]] static constexpr Op same_component(std::uint32_t u, std::uint32_t v) noexcept {
+    return {OpKind::kSameComponent, u, v};
+  }
+  [[nodiscard]] static constexpr Op component_size(std::uint32_t v) noexcept {
+    return {OpKind::kComponentSize, v, 0};
   }
 };
 
@@ -96,6 +138,7 @@ class OpFuture {
   // Only round executors may publish (the engine side of the contract).
   friend class BatchScheduler;
   friend class ShardedScheduler;
+  friend class crcw::stream::StreamScheduler;
 
   void publish(const Result& r) noexcept {
     result_ = r;

@@ -240,10 +240,13 @@ class ShardedScheduler {
       metrics_.routed(local, foreign);
       // Batch boundary = step boundary: each shard decides its own
       // grow/reclaim fate — a tombstone-heavy shard rebuilds toward its
-      // live count while its neighbours stay put.
+      // live count while its neighbours stay put. The shard's own probe
+      // telemetry feeds the trigger, so with reclaim_probe_p99 /
+      // reclaim_fp_rate set a shard also rebuilds when its walks
+      // demonstrably degrade, ahead of the static tombstone watermark.
       for (auto& s : shards_) {
         s->pending.clear();
-        (void)s->table.maybe_reclaim_parallel(threads_);
+        (void)s->table.maybe_reclaim_parallel(threads_, s->table.telemetry_signal());
       }
       executed = true;
     }
@@ -276,7 +279,10 @@ class ShardedScheduler {
       for (std::size_t i = begin; i < end; ++i) {
         const Record& rec = shard.pending[i];
         if (rec.enqueue_ns != 0) metrics_.record_admit(rec.enqueue_ns, admit_ns_);
-        if (rec.op.key == Table::kEmptyKey) {
+        if (rec.op.key == Table::kEmptyKey || is_stream_op(rec.op.kind)) {
+          // Sentinel keys and stream-vocabulary ops are rejected at
+          // admission without touching any table (stream ops belong to the
+          // streaming backend; a KV shard has no graph to run them on).
           publish(rec, Result{0, false, arbiter_.round() + 1});
         } else if (rec.op.kind != OpKind::kLookup) {
           ++write_count;
@@ -366,7 +372,8 @@ class ShardedScheduler {
     const auto [begin, end] = window(s, j);
     for (std::size_t i = begin; i < end; ++i) {
       const Record& rec = shard.pending[i];
-      if (rec.op.kind == OpKind::kLookup || rec.op.key == Table::kEmptyKey) continue;
+      if (rec.op.kind != OpKind::kUpsert && rec.op.kind != OpKind::kErase) continue;
+      if (rec.op.key == Table::kEmptyKey) continue;
       const bool is_erase = rec.op.kind == OpKind::kErase;
       const ds::MapUpsert outcome =
           is_erase ? shard.table.erase(r, rec.op.key)

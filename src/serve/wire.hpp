@@ -16,6 +16,11 @@
 // writes over the wire: track the last write round per shard, re-issue
 // lookups that landed at or before it (wire_client.hpp).
 //
+// The stream kinds ride the same frames with no codec change: edge ops
+// put the packed edge in the key field, the connectivity queries their
+// vertices in key/value (OpKind docs). Only the decoder's kind bound
+// moves; kinds past kComponentSize still poison.
+//
 // The decoder is incremental and chunk-boundary agnostic: feed() arbitrary
 // byte slices, next() yields complete frames. Garbage framing (oversized
 // or undersized length prefix, bad kind/status byte) is reported as
@@ -179,7 +184,7 @@ class RequestDecoder {
     const DecodeStatus st = reader_.next(payload_);
     if (st != DecodeStatus::kFrame) return st;
     const std::uint8_t kind = payload_[0];
-    if (kind > static_cast<std::uint8_t>(OpKind::kErase)) {
+    if (kind > static_cast<std::uint8_t>(OpKind::kComponentSize)) {
       reader_.poison();
       return DecodeStatus::kError;
     }

@@ -59,8 +59,8 @@ class WireClient {
   wire::Response call(const Op& op) {
     for (;;) {
       const wire::Response r = call_raw(op);
-      if (op.kind == OpKind::kLookup) {
-        if (r.round <= last_write_round(r.shard)) {
+      if (is_read_op(op.kind)) {
+        if (r.round <= stale_bound(op.kind, r.shard)) {
           ++stale_retries_;
           continue;  // raced our own write into its round — re-issue
         }
@@ -110,14 +110,14 @@ class WireClient {
       const std::size_t idx = it->second;
       in_flight.erase(it);
       const Op& op = ops[idx];
-      if (op.kind == OpKind::kLookup && resp.round <= last_write_round(resp.shard)) {
+      if (is_read_op(op.kind) && resp.round <= stale_bound(op.kind, resp.shard)) {
         ++stale_retries_;
         const std::uint64_t id = next_id_++;  // re-issue, stay in the window
         in_flight.emplace(id, idx);
         send_request_id(id, op);
         continue;
       }
-      if (op.kind != OpKind::kLookup) note_write(resp.shard, resp.round);
+      if (!is_read_op(op.kind)) note_write(resp.shard, resp.round);
       results[idx] = resp;
       ++done;
     }
@@ -129,6 +129,9 @@ class WireClient {
   [[nodiscard]] round_t last_write_round(std::uint32_t shard) const noexcept {
     return shard < last_write_round_.size() ? last_write_round_[shard] : 0;
   }
+  /// Last write round on ANY shard — the stale bound of the connectivity
+  /// queries, which read global state.
+  [[nodiscard]] round_t max_write_round() const noexcept { return max_write_round_; }
   /// Lookups re-issued because they executed at or before this client's
   /// last write on their shard.
   [[nodiscard]] std::uint64_t stale_retries() const noexcept { return stale_retries_; }
@@ -169,9 +172,19 @@ class WireClient {
     }
   }
 
+  /// The round a read must exceed to be RYW-fresh. Lookups compare against
+  /// this client's last write on the key's own shard; the connectivity
+  /// queries read GLOBAL state (a hook executed on any stripe can connect
+  /// any two vertices), so they compare against the last write round on
+  /// any shard — comparable because one arbiter issues every round id.
+  [[nodiscard]] round_t stale_bound(OpKind kind, std::uint32_t shard) const noexcept {
+    return kind == OpKind::kLookup ? last_write_round(shard) : max_write_round_;
+  }
+
   void note_write(std::uint32_t shard, round_t round) {
     if (shard >= last_write_round_.size()) last_write_round_.resize(shard + 1, 0);
     if (round > last_write_round_[shard]) last_write_round_[shard] = round;
+    if (round > max_write_round_) max_write_round_ = round;
   }
 
   int fd_ = -1;
@@ -179,6 +192,7 @@ class WireClient {
   std::uint64_t next_id_ = 1;
   std::uint64_t stale_retries_ = 0;
   std::vector<round_t> last_write_round_;
+  round_t max_write_round_ = 0;
   std::vector<std::uint8_t> out_;
   std::uint8_t chunk_[16 * 1024];
 };

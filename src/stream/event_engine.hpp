@@ -1,0 +1,167 @@
+// EventEngine — open-loop trace replay against a serve session: anything
+// with submit(Op, OpFuture&) and release-published futures (the
+// BasicServeSession surface). The wire path has its own driver
+// (examples/stream_loadgen) because WireClient is synchronous.
+//
+// Open loop means arrivals do not wait for completions: each client
+// thread paces against the trace's absolute timestamps (sleep while far
+// ahead, spin the last stretch) and submits on schedule whether or not
+// earlier ops have committed — so a burst actually queues work and the
+// measured query latency includes the queueing the burst caused. That is
+// the methodological point: a closed-loop driver would throttle itself
+// during the burst and hide exactly the p99 the bench exists to measure.
+// `max_lag_ns` reports how far submission fell behind the trace clock —
+// the coordinated-omission check: headline numbers are only honest if the
+// driver kept up.
+//
+// Clients stride the trace (client t takes events t, t+C, t+2C, …), which
+// preserves each client's timestamp order and spreads bursts across all
+// of them. In-flight ops live in a small per-client ring of OpFutures;
+// arming a slot that is still in flight first waits for it — bounding
+// per-client outstanding ops at the ring size without ever pausing the
+// arrival clock for completions that are keeping up.
+//
+// Query (same_component / component_size / lookup) latencies are sampled
+// submit→ready into a shared lock-free histogram; writes are counted but
+// not timed here (the serve layer's own enqueue→commit histogram covers
+// them).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/op.hpp"
+#include "stream/workload.hpp"
+
+namespace crcw::stream {
+
+/// Aggregate outcome of one replay.
+struct ReplayStats {
+  std::uint64_t events = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t edges_won = 0;      ///< edge writes that won their round
+  std::uint64_t duration_ns = 0;    ///< wall time of the whole replay
+  std::uint64_t max_lag_ns = 0;     ///< worst submit-behind-schedule distance
+  std::uint64_t query_p50_ns = 0;   ///< submit→ready, sampled queries
+  std::uint64_t query_p99_ns = 0;
+
+  [[nodiscard]] double events_per_sec() const noexcept {
+    return duration_ns == 0
+               ? 0.0
+               : static_cast<double>(events) * 1e9 / static_cast<double>(duration_ns);
+  }
+};
+
+class EventEngine {
+ public:
+  /// Replay `events` against `session` with `clients` submitting threads.
+  /// The session's pump must already be running (start_pump), or the
+  /// caller must poll concurrently — the engine only submits and waits.
+  template <typename Session>
+  static ReplayStats replay(Session& session, std::span<const Event> events,
+                            int clients = 1) {
+    if (clients < 1) clients = 1;
+    obs::Histogram query_hist;  // record() is thread-safe (relaxed atomics)
+    std::atomic<std::uint64_t> inserts{0};
+    std::atomic<std::uint64_t> erases{0};
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> edges_won{0};
+    std::atomic<std::uint64_t> max_lag{0};
+
+    const std::uint64_t start_ns = serve::now_ns();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t] {
+        constexpr std::size_t kRing = 256;
+        std::array<serve::OpFuture, kRing> ring;
+        std::array<std::uint64_t, kRing> submit_ns{};  // 0 = not a timed query
+        std::uint64_t local_won = 0;
+        std::uint64_t local_lag = 0;
+
+        // Wait out the op in `slot` and harvest its result.
+        const auto drain_slot = [&](std::size_t slot) {
+          serve::OpFuture& f = ring[slot];
+          serve::BackoffState backoff(64);
+          while (!f.ready()) backoff.pause();
+          if (f.result().won) ++local_won;
+          if (submit_ns[slot] != 0) {
+            query_hist.record(serve::now_ns() - submit_ns[slot]);
+            submit_ns[slot] = 0;
+          }
+          f.reset();
+        };
+
+        std::uint64_t k = 0;  // this client's event counter
+        for (std::size_t i = static_cast<std::size_t>(t); i < events.size();
+             i += static_cast<std::size_t>(clients), ++k) {
+          const Event& ev = events[i];
+          // Pace against the trace clock: sleep while > 100us early, then
+          // spin the remainder (sleep granularity would smear the burst).
+          for (;;) {
+            const std::uint64_t now = serve::now_ns() - start_ns;
+            if (now >= ev.at_ns) {
+              if (now - ev.at_ns > local_lag) local_lag = now - ev.at_ns;
+              break;
+            }
+            const std::uint64_t ahead = ev.at_ns - now;
+            if (ahead > 100'000) {
+              std::this_thread::sleep_for(std::chrono::nanoseconds(ahead - 50'000));
+            }
+          }
+
+          const std::size_t slot = static_cast<std::size_t>(k % kRing);
+          if (k >= kRing) drain_slot(slot);  // retire the slot's previous lap
+
+          switch (ev.op.kind) {
+            case serve::OpKind::kEdgeInsert:
+              inserts.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case serve::OpKind::kEdgeErase:
+              erases.fetch_add(1, std::memory_order_relaxed);
+              break;
+            default:
+              queries.fetch_add(1, std::memory_order_relaxed);
+              break;
+          }
+          submit_ns[slot] = serve::is_read_op(ev.op.kind) ? serve::now_ns() : 0;
+          session.submit(ev.op, ring[slot]);
+        }
+        // Retire the last lap's still-armed slots.
+        const std::uint64_t armed = k < kRing ? k : static_cast<std::uint64_t>(kRing);
+        for (std::uint64_t s = 0; s < armed; ++s) {
+          drain_slot(static_cast<std::size_t>((k - armed + s) % kRing));
+        }
+        edges_won.fetch_add(local_won, std::memory_order_relaxed);
+        std::uint64_t seen = max_lag.load(std::memory_order_relaxed);
+        while (local_lag > seen &&
+               !max_lag.compare_exchange_weak(seen, local_lag, std::memory_order_relaxed)) {
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+
+    ReplayStats stats;
+    stats.events = events.size();
+    stats.inserts = inserts.load();
+    stats.erases = erases.load();
+    stats.queries = queries.load();
+    stats.edges_won = edges_won.load();
+    stats.duration_ns = serve::now_ns() - start_ns;
+    stats.max_lag_ns = max_lag.load();
+    stats.query_p50_ns = query_hist.quantile_upper_bound(0.50);
+    stats.query_p99_ns = query_hist.quantile_upper_bound(0.99);
+    return stats;
+  }
+};
+
+}  // namespace crcw::stream

@@ -1,0 +1,133 @@
+// Workload — deterministic open-loop event traces for the streaming
+// subsystem: Zipf-skewed endpoints, bursty on-off arrivals, seeded replay.
+//
+// The generator is a discrete-event loop: each event gets an absolute
+// arrival timestamp `at_ns` drawn from an exponential inter-arrival at the
+// CURRENT rate, where the rate square-waves between `base_rate` and
+// `burst_rate` (an on-off burst every `burst_every` events, on for
+// `burst_duty` of the period) — the open-loop shape whose p99-under-burst
+// is ext_stream's headline. Endpoints are ranks from graph::ZipfSampler,
+// so a skewed trace hammers the hot vertices' edges (and their components'
+// roots) the way real streams do. Everything is driven by one seeded
+// xoshiro stream plus one seeded sampler: a (config, seed) pair always
+// replays the same (timestamp, op) sequence, byte for byte.
+//
+// Erases target LIVE edges: the generator tracks a reservoir of edges its
+// own inserts created and erases uniformly from it (swap-remove), so a
+// trace's deletions actually exercise the deletion fallback instead of
+// erasing never-inserted keys. An erase drawn while the reservoir is
+// empty degrades to an insert (counted as one).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "ds/hash_common.hpp"
+#include "graph/generators.hpp"
+#include "serve/op.hpp"
+#include "util/rng.hpp"
+
+namespace crcw::stream {
+
+/// Shape of one trace. Fractions are of the op mix: insert + erase +
+/// same_component + component_size = 1 (component_size is the remainder).
+struct WorkloadConfig {
+  std::uint32_t vertices = 1 << 14;
+  double zipf_s = 0.9;            ///< endpoint skew (0 = uniform)
+  double insert_frac = 0.5;
+  double erase_frac = 0.2;
+  double same_component_frac = 0.2;
+  double base_rate = 200e3;       ///< off-phase arrivals per second
+  double burst_rate = 2e6;        ///< on-phase arrivals per second
+  std::uint64_t burst_every = 4096;  ///< burst period, in events
+  double burst_duty = 0.25;       ///< fraction of the period spent bursting
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] WorkloadConfig validated() const {
+    if (vertices < 2) throw std::invalid_argument("workload: need vertices >= 2");
+    if (insert_frac < 0 || erase_frac < 0 || same_component_frac < 0 ||
+        insert_frac + erase_frac + same_component_frac > 1.0) {
+      throw std::invalid_argument("workload: op fractions must be a sub-distribution");
+    }
+    if (!(base_rate > 0) || !(burst_rate > 0)) {
+      throw std::invalid_argument("workload: rates must be positive");
+    }
+    if (burst_every == 0) throw std::invalid_argument("workload: burst_every == 0");
+    if (burst_duty < 0 || burst_duty > 1.0) {
+      throw std::invalid_argument("workload: burst_duty outside [0, 1]");
+    }
+    return *this;
+  }
+};
+
+/// One timestamped request: replay at `at_ns` relative to trace start.
+struct Event {
+  std::uint64_t at_ns = 0;
+  serve::Op op;
+};
+
+/// Deterministically generate `count` events. Timestamps are strictly
+/// non-decreasing; ops follow the configured mix.
+[[nodiscard]] inline std::vector<Event> generate_trace(const WorkloadConfig& config,
+                                                       std::uint64_t count) {
+  const WorkloadConfig cfg = config.validated();
+  util::Xoshiro256 rng(cfg.seed);
+  // The sampler owns an independent stream so interleaving endpoint draws
+  // with mix/timing draws cannot shift either sequence.
+  graph::ZipfSampler zipf(cfg.vertices, cfg.zipf_s, cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  std::vector<Event> events;
+  events.reserve(count);
+  std::vector<std::uint64_t> live;          // reservoir of inserted edges
+  std::unordered_set<std::uint64_t> live_set;
+  const auto burst_on =
+      static_cast<std::uint64_t>(cfg.burst_duty * static_cast<double>(cfg.burst_every));
+
+  double clock_ns = 0.0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const bool bursting = (i % cfg.burst_every) < burst_on;
+    const double rate = bursting ? cfg.burst_rate : cfg.base_rate;
+    // Exponential inter-arrival via inverse transform; -log1p(-u) is exact
+    // near u = 0 and finite for u < 1 (uniform01 never returns 1).
+    clock_ns += -std::log1p(-rng.uniform01()) * 1e9 / rate;
+
+    const auto endpoint_pair = [&]() {
+      auto u = static_cast<std::uint32_t>(zipf.next());
+      auto v = static_cast<std::uint32_t>(zipf.next());
+      if (u == v) v = (v + 1) % cfg.vertices;  // no self-loops in the edge store
+      return std::pair{u, v};
+    };
+
+    const double mix = rng.uniform01();
+    serve::Op op;
+    if (mix < cfg.insert_frac + cfg.erase_frac &&
+        mix >= cfg.insert_frac && !live.empty()) {
+      // Erase a uniformly random LIVE edge (swap-remove from the reservoir).
+      const std::uint64_t slot = rng.bounded(live.size());
+      const std::uint64_t key = live[slot];
+      live[slot] = live.back();
+      live.pop_back();
+      live_set.erase(key);
+      const ds::EdgeKey e = ds::unpack_edge(key);
+      op = serve::Op::edge_erase(e.u, e.v);
+    } else if (mix < cfg.insert_frac + cfg.erase_frac) {
+      // Insert (either by mix, or an erase that found the reservoir empty).
+      const auto [u, v] = endpoint_pair();
+      op = serve::Op::edge_insert(u, v, i + 1);
+      const std::uint64_t key = ds::pack_edge(u, v);
+      if (live_set.insert(key).second) live.push_back(key);
+    } else if (mix < cfg.insert_frac + cfg.erase_frac + cfg.same_component_frac) {
+      const auto [u, v] = endpoint_pair();
+      op = serve::Op::same_component(u, v);
+    } else {
+      op = serve::Op::component_size(static_cast<std::uint32_t>(zipf.next()));
+    }
+    events.push_back({static_cast<std::uint64_t>(clock_ns), op});
+  }
+  return events;
+}
+
+}  // namespace crcw::stream

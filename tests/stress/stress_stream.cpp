@@ -1,0 +1,183 @@
+// Raw-thread schedules for src/stream (label: stream-stress). Two layers:
+//
+//   * IncrementalCc raw: lock-step rounds of concurrent hooks (the
+//     arbitrary-CW parent CAS) from std::threads, compaction between
+//     rounds on one thread — TSan checks the CAS/acquire chain directly.
+//   * The full session with batch.exec_threads == 1: the pump executes
+//     rounds strictly serially (no OpenMP region anywhere), so TSan sees
+//     client enqueue → pump drain → round execution → publish end to end
+//     over the streaming backend, including hooks, deletion rebuilds,
+//     and reclaim at batch close.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/reference.hpp"
+#include "serve/serve_session.hpp"
+#include "stream/stream_scheduler.hpp"
+#include "stress_common.hpp"
+#include "util/rng.hpp"
+
+namespace crcw::stream {
+namespace {
+
+using serve::Op;
+using serve::OpFuture;
+using serve::Result;
+using StreamSession = serve::BasicServeSession<StreamScheduler>;
+
+[[nodiscard]] serve::ServeConfig serial_config(std::uint32_t vertices) {
+  serve::ServeConfig cfg;
+  cfg.batch.exec_threads = 1;  // no OpenMP under TSan
+  cfg.batch.max_batch = 64;
+  cfg.batch.max_wait_us = 100;
+  cfg.stream.vertices = vertices;
+  return cfg;
+}
+
+// Lock-step hook torture: each round, every thread links a slice of the
+// same random edge list (many threads collide on the same roots); after
+// the barrier, thread 0 compacts serially. Final partition must equal
+// the serial DSU's.
+TEST(StressStream, LockstepHooksMatchSerialPartition) {
+  const int threads = stress::thread_count();
+  constexpr std::uint32_t kN = 1024;
+  const int rounds = stress::scaled(60, 12);
+  const int per_round = 64;  // edges linked per round, split across threads
+
+  util::Xoshiro256 rng(31);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (int i = 0; i < rounds * per_round; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.bounded(kN));
+    auto v = static_cast<std::uint32_t>(rng.bounded(kN - 1));
+    if (v >= u) ++v;
+    edges.push_back({u, v});
+  }
+
+  IncrementalCc cc(kN);
+  stress::run_lockstep(threads, rounds, [&](int tid, int round) {
+    const int base = (round - 1) * per_round;
+    for (int i = tid; i < per_round; i += threads) {
+      const auto [u, v] = edges[static_cast<std::size_t>(base + i)];
+      cc.link(u, v);
+    }
+  }, [&](int round) {
+    (void)round;
+    cc.compact(1);  // the between-rounds cooperative sweep, serial
+  });
+
+  graph::UnionFind uf(kN);
+  for (const auto& [u, v] : edges) uf.unite(u, v);
+  EXPECT_EQ(cc.components(), uf.num_sets());
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    ASSERT_EQ(cc.same_component(0, v), uf.find(0) == uf.find(v)) << v;
+  }
+}
+
+// Concurrent same_component reads against concurrent links: find() is a
+// read-only walk over atomics, legal during the write phase. Readers
+// assert monotonicity (once connected, never disconnected — no deletions
+// here); writers link a growing path.
+TEST(StressStream, ReadsRaceLinksWithoutTearing) {
+  const int threads = stress::thread_count();
+  constexpr std::uint32_t kN = 512;
+  const std::uint32_t chain = static_cast<std::uint32_t>(stress::scaled(kN, 128));
+  IncrementalCc cc(kN);
+  std::atomic<std::uint32_t> linked{0};
+
+  stress::run_threads(threads, [&](int tid) {
+    if (tid == 0) {
+      for (std::uint32_t v = 1; v < chain; ++v) {
+        cc.link(v - 1, v);
+        linked.store(v, std::memory_order_release);
+      }
+      return;
+    }
+    std::uint32_t seen_connected = 0;
+    while (linked.load(std::memory_order_acquire) + 1 < chain) {
+      const std::uint32_t frontier = linked.load(std::memory_order_acquire);
+      // Everything at or below the published frontier is connected to 0
+      // forever after — a reader observing otherwise saw a torn state.
+      if (frontier > 0 && !cc.same_component(0, frontier)) {
+        ADD_FAILURE() << "vertex " << frontier << " disconnected after link";
+        return;
+      }
+      seen_connected = frontier;
+    }
+    (void)seen_connected;
+  });
+  cc.compact(1);
+  EXPECT_EQ(cc.component_size(0), chain);
+}
+
+// The full streaming session under raw-thread clients: a dedicated pump,
+// clients owning disjoint vertex blocks (so expected connectivity is
+// exact per client), mixing inserts, deletes and queries. exec_threads=1
+// keeps every round OpenMP-free.
+TEST(StressStream, SessionClientsDisjointBlocks) {
+  const int threads = stress::thread_count();
+  const int clients = threads - 1;
+  const std::uint32_t block = 32;
+  const int cycles = stress::scaled(30, 6);
+  const auto vertices = static_cast<std::uint32_t>(clients) * block + 2;
+  StreamSession session(serial_config(vertices));
+  std::atomic<int> finished{0};
+
+  stress::run_threads(threads, [&](int tid) {
+    if (tid == 0) {
+      while (finished.load(std::memory_order_acquire) < clients) {
+        if (!session.poll()) session.flush();
+      }
+      session.flush();
+      return;
+    }
+    const std::uint32_t base = static_cast<std::uint32_t>(tid - 1) * block;
+    OpFuture f;
+    const auto do_op = [&](const Op& op) {
+      session.submit(op, f);
+      return session.wait(f);
+    };
+    for (int c = 0; c < cycles; ++c) {
+      // Build the path base..base+block-1.
+      for (std::uint32_t v = 1; v < block; ++v) {
+        const Result r = do_op(Op::edge_insert(base + v - 1, base + v, v));
+        if (!r.won) ADD_FAILURE() << "insert lost on a private edge";
+      }
+      // Ends connected; size exact (queries are RYW via round ordering:
+      // submit-after-complete lands in a strictly later round).
+      Result q = do_op(Op::same_component(base, base + block - 1));
+      if (q.value != 1u) ADD_FAILURE() << "path ends disconnected, client " << tid;
+      q = do_op(Op::component_size(base));
+      if (q.value != block) {
+        ADD_FAILURE() << "component size " << q.value << " != " << block;
+      }
+      // Split in the middle, check both halves.
+      const std::uint32_t mid = base + block / 2;
+      if (!do_op(Op::edge_erase(mid - 1, mid)).won) {
+        ADD_FAILURE() << "erase lost on a private edge";
+      }
+      q = do_op(Op::same_component(base, base + block - 1));
+      if (q.value != 0u) ADD_FAILURE() << "split not observed, client " << tid;
+      q = do_op(Op::component_size(base));
+      if (q.value != block / 2) {
+        ADD_FAILURE() << "half size " << q.value << " != " << block / 2;
+      }
+      // Tear the rest down so the next cycle starts clean (and the edge
+      // table churns through tombstones + reclaim).
+      for (std::uint32_t v = 1; v < block; ++v) {
+        if (v != block / 2) (void)do_op(Op::edge_erase(base + v - 1, base + v));
+      }
+    }
+    finished.fetch_add(1, std::memory_order_release);
+  });
+
+  EXPECT_EQ(session.backend().graph().edges(), 0u);
+  EXPECT_EQ(session.backend().cc().components(), vertices);
+}
+
+}  // namespace
+}  // namespace crcw::stream

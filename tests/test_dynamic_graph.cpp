@@ -1,0 +1,128 @@
+// DynamicGraph: canonical edge packing, round-arbitrated insert/erase
+// (one winner per (edge, round) across both kinds), committed reads, the
+// edge sweep, and the churn contract inherited from the table — bounded
+// bucket footprint under insert/erase cycles, including the
+// telemetry-driven reclaim trigger.
+#include "stream/dynamic_graph.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ds/hash_common.hpp"
+
+namespace crcw::stream {
+namespace {
+
+TEST(EdgeKey, PackIsCanonicalAndUnpackInverts) {
+  EXPECT_EQ(ds::pack_edge(3, 7), ds::pack_edge(7, 3));
+  const ds::EdgeKey e = ds::unpack_edge(ds::pack_edge(7, 3));
+  EXPECT_EQ(e.u, 3u);
+  EXPECT_EQ(e.v, 7u);
+  // Distinct pairs get distinct keys.
+  EXPECT_NE(ds::pack_edge(1, 2), ds::pack_edge(1, 3));
+  EXPECT_NE(ds::pack_edge(0, 1), ds::pack_edge(2, 3));
+}
+
+TEST(EdgeKey, OnlyTheMaxSelfLoopHitsTheSentinel) {
+  // The table's reserved all-ones key is exactly the packed self-loop at
+  // vertex 0xffffffff; valid_edge rejects every self-loop, so no valid
+  // edge can collide with it.
+  constexpr std::uint32_t kMax = ~std::uint32_t{0};
+  EXPECT_EQ(ds::pack_edge(kMax, kMax), ~std::uint64_t{0});
+  EXPECT_FALSE(DynamicGraph::valid_edge(kMax, kMax, kMax));
+  EXPECT_FALSE(DynamicGraph::valid_edge(5, 5, 10));
+  EXPECT_FALSE(DynamicGraph::valid_edge(5, 12, 10));  // out of universe
+  EXPECT_TRUE(DynamicGraph::valid_edge(0, 9, 10));
+}
+
+TEST(DynamicGraph, InsertEraseCommittedReads) {
+  DynamicGraph g(100, 16);
+  EXPECT_EQ(g.edges(), 0u);
+  EXPECT_EQ(g.insert(1, 2, 5, 42), ds::MapUpsert::kWon);
+  EXPECT_TRUE(g.has_edge(2, 5));
+  EXPECT_TRUE(g.has_edge(5, 2));  // undirected: canonical key
+  ASSERT_NE(g.find(5, 2), nullptr);
+  EXPECT_EQ(*g.find(5, 2), 42u);
+  EXPECT_EQ(g.edges(), 1u);
+
+  EXPECT_EQ(g.erase(2, 2, 5), ds::MapUpsert::kWon);
+  EXPECT_FALSE(g.has_edge(2, 5));
+  EXPECT_EQ(g.find(2, 5), nullptr);
+  EXPECT_EQ(g.edges(), 0u);
+}
+
+TEST(DynamicGraph, OneWinnerPerEdgePerRoundAcrossKinds) {
+  DynamicGraph g(64, 64);
+  const int threads = std::max(4, omp_get_max_threads());
+  for (round_t r = 1; r <= 50; ++r) {
+    std::atomic<int> winners{0};
+#pragma omp parallel num_threads(threads)
+    {
+      const bool erase = (static_cast<round_t>(omp_get_thread_num()) + r) % 2 == 0;
+      const ds::MapUpsert out =
+          erase ? g.erase(r, 3, 9) : g.insert(r, 3, 9, r);
+      if (out == ds::MapUpsert::kWon) winners.fetch_add(1, std::memory_order_relaxed);
+    }
+    ASSERT_EQ(winners.load(), 1) << "round " << r;
+  }
+}
+
+TEST(DynamicGraph, ForEachEdgeSweepsLiveEdgesCanonically) {
+  DynamicGraph g(32, 16);
+  round_t r = 0;
+  ASSERT_EQ(g.insert(++r, 4, 1, 10), ds::MapUpsert::kWon);
+  ASSERT_EQ(g.insert(++r, 2, 8, 20), ds::MapUpsert::kWon);
+  ASSERT_EQ(g.insert(++r, 5, 6, 30), ds::MapUpsert::kWon);
+  ASSERT_EQ(g.erase(++r, 5, 6), ds::MapUpsert::kWon);
+
+  std::vector<std::uint64_t> seen;
+  g.for_each_edge([&](std::uint32_t u, std::uint32_t v, std::uint64_t w) {
+    EXPECT_LT(u, v);  // canonical orientation
+    seen.push_back(ds::pack_edge(u, v) ^ w);
+  });
+  std::sort(seen.begin(), seen.end());
+  std::vector<std::uint64_t> expect = {ds::pack_edge(1, 4) ^ 10, ds::pack_edge(2, 8) ^ 20};
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(DynamicGraph, FootprintStaysBoundedUnderChurn) {
+  // The churn contract, for edges: cycles of insert+erase with reclaim at
+  // the step boundary must not grow the table without bound.
+  ds::HashConfig cfg;
+  cfg.reclaim_ratio = 0.05;  // aggressive watermark: every cycle's
+                             // tombstones trip the step-boundary sweep
+  DynamicGraph g(1u << 16, 256, cfg);
+  round_t r = 0;
+  std::uint64_t max_buckets = 0;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    // The scheduler's prolog: size for the incoming write backlog BEFORE
+    // the round. Without it a post-erase reclaim (sized from live == 0)
+    // legitimately leaves no room for the next burst.
+    g.maybe_grow_for_backlog(200, 1);
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      const std::uint32_t u = (i * 7) % 5000;
+      const std::uint32_t v = u + 1 + (i % 13);
+      ASSERT_NE(g.insert(++r, u, v, i), ds::MapUpsert::kFull);
+    }
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> live;
+    g.for_each_edge([&](std::uint32_t u, std::uint32_t v, std::uint64_t) {
+      live.push_back({u, v});
+    });
+    for (const auto& [u, v] : live) ASSERT_NE(g.erase(++r, u, v), ds::MapUpsert::kFull);
+    EXPECT_EQ(g.edges(), 0u);
+    g.maybe_reclaim(1);
+    max_buckets = std::max(max_buckets, g.table().bucket_count());
+  }
+  // 200 live keys at a time: a few doublings of the 256-key sizing is the
+  // ceiling; unbounded growth would blow straight past this.
+  EXPECT_LE(max_buckets, 4096u);
+}
+
+}  // namespace
+}  // namespace crcw::stream

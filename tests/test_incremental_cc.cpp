@@ -1,0 +1,294 @@
+// IncrementalCc: hook/find/compact semantics, component sizes, the
+// deletion fallback's partition correctness, concurrent hooking under
+// OpenMP, and the acceptance trace — a 10k-event randomized insert/delete
+// mix checked against a recompute-from-scratch connectivity oracle.
+#include "stream/incremental_cc.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "ds/hash_common.hpp"
+#include "graph/reference.hpp"
+#include "util/rng.hpp"
+
+namespace crcw::stream {
+namespace {
+
+using EdgeSet = std::set<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Canonical partition signature: for each vertex, the minimum vertex of
+/// its block. Two equal signatures = identical partitions.
+template <typename FindFn>
+std::vector<std::uint32_t> signature(std::uint32_t n, FindFn&& find) {
+  std::vector<std::uint32_t> min_of(n, ~std::uint32_t{0});
+  std::vector<std::uint32_t> root(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    root[v] = find(v);
+    min_of[root[v]] = std::min(min_of[root[v]], v);
+  }
+  for (std::uint32_t v = 0; v < n; ++v) root[v] = min_of[root[v]];
+  return root;
+}
+
+/// Oracle: recompute the partition of the CURRENT live edge set from
+/// scratch with the reference DSU.
+std::vector<std::uint32_t> oracle_signature(std::uint32_t n, const EdgeSet& live) {
+  graph::UnionFind uf(n);
+  for (const auto& [u, v] : live) uf.unite(u, v);
+  return signature(n, [&](std::uint32_t v) { return uf.find(v); });
+}
+
+std::uint64_t oracle_components(std::uint32_t n, const EdgeSet& live) {
+  graph::UnionFind uf(n);
+  for (const auto& [u, v] : live) uf.unite(u, v);
+  return uf.num_sets();
+}
+
+void rebuild_from(IncrementalCc& cc, const std::vector<std::uint32_t>& touched,
+                  const EdgeSet& live, int threads) {
+  cc.rebuild(
+      touched,
+      [&](auto&& fn) {
+        for (const auto& [u, v] : live) fn(u, v);
+      },
+      threads);
+  cc.compact(threads);
+}
+
+TEST(IncrementalCc, StartsFullyDisconnected) {
+  IncrementalCc cc(8);
+  EXPECT_EQ(cc.components(), 8u);
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(cc.find(v), v);
+    EXPECT_EQ(cc.component_size(v), 1u);
+  }
+  EXPECT_FALSE(cc.same_component(0, 7));
+  EXPECT_TRUE(cc.same_component(3, 3));
+}
+
+TEST(IncrementalCc, LinkMergesAndCountsExactly) {
+  IncrementalCc cc(10);
+  EXPECT_TRUE(cc.link(0, 5));
+  EXPECT_TRUE(cc.same_component(0, 5));
+  EXPECT_EQ(cc.components(), 9u);
+  EXPECT_FALSE(cc.link(5, 0));  // already connected: no merge
+  EXPECT_EQ(cc.components(), 9u);
+  EXPECT_TRUE(cc.link(5, 6));
+  EXPECT_TRUE(cc.same_component(0, 6));
+  EXPECT_EQ(cc.components(), 8u);
+  // Roots stay minimum-id: 0 hooked 5, then 5's root (0) absorbed 6.
+  EXPECT_EQ(cc.find(6), 0u);
+}
+
+TEST(IncrementalCc, CompactRefreshesPathsAndSizes) {
+  IncrementalCc cc(16);
+  for (std::uint32_t v = 1; v < 8; ++v) cc.link(v - 1, v);  // chain 0..7
+  cc.compact(1);
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(cc.find(v), 0u);
+    EXPECT_EQ(cc.component_size(v), 8u);
+  }
+  for (std::uint32_t v = 8; v < 16; ++v) EXPECT_EQ(cc.component_size(v), 1u);
+  // Parallel compact computes the same fixed point.
+  cc.compact(4);
+  for (std::uint32_t v = 0; v < 8; ++v) EXPECT_EQ(cc.component_size(v), 8u);
+}
+
+TEST(IncrementalCc, RebuildSplitsAComponent) {
+  // Path 0-1-2-3; delete the middle edge {1,2} → {0,1} and {2,3}.
+  IncrementalCc cc(4);
+  EdgeSet live = {{0, 1}, {1, 2}, {2, 3}};
+  for (const auto& [u, v] : live) cc.link(u, v);
+  cc.compact(1);
+  ASSERT_TRUE(cc.same_component(0, 3));
+  ASSERT_EQ(cc.components(), 1u);
+
+  live.erase({1, 2});
+  rebuild_from(cc, {1, 2}, live, 1);
+  EXPECT_TRUE(cc.same_component(0, 1));
+  EXPECT_TRUE(cc.same_component(2, 3));
+  EXPECT_FALSE(cc.same_component(1, 2));
+  EXPECT_EQ(cc.components(), 2u);  // {0,1} and {2,3}
+  EXPECT_EQ(cc.component_size(0), 2u);
+  EXPECT_EQ(cc.component_size(3), 2u);
+  EXPECT_EQ(cc.rebuilds(), 1u);
+}
+
+TEST(IncrementalCc, RebuildKeepsConnectedWhenRedundant) {
+  // Triangle 0-1-2: deleting one edge must NOT split anything.
+  IncrementalCc cc(3);
+  EdgeSet live = {{0, 1}, {1, 2}, {0, 2}};
+  for (const auto& [u, v] : live) cc.link(u, v);
+  cc.compact(1);
+
+  live.erase({0, 2});
+  rebuild_from(cc, {0, 2}, live, 1);
+  EXPECT_TRUE(cc.same_component(0, 2));
+  EXPECT_EQ(cc.components(), 1u);
+  EXPECT_EQ(cc.component_size(1), 3u);
+}
+
+TEST(IncrementalCc, RebuildLeavesUntouchedComponentsAlone) {
+  IncrementalCc cc(8);
+  EdgeSet live = {{0, 1}, {2, 3}, {4, 5}, {5, 6}};
+  for (const auto& [u, v] : live) cc.link(u, v);
+  cc.compact(1);
+  const auto before = signature(8, [&](std::uint32_t v) { return cc.find(v); });
+
+  live.erase({4, 5});
+  rebuild_from(cc, {4, 5}, live, 1);
+  // {0,1} and {2,3} untouched, 4 split off, {5,6} survives.
+  const auto after = signature(8, [&](std::uint32_t v) { return cc.find(v); });
+  EXPECT_EQ(after[0], before[0]);
+  EXPECT_EQ(after[1], before[1]);
+  EXPECT_EQ(after[2], before[2]);
+  EXPECT_EQ(after[3], before[3]);
+  EXPECT_FALSE(cc.same_component(4, 5));
+  EXPECT_TRUE(cc.same_component(5, 6));
+  EXPECT_EQ(cc.components(), 5u);
+}
+
+TEST(IncrementalCc, ParallelRebuildMatchesSerial) {
+  constexpr std::uint32_t kN = 512;
+  util::Xoshiro256 rng(99);
+  EdgeSet live;
+  IncrementalCc serial(kN), parallel(kN);
+  for (int i = 0; i < 800; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.bounded(kN));
+    auto v = static_cast<std::uint32_t>(rng.bounded(kN - 1));
+    if (v >= u) ++v;
+    live.insert(std::minmax(u, v));
+    serial.link(u, v);
+    parallel.link(u, v);
+  }
+  serial.compact(1);
+  parallel.compact(4);
+
+  // Delete a batch and rebuild both ways.
+  std::vector<std::uint32_t> touched;
+  auto it = live.begin();
+  for (int d = 0; d < 100 && it != live.end(); ++d) {
+    touched.push_back(it->first);
+    touched.push_back(it->second);
+    it = live.erase(it);
+  }
+  rebuild_from(serial, touched, live, 1);
+  rebuild_from(parallel, touched, live, 4);
+
+  EXPECT_EQ(signature(kN, [&](std::uint32_t v) { return serial.find(v); }),
+            signature(kN, [&](std::uint32_t v) { return parallel.find(v); }));
+  EXPECT_EQ(serial.components(), parallel.components());
+  EXPECT_EQ(serial.components(), oracle_components(kN, live));
+}
+
+TEST(IncrementalCc, ConcurrentLinksMatchSerialPartition) {
+  // The arbitrary-CW hook under real contention: all threads link the
+  // same edge list concurrently; the resulting partition must equal the
+  // serial one (hook order is arbitrary, the partition is not).
+  constexpr std::uint32_t kN = 2048;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.bounded(kN));
+    auto v = static_cast<std::uint32_t>(rng.bounded(kN - 1));
+    if (v >= u) ++v;
+    edges.push_back({u, v});
+  }
+  IncrementalCc cc(kN, /*counters=*/true);
+  const int threads = std::max(4, omp_get_max_threads());
+  const auto n_edges = static_cast<std::ptrdiff_t>(edges.size());
+#pragma omp parallel for num_threads(threads) schedule(static, 7)
+  for (std::ptrdiff_t i = 0; i < n_edges; ++i) {
+    cc.link(edges[static_cast<std::size_t>(i)].first,
+            edges[static_cast<std::size_t>(i)].second);
+  }
+  cc.compact(threads);
+
+  graph::UnionFind uf(kN);
+  for (const auto& [u, v] : edges) uf.unite(u, v);
+  EXPECT_EQ(signature(kN, [&](std::uint32_t v) { return cc.find(v); }),
+            signature(kN, [&](std::uint32_t v) { return uf.find(v); }));
+  EXPECT_EQ(cc.components(), static_cast<std::uint64_t>(uf.num_sets()));
+}
+
+TEST(IncrementalCc, RandomizedTraceAgainstScratchOracle) {
+  // The acceptance trace: 10k random insert/delete events on 1k vertices,
+  // replayed round-by-round exactly as the scheduler would (links for
+  // fresh inserts, batched rebuild for deletions, compact per changed
+  // round), checked at every checkpoint against a from-scratch oracle.
+  constexpr std::uint32_t kN = 1000;
+  constexpr int kEvents = 10'000;
+  constexpr int kRound = 50;       // events per round
+  util::Xoshiro256 rng(0xC0FFEE);
+
+  IncrementalCc cc(kN);
+  EdgeSet live;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> reservoir;
+
+  int since_round = 0;
+  std::vector<std::uint32_t> touched;
+  bool changed = false;
+  for (int i = 0; i < kEvents; ++i) {
+    const bool erase = !reservoir.empty() && rng.uniform01() < 0.35;
+    if (erase) {
+      const std::uint64_t slot = rng.bounded(reservoir.size());
+      const auto [u, v] = reservoir[slot];
+      reservoir[slot] = reservoir.back();
+      reservoir.pop_back();
+      if (live.erase({u, v}) != 0) {
+        touched.push_back(u);
+        touched.push_back(v);
+        changed = true;
+      }
+    } else {
+      const auto u = static_cast<std::uint32_t>(rng.bounded(kN));
+      auto v = static_cast<std::uint32_t>(rng.bounded(kN - 1));
+      if (v >= u) ++v;
+      const auto e = std::minmax(u, v);
+      if (live.insert(e).second) {
+        reservoir.push_back(e);
+        cc.link(u, v);
+        changed = true;
+      }
+    }
+
+    if (++since_round == kRound || i + 1 == kEvents) {
+      // Round boundary: deletion fallback, then the compaction sweep.
+      if (!touched.empty()) {
+        cc.rebuild(
+            touched,
+            [&](auto&& fn) {
+              for (const auto& [a, b] : live) fn(a, b);
+            },
+            1);
+      }
+      if (changed) cc.compact(1);
+      touched.clear();
+      changed = false;
+      since_round = 0;
+
+      ASSERT_EQ(signature(kN, [&](std::uint32_t v) { return cc.find(v); }),
+                oracle_signature(kN, live))
+          << "diverged at event " << i;
+      ASSERT_EQ(cc.components(), oracle_components(kN, live)) << "event " << i;
+      // Sizes: spot-check a few vertices against the oracle partition.
+      const auto sig = oracle_signature(kN, live);
+      std::map<std::uint32_t, std::uint64_t> block_size;
+      for (std::uint32_t v = 0; v < kN; ++v) ++block_size[sig[v]];
+      for (std::uint32_t v = 0; v < kN; v += 97) {
+        ASSERT_EQ(cc.component_size(v), block_size[sig[v]]) << "vertex " << v;
+      }
+    }
+  }
+  EXPECT_GT(cc.rebuilds(), 0u);
+}
+
+}  // namespace
+}  // namespace crcw::stream

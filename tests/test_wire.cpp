@@ -168,6 +168,73 @@ TEST(Wire, ArbitraryGarbageNeverCrashes) {
   EXPECT_TRUE(errored);  // random u32 ≠ 25 almost surely, and that poisons
 }
 
+TEST(Wire, StreamKindsRoundTrip) {
+  // The stream vocabulary reuses the fixed 25-byte frame: packed edges in
+  // key, vertex pairs split across key/value — nothing about the framing
+  // may change per kind.
+  RequestDecoder dec(64 * 1024);
+  const Request cases[] = {
+      {10, Op::edge_insert(3, 7, 99)},
+      {11, Op::edge_erase(0xffff'fffe, 0)},
+      {12, Op::same_component(5, 0xffff'ffff)},
+      {13, Op::component_size(0)},
+  };
+  for (const Request& in : cases) {
+    const auto buf = bytes_of_request(in);
+    EXPECT_EQ(buf.size(), kRequestFrameBytes);
+    dec.feed(buf.data(), buf.size());
+    Request out;
+    ASSERT_EQ(dec.next(out), DecodeStatus::kFrame);
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.op.kind, in.op.kind);
+    EXPECT_EQ(out.op.key, in.op.key);
+    EXPECT_EQ(out.op.value, in.op.value);
+  }
+}
+
+TEST(Wire, StreamKindTruncationSweep) {
+  // Every proper prefix of every stream-kind frame must park the decoder
+  // at kNeedMore (never a bogus frame, never an error), and the remainder
+  // must complete it.
+  const Request cases[] = {
+      {1, Op::edge_insert(1, 2, 7)},
+      {2, Op::edge_erase(8, 9)},
+      {3, Op::same_component(4, 5)},
+      {4, Op::component_size(6)},
+  };
+  for (const Request& in : cases) {
+    const auto buf = bytes_of_request(in);
+    for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+      RequestDecoder dec(64 * 1024);
+      dec.feed(buf.data(), cut);
+      Request out;
+      ASSERT_EQ(dec.next(out), DecodeStatus::kNeedMore)
+          << "kind " << static_cast<int>(in.op.kind) << " cut " << cut;
+      dec.feed(buf.data() + cut, buf.size() - cut);
+      ASSERT_EQ(dec.next(out), DecodeStatus::kFrame);
+      EXPECT_EQ(out.op.key, in.op.key);
+    }
+  }
+}
+
+TEST(Wire, KindsJustPastTheStreamVocabularyPoison) {
+  // The valid range grew to kComponentSize; the first byte past it (and
+  // anything beyond) must poison exactly like 0x7f always did — an old
+  // decoder updated for the new kinds must not silently widen further.
+  for (const std::uint8_t bad : {std::uint8_t{7}, std::uint8_t{8}, std::uint8_t{0x7f},
+                                 std::uint8_t{0xff}}) {
+    auto buf = bytes_of_request({1, Op::component_size(1)});
+    buf[kLenBytes] = bad;  // kind byte
+    RequestDecoder dec(64 * 1024);
+    dec.feed(buf.data(), buf.size());
+    Request out;
+    EXPECT_EQ(dec.next(out), DecodeStatus::kError) << "kind " << int{bad};
+    const auto good = bytes_of_request({2, Op::same_component(1, 2)});
+    dec.feed(good.data(), good.size());
+    EXPECT_EQ(dec.next(out), DecodeStatus::kError) << "must stay poisoned";
+  }
+}
+
 TEST(Wire, FrameReaderCompactsConsumedPrefix) {
   // A long-lived connection must not buffer the whole stream: after the
   // frames are consumed and the reader drains, the buffer resets.

@@ -1,0 +1,165 @@
+// Workload traces: deterministic replay, monotone timestamps, the op mix,
+// burstiness actually compressing inter-arrivals, erases targeting live
+// edges only, and config validation.
+#include "stream/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "serve/op.hpp"
+
+namespace crcw::stream {
+namespace {
+
+using serve::OpKind;
+
+TEST(Workload, DeterministicReplay) {
+  WorkloadConfig cfg;
+  cfg.vertices = 512;
+  const std::vector<Event> a = generate_trace(cfg, 3000);
+  const std::vector<Event> b = generate_trace(cfg, 3000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].at_ns, b[i].at_ns) << i;
+    ASSERT_EQ(a[i].op.kind, b[i].op.kind) << i;
+    ASSERT_EQ(a[i].op.key, b[i].op.key) << i;
+    ASSERT_EQ(a[i].op.value, b[i].op.value) << i;
+  }
+  // A different seed diverges.
+  WorkloadConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  const std::vector<Event> c = generate_trace(other, 3000);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < c.size() && !any_diff; ++i) {
+    any_diff = c[i].op.key != a[i].op.key || c[i].at_ns != a[i].at_ns;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, TimestampsMonotoneAndOpsWellFormed) {
+  WorkloadConfig cfg;
+  cfg.vertices = 128;
+  const std::vector<Event> trace = generate_trace(cfg, 5000);
+  std::uint64_t prev = 0;
+  for (const Event& ev : trace) {
+    ASSERT_GE(ev.at_ns, prev);
+    prev = ev.at_ns;
+    switch (ev.op.kind) {
+      case OpKind::kEdgeInsert:
+      case OpKind::kEdgeErase: {
+        const ds::EdgeKey e = ds::unpack_edge(ev.op.key);
+        ASSERT_LT(e.u, e.v);
+        ASSERT_LT(e.v, cfg.vertices);
+        break;
+      }
+      case OpKind::kSameComponent:
+        ASSERT_LT(ev.op.key, cfg.vertices);
+        ASSERT_LT(ev.op.value, cfg.vertices);
+        break;
+      case OpKind::kComponentSize:
+        ASSERT_LT(ev.op.key, cfg.vertices);
+        break;
+      default:
+        FAIL() << "unexpected op kind in trace";
+    }
+  }
+}
+
+TEST(Workload, MixFractionsRoughlyHold) {
+  WorkloadConfig cfg;
+  cfg.vertices = 1 << 12;
+  cfg.insert_frac = 0.6;
+  cfg.erase_frac = 0.1;
+  cfg.same_component_frac = 0.2;
+  constexpr std::uint64_t kN = 20'000;
+  const std::vector<Event> trace = generate_trace(cfg, kN);
+  std::uint64_t counts[4] = {0, 0, 0, 0};
+  for (const Event& ev : trace) {
+    switch (ev.op.kind) {
+      case OpKind::kEdgeInsert: ++counts[0]; break;
+      case OpKind::kEdgeErase: ++counts[1]; break;
+      case OpKind::kSameComponent: ++counts[2]; break;
+      default: ++counts[3]; break;
+    }
+  }
+  // Inserts absorb erases drawn against an empty reservoir, so inserts
+  // land at >= their fraction and erases at <= theirs; 5 sigma slack.
+  EXPECT_GT(counts[0], kN * 0.55);
+  EXPECT_LE(counts[1], kN * 0.12);
+  EXPECT_NEAR(static_cast<double>(counts[2]), kN * 0.2, kN * 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[3]), kN * 0.1, kN * 0.02);
+}
+
+TEST(Workload, ErasesOnlyTargetLiveEdges) {
+  WorkloadConfig cfg;
+  cfg.vertices = 64;  // small universe → heavy key reuse
+  cfg.insert_frac = 0.45;
+  cfg.erase_frac = 0.45;
+  cfg.same_component_frac = 0.05;
+  const std::vector<Event> trace = generate_trace(cfg, 10'000);
+  std::set<std::uint64_t> live;
+  std::uint64_t erases = 0;
+  for (const Event& ev : trace) {
+    if (ev.op.kind == OpKind::kEdgeInsert) {
+      live.insert(ev.op.key);
+    } else if (ev.op.kind == OpKind::kEdgeErase) {
+      ++erases;
+      ASSERT_EQ(live.count(ev.op.key), 1u) << "erase of a non-live edge";
+      live.erase(ev.op.key);
+    }
+  }
+  EXPECT_GT(erases, 1000u);  // the mix actually exercises deletion
+}
+
+TEST(Workload, BurstsCompressInterArrivals) {
+  WorkloadConfig cfg;
+  cfg.base_rate = 1e5;
+  cfg.burst_rate = 1e7;
+  cfg.burst_every = 1000;
+  cfg.burst_duty = 0.5;
+  const std::vector<Event> trace = generate_trace(cfg, 10'000);
+  // Mean gap inside the on-phase vs the off-phase of each period.
+  double on_sum = 0, off_sum = 0;
+  std::uint64_t on_n = 0, off_n = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double gap = static_cast<double>(trace[i].at_ns - trace[i - 1].at_ns);
+    if (i % 1000 < 500) {
+      on_sum += gap;
+      ++on_n;
+    } else {
+      off_sum += gap;
+      ++off_n;
+    }
+  }
+  ASSERT_GT(on_n, 0u);
+  ASSERT_GT(off_n, 0u);
+  // 100x rate ratio → the means must separate by well over an order.
+  EXPECT_GT(off_sum / static_cast<double>(off_n),
+            10.0 * (on_sum / static_cast<double>(on_n)));
+}
+
+TEST(Workload, ValidationRejectsNonsense) {
+  WorkloadConfig cfg;
+  cfg.vertices = 1;
+  EXPECT_THROW((void)cfg.validated(), std::invalid_argument);
+  cfg = {};
+  cfg.insert_frac = 0.9;
+  cfg.erase_frac = 0.2;  // sum > 1
+  EXPECT_THROW((void)cfg.validated(), std::invalid_argument);
+  cfg = {};
+  cfg.base_rate = 0;
+  EXPECT_THROW((void)cfg.validated(), std::invalid_argument);
+  cfg = {};
+  cfg.burst_every = 0;
+  EXPECT_THROW((void)cfg.validated(), std::invalid_argument);
+  cfg = {};
+  cfg.burst_duty = 1.5;
+  EXPECT_THROW((void)cfg.validated(), std::invalid_argument);
+  EXPECT_NO_THROW((void)WorkloadConfig{}.validated());
+}
+
+}  // namespace
+}  // namespace crcw::stream
