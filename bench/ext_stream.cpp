@@ -118,12 +118,12 @@ struct StreamRunStats {
 /// One full replay through a fresh session (pump running), harvesting the
 /// latency and maintenance counters the sweeps report.
 StreamRunStats stream_run(const std::vector<Event>& trace, int clients,
-                          bool counters = false) {
+                          bool counters = false, std::uint64_t max_lag_us = 0) {
   StreamSession session(stream_config(clients, counters));
   session.start_pump();
   StreamRunStats out;
   out.replay = crcw::stream::EventEngine::replay(
-      session, std::span<const Event>(trace), clients);
+      session, std::span<const Event>(trace), clients, max_lag_us);
   session.flush();
   session.stop_pump();
   out.p99_commit_ns = session.metrics().p99_enqueue_to_commit_ns();
@@ -147,17 +147,25 @@ RowSpec spec(const char* sweep, int threads, std::uint64_t m) {
 /// Timing loop shared by the replay sweeps; emits the headline p99 rows
 /// (query-under-burst and enqueue→commit, samples = per-repetition p99s).
 void bench_replay(benchmark::State& state, const char* sweep,
-                  const std::vector<Event>& trace, int clients, std::uint64_t m) {
+                  const std::vector<Event>& trace, int clients, std::uint64_t m,
+                  std::uint64_t max_lag_us = 0) {
   std::vector<double> p99_query, p99_commit;
   StreamRunStats stats;
   {
     RowRecorder rec(state, spec(sweep, clients, m));
     for (auto _ : state) {
       crcw::util::Timer timer;
-      stats = stream_run(trace, clients);
+      stats = stream_run(trace, clients, /*counters=*/false, max_lag_us);
       rec.record(timer.seconds());
       p99_query.push_back(static_cast<double>(stats.replay.query_p99_ns));
       p99_commit.push_back(static_cast<double>(stats.p99_commit_ns));
+    }
+    // The lag-bound assertion: with the EventEngine backpressure bound
+    // armed, the engine must never sail past the bound silently — any
+    // over-bound lag has to show up as throttled (closed-loop) admissions.
+    if (max_lag_us != 0 && stats.replay.max_lag_ns > max_lag_us * 1000 &&
+        stats.replay.throttled == 0) {
+      state.SkipWithError("lag bound exceeded but backpressure never engaged");
     }
     state.counters["events_per_sec"] = stats.replay.events_per_sec();
     state.counters["edges_per_sec"] =
@@ -166,6 +174,7 @@ void bench_replay(benchmark::State& state, const char* sweep,
     state.counters["p99_query_us"] = static_cast<double>(stats.replay.query_p99_ns) / 1e3;
     state.counters["p99_commit_us"] = static_cast<double>(stats.p99_commit_ns) / 1e3;
     state.counters["max_lag_us"] = static_cast<double>(stats.replay.max_lag_ns) / 1e3;
+    state.counters["throttled"] = static_cast<double>(stats.replay.throttled);
     state.counters["reclaims"] = static_cast<double>(stats.reclaims);
     state.counters["rebuilds"] = static_cast<double>(stats.rebuilds);
     state.counters["rounds"] = static_cast<double>(stats.rounds);
@@ -176,7 +185,7 @@ void bench_replay(benchmark::State& state, const char* sweep,
     rec.profile([&] {
       crcw::obs::MetricsRegistry local;
       const crcw::obs::ScopedRegistry scoped(local);
-      (void)stream_run(trace, clients, /*counters=*/true);
+      (void)stream_run(trace, clients, /*counters=*/true, max_lag_us);
       return std::optional(local.totals());
     });
   }
@@ -199,6 +208,17 @@ void burst_stream(benchmark::State& s) {
 void clients_stream(benchmark::State& s) {
   const int clients = static_cast<int>(s.range(0));
   bench_replay(s, "clients", cached_trace(4.0, 0.2), clients, 4);
+}
+
+// -- backpressure: lag-bounded replay (closed-loop fallback under burst) -----
+
+void backpressure_stream(benchmark::State& s) {
+  // The heaviest burst multiplier with the EventEngine lag bound armed at
+  // 1ms: past the bound, admission degrades to closed loop (the `throttled`
+  // counter) instead of queueing unboundedly. bench_replay asserts the
+  // invariant — over-bound lag without engagement fails the row.
+  bench_replay(s, "backpressure", cached_trace(16.0, 0.2), default_threads(), 16,
+               /*max_lag_us=*/1000);
 }
 
 // -- churn: erase-heavy traffic (reclaim + rebuild pressure) -----------------
@@ -309,6 +329,7 @@ void wire_args(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(burst_stream)->Apply(burst_args);
 BENCHMARK(clients_stream)->Apply(client_args);
+BENCHMARK(backpressure_stream)->Apply(churn_args);
 BENCHMARK(churn_stream)->Apply(churn_args);
 BENCHMARK(wire_stream)->Apply(wire_args);
 

@@ -260,6 +260,18 @@ class WriteArbiter {
     }
   }
 
+  /// Re-seeds the round counter, serially, without touching tags. The
+  /// snapshot restore path uses this so post-restore rounds continue the
+  /// committed sequence strictly increasing: a checkpoint taken at cut r
+  /// replays into fresh tables whose tags carry rounds <= r, and the next
+  /// next_round() must hand out r+1, never a round some restored tag
+  /// already holds. Seeding backwards would violate CAS-LT monotonicity,
+  /// so it is rejected.
+  void reseed_round(round_t r) {
+    assert(r >= round_ && "reseed_round must not move the round backwards");
+    round_ = r;
+  }
+
   /// Restores every tag and the round counter to the fresh state; serial.
   void reset_all() {
     for (std::size_t i = 0; i < tags_.size(); ++i) Policy::reset(tag(i));

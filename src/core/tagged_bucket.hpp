@@ -126,6 +126,14 @@ class LiveTag {
     packed_.store(packed, std::memory_order_relaxed);
   }
 
+  /// The packed word a (round, live) pair would commit — what migration
+  /// carries wholesale and what snapshot restore reconstructs from a
+  /// serialised entry's round. Keeping the layout here means no caller
+  /// hardcodes the shift-and-bit encoding.
+  [[nodiscard]] static constexpr std::uint64_t pack(round_t round, bool live) noexcept {
+    return (round << 1) | static_cast<std::uint64_t>(live);
+  }
+
   /// Non-concurrent re-initialisation: round kInitialRound, live (the
   /// fresh state — see the class comment on the born-live polarity).
   void reset() noexcept { packed_.store(kFreshPacked, std::memory_order_relaxed); }

@@ -46,6 +46,7 @@
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "core/tagged_bucket.hpp"
 #include "ds/hash_common.hpp"
@@ -197,6 +198,77 @@ class ConcurrentHashMap {
       const Key k = bucket.tagged.key();
       if (k != kEmptyKey && bucket.tagged.tag().live()) fn(k, bucket.value);
     }
+  }
+
+  /// One entry of a cut-predicated scan: the committed value and the round
+  /// that committed it (the round travels into snapshot files so restore
+  /// can stamp the LiveTag exactly).
+  struct ScanEntry {
+    Key key;
+    Value value;
+    round_t round;
+  };
+
+  /// Cut-predicated scan: calls fn(key, value, round) for every entry whose
+  /// committed write is live with round <= cut_round. Safe CONCURRENTLY
+  /// with writers committing rounds > cut_round — the consistent-snapshot
+  /// read the round structure makes cheap (Blelloch & Wei's atomic-copy
+  /// observation: a version word beside every slot buys multi-word
+  /// consistency with plain loads). Per bucket it is a seqlock-shaped
+  /// double read of the packed (round, live) word around the plain value
+  /// load:
+  ///
+  ///   p1 = packed; v = value; fence(acquire); p2 = packed;
+  ///   emit iff p1 == p2 && live(p1) && round(p1) <= cut_round
+  ///
+  /// Soundness: a CAS-LT writer commits its (round, live) word BEFORE its
+  /// value store, and rounds are strictly increasing, so p1 == p2 with
+  /// round <= cut proves no post-cut writer touched the bucket across the
+  /// value load; p1 != p2 (or a post-cut round in either) means the entry
+  /// was overwritten after the cut and is excluded either way. NOT safe
+  /// concurrently with grow/reclaim (the swap frees this array) — cut
+  /// holders must keep migrations parked, which is exactly what the serve
+  /// schedulers' held-cut discipline does.
+  template <typename Fn>
+  void for_each_at(round_t cut_round, Fn&& fn) const {
+    for (const Bucket& bucket : buckets_) {
+      const Key k = bucket.tagged.key();
+      if (k == kEmptyKey) continue;
+      const std::uint64_t p1 = bucket.tagged.tag().packed();
+      if ((p1 & 1) == 0 || (p1 >> 1) > cut_round) continue;
+      const Value v = bucket.value;  // racy iff p2 below disagrees; then dropped
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint64_t p2 = bucket.tagged.tag().packed();
+      if (p1 == p2) fn(k, v, static_cast<round_t>(p1 >> 1));
+    }
+  }
+
+  /// Collecting wrapper over for_each_at — the checkpoint writer's unit of
+  /// work. Same concurrency contract.
+  [[nodiscard]] std::vector<ScanEntry> scan_at(round_t cut_round) const {
+    std::vector<ScanEntry> out;
+    out.reserve(size());
+    for_each_at(cut_round, [&out](Key k, const Value& v, round_t r) {
+      out.push_back(ScanEntry{k, v, r});
+    });
+    return out;
+  }
+
+  /// Serial restore of one committed (key, value, round) entry into this
+  /// table — the snapshot restore path. Claims the bucket and stamps the
+  /// packed LiveTag directly (like the migration sweep carries it), so
+  /// CAS-LT writes at rounds > `round` behave exactly as they would have
+  /// against the original table. Returns false iff the probe walk
+  /// exhausted (table sized too small for the snapshot).
+  bool restore_slot(Key key, const Value& v, round_t round) {
+    Bucket* bucket = nullptr;
+    std::uint64_t b = 0;
+    const SetInsert r = claim_bucket(key, bucket, b);
+    if (r == SetInsert::kFull) return false;
+    bucket->value = v;
+    bucket->tagged.tag().restore(LiveTag::pack(round, /*live=*/true));
+    ctrl_[b].store(ctrl_h2(mix64(key)), std::memory_order_release);
+    return true;
   }
 
   // -- cooperative migration: grow and tombstone reclaim --------------------

@@ -62,7 +62,9 @@
 #include <memory>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
+#include "core/round_tag.hpp"
 #include "ds/hash_common.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/atomic_bitset.hpp"
@@ -194,6 +196,30 @@ class ConcurrentHashSet {
       const Key k = buckets_[i].key.load(std::memory_order_acquire);
       if (k != kEmptyKey && !dead_.test(i)) fn(k);
     }
+  }
+
+  /// Concurrent-safe membership scan, the set-shaped sibling of the map's
+  /// cut-predicated for_each_at. Every read is atomic (key word + liveness
+  /// bit), so it may run concurrently with inserts/erases/lookups — but the
+  /// set carries no round word beside its keys, so the cut round cannot
+  /// refine the view: each key is reported live-as-observed, and a caller
+  /// needing a round-exact cut uses ConcurrentHashMap (whose LiveTag packs
+  /// the round the way snapshots require). NOT safe concurrently with
+  /// grow/reclaim, same as the map's scan — park migrations first.
+  template <typename Fn>
+  void for_each_at(round_t /*cut_round*/, Fn&& fn) const {
+    for (std::uint64_t i = 0; i < buckets_.size(); ++i) {
+      const Key k = buckets_[i].key.load(std::memory_order_acquire);
+      if (k != kEmptyKey && !dead_.test(i)) fn(k);
+    }
+  }
+
+  /// Collecting wrapper over for_each_at. Same concurrency contract.
+  [[nodiscard]] std::vector<Key> scan_at(round_t cut_round) const {
+    std::vector<Key> out;
+    out.reserve(size());
+    for_each_at(cut_round, [&out](Key k) { out.push_back(k); });
+    return out;
   }
 
   // -- cooperative migration: grow and tombstone reclaim --------------------

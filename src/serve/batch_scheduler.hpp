@@ -40,6 +40,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/arbiter.hpp"
@@ -50,6 +51,9 @@
 #include "serve/request_queue.hpp"
 #include "serve/serve_metrics.hpp"
 #include "serve/service_backend.hpp"
+#include "snap/cut.hpp"
+#include "snap/snapshot_file.hpp"
+#include "util/backoff.hpp"
 
 namespace crcw::serve {
 
@@ -102,6 +106,56 @@ class BatchScheduler {
     return RequestQueue::kAnyLane;
   }
 
+  // -- snapshots (src/snap): cuts, cut-predicated scans, restore ------------
+  static constexpr std::uint32_t kSnapshotKind = snap::kKindKv;
+
+  /// Mints a consistent cut: parks the pump just long enough to read the
+  /// round (no batch in flight while the lock is held, so every write
+  /// <= that round is committed and visible), registers the hold, and
+  /// lets the pump resume. Scans against the cut then run CONCURRENTLY
+  /// with later batches — the hold only parks grow/reclaim (the batch
+  /// epilog checks cuts_held()), never writers. Pair with release_cut()
+  /// or snap::HeldCut.
+  [[nodiscard]] snap::SnapshotCut mint_cut() {
+    util::Backoff backoff;
+    while (pump_lock_.test_and_set(std::memory_order_acquire)) backoff.pause();
+    const snap::SnapshotCut cut{arbiter_.round(), 1};
+    cuts_held_.fetch_add(1, std::memory_order_acq_rel);
+    pump_lock_.clear(std::memory_order_release);
+    return cut;
+  }
+
+  void release_cut() noexcept { cuts_held_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// Cuts currently held against this backend (maintenance parks on > 0).
+  [[nodiscard]] std::uint64_t cuts_held() const noexcept {
+    return cuts_held_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint32_t snapshot_shards() const noexcept { return 1; }
+
+  /// Backend shape baked into snapshot headers; restore refuses files from
+  /// a differently-shaped server.
+  [[nodiscard]] std::uint64_t config_digest() const noexcept {
+    return ds::mix64(kSnapshotKind + 1) ^ ds::mix64(1);
+  }
+
+  /// Cut-predicated scan of this backend's single shard; fn(key, value,
+  /// round). Safe concurrently with later rounds while the cut is held.
+  template <typename Fn>
+  void scan_shard_at(std::uint32_t, round_t cut_round, Fn&& fn) const {
+    map_.for_each_at(cut_round, std::forward<Fn>(fn));
+  }
+
+  /// Serial restore of one snapshot entry (before serving starts).
+  bool restore_entry(std::uint32_t, std::uint64_t key, std::uint64_t value,
+                     round_t round) {
+    return map_.restore_slot(key, value, round);
+  }
+
+  /// Serial: continues the committed round sequence after restore.
+  void reseed_round(round_t r) { arbiter_.reseed_round(r); }
+
   // -- stats ----------------------------------------------------------------
   [[nodiscard]] round_t round() const noexcept { return arbiter_.round(); }
   [[nodiscard]] std::uint64_t batches() const noexcept {
@@ -151,8 +205,12 @@ class BatchScheduler {
       // table (reclaim_ratio watermark) — or its own probe telemetry says
       // walks degraded past the signal thresholds — rebuild it now: no
       // round is in flight, the pump lock is held, and the next batch
-      // starts against a table sized for its live keys.
-      map_.maybe_reclaim_parallel(threads_, map_.telemetry_signal());
+      // starts against a table sized for its live keys. Parked while any
+      // snapshot cut is held: reclaim frees the bucket array a concurrent
+      // scan_shard_at may still be walking.
+      if (cuts_held() == 0) {
+        map_.maybe_reclaim_parallel(threads_, map_.telemetry_signal());
+      }
       executed = true;
     }
     pump_lock_.clear(std::memory_order_release);
@@ -184,10 +242,13 @@ class BatchScheduler {
       if (records[i].enqueue_ns != 0) {  // sampled (see BatchConfig)
         metrics_.record_admit(records[i].enqueue_ns, admit_ns_);
       }
-      if (records[i].op.key == Table::kEmptyKey || is_stream_op(records[i].op.kind)) {
-        // The reserved sentinel key can never live in the table, and the
-        // stream vocabulary belongs to the streaming backend — fail both
-        // here instead of letting the table throw mid-region.
+      if (records[i].op.key == Table::kEmptyKey || is_stream_op(records[i].op.kind) ||
+          is_snapshot_op(records[i].op.kind)) {
+        // The reserved sentinel key can never live in the table, the
+        // stream vocabulary belongs to the streaming backend, and the
+        // snapshot kinds are answered by the wire server without entering
+        // a round — fail all three here instead of letting the table
+        // throw mid-region.
         publish(records[i], Result{0, false, arbiter_.round() + 1});
         continue;
       }
@@ -203,8 +264,11 @@ class BatchScheduler {
 
     // Backlog-sized reservation: one grow big enough for every write in
     // this round (ROADMAP "resize-storm tail"), so phase B cannot see
-    // kFull — the round has no retry path for a full table.
-    map_.maybe_grow_for_backlog(write_count, threads_);
+    // kFull — the round has no retry path for a full table. Parked while
+    // a snapshot cut is held (grow frees the old bucket array under a
+    // live scan); callers sizing tables for checkpoint workloads pre-size
+    // via TableConfig::expected_keys.
+    if (cuts_held() == 0) map_.maybe_grow_for_backlog(write_count, threads_);
 
     const auto scope = arbiter_.next_round(ResetMode::kNone);
     const round_t r = scope.round();
@@ -338,6 +402,10 @@ class BatchScheduler {
   // (kNeedsRoundReset == false), so next_round(kNone) is one increment.
   WriteArbiter<CasLtPolicy> arbiter_{0};
   std::atomic_flag pump_lock_;
+  // Snapshot cuts currently held (mint_cut/release_cut). While > 0 the
+  // batch epilog skips reclaim and backlog grow — both free the bucket
+  // array that concurrent cut-predicated scans are walking.
+  std::atomic<std::uint64_t> cuts_held_{0};
 
   // Pump-private scratch (only touched under pump_lock_).
   std::vector<Record> scratch_;

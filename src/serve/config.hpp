@@ -158,12 +158,23 @@ struct StreamConfig {
   std::uint64_t expected_edges = 0;
 };
 
+/// The snapshot subsystem (src/snap). Only the wire server reads these:
+/// a kSnapshotCreate request checkpoints into `dir`; with `dir` empty the
+/// server answers the request `won = false` (snapshots not provisioned)
+/// instead of writing anywhere implicit.
+struct SnapConfig {
+  /// Directory checkpoint files publish into (created by the operator,
+  /// not the server). Empty = snapshot_create disabled.
+  std::string dir;
+};
+
 struct ServeConfig {
   BatchConfig batch;
   TableConfig table;
   ShardConfig shards;
   WireConfig wire;
   StreamConfig stream;
+  SnapConfig snap;
 
   /// Normalises (shard count → next power of two) and bounds-checks every
   /// field; throws std::invalid_argument naming the offender. Engine
@@ -249,6 +260,11 @@ struct ServeConfig {
   [[nodiscard]] ServeConfig with_expected_edges(std::uint64_t m) const {
     ServeConfig c = *this;
     c.stream.expected_edges = m;
+    return c;
+  }
+  [[nodiscard]] ServeConfig with_snapshot_dir(std::string dir) const {
+    ServeConfig c = *this;
+    c.snap.dir = std::move(dir);
     return c;
   }
 };

@@ -49,11 +49,21 @@ enum class OpKind : std::uint8_t {
   kEdgeErase,      ///< stream: erase edge pack_edge(u,v)
   kSameComponent,  ///< stream query: are vertices `key` and `value` connected?
   kComponentSize,  ///< stream query: |component of vertex `key`|
+  kSnapshotCreate,  ///< snap: checkpoint the committed state to disk
+  kSnapshotScan,    ///< snap: consistent-scan digest at a fresh cut
 };
 
 /// Stream-vocabulary ops — the kinds only stream::StreamScheduler executes.
 [[nodiscard]] constexpr bool is_stream_op(OpKind k) noexcept {
-  return k >= OpKind::kEdgeInsert;
+  return k >= OpKind::kEdgeInsert && k <= OpKind::kComponentSize;
+}
+
+/// Snapshot-vocabulary ops. These never enter a round: the wire server
+/// answers them on the connection's handler thread (src/snap holds the
+/// cut while batches keep committing), and the schedulers reject them at
+/// admission like any other foreign vocabulary.
+[[nodiscard]] constexpr bool is_snapshot_op(OpKind k) noexcept {
+  return k == OpKind::kSnapshotCreate || k == OpKind::kSnapshotScan;
 }
 
 /// Read-only kinds: executed in a round's phase A, before any same-round
@@ -91,6 +101,12 @@ struct Op {
   }
   [[nodiscard]] static constexpr Op component_size(std::uint32_t v) noexcept {
     return {OpKind::kComponentSize, v, 0};
+  }
+  [[nodiscard]] static constexpr Op snapshot_create() noexcept {
+    return {OpKind::kSnapshotCreate, 0, 0};
+  }
+  [[nodiscard]] static constexpr Op snapshot_scan() noexcept {
+    return {OpKind::kSnapshotScan, 0, 0};
   }
 };
 

@@ -14,7 +14,15 @@
 // consistency mechanism; Response carries {round, shard} so clients can
 // implement read-your-writes exactly like in-process ClientSessions. Any
 // framing error (DecodeStatus::kError) drops the connection; there is no
-// resync. Threads-per-connection is deliberate: the expected clients are
+// resync.
+//
+// The snapshot kinds are the one exception to "every op rides a round":
+// kSnapshotScan and kSnapshotCreate are answered on the handler thread
+// itself via src/snap (a consistent cut held while the pump keeps
+// committing), so a slow scan blocks only its own connection, never the
+// round pipeline. Scan replies carry the fold digest in `value` and the
+// cut round in `round`; create replies carry the published checkpoint's
+// cut round (won=false if SnapConfig::dir is empty or the write failed). Threads-per-connection is deliberate: the expected clients are
 // a handful of load generators pipelining thousands of ops, not ten
 // thousand idle sockets (an epoll reactor composes later without touching
 // the protocol).
@@ -26,8 +34,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -35,6 +45,7 @@
 #include "serve/serve_session.hpp"
 #include "serve/service_backend.hpp"
 #include "serve/wire.hpp"
+#include "snap/checkpointer.hpp"
 
 namespace crcw::serve {
 
@@ -168,10 +179,17 @@ class BasicWireServer {
         requests_.fetch_add(burst.size(), std::memory_order_relaxed);
 
         for (std::size_t i = 0; i < burst.size(); ++i) {
-          session_.submit(burst[i].op, futures[i]);
+          if (!is_snapshot_op(burst[i].op.kind)) session_.submit(burst[i].op, futures[i]);
         }
         out.clear();
         for (std::size_t i = 0; i < burst.size(); ++i) {
+          if (is_snapshot_op(burst[i].op.kind)) {
+            // Answered here, in request order, without entering a round —
+            // the cut machinery keeps the view consistent while later
+            // batches commit underneath the scan.
+            wire::encode_response(handle_snapshot(burst[i]), out);
+            continue;
+          }
           const Result& r = session_.wait(futures[i]);
           wire::encode_response(
               {burst[i].id, r.won, r.value, r.round,
@@ -188,6 +206,35 @@ class BasicWireServer {
     net::close_fd(fd);
   }
 
+  /// kSnapshotScan: digest the committed state at a fresh cut, concurrent
+  /// with later rounds. kSnapshotCreate: publish a checkpoint file into
+  /// SnapConfig::dir (serialized — one checkpoint at a time; the handler
+  /// blocks until its file is durable so won=true means published).
+  wire::Response handle_snapshot(const wire::Request& req) {
+    wire::Response resp;
+    resp.id = req.id;
+    if (req.op.kind == OpKind::kSnapshotScan) {
+      const snap::ScanDigest d = snap::scan_digest(session_.backend());
+      resp.won = true;
+      resp.value = d.digest;
+      resp.round = d.cut.round;
+      return resp;
+    }
+    const std::string& dir = session_.config().snap.dir;
+    if (dir.empty()) return resp;  // snapshots not provisioned: won=false
+    const std::lock_guard<std::mutex> lock(snap_mu_);
+    if (!checkpointer_) {
+      checkpointer_ =
+          std::make_unique<snap::Checkpointer<Backend>>(session_.backend(), dir);
+    }
+    std::string err;
+    const auto cut = checkpointer_->begin(&err);
+    if (!cut.has_value()) return resp;
+    resp.won = checkpointer_->wait(&err);
+    resp.round = cut->round;
+    return resp;
+  }
+
   BasicServeSession<Backend>& session_;
   WireConfig cfg_;
   int listen_fd_ = -1;
@@ -199,6 +246,8 @@ class BasicWireServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> requests_{0};
+  std::mutex snap_mu_;  // serializes kSnapshotCreate across connections
+  std::unique_ptr<snap::Checkpointer<Backend>> checkpointer_;
 };
 
 /// The deployment default: a wire front end over the sharded backend.

@@ -36,6 +36,7 @@
 #include "serve/serve_metrics.hpp"
 #include "serve/service_backend.hpp"
 #include "serve/sharded_scheduler.hpp"
+#include "snap/checkpointer.hpp"
 
 namespace crcw::serve {
 
@@ -212,8 +213,21 @@ class ClientSession {
       }
     }
     const Result r = session_.call(op);
-    if (r.round > last_write_round_[shard]) last_write_round_[shard] = r.round;
+    // Snapshot kinds are not writes (the schedulers reject them; the wire
+    // server answers them out-of-round) — folding their rejection round
+    // into the tracker would wedge every later lookup behind a round that
+    // never committed for this client.
+    if (!is_snapshot_op(op.kind) && r.round > last_write_round_[shard]) {
+      last_write_round_[shard] = r.round;
+    }
     return r;
+  }
+
+  /// Consistent-scan digest of the session's committed state at a fresh
+  /// cut — the in-process twin of WireClient::snapshot_scan (same fold,
+  /// same digest for the same committed state).
+  [[nodiscard]] snap::ScanDigest snapshot_scan() {
+    return snap::scan_digest(session_.backend());
   }
 
   /// Folds an asynchronously-completed write Result into the tracker (for

@@ -45,6 +45,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/arbiter.hpp"
@@ -57,6 +58,9 @@
 #include "serve/request_queue.hpp"
 #include "serve/serve_metrics.hpp"
 #include "serve/service_backend.hpp"
+#include "snap/cut.hpp"
+#include "snap/snapshot_file.hpp"
+#include "util/backoff.hpp"
 #include "util/cacheline.hpp"
 
 namespace crcw::serve {
@@ -120,6 +124,60 @@ class ShardedScheduler {
                static_cast<std::size_t>(lanes_per_shard_) +
            client_slot() % static_cast<std::size_t>(lanes_per_shard_);
   }
+
+  // -- snapshots (src/snap): cuts, cut-predicated scans, restore ------------
+  static constexpr std::uint32_t kSnapshotKind = snap::kKindKv;
+
+  /// Mints a consistent cut: the single shared arbiter is the round
+  /// authority for every shard, so one parked read of its counter is a
+  /// cross-shard-consistent cut — every shard has committed exactly the
+  /// rounds <= cut.round and nothing later. The pump resumes immediately;
+  /// only grow/reclaim park while the cut is held (the batch epilog
+  /// checks cuts_held()).
+  [[nodiscard]] snap::SnapshotCut mint_cut() {
+    util::Backoff backoff;
+    while (pump_lock_.test_and_set(std::memory_order_acquire)) backoff.pause();
+    const snap::SnapshotCut cut{arbiter_.round(),
+                                static_cast<std::uint32_t>(shards_.size())};
+    cuts_held_.fetch_add(1, std::memory_order_acq_rel);
+    pump_lock_.clear(std::memory_order_release);
+    return cut;
+  }
+
+  void release_cut() noexcept { cuts_held_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// Cuts currently held against this backend (maintenance parks on > 0).
+  [[nodiscard]] std::uint64_t cuts_held() const noexcept {
+    return cuts_held_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint32_t snapshot_shards() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Backend shape baked into snapshot headers; restore refuses files from
+  /// a differently-sharded server (shard_of would route keys elsewhere).
+  [[nodiscard]] std::uint64_t config_digest() const noexcept {
+    return ds::mix64(kSnapshotKind + 1) ^ ds::mix64(shards_.size());
+  }
+
+  /// Cut-predicated scan of shard s; fn(key, value, round). Safe
+  /// concurrently with later rounds while the cut is held.
+  template <typename Fn>
+  void scan_shard_at(std::uint32_t s, round_t cut_round, Fn&& fn) const {
+    shards_[s]->table.for_each_at(cut_round, std::forward<Fn>(fn));
+  }
+
+  /// Serial restore of one snapshot entry into shard s (before serving
+  /// starts). Refuses keys the router would place on a different shard.
+  bool restore_entry(std::uint32_t s, std::uint64_t key, std::uint64_t value,
+                     round_t round) {
+    if (static_cast<int>(s) != shard_of(key)) return false;
+    return shards_[s]->table.restore_slot(key, value, round);
+  }
+
+  /// Serial: continues the committed round sequence after restore.
+  void reseed_round(round_t r) { arbiter_.reseed_round(r); }
 
   // -- introspection --------------------------------------------------------
   [[nodiscard]] round_t round() const noexcept { return arbiter_.round(); }
@@ -244,9 +302,13 @@ class ShardedScheduler {
       // telemetry feeds the trigger, so with reclaim_probe_p99 /
       // reclaim_fp_rate set a shard also rebuilds when its walks
       // demonstrably degrade, ahead of the static tombstone watermark.
+      // Parked while any snapshot cut is held: reclaim frees a shard's
+      // bucket array while a concurrent scan_shard_at may be walking it.
       for (auto& s : shards_) {
         s->pending.clear();
-        (void)s->table.maybe_reclaim_parallel(threads_, s->table.telemetry_signal());
+        if (cuts_held() == 0) {
+          (void)s->table.maybe_reclaim_parallel(threads_, s->table.telemetry_signal());
+        }
       }
       executed = true;
     }
@@ -279,10 +341,12 @@ class ShardedScheduler {
       for (std::size_t i = begin; i < end; ++i) {
         const Record& rec = shard.pending[i];
         if (rec.enqueue_ns != 0) metrics_.record_admit(rec.enqueue_ns, admit_ns_);
-        if (rec.op.key == Table::kEmptyKey || is_stream_op(rec.op.kind)) {
-          // Sentinel keys and stream-vocabulary ops are rejected at
-          // admission without touching any table (stream ops belong to the
-          // streaming backend; a KV shard has no graph to run them on).
+        if (rec.op.key == Table::kEmptyKey || is_stream_op(rec.op.kind) ||
+            is_snapshot_op(rec.op.kind)) {
+          // Sentinel keys, stream-vocabulary ops and snapshot kinds are
+          // rejected at admission without touching any table (stream ops
+          // belong to the streaming backend; snapshot kinds are answered
+          // by the wire server without entering a round).
           publish(rec, Result{0, false, arbiter_.round() + 1});
         } else if (rec.op.kind != OpKind::kLookup) {
           ++write_count;
@@ -292,7 +356,10 @@ class ShardedScheduler {
       admitted += ops;
       shard.ops_total += ops;
       if (shard.site) shard.site->add_attempts(ops);
-      shard.table.maybe_grow_for_backlog(write_count, threads_);
+      // Backlog grow parks too while a cut is held (grow frees the old
+      // bucket array under a live scan); snapshot workloads pre-size via
+      // TableConfig::expected_keys.
+      if (cuts_held() == 0) shard.table.maybe_grow_for_backlog(write_count, threads_);
       shard.wins = 0;
       shard.full = false;
     }
@@ -415,6 +482,10 @@ class ShardedScheduler {
   // reset sweep, so next_round(kNone) is one increment).
   WriteArbiter<CasLtPolicy> arbiter_{0};
   std::atomic_flag pump_lock_;
+  // Snapshot cuts currently held (mint_cut/release_cut). While > 0 every
+  // shard's epilog skips reclaim and backlog grow — both free bucket
+  // arrays that concurrent cut-predicated scans are walking.
+  std::atomic<std::uint64_t> cuts_held_{0};
 
   // Pump-private scratch (only touched under pump_lock_).
   std::vector<Record> scratch_;

@@ -18,8 +18,11 @@
 //
 // The stream kinds ride the same frames with no codec change: edge ops
 // put the packed edge in the key field, the connectivity queries their
-// vertices in key/value (OpKind docs). Only the decoder's kind bound
-// moves; kinds past kComponentSize still poison.
+// vertices in key/value (OpKind docs). The snapshot kinds
+// (kSnapshotCreate/kSnapshotScan) ride them too — key/value are ignored
+// on request; the response carries the cut round in `round` and the scan
+// digest (or 0 for create) in `value`. Only the decoder's kind bound
+// moves; kinds past kSnapshotScan still poison.
 //
 // The decoder is incremental and chunk-boundary agnostic: feed() arbitrary
 // byte slices, next() yields complete frames. Garbage framing (oversized
@@ -184,7 +187,7 @@ class RequestDecoder {
     const DecodeStatus st = reader_.next(payload_);
     if (st != DecodeStatus::kFrame) return st;
     const std::uint8_t kind = payload_[0];
-    if (kind > static_cast<std::uint8_t>(OpKind::kComponentSize)) {
+    if (kind > static_cast<std::uint8_t>(OpKind::kSnapshotScan)) {
       reader_.poison();
       return DecodeStatus::kError;
     }

@@ -59,6 +59,7 @@ class WireClient {
   wire::Response call(const Op& op) {
     for (;;) {
       const wire::Response r = call_raw(op);
+      if (is_snapshot_op(op.kind)) return r;  // not a write: no RYW tracking
       if (is_read_op(op.kind)) {
         if (r.round <= stale_bound(op.kind, r.shard)) {
           ++stale_retries_;
@@ -78,6 +79,18 @@ class WireClient {
     recv_response(resp);
     return resp;
   }
+
+  // -- snapshots -------------------------------------------------------------
+
+  /// Consistent-scan digest of the server's committed state at a fresh
+  /// cut: `value` is the fold digest, `round` the cut round. Two servers
+  /// holding identical committed state answer with identical digests —
+  /// the wire-level equality witness of the kill/restore audit.
+  wire::Response snapshot_scan() { return call_raw(Op::snapshot_scan()); }
+
+  /// Asks the server to publish a checkpoint file (SnapConfig::dir).
+  /// `won` is true iff the file is durable; `round` is the cut it holds.
+  wire::Response snapshot_create() { return call_raw(Op::snapshot_create()); }
 
   // -- pipelined -------------------------------------------------------------
 
@@ -117,7 +130,9 @@ class WireClient {
         send_request_id(id, op);
         continue;
       }
-      if (!is_read_op(op.kind)) note_write(resp.shard, resp.round);
+      if (!is_read_op(op.kind) && !is_snapshot_op(op.kind)) {
+        note_write(resp.shard, resp.round);
+      }
       results[idx] = resp;
       ++done;
     }

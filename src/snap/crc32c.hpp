@@ -1,0 +1,60 @@
+// CRC32C (Castagnoli) — the frame checksum of the snapshot file format.
+//
+// Software, table-driven, one byte per step: snapshot I/O is dominated by
+// the scan and the write() syscalls, so a hardware CRC (SSE4.2 crc32q)
+// would not move the needle and would drag in a feature-detection story
+// the container toolchain doesn't owe us. The polynomial is the reflected
+// Castagnoli 0x1EDC6F41 (0x82F63B78 bit-reversed) — the same CRC iSCSI,
+// ext4 metadata and RocksDB frames use, chosen over CRC32 (ZIP) for its
+// better burst-error detection at these frame sizes. The table is built at
+// compile time; the checksum of the empty string is 0, and the
+// final-xor/init pair (~0) matches the RFC 3720 reference vectors (the
+// unit test pins "123456789" -> 0xE3069283).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace crcw::snap {
+
+namespace detail {
+
+inline constexpr std::uint32_t kCrc32cPoly = 0x82F63B78u;  // reflected Castagnoli
+
+[[nodiscard]] constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+}  // namespace detail
+
+/// Streaming update: feed chunks in order, seeding each call with the
+/// previous return value (start from 0). The init/final inversions are
+/// folded in here, so partial results are already valid CRC32C values.
+[[nodiscard]] constexpr std::uint32_t crc32c_update(std::uint32_t crc,
+                                                    const unsigned char* data,
+                                                    std::size_t n) noexcept {
+  crc = ~crc;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = detail::kCrc32cTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// One-shot CRC32C of a buffer.
+[[nodiscard]] constexpr std::uint32_t crc32c(const unsigned char* data,
+                                             std::size_t n) noexcept {
+  return crc32c_update(0, data, n);
+}
+
+}  // namespace crcw::snap

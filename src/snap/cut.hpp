@@ -1,0 +1,60 @@
+// SnapshotCut — the round-cut token consistent scans and checkpoints hang
+// off.
+//
+// Every serve backend funnels its writes through ONE WriteArbiter whose
+// round counter advances only between batches (next_round at the PRAM step
+// boundary), so "the state as of round r" is well-defined across every
+// shard at once: a write either committed with round <= r before the cut
+// was minted, or it commits with a strictly larger round after it. A
+// SnapshotCut is nothing but that observation reified — the round the
+// arbiter held while the scheduler's pump was parked — plus the shard
+// count the scan will cover. Holding a cut obliges the scheduler to keep
+// bucket arrays stable (its batch epilog parks grow/reclaim while
+// cuts_held() > 0); the per-bucket round predicate does the rest, with no
+// locks and no writer stalls (ds::ConcurrentHashMap::for_each_at).
+#pragma once
+
+#include <cstdint>
+
+#include "core/round_tag.hpp"
+
+namespace crcw::snap {
+
+/// A consistent read point: every write with round <= `round` is committed
+/// and visible; every later write carries a strictly larger round.
+struct SnapshotCut {
+  round_t round = kInitialRound;
+  std::uint32_t shards = 1;
+};
+
+/// RAII hold of a cut against a scheduler: mints on construction, releases
+/// on destruction, so a throwing scan can never leave the scheduler's
+/// maintenance parked forever. Backend needs mint_cut()/release_cut().
+template <typename Backend>
+class HeldCut {
+ public:
+  explicit HeldCut(Backend& backend) : backend_(&backend), cut_(backend.mint_cut()) {}
+
+  ~HeldCut() { release(); }
+
+  HeldCut(const HeldCut&) = delete;
+  HeldCut& operator=(const HeldCut&) = delete;
+
+  [[nodiscard]] const SnapshotCut& cut() const noexcept { return cut_; }
+  [[nodiscard]] round_t round() const noexcept { return cut_.round; }
+
+  /// Early release (idempotent): lets the holder resume grow/reclaim as
+  /// soon as the scan is done instead of at scope end.
+  void release() noexcept {
+    if (backend_ != nullptr) {
+      backend_->release_cut();
+      backend_ = nullptr;
+    }
+  }
+
+ private:
+  Backend* backend_;
+  SnapshotCut cut_;
+};
+
+}  // namespace crcw::snap

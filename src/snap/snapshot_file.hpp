@@ -1,0 +1,372 @@
+// Snapshot file format — chunked, CRC32C-framed, length-prefixed,
+// versioned, published atomically.
+//
+// Layout (every integer little-endian, byte-wise like the wire codec, so
+// files are portable across hosts):
+//
+//   header (44 bytes, fixed):
+//     u64  magic            "CRCWSNAP"
+//     u32  version          kFormatVersion
+//     u32  kind             kKindKv | kKindStream
+//     u64  round            the cut the entries were scanned at
+//     u32  shards           segment count the writer promised
+//     u32  reserved         0
+//     u64  config_digest    backend shape (shards, vertices, ...) — restore
+//                           refuses a snapshot from a differently-shaped
+//                           server instead of silently mis-routing keys
+//     u32  crc32c           over the 40 header bytes above
+//
+//   frames, until the end marker:
+//     u32  payload_len | u32 crc32c(payload) | payload
+//   frame payload:
+//     u8   frame kind (kFrameKv / kFrameCc / kFrameEnd)
+//     u32  shard
+//     u64  entry count           (kFrameEnd: total entries in the file)
+//     count x (u64 a | u64 b | u64 c)   entry triples; absent for kFrameEnd
+//
+// KV entries are (key, value, round) — the committed round rides along so
+// restore can stamp each LiveTag exactly and the arbiter can be re-seeded
+// past the cut. CC entries are (vertex, parent, 0). Chunking (kChunkEntries
+// per frame) bounds both the writer's staging buffer and the blast radius
+// of a torn write: a bit flip or truncation corrupts one frame's CRC, and
+// the reader fails closed right there with an offset in the diagnostic.
+//
+// Publish is tmp-then-rename: the writer streams to `path + ".tmp"`,
+// fsyncs, closes, and rename(2)s over `path` — a crash mid-checkpoint
+// leaves at worst a stale tmp file, never a half-written snapshot under
+// the published name. The reader mirrors the wire codec's poisoned-decoder
+// discipline: the first malformed byte (bad magic, unknown version, CRC
+// mismatch, truncated frame, missing end marker, trailing bytes) latches a
+// diagnostic and every later call fails; there is no resynchronisation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "snap/crc32c.hpp"
+
+namespace crcw::snap {
+
+inline constexpr std::uint64_t kSnapshotMagic = 0x50414E5357435243ull;  // "CRCWSNAP" LE
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kKindKv = 0;
+inline constexpr std::uint32_t kKindStream = 1;
+
+inline constexpr std::uint8_t kFrameKv = 1;
+inline constexpr std::uint8_t kFrameCc = 2;
+inline constexpr std::uint8_t kFrameEnd = 3;
+
+inline constexpr std::size_t kHeaderBytes = 44;
+inline constexpr std::size_t kEntryBytes = 24;
+inline constexpr std::size_t kFramePrefixBytes = 13;  // kind + shard + count
+/// Entries per frame: 4096 triples = 96 KiB payloads, big enough that the
+/// CRC and syscall overheads vanish, small enough that a corrupt frame
+/// names a narrow byte range.
+inline constexpr std::uint64_t kChunkEntries = 4096;
+/// Reader-side cap on a frame's declared length — anything larger is a
+/// corrupt or hostile length prefix, refused before any allocation.
+inline constexpr std::uint32_t kMaxFrameBytes =
+    kFramePrefixBytes + kChunkEntries * kEntryBytes;
+
+/// One serialised triple; the interpretation of (a, b, c) is per frame
+/// kind: KV = (key, value, round), CC = (vertex, parent, 0).
+struct SnapshotEntry {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+struct SnapshotHeader {
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t kind = kKindKv;
+  std::uint64_t round = 0;
+  std::uint32_t shards = 1;
+  std::uint64_t config_digest = 0;
+};
+
+namespace detail {
+
+inline void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  out.push_back(static_cast<unsigned char>(v));
+  out.push_back(static_cast<unsigned char>(v >> 8));
+  out.push_back(static_cast<unsigned char>(v >> 16));
+  out.push_back(static_cast<unsigned char>(v >> 24));
+}
+
+inline void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+[[nodiscard]] inline std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+[[nodiscard]] inline std::uint64_t get_u64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
+
+}  // namespace detail
+
+/// Streams one snapshot file: open() writes the header to `path + ".tmp"`,
+/// append() frames entry chunks, finish() writes the end marker, fsyncs
+/// and renames over `path`. Any I/O failure latches error() and aborts the
+/// publish (the tmp file is removed); the published path never holds a
+/// partial snapshot.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::string path)
+      : path_(std::move(path)), tmp_path_(path_ + ".tmp") {}
+
+  ~SnapshotWriter() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      std::remove(tmp_path_.c_str());  // never leave a dangling tmp
+    }
+  }
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  bool open(const SnapshotHeader& header) {
+    if (!ok() || file_ != nullptr) return fail("open: writer already used");
+    file_ = std::fopen(tmp_path_.c_str(), "wb");
+    if (file_ == nullptr) return fail("open: cannot create " + tmp_path_);
+    std::vector<unsigned char> buf;
+    buf.reserve(kHeaderBytes);
+    detail::put_u64(buf, kSnapshotMagic);
+    detail::put_u32(buf, header.version);
+    detail::put_u32(buf, header.kind);
+    detail::put_u64(buf, header.round);
+    detail::put_u32(buf, header.shards);
+    detail::put_u32(buf, 0);  // reserved
+    detail::put_u64(buf, header.config_digest);
+    detail::put_u32(buf, crc32c(buf.data(), buf.size()));
+    return write_all(buf);
+  }
+
+  /// Frames one chunk of entries for `shard`. Call with at most
+  /// kChunkEntries triples (larger spans are the caller's bug — the reader
+  /// would refuse the oversized frame).
+  bool append(std::uint8_t frame_kind, std::uint32_t shard,
+              const std::vector<SnapshotEntry>& entries) {
+    if (!ok()) return false;
+    if (file_ == nullptr) return fail("append before open");
+    if (entries.size() > kChunkEntries) return fail("append: chunk exceeds kChunkEntries");
+    std::vector<unsigned char> payload;
+    payload.reserve(kFramePrefixBytes + entries.size() * kEntryBytes);
+    payload.push_back(frame_kind);
+    detail::put_u32(payload, shard);
+    detail::put_u64(payload, entries.size());
+    for (const SnapshotEntry& e : entries) {
+      detail::put_u64(payload, e.a);
+      detail::put_u64(payload, e.b);
+      detail::put_u64(payload, e.c);
+    }
+    total_entries_ += entries.size();
+    return write_frame(payload);
+  }
+
+  /// End marker + fsync + atomic rename. After a true return the snapshot
+  /// is durably published under path().
+  bool finish() {
+    if (!ok()) return false;
+    if (file_ == nullptr) return fail("finish before open");
+    std::vector<unsigned char> payload;
+    payload.push_back(kFrameEnd);
+    detail::put_u32(payload, 0);
+    detail::put_u64(payload, total_entries_);
+    if (!write_frame(payload)) return false;
+    if (std::fflush(file_) != 0) return fail("finish: fflush failed");
+    if (fsync(fileno(file_)) != 0) return fail("finish: fsync failed");
+    const int closed = std::fclose(file_);
+    file_ = nullptr;
+    if (closed != 0) return fail("finish: fclose failed");
+    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+      std::remove(tmp_path_.c_str());
+      return fail("finish: rename to " + path_ + " failed");
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string msg) {
+    if (error_.empty()) error_ = "SnapshotWriter: " + std::move(msg);
+    return false;
+  }
+
+  bool write_frame(const std::vector<unsigned char>& payload) {
+    std::vector<unsigned char> prefix;
+    prefix.reserve(8);
+    detail::put_u32(prefix, static_cast<std::uint32_t>(payload.size()));
+    detail::put_u32(prefix, crc32c(payload.data(), payload.size()));
+    return write_all(prefix) && write_all(payload);
+  }
+
+  bool write_all(const std::vector<unsigned char>& buf) {
+    if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
+      return fail("short write to " + tmp_path_);
+    }
+    return true;
+  }
+
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t total_entries_ = 0;
+  std::string error_;
+};
+
+/// One decoded frame.
+struct SnapshotFrame {
+  std::uint8_t kind = 0;
+  std::uint32_t shard = 0;
+  std::vector<SnapshotEntry> entries;
+};
+
+/// Fail-closed reader. open() validates the header; next() yields frames
+/// until the end marker (false with empty error() = clean end). The first
+/// malformed byte poisons the reader: error() latches a diagnostic naming
+/// what broke and where, and every later call returns false — corrupted
+/// snapshots are refused wholesale, never partially applied.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string path) : path_(std::move(path)) {}
+
+  ~SnapshotReader() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] const SnapshotHeader& header() const noexcept { return header_; }
+
+  bool open() {
+    if (!ok() || file_ != nullptr) return fail("open: reader already used");
+    file_ = std::fopen(path_.c_str(), "rb");
+    if (file_ == nullptr) return fail("cannot open " + path_);
+    unsigned char buf[kHeaderBytes];
+    if (std::fread(buf, 1, kHeaderBytes, file_) != kHeaderBytes) {
+      return fail("truncated header (file shorter than " +
+                  std::to_string(kHeaderBytes) + " bytes)");
+    }
+    if (detail::get_u64(buf) != kSnapshotMagic) return fail("bad magic");
+    const std::uint32_t stored_crc = detail::get_u32(buf + kHeaderBytes - 4);
+    if (crc32c(buf, kHeaderBytes - 4) != stored_crc) return fail("header CRC mismatch");
+    header_.version = detail::get_u32(buf + 8);
+    if (header_.version != kFormatVersion) {
+      return fail("unsupported version " + std::to_string(header_.version) +
+                  " (expected " + std::to_string(kFormatVersion) + ")");
+    }
+    header_.kind = detail::get_u32(buf + 12);
+    if (header_.kind != kKindKv && header_.kind != kKindStream) {
+      return fail("unknown snapshot kind " + std::to_string(header_.kind));
+    }
+    header_.round = detail::get_u64(buf + 16);
+    header_.shards = detail::get_u32(buf + 24);
+    header_.config_digest = detail::get_u64(buf + 32);
+    offset_ = kHeaderBytes;
+    return true;
+  }
+
+  /// Next entry frame, or false: clean end (end marker consumed, error()
+  /// empty) vs poisoned (error() set). The end marker's total-entry count
+  /// is cross-checked against the frames actually read, so a file
+  /// truncated at a frame boundary still fails closed.
+  bool next(SnapshotFrame& out) {
+    if (!ok()) return false;
+    if (file_ == nullptr) return fail("next before open");
+    if (finished_) return fail("next after the end marker");
+    unsigned char prefix[8];
+    const std::size_t got = std::fread(prefix, 1, 8, file_);
+    if (got != 8) {
+      return fail("truncated frame prefix at offset " + std::to_string(offset_));
+    }
+    const std::uint32_t len = detail::get_u32(prefix);
+    const std::uint32_t want_crc = detail::get_u32(prefix + 4);
+    if (len < kFramePrefixBytes || len > kMaxFrameBytes) {
+      return fail("implausible frame length " + std::to_string(len) + " at offset " +
+                  std::to_string(offset_));
+    }
+    std::vector<unsigned char> payload(len);
+    if (std::fread(payload.data(), 1, len, file_) != len) {
+      return fail("truncated frame payload at offset " + std::to_string(offset_ + 8));
+    }
+    if (crc32c(payload.data(), len) != want_crc) {
+      return fail("frame CRC mismatch at offset " + std::to_string(offset_));
+    }
+    offset_ += 8 + len;
+    const std::uint8_t kind = payload[0];
+    const std::uint32_t shard = detail::get_u32(payload.data() + 1);
+    const std::uint64_t count = detail::get_u64(payload.data() + 5);
+    if (kind == kFrameEnd) {
+      if (count != total_entries_) {
+        return fail("end marker count " + std::to_string(count) + " != entries read " +
+                    std::to_string(total_entries_));
+      }
+      // Anything after the end marker is not ours — refuse the file rather
+      // than ignore bytes an attacker or a torn write appended.
+      unsigned char extra = 0;
+      if (std::fread(&extra, 1, 1, file_) != 0) return fail("trailing bytes after end marker");
+      finished_ = true;
+      return false;
+    }
+    if (kind != kFrameKv && kind != kFrameCc) {
+      return fail("unknown frame kind " + std::to_string(kind) + " at offset " +
+                  std::to_string(offset_ - 8 - len));
+    }
+    // Bound count before the length arithmetic: a hostile 2^61-ish count
+    // could otherwise wrap `count * kEntryBytes` into agreement with `len`
+    // and drive the resize below into a huge allocation.
+    if (count > kChunkEntries) {
+      return fail("frame entry count " + std::to_string(count) + " exceeds chunk bound");
+    }
+    if (kFramePrefixBytes + count * kEntryBytes != len) {
+      return fail("frame length " + std::to_string(len) + " does not match count " +
+                  std::to_string(count));
+    }
+    out.kind = kind;
+    out.shard = shard;
+    out.entries.resize(count);
+    const unsigned char* p = payload.data() + kFramePrefixBytes;
+    for (std::uint64_t i = 0; i < count; ++i, p += kEntryBytes) {
+      out.entries[i] = SnapshotEntry{detail::get_u64(p), detail::get_u64(p + 8),
+                                     detail::get_u64(p + 16)};
+    }
+    total_entries_ += count;
+    return true;
+  }
+
+  /// True iff the end marker was reached (the only non-poisoned way for
+  /// next() to return false).
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+ private:
+  bool fail(std::string msg) {
+    if (error_.empty()) error_ = "SnapshotReader(" + path_ + "): " + std::move(msg);
+    return false;
+  }
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  SnapshotHeader header_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t total_entries_ = 0;
+  bool finished_ = false;
+  std::string error_;
+};
+
+}  // namespace crcw::snap

@@ -51,6 +51,7 @@ struct ReplayStats {
   std::uint64_t edges_won = 0;      ///< edge writes that won their round
   std::uint64_t duration_ns = 0;    ///< wall time of the whole replay
   std::uint64_t max_lag_ns = 0;     ///< worst submit-behind-schedule distance
+  std::uint64_t throttled = 0;      ///< events admitted closed-loop (lag bound)
   std::uint64_t query_p50_ns = 0;   ///< submit→ready, sampled queries
   std::uint64_t query_p99_ns = 0;
 
@@ -66,16 +67,27 @@ class EventEngine {
   /// Replay `events` against `session` with `clients` submitting threads.
   /// The session's pump must already be running (start_pump), or the
   /// caller must poll concurrently — the engine only submits and waits.
+  ///
+  /// `max_lag_us` is the backpressure bound (0 = off, pure open loop):
+  /// once a client's submission falls more than this far behind the trace
+  /// clock, each further event first retires the client's previous
+  /// in-flight op before submitting — admission degrades to closed-loop
+  /// at the server's completion rate instead of queueing unboundedly, and
+  /// every such event counts in ReplayStats::throttled. The lag STILL
+  /// reports honestly in max_lag_ns (throttling bounds queue growth, not
+  /// the clock deficit), so the coordinated-omission check keeps working.
   template <typename Session>
   static ReplayStats replay(Session& session, std::span<const Event> events,
-                            int clients = 1) {
+                            int clients = 1, std::uint64_t max_lag_us = 0) {
     if (clients < 1) clients = 1;
+    const std::uint64_t lag_bound_ns = max_lag_us * 1000;
     obs::Histogram query_hist;  // record() is thread-safe (relaxed atomics)
     std::atomic<std::uint64_t> inserts{0};
     std::atomic<std::uint64_t> erases{0};
     std::atomic<std::uint64_t> queries{0};
     std::atomic<std::uint64_t> edges_won{0};
     std::atomic<std::uint64_t> max_lag{0};
+    std::atomic<std::uint64_t> throttled{0};
 
     const std::uint64_t start_ns = serve::now_ns();
     std::vector<std::thread> threads;
@@ -85,11 +97,15 @@ class EventEngine {
         constexpr std::size_t kRing = 256;
         std::array<serve::OpFuture, kRing> ring;
         std::array<std::uint64_t, kRing> submit_ns{};  // 0 = not a timed query
+        std::array<bool, kRing> in_flight{};
         std::uint64_t local_won = 0;
         std::uint64_t local_lag = 0;
+        std::uint64_t local_throttled = 0;
 
-        // Wait out the op in `slot` and harvest its result.
+        // Wait out the op in `slot` and harvest its result (no-op if the
+        // slot is empty — backpressure may retire a slot early).
         const auto drain_slot = [&](std::size_t slot) {
+          if (!in_flight[slot]) return;
           serve::OpFuture& f = ring[slot];
           serve::BackoffState backoff(64);
           while (!f.ready()) backoff.pause();
@@ -99,6 +115,7 @@ class EventEngine {
             submit_ns[slot] = 0;
           }
           f.reset();
+          in_flight[slot] = false;
         };
 
         std::uint64_t k = 0;  // this client's event counter
@@ -107,10 +124,12 @@ class EventEngine {
           const Event& ev = events[i];
           // Pace against the trace clock: sleep while > 100us early, then
           // spin the remainder (sleep granularity would smear the burst).
+          std::uint64_t lag_now = 0;
           for (;;) {
             const std::uint64_t now = serve::now_ns() - start_ns;
             if (now >= ev.at_ns) {
-              if (now - ev.at_ns > local_lag) local_lag = now - ev.at_ns;
+              lag_now = now - ev.at_ns;
+              if (lag_now > local_lag) local_lag = lag_now;
               break;
             }
             const std::uint64_t ahead = ev.at_ns - now;
@@ -120,7 +139,13 @@ class EventEngine {
           }
 
           const std::size_t slot = static_cast<std::size_t>(k % kRing);
-          if (k >= kRing) drain_slot(slot);  // retire the slot's previous lap
+          drain_slot(slot);  // retire the slot's previous lap, if any
+          if (lag_bound_ns != 0 && lag_now > lag_bound_ns && k > 0) {
+            // Past the lag bound: retire the previous in-flight op before
+            // admitting this one — closed-loop until the server catches up.
+            drain_slot(static_cast<std::size_t>((k - 1) % kRing));
+            ++local_throttled;
+          }
 
           switch (ev.op.kind) {
             case serve::OpKind::kEdgeInsert:
@@ -135,13 +160,12 @@ class EventEngine {
           }
           submit_ns[slot] = serve::is_read_op(ev.op.kind) ? serve::now_ns() : 0;
           session.submit(ev.op, ring[slot]);
+          in_flight[slot] = true;
         }
-        // Retire the last lap's still-armed slots.
-        const std::uint64_t armed = k < kRing ? k : static_cast<std::uint64_t>(kRing);
-        for (std::uint64_t s = 0; s < armed; ++s) {
-          drain_slot(static_cast<std::size_t>((k - armed + s) % kRing));
-        }
+        // Retire the still-armed slots (drain_slot skips empty ones).
+        for (std::size_t s = 0; s < kRing; ++s) drain_slot(s);
         edges_won.fetch_add(local_won, std::memory_order_relaxed);
+        throttled.fetch_add(local_throttled, std::memory_order_relaxed);
         std::uint64_t seen = max_lag.load(std::memory_order_relaxed);
         while (local_lag > seen &&
                !max_lag.compare_exchange_weak(seen, local_lag, std::memory_order_relaxed)) {
@@ -158,6 +182,7 @@ class EventEngine {
     stats.edges_won = edges_won.load();
     stats.duration_ns = serve::now_ns() - start_ns;
     stats.max_lag_ns = max_lag.load();
+    stats.throttled = throttled.load();
     stats.query_p50_ns = query_hist.quantile_upper_bound(0.50);
     stats.query_p99_ns = query_hist.quantile_upper_bound(0.99);
     return stats;

@@ -248,6 +248,41 @@ class IncrementalCc {
   /// Deletion-fallback rebuilds executed so far.
   [[nodiscard]] std::uint64_t rebuilds() const noexcept { return rebuilds_; }
 
+  // -- snapshot capture/restore (serial, quiescent — under the scheduler's
+  // -- held pump lock, where no link/rebuild/compact can run) ---------------
+
+  /// Serialises the forest: fn(v, parent[v]) for every vertex. Captured at
+  /// the same cut as the edge set, so a restored server's find() walks the
+  /// exact pre-kill forest.
+  template <typename Fn>
+  void for_each_parent(Fn&& fn) const {
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      fn(v, parent_[v].load(std::memory_order_relaxed));
+    }
+  }
+
+  /// Restores one captured parent edge. Fails (false) on anything that
+  /// would break the hook invariants — out-of-range ids or parent > v,
+  /// which would let later hooks cycle — so a corrupt snapshot is refused
+  /// instead of planting a forest that can hang find().
+  [[nodiscard]] bool restore_parent(std::uint32_t v, std::uint32_t parent) {
+    if (v >= n_ || parent > v) return false;
+    parent_[v].store(parent, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// After the last restore_parent: recounts components from the restored
+  /// forest and rebuilds the per-root sizes (serial compact). Call once,
+  /// before serving resumes.
+  void finish_restore() {
+    std::uint64_t roots = 0;
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      if (parent_[v].load(std::memory_order_relaxed) == v) ++roots;
+    }
+    components_.store(roots, std::memory_order_relaxed);
+    compact(/*threads=*/1);
+  }
+
   [[nodiscard]] obs::ContentionSite* site() noexcept { return site_.get(); }
   void flush_round() noexcept {
     if (site_) site_->flush_round();

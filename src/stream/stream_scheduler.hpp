@@ -48,6 +48,7 @@
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/arbiter.hpp"
@@ -59,8 +60,11 @@
 #include "serve/request_queue.hpp"
 #include "serve/serve_metrics.hpp"
 #include "serve/service_backend.hpp"
+#include "snap/cut.hpp"
+#include "snap/snapshot_file.hpp"
 #include "stream/dynamic_graph.hpp"
 #include "stream/incremental_cc.hpp"
+#include "util/backoff.hpp"
 #include "util/cacheline.hpp"
 
 namespace crcw::stream {
@@ -119,6 +123,86 @@ class StreamScheduler {
                static_cast<std::size_t>(lanes_per_stripe_) +
            client_slot() % static_cast<std::size_t>(lanes_per_stripe_);
   }
+
+  // -- snapshots (src/snap): cuts, capture, restore -------------------------
+  static constexpr std::uint32_t kSnapshotKind = snap::kKindStream;
+
+  /// Mints a consistent cut (round-only, for scan_digest). The edge scan
+  /// that follows runs concurrently with later rounds under the held-cut
+  /// discipline; whole-state checkpoints go through capture_snapshot
+  /// instead so the forest agrees with the edge set.
+  [[nodiscard]] snap::SnapshotCut mint_cut() {
+    util::Backoff backoff;
+    while (pump_lock_.test_and_set(std::memory_order_acquire)) backoff.pause();
+    const snap::SnapshotCut cut{arbiter_.round(), 1};
+    cuts_held_.fetch_add(1, std::memory_order_acq_rel);
+    pump_lock_.clear(std::memory_order_release);
+    return cut;
+  }
+
+  void release_cut() noexcept { cuts_held_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// Cuts currently held against this backend (maintenance parks on > 0).
+  [[nodiscard]] std::uint64_t cuts_held() const noexcept {
+    return cuts_held_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint32_t snapshot_shards() const noexcept { return 1; }
+
+  /// Backend shape baked into snapshot headers: a stream snapshot from a
+  /// server with a different vertex universe must not restore here (cc
+  /// parents would land out of range or, worse, silently in range).
+  [[nodiscard]] std::uint64_t config_digest() const noexcept {
+    return ds::mix64(kSnapshotKind + 1) ^ ds::mix64(graph_.vertices());
+  }
+
+  /// Cut-predicated scan over the edge table (the digest surface; the
+  /// forest is derived state and stays out of the fold).
+  template <typename Fn>
+  void scan_shard_at(std::uint32_t, round_t cut_round, Fn&& fn) const {
+    graph_.table().for_each_at(cut_round, std::forward<Fn>(fn));
+  }
+
+  /// Whole-state capture for checkpoints: edge triples AND union-find
+  /// parents taken together under the parked pump, so the forest agrees
+  /// with the edge set exactly — a restored server answers same_component
+  /// identically at the cut. Blocks the pump for the capture's duration
+  /// (the stream backend trades checkpoint concurrency for forest
+  /// consistency; the KV backends keep the concurrent path).
+  template <typename EdgeFn, typename ParentFn>
+  [[nodiscard]] snap::SnapshotCut capture_snapshot(EdgeFn&& on_edge,
+                                                   ParentFn&& on_parent) {
+    util::Backoff backoff;
+    while (pump_lock_.test_and_set(std::memory_order_acquire)) backoff.pause();
+    const snap::SnapshotCut cut{arbiter_.round(), 1};
+    graph_.table().for_each_at(cut.round, std::forward<EdgeFn>(on_edge));
+    cc_.for_each_parent(std::forward<ParentFn>(on_parent));
+    pump_lock_.clear(std::memory_order_release);
+    return cut;
+  }
+
+  /// Serial restore of one edge entry (before serving starts). Refuses
+  /// keys that do not unpack to a valid edge of THIS graph — the same
+  /// validation admission applies to live traffic.
+  bool restore_entry(std::uint32_t, std::uint64_t key, std::uint64_t value,
+                     round_t round) {
+    const ds::EdgeKey e = ds::unpack_edge(key);
+    if (!graph_.valid_edge(e.u, e.v)) return false;
+    return graph_.table().restore_slot(key, value, round);
+  }
+
+  /// Serial restore of one union-find parent (monotone parent <= v is
+  /// enforced inside IncrementalCc).
+  bool restore_cc_entry(std::uint32_t v, std::uint32_t parent) {
+    return cc_.restore_parent(v, parent);
+  }
+
+  /// Serial: recounts components and compacts paths once every parent is
+  /// in place.
+  void finish_restore() { cc_.finish_restore(); }
+
+  /// Serial: continues the committed round sequence after restore.
+  void reseed_round(round_t r) { arbiter_.reseed_round(r); }
 
   // -- introspection --------------------------------------------------------
   [[nodiscard]] round_t round() const noexcept { return arbiter_.round(); }
@@ -181,6 +265,8 @@ class StreamScheduler {
         return op.key < graph_.vertices() ? Admit::kQuery : Admit::kReject;
       case serve::OpKind::kUpsert:
       case serve::OpKind::kErase:
+      case serve::OpKind::kSnapshotCreate:  // answered by the wire server,
+      case serve::OpKind::kSnapshotScan:    // never inside a round
         return Admit::kReject;
     }
     return Admit::kReject;
@@ -251,8 +337,12 @@ class StreamScheduler {
       for (auto& s : stripes_) s->pending.clear();
       // Batch boundary = step boundary: the edge table reclaims when its
       // tombstone watermark OR its own probe telemetry says the churn has
-      // degraded walks (the signal-driven trigger).
-      if (graph_.maybe_reclaim(threads_)) reclaims_.fetch_add(1, std::memory_order_relaxed);
+      // degraded walks (the signal-driven trigger). Parked while any
+      // snapshot cut is held — reclaim frees the bucket array a concurrent
+      // cut-predicated scan may still be walking.
+      if (cuts_held() == 0 && graph_.maybe_reclaim(threads_)) {
+        reclaims_.fetch_add(1, std::memory_order_relaxed);
+      }
       executed = true;
     }
     pump_lock_.clear(std::memory_order_release);
@@ -303,7 +393,10 @@ class StreamScheduler {
       stripe.deleted.clear();
     }
     metrics_.ops_admitted(admitted);
-    graph_.maybe_grow_for_backlog(write_count, threads_);
+    // Backlog grow parks while a cut is held (grow frees the old bucket
+    // array under a live scan); stream checkpoint workloads pre-size via
+    // StreamConfig::expected_edges.
+    if (cuts_held() == 0) graph_.maybe_grow_for_backlog(write_count, threads_);
 
     const auto scope = arbiter_.next_round(ResetMode::kNone);
     const round_t r = scope.round();
@@ -466,6 +559,10 @@ class StreamScheduler {
   // no reset sweep, so next_round(kNone) is one increment).
   WriteArbiter<CasLtPolicy> arbiter_{0};
   std::atomic_flag pump_lock_;
+  // Snapshot cuts currently held (mint_cut/release_cut). While > 0 the
+  // batch epilog skips edge-table reclaim and backlog grow — both free
+  // the bucket array concurrent cut-predicated scans are walking.
+  std::atomic<std::uint64_t> cuts_held_{0};
 
   // Pump-private scratch (only touched under pump_lock_).
   std::vector<serve::Record> scratch_;

@@ -217,11 +217,61 @@ TEST(Wire, StreamKindTruncationSweep) {
   }
 }
 
+TEST(Wire, SnapshotKindsRoundTripAndSurviveTruncationSweep) {
+  // The snapshot vocabulary rides the same fixed frame with zeroed
+  // key/value; framing, truncation parking and reassembly must behave
+  // exactly like every other kind.
+  const Request cases[] = {
+      {21, Op::snapshot_create()},
+      {22, Op::snapshot_scan()},
+  };
+  for (const Request& in : cases) {
+    const auto buf = bytes_of_request(in);
+    EXPECT_EQ(buf.size(), kRequestFrameBytes);
+    for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+      RequestDecoder dec(64 * 1024);
+      dec.feed(buf.data(), cut);
+      Request out;
+      ASSERT_EQ(dec.next(out), DecodeStatus::kNeedMore)
+          << "kind " << static_cast<int>(in.op.kind) << " cut " << cut;
+      dec.feed(buf.data() + cut, buf.size() - cut);
+      ASSERT_EQ(dec.next(out), DecodeStatus::kFrame);
+      EXPECT_EQ(out.id, in.id);
+      EXPECT_EQ(out.op.kind, in.op.kind);
+      EXPECT_EQ(out.op.key, 0u);
+      EXPECT_EQ(out.op.value, 0u);
+    }
+  }
+}
+
+TEST(Wire, SnapshotKindsWithGarbagePayloadBytesStillDecode) {
+  // Fuzz-shaped: a snapshot op's key/value are ignored by the server, and
+  // the decoder must not reject frames whose payload bytes are nonzero —
+  // only the kind byte is validated. (Poisoning on payload content would
+  // let an old client's stale buffer wedge a healthy connection.)
+  std::uint64_t x = 0x243f6a8885a308d3ull;
+  for (int trial = 0; trial < 64; ++trial) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    Request in{trial % 2 == 0 ? x : ~x,
+               {trial % 2 == 0 ? OpKind::kSnapshotCreate : OpKind::kSnapshotScan,
+                x * 0x9e37u, ~x}};
+    const auto buf = bytes_of_request(in);
+    RequestDecoder dec(64 * 1024);
+    dec.feed(buf.data(), buf.size());
+    Request out;
+    ASSERT_EQ(dec.next(out), DecodeStatus::kFrame) << "trial " << trial;
+    EXPECT_EQ(out.op.kind, in.op.kind);
+    EXPECT_EQ(out.op.key, in.op.key);
+  }
+}
+
 TEST(Wire, KindsJustPastTheStreamVocabularyPoison) {
-  // The valid range grew to kComponentSize; the first byte past it (and
+  // The valid range grew to kSnapshotScan; the first byte past it (and
   // anything beyond) must poison exactly like 0x7f always did — an old
   // decoder updated for the new kinds must not silently widen further.
-  for (const std::uint8_t bad : {std::uint8_t{7}, std::uint8_t{8}, std::uint8_t{0x7f},
+  for (const std::uint8_t bad : {std::uint8_t{9}, std::uint8_t{10}, std::uint8_t{0x7f},
                                  std::uint8_t{0xff}}) {
     auto buf = bytes_of_request({1, Op::component_size(1)});
     buf[kLenBytes] = bad;  // kind byte
